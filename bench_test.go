@@ -1,0 +1,396 @@
+// Benchmarks regenerating the paper's artefacts and characterising every
+// operation of the system. The paper (a demonstration paper) reports no
+// quantitative numbers, so the figure/listing benches check correctness
+// shape while measuring replay cost, and the E1–E7 benches are the
+// performance characterisation DESIGN.md §4 commits to.
+package gitcite_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	gitcite "github.com/gitcite/gitcite"
+	"github.com/gitcite/gitcite/internal/citefile"
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/extension"
+	"github.com/gitcite/gitcite/internal/hosting"
+	"github.com/gitcite/gitcite/internal/scenario"
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/workload"
+)
+
+// ---- paper artefacts ----
+
+// BenchmarkFigure1Replay regenerates the Figure 1 running example (five
+// versions, AddCite + CopyCite + MergeCite) and verifies the paper's
+// claimed citation values each iteration.
+func BenchmarkFigure1Replay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkListing1Replay reconstructs the §4 CiteDB demonstration and
+// verifies the final citation.cite matches Listing 1.
+func BenchmarkListing1Replay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Listing1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E1: citation resolution vs. path depth ----
+
+func BenchmarkResolveClosestAncestor(b *testing.B) {
+	for _, depth := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			leaf := workload.DeepPath(depth)
+			tree := core.MustPathSet(leaf)
+			cfg := workload.Default()
+			fn := core.MustNewFunction(cfg.RootCitation())
+			// Only the root is cited: resolution walks the full depth.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fn.Resolve(leaf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = tree
+		})
+	}
+}
+
+// BenchmarkResolveChain is the ablation against the paper's alternative
+// whole-path semantics ("every citation on the path from n to r").
+func BenchmarkResolveChain(b *testing.B) {
+	for _, depth := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			leaf := workload.DeepPath(depth)
+			cfg := workload.Default()
+			fn := core.MustNewFunction(cfg.RootCitation())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fn.ResolveChain(leaf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E2: citation CRUD vs. function size ----
+
+func BenchmarkAddCite(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			fn, tree := workload.FunctionWithEntries(n)
+			cfg := workload.Default()
+			cite := cfg.Citation(n + 1)
+			mods := n / 100
+			if mods == 0 {
+				mods = 1
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				target := fmt.Sprintf("/mod%03d", i%mods)
+				if fn.Has(target) {
+					b.StopTimer()
+					if err := fn.Delete(target); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				if err := fn.Add(tree, target, cite); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := fn.Delete(target); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+func BenchmarkModifyCite(b *testing.B) {
+	fn, _ := workload.FunctionWithEntries(1000)
+	cfg := workload.Default()
+	a, c := cfg.Citation(1), cfg.Citation(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cite := a
+		if i%2 == 1 {
+			cite = c
+		}
+		if err := fn.Modify("/mod000/pkg000/file.go", cite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E3: MergeCite vs. size and conflict fraction ----
+
+func BenchmarkMergeCite(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		for _, frac := range []float64{0, 0.01, 0.1} {
+			b.Run(fmt.Sprintf("entries=%d/conflicts=%.0f%%", n, frac*100), func(b *testing.B) {
+				base, tree := workload.FunctionWithEntries(n)
+				ours, theirs := workload.SplitForMerge(base, tree, frac, 11)
+				opts := core.MergeOptions{Strategy: core.StrategyOurs}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Merge(ours, theirs, tree, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMergeCiteThreeWay is the strategy ablation: union-with-ours vs
+// the future-work three-way method.
+func BenchmarkMergeCiteThreeWay(b *testing.B) {
+	base, tree := workload.FunctionWithEntries(1000)
+	ours, theirs := workload.SplitForMerge(base, tree, 0.1, 11)
+	opts := core.MergeOptions{
+		Strategy: core.StrategyThreeWay,
+		Base:     base,
+		Resolver: func(c core.MergeConflict) (core.Citation, error) { return c.Ours, nil },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Merge(ours, theirs, tree, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E4: CopyCite vs. subtree size ----
+
+func BenchmarkCopyCiteMigration(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			src, _ := workload.FunctionWithEntries(n)
+			// Destination tree holds the rebased paths.
+			dstPaths := make([]string, 0, n)
+			for _, p := range src.Paths() {
+				if p == "/" {
+					continue
+				}
+				dstPaths = append(dstPaths, "/import"+p)
+			}
+			if len(dstPaths) == 0 {
+				dstPaths = []string{"/import/placeholder.go"}
+			}
+			dstTree := core.MustPathSet(dstPaths...)
+			cfg := workload.Default()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst := core.MustNewFunction(cfg.RootCitation())
+				if _, err := dst.MigrateSubtree(src, "/", "/import", dstTree, core.CopyOptions{Overwrite: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E5: commit overhead (citation-enabled vs plain VCS) ----
+
+func BenchmarkCommitPlainVCS(b *testing.B) {
+	for _, files := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("files=%d", files), func(b *testing.B) {
+			cfg := workload.Default()
+			cfg.FilesPerDir = files / 13 // dirs(3,3)=13
+			fc := cfg.Files()
+			repo := vcs.NewMemoryRepository()
+			opts := vcs.CommitOptions{Author: vcs.Sig("bench", "b@x", time.Unix(1, 0)), Message: "bench"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := repo.CommitFiles("main", fc, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCommitCitationEnabled(b *testing.B) {
+	for _, files := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("files=%d", files), func(b *testing.B) {
+			cfg := workload.Default()
+			cfg.FilesPerDir = files / 13
+			fc := cfg.Files()
+			repo, err := gitcite.NewRepository(gitcite.Meta{Owner: "bench", Name: "b", URL: "u"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wt, err := repo.Checkout("main")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for p, f := range fc {
+				if err := wt.WriteFile(p, f.Data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			opts := vcs.CommitOptions{Author: vcs.Sig("bench", "b@x", time.Unix(1, 0)), Message: "bench"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := wt.Commit(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E6: hosting round trips over loopback HTTP ----
+
+func newBenchServer(b *testing.B) (*extension.Client, func()) {
+	b.Helper()
+	platform := hosting.NewPlatform()
+	server := hosting.NewServer(platform)
+	ts := httptest.NewServer(server)
+	anon := extension.New(ts.URL, "")
+	tok, err := anon.CreateUser("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner := anon.WithToken(tok)
+	if err := owner.CreateRepo("repo", "https://x/repo", ""); err != nil {
+		b.Fatal(err)
+	}
+	local, err := gitcite.NewRepository(gitcite.Meta{Owner: "bench", Name: "repo", URL: "https://x/repo"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wt, err := local.Checkout("main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.Default()
+	for p, f := range cfg.Files() {
+		if err := wt.WriteFile(p, f.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := wt.Commit(vcs.CommitOptions{Author: vcs.Sig("bench", "b@x", time.Unix(1, 0)), Message: "seed"}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := owner.Push(local, "bench", "repo", "main"); err != nil {
+		b.Fatal(err)
+	}
+	return owner, ts.Close
+}
+
+func BenchmarkHostingGenCite(b *testing.B) {
+	client, closeFn := newBenchServer(b)
+	defer closeFn()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := client.GenCite("bench", "repo", "main", "/dir00/file00.go"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostingAddDelCite(b *testing.B) {
+	client, closeFn := newBenchServer(b)
+	defer closeFn()
+	cite := core.Citation{Owner: "o", RepoName: "r", URL: "u", Version: "1"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.AddCite("bench", "repo", "main", "/dir00", cite); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.DelCite("bench", "repo", "main", "/dir00"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E7: citation.cite codec ----
+
+func BenchmarkCiteFileEncode(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			fn, tree := workload.FunctionWithEntries(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := citefile.Encode(fn, tree.IsDir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCiteFileDecode(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			fn, tree := workload.FunctionWithEntries(n)
+			data, err := citefile.Encode(fn, tree.IsDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := citefile.Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- ForkCite ----
+
+func BenchmarkForkCite(b *testing.B) {
+	repo, err := gitcite.NewRepository(gitcite.Meta{Owner: "bench", Name: "src", URL: "u"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wt, err := repo.Checkout("main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.Default()
+	for p, f := range cfg.Files() {
+		if err := wt.WriteFile(p, f.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opts := vcs.CommitOptions{Author: vcs.Sig("bench", "b@x", time.Unix(1, 0)), Message: "seed"}
+	for i := 0; i < 10; i++ { // ten versions of history
+		if err := wt.WriteFile("/churn.txt", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wt.Commit(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	newMeta := gitcite.Meta{Owner: "forker", Name: "fork", URL: "u2"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gitcite.Fork(repo, newMeta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

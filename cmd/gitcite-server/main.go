@@ -1,0 +1,77 @@
+// Command gitcite-server runs the hosting platform (the paper's
+// project-hosting side — the role GitHub plays): user accounts, hosted
+// citation-enabled repositories, and the REST API the browser-extension
+// client talks to.
+//
+//	gitcite-server -addr :8080 [-seed]
+//
+// With -seed, the server starts pre-populated with the paper's §4
+// demonstration repositories (Data_citation_demo and alu01-corecover) under
+// a "demo" account whose API token is printed on startup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/gitcite/gitcite/internal/extension"
+	"github.com/gitcite/gitcite/internal/hosting"
+	"github.com/gitcite/gitcite/internal/scenario"
+	"net/http/httptest"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Bool("seed", false, "pre-populate with the paper's demonstration repositories")
+	flag.Parse()
+
+	platform := hosting.NewPlatform()
+	server := hosting.NewServer(platform)
+
+	if *seed {
+		if err := seedDemo(platform, server, *addr); err != nil {
+			log.Fatalf("gitcite-server: seeding: %v", err)
+		}
+	}
+
+	log.Printf("gitcite-server listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, server); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// seedDemo recreates the Listing 1 repositories on the platform so the
+// demo is browsable immediately.
+func seedDemo(platform *hosting.Platform, server *hosting.Server, addr string) error {
+	res, err := scenario.Listing1()
+	if err != nil {
+		return err
+	}
+	user, err := platform.CreateUser("demo")
+	if err != nil {
+		return err
+	}
+	// Register both repositories and push their histories through the same
+	// HTTP path a real client would use.
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+	client := extension.New(ts.URL, user.Token)
+	if err := client.CreateRepo("Data_citation_demo", res.Demo.Meta.URL, ""); err != nil {
+		return err
+	}
+	if _, err := client.Push(res.Demo, "demo", "Data_citation_demo", "master"); err != nil {
+		return err
+	}
+	if err := client.CreateRepo("alu01-corecover", res.CoreCover.Meta.URL, ""); err != nil {
+		return err
+	}
+	if _, err := client.Push(res.CoreCover, "demo", "alu01-corecover", "master"); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "seeded demo repositories; API token for user %q: %s\n", user.Name, user.Token)
+	fmt.Fprintf(os.Stderr, "try: curl 'http://localhost%s/api/repos/demo/Data_citation_demo/cite/master?path=/CoreCover&format=text'\n", addr)
+	return nil
+}

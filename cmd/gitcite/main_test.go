@@ -1,0 +1,225 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/hosting"
+)
+
+// inTempRepo runs fn inside a fresh temp directory.
+func inTempRepo(t *testing.T, fn func(dir string)) {
+	t.Helper()
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(old) })
+	fn(dir)
+}
+
+func mustRun(t *testing.T, args ...string) {
+	t.Helper()
+	if err := run(args); err != nil {
+		t.Fatalf("gitcite %s: %v", strings.Join(args, " "), err)
+	}
+}
+
+func write(t *testing.T, rel, data string) {
+	t.Helper()
+	if dir := filepath.Dir(rel); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(rel, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLILifecycle(t *testing.T) {
+	inTempRepo(t, func(string) {
+		mustRun(t, "init", "-owner", "alice", "-name", "demo", "-url", "https://x/demo")
+		write(t, "main.go", "package main\n")
+		write(t, "lib/code.go", "package lib\n")
+		mustRun(t, "commit", "-author", "alice", "-m", "initial")
+		mustRun(t, "add-cite", "-path", "/lib", "-owner", "bob", "-repo", "blib", "-url", "https://x/blib", "-version", "1")
+		mustRun(t, "cite", "-path", "/lib/code.go")
+		mustRun(t, "cite", "-path", "/lib", "-format", "bibtex")
+		mustRun(t, "chain", "-path", "/lib/code.go")
+		mustRun(t, "citefile")
+		mustRun(t, "log")
+		mustRun(t, "branches")
+		mustRun(t, "modify-cite", "-path", "/lib", "-owner", "bob", "-repo", "blib", "-url", "https://x/blib", "-version", "2")
+		mustRun(t, "del-cite", "-path", "/lib")
+		mustRun(t, "retro-check")
+
+		// citation.cite materialised on disk and managed by the system.
+		if _, err := os.Stat("citation.cite"); err != nil {
+			t.Errorf("citation.cite not materialised: %v", err)
+		}
+	})
+}
+
+func TestCLIBranchAndMerge(t *testing.T) {
+	inTempRepo(t, func(string) {
+		mustRun(t, "init", "-owner", "alice", "-name", "demo")
+		write(t, "base.txt", "base\n")
+		mustRun(t, "commit", "-author", "alice", "-m", "base")
+		mustRun(t, "branch", "side")
+		mustRun(t, "switch", "side")
+		write(t, "side.txt", "side work\n")
+		mustRun(t, "commit", "-author", "bob", "-m", "side work")
+		mustRun(t, "add-cite", "-path", "/side.txt", "-owner", "bob", "-repo", "sidework", "-url", "https://s", "-version", "1")
+		mustRun(t, "switch", "main")
+		write(t, "main.txt", "main work\n")
+		// side.txt exists on disk from the side checkout; remove so main's
+		// tree matches its branch.
+		if err := os.Remove("side.txt"); err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, "commit", "-author", "alice", "-m", "main work")
+		mustRun(t, "merge", "-from", "side", "-author", "alice")
+		// After the merge both files and the side citation are present.
+		if _, err := os.Stat("side.txt"); err != nil {
+			t.Errorf("merged file missing: %v", err)
+		}
+		mustRun(t, "cite", "-path", "/side.txt")
+	})
+}
+
+func TestCLIMoveAndRemove(t *testing.T) {
+	inTempRepo(t, func(string) {
+		mustRun(t, "init", "-owner", "alice", "-name", "demo")
+		write(t, "old/file.txt", "content\n")
+		mustRun(t, "commit", "-author", "alice", "-m", "initial")
+		mustRun(t, "add-cite", "-path", "/old", "-owner", "o", "-repo", "r", "-url", "u", "-version", "1")
+		mustRun(t, "mv", "/old", "/renamed")
+		if _, err := os.Stat("renamed/file.txt"); err != nil {
+			t.Errorf("moved file missing on disk: %v", err)
+		}
+		mustRun(t, "cite", "-path", "/renamed/file.txt")
+		mustRun(t, "rm", "/renamed/file.txt")
+		if _, err := os.Stat("renamed/file.txt"); !os.IsNotExist(err) {
+			t.Errorf("removed file still on disk: %v", err)
+		}
+	})
+}
+
+func TestCLIPushPull(t *testing.T) {
+	platform := hosting.NewPlatform()
+	ts := httptest.NewServer(hosting.NewServer(platform))
+	defer ts.Close()
+	user, err := platform.CreateUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := platform.CreateRepo(user.Token, "demo", "https://x/demo", ""); err != nil {
+		t.Fatal(err)
+	}
+	inTempRepo(t, func(string) {
+		mustRun(t, "init", "-owner", "alice", "-name", "demo", "-url", "https://x/demo")
+		write(t, "f.txt", "pushed content\n")
+		mustRun(t, "commit", "-author", "alice", "-m", "to push")
+		mustRun(t, "push", "-server", ts.URL, "-token", user.Token, "-owner", "alice", "-repo", "demo", "-branch", "main")
+	})
+	// Pull into a second working copy.
+	inTempRepo(t, func(string) {
+		mustRun(t, "init", "-owner", "alice", "-name", "demo", "-url", "https://x/demo")
+		mustRun(t, "pull", "-server", ts.URL, "-owner", "alice", "-repo", "demo", "-branch", "main")
+		data, err := os.ReadFile("f.txt")
+		if err != nil || string(data) != "pushed content\n" {
+			t.Errorf("pulled file = %q, %v", data, err)
+		}
+	})
+}
+
+func TestCLIRetroEnable(t *testing.T) {
+	inTempRepo(t, func(string) {
+		mustRun(t, "init", "-owner", "alice", "-name", "demo")
+		write(t, "a.txt", "a\n")
+		mustRun(t, "commit", "-author", "alice", "-m", "one")
+		write(t, "b/c.txt", "c\n")
+		mustRun(t, "commit", "-author", "bob", "-m", "two")
+		mustRun(t, "retro-enable", "-new-branch", "cited")
+		mustRun(t, "switch", "cited")
+		mustRun(t, "retro-check")
+	})
+}
+
+func TestCLIErrors(t *testing.T) {
+	inTempRepo(t, func(string) {
+		if err := run(nil); err == nil {
+			t.Error("no args accepted")
+		}
+		if err := run([]string{"bogus"}); err == nil {
+			t.Error("bogus subcommand accepted")
+		}
+		if err := run([]string{"commit", "-author", "a", "-m", "x"}); err == nil {
+			t.Error("commit outside a repository accepted")
+		}
+		if err := run([]string{"init", "-owner", "only"}); err == nil {
+			t.Error("init without -name accepted")
+		}
+		mustRun(t, "init", "-owner", "alice", "-name", "demo")
+		if err := run([]string{"commit", "-m", "missing author"}); err == nil {
+			t.Error("commit without author accepted")
+		}
+		if err := run([]string{"cite", "-path", "/x"}); err == nil {
+			t.Error("cite on empty repo accepted")
+		}
+		write(t, "f.txt", "x")
+		mustRun(t, "commit", "-author", "a", "-m", "c")
+		if err := run([]string{"add-cite", "-path", "/ghost", "-owner", "o", "-repo", "r", "-url", "u", "-version", "1"}); err == nil {
+			t.Error("add-cite on missing path accepted")
+		}
+		if err := run([]string{"cite", "-path", "/f.txt", "-format", "endnote-xml"}); err == nil {
+			t.Error("unknown format accepted")
+		}
+		if err := run([]string{"merge", "-from", "nonexistent", "-author", "a"}); err == nil {
+			t.Error("merge from missing branch accepted")
+		}
+	})
+}
+
+func TestCLICopyBetweenRepos(t *testing.T) {
+	base := t.TempDir()
+	srcDir := filepath.Join(base, "src")
+	dstDir := filepath.Join(base, "dst")
+	if err := os.MkdirAll(srcDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := os.Getwd()
+	t.Cleanup(func() { _ = os.Chdir(old) })
+
+	// Source repository with a cited library.
+	if err := os.Chdir(srcDir); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, "init", "-owner", "chenli", "-name", "corecover", "-url", "https://x/corecover")
+	write(t, "lib/algo.py", "algorithm\n")
+	mustRun(t, "commit", "-author", "chenli", "-m", "algorithm")
+
+	// Destination imports it via CopyCite.
+	if err := os.Chdir(dstDir); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, "init", "-owner", "yinjun", "-name", "demo", "-url", "https://x/demo")
+	write(t, "main.py", "main\n")
+	mustRun(t, "commit", "-author", "yinjun", "-m", "initial")
+	mustRun(t, "copy", "-src-dir", srcDir, "-src-path", "/lib", "-dst-path", "/CoreCover", "-author", "yinjun")
+	if _, err := os.Stat("CoreCover/algo.py"); err != nil {
+		t.Errorf("copied file missing on disk: %v", err)
+	}
+	mustRun(t, "cite", "-path", "/CoreCover/algo.py")
+}

@@ -1,0 +1,85 @@
+// Quickstart: create a citation-enabled repository, attach citations, and
+// generate them back — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	gitcite "github.com/gitcite/gitcite"
+)
+
+func main() {
+	// A repository is a DAG of versions; metadata seeds the default root
+	// citation ("owner and name of the repository, the http address…").
+	repo, err := gitcite.NewRepository(gitcite.Meta{
+		Owner: "alice", Name: "fluxsolver",
+		URL: "https://git.example/alice/fluxsolver", License: "MIT",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Work happens in a worktree: file edits and citation edits accumulate
+	// independently until Commit records both (plus citation.cite).
+	wt, err := repo.Checkout("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	files := map[string]string{
+		"/solver/core.go":    "package solver // the PDE core\n",
+		"/solver/mesh.go":    "package solver // meshing\n",
+		"/vendor/fft/fft.go": "package fft // imported FFT kernels\n",
+		"/README.md":         "# fluxsolver\n",
+	}
+	for p, data := range files {
+		if err := wt.WriteFile(p, []byte(data)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// AddCite: credit the imported FFT kernels to their real authors.
+	err = wt.AddCite("/vendor/fft", gitcite.Citation{
+		Owner: "bob", RepoName: "fastfft",
+		URL: "https://git.example/bob/fastfft", Version: "2.1",
+		AuthorList: []string{"Bob Jones", "Carol Smith"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	commit, err := wt.Commit(gitcite.CommitOptions{
+		Author:  gitcite.Sig("alice", "alice@example.org", time.Date(2020, 4, 1, 10, 0, 0, 0, time.UTC)),
+		Message: "initial version",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed version %s\n\n", commit.Short())
+
+	// Generate citations: the solver resolves to the root default; the FFT
+	// files resolve to their closest cited ancestor.
+	for _, path := range []string{"/solver/core.go", "/vendor/fft/fft.go"} {
+		cite, from, err := repo.Generate(commit, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text, err := gitcite.Render(cite, gitcite.FormatText)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Cite(%s)   [resolved from %s]\n  %s\n", path, from, text)
+	}
+
+	// The same citation in BibTeX for a paper's bibliography.
+	cite, _, err := repo.Generate(commit, "/vendor/fft")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bib, err := gitcite.Render(cite, gitcite.FormatBibTeX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BibTeX for the imported FFT library:\n%s", bib)
+}

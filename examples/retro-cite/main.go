@@ -1,0 +1,83 @@
+// retro-cite shows citation-enabling a legacy repository (paper §5, future
+// work 2): a project with years of history and no citation files gets a
+// parallel citation-enabled history, with per-directory credit synthesised
+// from who actually touched what.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	gitcite "github.com/gitcite/gitcite"
+)
+
+func main() {
+	repo, err := gitcite.NewRepository(gitcite.Meta{
+		Owner: "oldlab", Name: "legacy-sim", URL: "https://git.example/oldlab/legacy-sim",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a legacy history straight through the VCS (no citation layer):
+	// three contributors across three subsystems, five commits.
+	type step struct {
+		author string
+		files  map[string]string
+		msg    string
+	}
+	state := map[string]string{}
+	history := []step{
+		{"maria", map[string]string{"/physics/field.c": "v1", "/Makefile": "all:"}, "initial physics core"},
+		{"maria", map[string]string{"/physics/field.c": "v2", "/physics/solve.c": "v1"}, "implicit solver"},
+		{"jun", map[string]string{"/viz/render.c": "v1", "/viz/palette.c": "v1"}, "visualisation"},
+		{"priya", map[string]string{"/io/hdf5.c": "v1"}, "HDF5 output"},
+		{"jun", map[string]string{"/viz/render.c": "v2"}, "antialiasing"},
+	}
+	for i, s := range history {
+		for p, d := range s.files {
+			state[p] = d
+		}
+		files := map[string]gitcite.FileContent{}
+		for p, d := range state {
+			files[p] = gitcite.FileContent{Data: []byte(d)}
+		}
+		_, err := repo.VCS.CommitFiles("main", files, gitcite.CommitOptions{
+			Author:  gitcite.Sig(s.author, s.author+"@oldlab.example", time.Date(2015, 1, 1+i*30, 9, 0, 0, 0, time.UTC)),
+			Message: s.msg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The legacy history fails the consistency check.
+	issues, err := gitcite.CheckCitationConsistency(repo, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("legacy history: %d versions without citations\n", len(issues))
+
+	// Retroactively enable it.
+	report, err := gitcite.EnableRetroactively(repo, "main", "main-cited", gitcite.RetroOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rewrote %d versions, synthesised %d citation entries\n\n", len(report.Rewritten), report.EntriesAdded)
+
+	// The rewritten history is consistent and credits each subsystem to
+	// the people who built it.
+	issues, err = gitcite.CheckCitationConsistency(repo, "main-cited")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rewritten history: %d issues\n", len(issues))
+	for _, path := range []string{"/physics/field.c", "/viz/render.c", "/io/hdf5.c", "/Makefile"} {
+		cite, from, err := repo.Generate(report.NewTip, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Cite(%-17s) credits %v   [entry at %s]\n", path, cite.AuthorList, from)
+	}
+}

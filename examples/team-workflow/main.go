@@ -1,0 +1,131 @@
+// team-workflow shows citation management across a team's branch-and-merge
+// cycle, including a genuine citation conflict: two branches modify the
+// same directory's citation and the merge resolves it interactively — the
+// behaviour the paper describes for MergeCite ("showing them to the user
+// and asking the user to resolve the conflict").
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	gitcite "github.com/gitcite/gitcite"
+)
+
+func commitOpts(author string, day int) gitcite.CommitOptions {
+	return gitcite.CommitOptions{
+		Author:  gitcite.Sig(author, author+"@lab.example", time.Date(2020, 5, day, 12, 0, 0, 0, time.UTC)),
+		Message: "work by " + author,
+	}
+}
+
+func main() {
+	repo, err := gitcite.NewRepository(gitcite.Meta{
+		Owner: "lab", Name: "pipeline", URL: "https://git.example/lab/pipeline",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Day 1: the lead sets up the project and cites the ingest module.
+	wt, err := repo.Checkout("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for p, d := range map[string]string{
+		"/ingest/reader.py":  "# ingest\n",
+		"/analysis/stats.py": "# analysis\n",
+	} {
+		if err := wt.WriteFile(p, []byte(d)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := wt.AddCite("/ingest", gitcite.Citation{
+		Owner: "lab", RepoName: "pipeline-ingest", URL: "https://git.example/lab/pipeline/ingest",
+		Version: "1", AuthorList: []string{"Dana Lead"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	base, err := wt.Commit(commitOpts("dana", 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := repo.VCS.CreateBranch("student", base); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 1: base version %s; /ingest cited by Dana\n", base.Short())
+
+	// Day 2 (branch "student"): the student adds a GUI in their own
+	// directory and — like Yanssie in the paper — cites it to themselves.
+	// They also update the ingest citation (adding themselves).
+	wtS, err := repo.Checkout("student")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wtS.WriteFile("/gui/app.js", []byte("// gui\n")); err != nil {
+		log.Fatal(err)
+	}
+	if err := wtS.AddCite("/gui", gitcite.Citation{
+		Owner: "lab", RepoName: "pipeline-gui", URL: "https://git.example/lab/pipeline/gui",
+		Version: "0.1", AuthorList: []string{"Sam Student"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := wtS.ModifyCite("/ingest", gitcite.Citation{
+		Owner: "lab", RepoName: "pipeline-ingest", URL: "https://git.example/lab/pipeline/ingest",
+		Version: "1.1", AuthorList: []string{"Dana Lead", "Sam Student"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := wtS.Commit(commitOpts("sam", 2)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("day 2: student branch adds /gui (cited to Sam) and edits /ingest's citation")
+
+	// Day 3 (main): Dana independently bumps the ingest citation version.
+	wtM, err := repo.Checkout("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wtM.ModifyCite("/ingest", gitcite.Citation{
+		Owner: "lab", RepoName: "pipeline-ingest", URL: "https://git.example/lab/pipeline/ingest",
+		Version: "2", AuthorList: []string{"Dana Lead"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := wtM.Commit(commitOpts("dana", 3)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("day 3: main independently bumps /ingest's citation to version 2")
+
+	// Day 4: MergeCite. /gui unions in cleanly; /ingest conflicts and the
+	// "user" resolves by combining both edits.
+	res, err := repo.MergeBranches("main", "student", gitcite.MergeOptions{
+		Citations: gitcite.CiteMergeOptions{
+			Strategy: gitcite.StrategyAsk,
+			Resolver: func(c gitcite.MergeConflict) (gitcite.Citation, error) {
+				fmt.Printf("day 4: conflict at %s — ours v%s %v vs theirs v%s %v\n",
+					c.Path, c.Ours.Version, c.Ours.AuthorList, c.Theirs.Version, c.Theirs.AuthorList)
+				merged := c.Ours.Clone()
+				merged.AuthorList = c.Theirs.AuthorList // keep the student's credit
+				return merged, nil
+			},
+		},
+		Commit: commitOpts("dana", 4),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 4: merged student into main at %s (%d citation conflicts resolved)\n\n",
+		res.CommitID.Short(), len(res.CiteConflicts))
+
+	// Result: per-path credit after the merge.
+	for _, path := range []string{"/ingest/reader.py", "/gui/app.js", "/analysis/stats.py"} {
+		cite, from, err := repo.Generate(res.CommitID, path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Cite(%-18s) = v%-3s %v   [from %s]\n", path, cite.Version, cite.AuthorList, from)
+	}
+}

@@ -1,0 +1,251 @@
+// Package archive implements the paper's third future-work item (§5):
+// integration with software archives. It simulates two services the paper
+// references: a Software-Heritage-style archive with intrinsic identifiers
+// (SWHID-like, computed from object content) and a Zenodo-style DOI
+// registry that mints persistent identifiers for deposited versions.
+//
+// Depositing a repository version copies its full reachable object graph
+// into the archive (so the content outlives the origin repository), mints a
+// DOI, and returns a record from which a persistent citation — DOI included
+// — can be generated.
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/gitcite"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// SWHID is an intrinsic, content-derived identifier in the style of
+// Software Heritage persistent IDs: "swh:1:<type>:<hex>". Because the vcs
+// substrate hashes with SHA-256, the hex part is 64 characters (upstream
+// SWHIDs use 40); the structure and resolution semantics are the same.
+type SWHID string
+
+// SWHID object types.
+const (
+	TypeContent   = "cnt" // blob
+	TypeDirectory = "dir" // tree
+	TypeRevision  = "rev" // commit
+)
+
+// NewSWHID builds an identifier from an object type and ID.
+func NewSWHID(objType string, id object.ID) SWHID {
+	return SWHID(fmt.Sprintf("swh:1:%s:%s", objType, id))
+}
+
+// ErrBadSWHID reports a malformed identifier.
+var ErrBadSWHID = errors.New("archive: malformed SWHID")
+
+// Parse splits an SWHID into its object type and object ID.
+func (s SWHID) Parse() (objType string, id object.ID, err error) {
+	parts := strings.Split(string(s), ":")
+	if len(parts) != 4 || parts[0] != "swh" || parts[1] != "1" {
+		return "", object.ZeroID, fmt.Errorf("%w: %q", ErrBadSWHID, s)
+	}
+	switch parts[2] {
+	case TypeContent, TypeDirectory, TypeRevision:
+	default:
+		return "", object.ZeroID, fmt.Errorf("%w: unknown type %q", ErrBadSWHID, parts[2])
+	}
+	id, err = object.ParseID(parts[3])
+	if err != nil {
+		return "", object.ZeroID, fmt.Errorf("%w: %v", ErrBadSWHID, err)
+	}
+	return parts[2], id, nil
+}
+
+// Deposit records one archived version.
+type Deposit struct {
+	// SWHID identifies the archived revision (commit).
+	SWHID SWHID
+	// DirSWHID identifies the revision's root directory.
+	DirSWHID SWHID
+	// DOI is the minted persistent identifier (Zenodo-style).
+	DOI string
+	// RepoName/Owner/URL snapshot the origin metadata at deposit time.
+	RepoName string
+	Owner    string
+	URL      string
+	// Objects is the number of objects the deposit added to the archive.
+	Objects int
+}
+
+// Archive is the in-process archive + DOI registry. Safe for concurrent
+// use.
+type Archive struct {
+	// DOIPrefix is the registrant prefix for minted DOIs.
+	DOIPrefix string
+
+	mu       sync.RWMutex
+	objects  *store.MemoryStore
+	deposits map[SWHID]*Deposit
+	byDOI    map[string]*Deposit
+	seq      int
+}
+
+// New creates an empty archive with the given DOI prefix (for example
+// "10.5281"); an empty prefix defaults to "10.5072" (the DataCite sandbox
+// prefix).
+func New(doiPrefix string) *Archive {
+	if doiPrefix == "" {
+		doiPrefix = "10.5072"
+	}
+	return &Archive{
+		DOIPrefix: doiPrefix,
+		objects:   store.NewMemoryStore(),
+		deposits:  map[SWHID]*Deposit{},
+		byDOI:     map[string]*Deposit{},
+	}
+}
+
+// DepositVersion archives the full object graph of one repository version
+// and mints a DOI for it. Re-depositing the same version returns the
+// existing record (deposits are idempotent — intrinsic IDs make duplicates
+// detectable).
+func (a *Archive) DepositVersion(repo *gitcite.Repo, commitID object.ID) (*Deposit, error) {
+	c, err := repo.VCS.Commit(commitID)
+	if err != nil {
+		return nil, err
+	}
+	revID := NewSWHID(TypeRevision, commitID)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d, ok := a.deposits[revID]; ok {
+		return d, nil
+	}
+	n, err := store.CopyClosure(a.objects, repo.VCS.Objects, commitID)
+	if err != nil {
+		return nil, err
+	}
+	a.seq++
+	d := &Deposit{
+		SWHID:    revID,
+		DirSWHID: NewSWHID(TypeDirectory, c.TreeID),
+		DOI:      fmt.Sprintf("%s/gitcite.%d", a.DOIPrefix, a.seq),
+		RepoName: repo.Meta.Name,
+		Owner:    repo.Meta.Owner,
+		URL:      repo.Meta.URL,
+		Objects:  n,
+	}
+	a.deposits[revID] = d
+	a.byDOI[d.DOI] = d
+	return d, nil
+}
+
+// Resolve fetches an archived object by its SWHID.
+func (a *Archive) Resolve(id SWHID) (object.Object, error) {
+	objType, oid, err := id.Parse()
+	if err != nil {
+		return nil, err
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	o, err := a.objects.Get(oid)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %s not archived: %w", id, err)
+	}
+	want := map[string]object.Type{
+		TypeContent:   object.TypeBlob,
+		TypeDirectory: object.TypeTree,
+		TypeRevision:  object.TypeCommit,
+	}[objType]
+	if o.Type() != want {
+		return nil, fmt.Errorf("archive: %s names a %v, not a %v", id, o.Type(), want)
+	}
+	return o, nil
+}
+
+// ResolveDOI looks up the deposit a DOI was minted for.
+func (a *Archive) ResolveDOI(doi string) (*Deposit, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	d, ok := a.byDOI[doi]
+	if !ok {
+		return nil, fmt.Errorf("archive: DOI %q not registered", doi)
+	}
+	return d, nil
+}
+
+// Deposits lists all deposits ordered by DOI.
+func (a *Archive) Deposits() []*Deposit {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]*Deposit, 0, len(a.deposits))
+	for _, d := range a.deposits {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DOI < out[j].DOI })
+	return out
+}
+
+// Verify re-walks a deposit's object graph, re-hashing every object and
+// confirming the closure is complete — the archive's persistence guarantee.
+// It returns the number of verified objects.
+func (a *Archive) Verify(d *Deposit) (int, error) {
+	_, revID, err := d.SWHID.Parse()
+	if err != nil {
+		return 0, err
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	seen := map[object.ID]bool{}
+	stack := []object.ID{revID}
+	verified := 0
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id.IsZero() || seen[id] {
+			continue
+		}
+		seen[id] = true
+		o, err := a.objects.Get(id)
+		if err != nil {
+			return verified, fmt.Errorf("archive: closure incomplete at %s: %w", id.Short(), err)
+		}
+		if object.Hash(o) != id {
+			return verified, fmt.Errorf("archive: object %s fails hash verification", id.Short())
+		}
+		verified++
+		switch v := o.(type) {
+		case *object.Commit:
+			stack = append(stack, v.TreeID)
+			stack = append(stack, v.Parents...)
+		case *object.Tree:
+			for _, e := range v.Entries() {
+				stack = append(stack, e.ID)
+			}
+		}
+	}
+	return verified, nil
+}
+
+// CitationFor builds the persistent citation for a deposited version: the
+// resolved citation of the cited path, upgraded with the deposit's DOI —
+// the paper's §1 observation that "a released version … may be … uploaded
+// to [a] public hosting platform like Zenodo which provides a DOI, thus
+// enabling more traditional citations and ensuring persistence".
+func (a *Archive) CitationFor(repo *gitcite.Repo, d *Deposit, path string) (core.Citation, error) {
+	_, revID, err := d.SWHID.Parse()
+	if err != nil {
+		return core.Citation{}, err
+	}
+	cite, _, err := repo.Generate(revID, path)
+	if err != nil {
+		return core.Citation{}, err
+	}
+	cite.DOI = d.DOI
+	if cite.Extra == nil {
+		cite.Extra = map[string]string{}
+	}
+	cite.Extra["swhid"] = string(d.SWHID)
+	return cite, nil
+}

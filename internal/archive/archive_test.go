@@ -1,0 +1,213 @@
+package archive
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/gitcite"
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+func depositFixture(t *testing.T) (*gitcite.Repo, object.ID) {
+	t.Helper()
+	repo, err := gitcite.NewMemoryRepo(gitcite.Meta{
+		Owner: "leshang", Name: "P1", URL: "https://git.example/leshang/P1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := repo.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, d := range map[string]string{"/src/a.go": "a", "/src/b.go": "b", "/README.md": "r"} {
+		if err := wt.WriteFile(p, []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wt.AddCite("/src", core.Citation{Owner: "srcOwner", RepoName: "lib", URL: "u", Version: "2"}); err != nil {
+		t.Fatal(err)
+	}
+	tip, err := wt.Commit(vcs.CommitOptions{Author: vcs.Sig("l", "l@x", time.Unix(1_535_942_120, 0)), Message: "release"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo, tip
+}
+
+func TestSWHIDRoundTrip(t *testing.T) {
+	id := object.NewBlobString("content").ID()
+	s := NewSWHID(TypeContent, id)
+	typ, back, err := s.Parse()
+	if err != nil || typ != TypeContent || back != id {
+		t.Errorf("parse = %q %v %v", typ, back, err)
+	}
+	for _, bad := range []SWHID{"", "swh:2:rev:abc", "swh:1:xxx:" + SWHID(id.String()), "swh:1:rev:zz", "notswh:1:rev:aa"} {
+		if _, _, err := bad.Parse(); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestDepositResolveVerify(t *testing.T) {
+	repo, tip := depositFixture(t)
+	a := New("10.5281")
+	d, err := a.DepositVersion(repo, tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d.DOI, "10.5281/gitcite.") {
+		t.Errorf("DOI = %q", d.DOI)
+	}
+	if d.Objects == 0 {
+		t.Error("deposit copied nothing")
+	}
+	// Resolve the revision, its directory, and a content object.
+	if _, err := a.Resolve(d.SWHID); err != nil {
+		t.Errorf("resolve revision: %v", err)
+	}
+	if _, err := a.Resolve(d.DirSWHID); err != nil {
+		t.Errorf("resolve directory: %v", err)
+	}
+	// Wrong-type lookup fails.
+	_, revID, _ := d.SWHID.Parse()
+	if _, err := a.Resolve(NewSWHID(TypeContent, revID)); err == nil {
+		t.Error("revision resolved as content")
+	}
+	// Unknown object fails.
+	if _, err := a.Resolve(NewSWHID(TypeRevision, object.NewBlobString("ghost").ID())); err == nil {
+		t.Error("unknown SWHID resolved")
+	}
+	// Verify re-hashes the full closure.
+	n, err := a.Verify(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != d.Objects {
+		t.Errorf("verified %d, deposited %d", n, d.Objects)
+	}
+}
+
+func TestDepositIdempotent(t *testing.T) {
+	repo, tip := depositFixture(t)
+	a := New("")
+	d1, err := a.DepositVersion(repo, tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.DepositVersion(repo, tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.DOI != d2.DOI {
+		t.Error("re-deposit minted a second DOI")
+	}
+	if len(a.Deposits()) != 1 {
+		t.Errorf("deposits = %d", len(a.Deposits()))
+	}
+	if a.DOIPrefix != "10.5072" {
+		t.Errorf("default prefix = %q", a.DOIPrefix)
+	}
+}
+
+func TestResolveDOI(t *testing.T) {
+	repo, tip := depositFixture(t)
+	a := New("10.5281")
+	d, err := a.DepositVersion(repo, tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.ResolveDOI(d.DOI)
+	if err != nil || got.SWHID != d.SWHID {
+		t.Errorf("ResolveDOI = %+v, %v", got, err)
+	}
+	if _, err := a.ResolveDOI("10.5281/nope.1"); err == nil {
+		t.Error("unknown DOI resolved")
+	}
+}
+
+func TestArchiveSurvivesOriginLoss(t *testing.T) {
+	repo, tip := depositFixture(t)
+	a := New("10.5281")
+	d, err := a.DepositVersion(repo, tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Lose" the origin: new empty repo; the archive still resolves and
+	// verifies — persistence.
+	repo.VCS = vcs.NewMemoryRepository()
+	if _, err := a.Resolve(d.SWHID); err != nil {
+		t.Errorf("archive lost content with origin: %v", err)
+	}
+	if _, err := a.Verify(d); err != nil {
+		t.Errorf("verify after origin loss: %v", err)
+	}
+}
+
+func TestCitationForAddsDOIAndSWHID(t *testing.T) {
+	repo, tip := depositFixture(t)
+	a := New("10.5281")
+	d, err := a.DepositVersion(repo, tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root path: persistent citation for the release.
+	cite, err := a.CitationFor(repo, d, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cite.DOI != d.DOI {
+		t.Errorf("DOI = %q", cite.DOI)
+	}
+	if cite.Extra["swhid"] != string(d.SWHID) {
+		t.Errorf("swhid extra = %q", cite.Extra["swhid"])
+	}
+	if cite.Owner != "leshang" {
+		t.Errorf("owner = %q", cite.Owner)
+	}
+	// Subtree path: the resolved subtree citation gets the DOI.
+	cite, err = a.CitationFor(repo, d, "/src/a.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cite.Owner != "srcOwner" || cite.DOI != d.DOI {
+		t.Errorf("subtree citation = %+v", cite)
+	}
+}
+
+func TestMultipleVersionsDistinctDOIs(t *testing.T) {
+	repo, tip := depositFixture(t)
+	a := New("10.5281")
+	d1, err := a.DepositVersion(repo, tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := repo.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.WriteFile("/new.go", []byte("n")); err != nil {
+		t.Fatal(err)
+	}
+	tip2, err := wt.Commit(vcs.CommitOptions{Author: vcs.Sig("l", "l@x", time.Unix(1_535_999_999, 0)), Message: "v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.DepositVersion(repo, tip2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.DOI == d2.DOI || d1.SWHID == d2.SWHID {
+		t.Error("distinct versions share identifiers")
+	}
+	if len(a.Deposits()) != 2 {
+		t.Errorf("deposits = %d", len(a.Deposits()))
+	}
+	// The second deposit is incremental (shares objects with the first).
+	if d2.Objects >= d1.Objects+5 {
+		t.Errorf("second deposit copied %d objects (first %d) — not incremental", d2.Objects, d1.Objects)
+	}
+}

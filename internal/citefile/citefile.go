@@ -1,0 +1,174 @@
+// Package citefile reads and writes "citation.cite" — the special file the
+// paper stores at the root of every project version (§3): "a set of
+// key-value entries, where the key is the relative path to the file being
+// cited, and the value is the citation attached to the file".
+//
+// The encoding is JSON with the exact field vocabulary of the paper's
+// Listing 1 (repoName, owner, committedDate, commitID, url, authorList) plus
+// the optional fields the model carries (doi, version, license, note,
+// extra). Encoding is byte-deterministic: keys are sorted, fields appear in
+// a fixed order and timestamps are RFC 3339 UTC — so the same citation
+// function always produces the same blob (and therefore the same vcs object
+// ID).
+//
+// Directory keys are written with a trailing slash, matching Listing 1
+// ("/", "/CoreCover/", "/citation/GUI/"); the reader accepts keys with or
+// without it.
+package citefile
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/vcs"
+)
+
+// Filename is the citation file's name at the version root.
+const Filename = "citation.cite"
+
+// Path is the citation file's clean rooted path within a version tree.
+const Path = "/" + Filename
+
+// entryJSON is the wire form of one citation. Field order here is the
+// serialisation order.
+type entryJSON struct {
+	RepoName      string            `json:"repoName,omitempty"`
+	Owner         string            `json:"owner,omitempty"`
+	CommittedDate string            `json:"committedDate,omitempty"`
+	CommitID      string            `json:"commitID,omitempty"`
+	URL           string            `json:"url,omitempty"`
+	DOI           string            `json:"doi,omitempty"`
+	Version       string            `json:"version,omitempty"`
+	License       string            `json:"license,omitempty"`
+	AuthorList    []string          `json:"authorList,omitempty"`
+	Note          string            `json:"note,omitempty"`
+	Extra         map[string]string `json:"extra,omitempty"`
+}
+
+func toWire(c core.Citation) entryJSON {
+	e := entryJSON{
+		RepoName:   c.RepoName,
+		Owner:      c.Owner,
+		CommitID:   c.CommitID,
+		URL:        c.URL,
+		DOI:        c.DOI,
+		Version:    c.Version,
+		License:    c.License,
+		AuthorList: c.AuthorList,
+		Note:       c.Note,
+		Extra:      c.Extra,
+	}
+	if !c.CommittedDate.IsZero() {
+		e.CommittedDate = c.CommittedDate.UTC().Format(time.RFC3339)
+	}
+	return e
+}
+
+func fromWire(e entryJSON) (core.Citation, error) {
+	c := core.Citation{
+		RepoName:   e.RepoName,
+		Owner:      e.Owner,
+		CommitID:   e.CommitID,
+		URL:        e.URL,
+		DOI:        e.DOI,
+		Version:    e.Version,
+		License:    e.License,
+		AuthorList: e.AuthorList,
+		Note:       e.Note,
+		Extra:      e.Extra,
+	}
+	if e.CommittedDate != "" {
+		when, err := time.Parse(time.RFC3339, e.CommittedDate)
+		if err != nil {
+			return core.Citation{}, fmt.Errorf("citefile: bad committedDate %q: %w", e.CommittedDate, err)
+		}
+		c.CommittedDate = when.UTC()
+	}
+	return c, nil
+}
+
+// Encode serialises a citation function deterministically. isDir reports
+// whether an active-domain path is a directory in the version tree, which
+// controls the trailing slash on keys; nil means "no trailing slashes".
+func Encode(f *core.Function, isDir func(path string) bool) ([]byte, error) {
+	entries := f.ActiveDomain()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Path < entries[j].Path })
+
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	for i, pc := range entries {
+		key := pc.Path
+		if key != "/" && isDir != nil && isDir(pc.Path) {
+			key += "/"
+		}
+		keyJSON, err := json.Marshal(key)
+		if err != nil {
+			return nil, err
+		}
+		valJSON, err := json.MarshalIndent(toWire(pc.Citation), "  ", "  ")
+		if err != nil {
+			return nil, err
+		}
+		buf.WriteString("  ")
+		buf.Write(keyJSON)
+		buf.WriteString(": ")
+		buf.Write(valJSON)
+		if i < len(entries)-1 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("}\n")
+	return buf.Bytes(), nil
+}
+
+// Decode parses a citation file back into a citation function. Keys are
+// canonicalised (trailing slashes stripped); the file must contain a root
+// entry with the paper's required basic fields.
+func Decode(data []byte) (*core.Function, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var raw map[string]entryJSON
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("citefile: parse: %w", err)
+	}
+	entries := make(map[string]core.Citation, len(raw))
+	for key, e := range raw {
+		p := key
+		if p != "/" {
+			p = strings.TrimSuffix(p, "/")
+		}
+		clean, err := vcs.CleanPath(p)
+		if err != nil {
+			return nil, fmt.Errorf("citefile: key %q: %w", key, err)
+		}
+		if _, dup := entries[clean]; dup {
+			return nil, fmt.Errorf("citefile: duplicate key %q after canonicalisation", clean)
+		}
+		c, err := fromWire(e)
+		if err != nil {
+			return nil, err
+		}
+		entries[clean] = c
+	}
+	return core.FromEntries(entries)
+}
+
+// EncodeEntry serialises a single citation (used by the hosting API and the
+// CLI's JSON output).
+func EncodeEntry(c core.Citation) ([]byte, error) {
+	return json.MarshalIndent(toWire(c), "", "  ")
+}
+
+// DecodeEntry parses a single citation in the wire format.
+func DecodeEntry(data []byte) (core.Citation, error) {
+	var e entryJSON
+	if err := json.Unmarshal(data, &e); err != nil {
+		return core.Citation{}, fmt.Errorf("citefile: parse entry: %w", err)
+	}
+	return fromWire(e)
+}

@@ -1,0 +1,158 @@
+// Package core implements the paper's citation model (GitCite §2): project
+// versions are rooted trees, and each version carries a partial citation
+// function from tree paths to citation records. The root is always in the
+// function's active domain, and the citation of any node resolves to the
+// node's own citation or that of its closest cited ancestor.
+//
+// The package is deliberately independent of the vcs substrate: it operates
+// on clean rooted paths ("/", "/dir/file") and an abstract Tree, so the
+// model can be tested and benchmarked in isolation and reused by the
+// integration layer, the hosting platform and the retroactive-citation
+// tooling.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Citation is one citation record — the value side of a citation-function
+// entry. The fields mirror the paper's Listing 1 (repoName, owner,
+// committedDate, commitID, url, authorList) plus the "basic snippets"
+// Section 2 calls for on roots (DOI, version) and common bibliographic
+// extras.
+type Citation struct {
+	RepoName      string
+	Owner         string
+	CommittedDate time.Time
+	CommitID      string
+	URL           string
+	DOI           string
+	Version       string
+	License       string
+	AuthorList    []string
+	Note          string
+	// Extra holds open-ended key/value metadata carried verbatim through
+	// every operation.
+	Extra map[string]string
+}
+
+// Clone returns a deep copy.
+func (c Citation) Clone() Citation {
+	out := c
+	if c.AuthorList != nil {
+		out.AuthorList = append([]string(nil), c.AuthorList...)
+	}
+	if c.Extra != nil {
+		out.Extra = make(map[string]string, len(c.Extra))
+		for k, v := range c.Extra {
+			out.Extra[k] = v
+		}
+	}
+	return out
+}
+
+// Equal reports semantic equality: all fields equal, author order
+// significant, Extra compared by contents (nil and empty equivalent).
+func (c Citation) Equal(o Citation) bool {
+	if c.RepoName != o.RepoName || c.Owner != o.Owner || c.CommitID != o.CommitID ||
+		c.URL != o.URL || c.DOI != o.DOI || c.Version != o.Version ||
+		c.License != o.License || c.Note != o.Note ||
+		!c.CommittedDate.Equal(o.CommittedDate) {
+		return false
+	}
+	if len(c.AuthorList) != len(o.AuthorList) {
+		return false
+	}
+	for i := range c.AuthorList {
+		if c.AuthorList[i] != o.AuthorList[i] {
+			return false
+		}
+	}
+	if len(c.Extra) != len(o.Extra) {
+		return false
+	}
+	for k, v := range c.Extra {
+		if ov, ok := o.Extra[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether the citation carries no information at all.
+func (c Citation) IsZero() bool {
+	return c.RepoName == "" && c.Owner == "" && c.CommitID == "" && c.URL == "" &&
+		c.DOI == "" && c.Version == "" && c.License == "" && c.Note == "" &&
+		c.CommittedDate.IsZero() && len(c.AuthorList) == 0 && len(c.Extra) == 0
+}
+
+// ErrIncompleteCitation reports a citation lacking the paper's required
+// "basic snippets" for a version root.
+var ErrIncompleteCitation = errors.New("core: citation incomplete for a version root")
+
+// ValidateRoot checks the paper's §2 requirement on root citations: "basic
+// snippets of information such as the owner and name of the repository, the
+// http address or DOI of the version, and the version number and/or date".
+func (c Citation) ValidateRoot() error {
+	var missing []string
+	if c.Owner == "" {
+		missing = append(missing, "owner")
+	}
+	if c.RepoName == "" {
+		missing = append(missing, "repoName")
+	}
+	if c.URL == "" && c.DOI == "" {
+		missing = append(missing, "url-or-doi")
+	}
+	if c.Version == "" && c.CommitID == "" && c.CommittedDate.IsZero() {
+		missing = append(missing, "version-or-date")
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%w: missing %s", ErrIncompleteCitation, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// String renders a compact single-line form for logs and CLIs.
+func (c Citation) String() string {
+	var parts []string
+	if len(c.AuthorList) > 0 {
+		parts = append(parts, strings.Join(c.AuthorList, ", "))
+	} else if c.Owner != "" {
+		parts = append(parts, c.Owner)
+	}
+	if c.RepoName != "" {
+		parts = append(parts, c.RepoName)
+	}
+	if c.Version != "" {
+		parts = append(parts, "version "+c.Version)
+	}
+	if c.CommitID != "" {
+		parts = append(parts, "commit "+c.CommitID)
+	}
+	if !c.CommittedDate.IsZero() {
+		parts = append(parts, c.CommittedDate.UTC().Format("2006-01-02"))
+	}
+	switch {
+	case c.DOI != "":
+		parts = append(parts, "doi:"+c.DOI)
+	case c.URL != "":
+		parts = append(parts, c.URL)
+	}
+	return strings.Join(parts, ". ")
+}
+
+// PathCitation pairs a path in the active domain with its citation; used by
+// chain resolution and domain listings.
+type PathCitation struct {
+	Path     string
+	Citation Citation
+}
+
+func sortPathCitations(s []PathCitation) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Path < s[j].Path })
+}

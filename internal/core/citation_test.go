@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleCitation(repo, owner string) Citation {
+	return Citation{
+		RepoName:      repo,
+		Owner:         owner,
+		CommittedDate: time.Date(2018, 9, 4, 2, 35, 20, 0, time.UTC),
+		CommitID:      "bbd248a",
+		URL:           "https://example.org/" + owner + "/" + repo,
+		AuthorList:    []string{owner},
+	}
+}
+
+func TestCitationCloneIndependence(t *testing.T) {
+	orig := sampleCitation("r", "o")
+	orig.Extra = map[string]string{"k": "v"}
+	cl := orig.Clone()
+	cl.AuthorList[0] = "changed"
+	cl.Extra["k"] = "changed"
+	if orig.AuthorList[0] != "o" {
+		t.Error("Clone shares AuthorList")
+	}
+	if orig.Extra["k"] != "v" {
+		t.Error("Clone shares Extra")
+	}
+}
+
+func TestCitationEqual(t *testing.T) {
+	a := sampleCitation("r", "o")
+	b := sampleCitation("r", "o")
+	if !a.Equal(b) {
+		t.Error("identical citations unequal")
+	}
+	cases := []func(*Citation){
+		func(c *Citation) { c.RepoName = "x" },
+		func(c *Citation) { c.Owner = "x" },
+		func(c *Citation) { c.CommitID = "x" },
+		func(c *Citation) { c.URL = "x" },
+		func(c *Citation) { c.DOI = "x" },
+		func(c *Citation) { c.Version = "x" },
+		func(c *Citation) { c.License = "x" },
+		func(c *Citation) { c.Note = "x" },
+		func(c *Citation) { c.CommittedDate = c.CommittedDate.Add(time.Hour) },
+		func(c *Citation) { c.AuthorList = append(c.AuthorList, "extra") },
+		func(c *Citation) { c.AuthorList = []string{"different"} },
+		func(c *Citation) { c.Extra = map[string]string{"k": "v"} },
+	}
+	for i, mutate := range cases {
+		m := a.Clone()
+		mutate(&m)
+		if a.Equal(m) {
+			t.Errorf("case %d: mutated citation still equal", i)
+		}
+	}
+	// nil vs empty Extra are equivalent.
+	x := a.Clone()
+	x.Extra = map[string]string{}
+	if !a.Equal(x) {
+		t.Error("nil Extra != empty Extra")
+	}
+	// Author order matters.
+	p := a.Clone()
+	q := a.Clone()
+	p.AuthorList = []string{"A", "B"}
+	q.AuthorList = []string{"B", "A"}
+	if p.Equal(q) {
+		t.Error("author order ignored")
+	}
+}
+
+func TestCitationIsZero(t *testing.T) {
+	if !(Citation{}).IsZero() {
+		t.Error("zero citation not IsZero")
+	}
+	if sampleCitation("r", "o").IsZero() {
+		t.Error("populated citation IsZero")
+	}
+	if (Citation{Note: "n"}).IsZero() {
+		t.Error("citation with note IsZero")
+	}
+}
+
+func TestValidateRoot(t *testing.T) {
+	good := sampleCitation("repo", "owner")
+	if err := good.ValidateRoot(); err != nil {
+		t.Errorf("valid root rejected: %v", err)
+	}
+	// DOI can substitute for URL; version can substitute for commit/date.
+	alt := Citation{RepoName: "r", Owner: "o", DOI: "10.5281/z.1", Version: "1.0"}
+	if err := alt.ValidateRoot(); err != nil {
+		t.Errorf("DOI+version root rejected: %v", err)
+	}
+	cases := []Citation{
+		{},
+		{RepoName: "r"},
+		{RepoName: "r", Owner: "o"},             // no url/doi
+		{RepoName: "r", Owner: "o", URL: "u"},   // no version/date
+		{Owner: "o", URL: "u", Version: "1"},    // no repo
+		{RepoName: "r", URL: "u", Version: "1"}, // no owner
+	}
+	for i, c := range cases {
+		err := c.ValidateRoot()
+		if !errors.Is(err, ErrIncompleteCitation) {
+			t.Errorf("case %d: err = %v, want ErrIncompleteCitation", i, err)
+		}
+	}
+}
+
+func TestCitationString(t *testing.T) {
+	c := sampleCitation("Data_citation_demo", "Yinjun Wu")
+	s := c.String()
+	for _, want := range []string{"Yinjun Wu", "Data_citation_demo", "bbd248a", "2018-09-04", "https://example.org"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	// DOI preferred over URL.
+	c.DOI = "10.5281/zen.1"
+	if !strings.Contains(c.String(), "doi:10.5281/zen.1") || strings.Contains(c.String(), "https://") {
+		t.Errorf("String with DOI = %q", c.String())
+	}
+	// Owner used when no authors.
+	c.AuthorList = nil
+	if !strings.Contains(c.String(), "Yinjun Wu") {
+		t.Errorf("String without authors = %q", c.String())
+	}
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/gitcite/gitcite/internal/vcs"
+)
+
+// Function is a citation function C(V,P): a partial map from the clean
+// rooted paths of one project version to citations. The root path "/" is
+// always in the active domain (paper §2), so resolution is total.
+//
+// A Function is a mutable value owned by a single version under
+// construction; committed versions hold immutable snapshots (see Clone).
+// Methods that change the function correspond one-to-one to the paper's
+// operators: Add (AddCite), Delete (DelCite), Modify (ModifyCite), Rename
+// (the side effect of Git renames), plus the subtree and merge operations
+// that implement CopyCite and MergeCite.
+type Function struct {
+	entries map[string]Citation
+}
+
+// Errors returned by citation-function operations.
+var (
+	ErrNoEntry       = errors.New("core: path has no explicit citation")
+	ErrEntryExists   = errors.New("core: path already has an explicit citation")
+	ErrRootRequired  = errors.New("core: the root must keep a citation")
+	ErrPathNotInTree = errors.New("core: path does not exist in the version tree")
+	ErrEmptyCitation = errors.New("core: refusing to attach an empty citation")
+)
+
+// NewFunction creates a citation function whose root carries the given
+// default citation. The root citation must pass ValidateRoot.
+func NewFunction(root Citation) (*Function, error) {
+	if err := root.ValidateRoot(); err != nil {
+		return nil, err
+	}
+	return &Function{entries: map[string]Citation{"/": root.Clone()}}, nil
+}
+
+// MustNewFunction is NewFunction that panics on error; for tests.
+func MustNewFunction(root Citation) *Function {
+	f, err := NewFunction(root)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FromEntries builds a function from explicit path→citation pairs. The set
+// must include the root.
+func FromEntries(entries map[string]Citation) (*Function, error) {
+	f := &Function{entries: make(map[string]Citation, len(entries))}
+	for p, c := range entries {
+		clean, err := vcs.CleanPath(p)
+		if err != nil {
+			return nil, err
+		}
+		if c.IsZero() {
+			return nil, fmt.Errorf("%w: %q", ErrEmptyCitation, clean)
+		}
+		f.entries[clean] = c.Clone()
+	}
+	root, ok := f.entries["/"]
+	if !ok {
+		return nil, fmt.Errorf("%w: no entry for \"/\"", ErrRootRequired)
+	}
+	if err := root.ValidateRoot(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Clone returns an independent deep copy — the snapshot stored with a
+// committed version.
+func (f *Function) Clone() *Function {
+	out := &Function{entries: make(map[string]Citation, len(f.entries))}
+	for p, c := range f.entries {
+		out.entries[p] = c.Clone()
+	}
+	return out
+}
+
+// Len returns the number of explicit entries (the active domain's size).
+func (f *Function) Len() int { return len(f.entries) }
+
+// Root returns the root citation.
+func (f *Function) Root() Citation { return f.entries["/"].Clone() }
+
+// Has reports whether the path is in the active domain.
+func (f *Function) Has(path string) bool {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return false
+	}
+	_, ok := f.entries[clean]
+	return ok
+}
+
+// Get returns the explicit citation attached to path, or ErrNoEntry if the
+// path is not in the active domain. (Use Resolve for the paper's Cite.)
+func (f *Function) Get(path string) (Citation, error) {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return Citation{}, err
+	}
+	c, ok := f.entries[clean]
+	if !ok {
+		return Citation{}, fmt.Errorf("%w: %q", ErrNoEntry, clean)
+	}
+	return c.Clone(), nil
+}
+
+// Add implements AddCite: attach a citation to a path that has none. The
+// path must exist in the version tree.
+func (f *Function) Add(tree Tree, path string, c Citation) error {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if c.IsZero() {
+		return fmt.Errorf("%w: %q", ErrEmptyCitation, clean)
+	}
+	if !tree.Exists(clean) {
+		return fmt.Errorf("%w: %q", ErrPathNotInTree, clean)
+	}
+	if _, ok := f.entries[clean]; ok {
+		return fmt.Errorf("%w: %q (use Modify)", ErrEntryExists, clean)
+	}
+	f.entries[clean] = c.Clone()
+	return nil
+}
+
+// Modify implements ModifyCite: replace the citation attached to a path in
+// the active domain. Modifying the root revalidates the root requirements.
+func (f *Function) Modify(path string, c Citation) error {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if c.IsZero() {
+		return fmt.Errorf("%w: %q", ErrEmptyCitation, clean)
+	}
+	if _, ok := f.entries[clean]; !ok {
+		return fmt.Errorf("%w: %q (use Add)", ErrNoEntry, clean)
+	}
+	if clean == "/" {
+		if err := c.ValidateRoot(); err != nil {
+			return err
+		}
+	}
+	f.entries[clean] = c.Clone()
+	return nil
+}
+
+// Set is Add-or-Modify: attach or replace without caring which; the path
+// must exist in the tree. Used by system-side updates (copy, retro).
+func (f *Function) Set(tree Tree, path string, c Citation) error {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := f.entries[clean]; ok {
+		return f.Modify(clean, c)
+	}
+	return f.Add(tree, clean, c)
+}
+
+// Delete implements DelCite: remove a path from the active domain. The root
+// cannot be deleted (paper §2: the root must be in the active domain).
+func (f *Function) Delete(path string) error {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if clean == "/" {
+		return ErrRootRequired
+	}
+	if _, ok := f.entries[clean]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoEntry, clean)
+	}
+	delete(f.entries, clean)
+	return nil
+}
+
+// Resolve implements the paper's Cite(V,P)(n): the citation explicitly
+// attached to the path, or that of its closest cited ancestor. The second
+// return names the active-domain path the citation came from. Resolution is
+// total because the root is always present.
+func (f *Function) Resolve(path string) (Citation, string, error) {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return Citation{}, "", err
+	}
+	for p := clean; ; p = vcs.ParentPath(p) {
+		if c, ok := f.entries[p]; ok {
+			return c.Clone(), p, nil
+		}
+		if p == "/" {
+			// Unreachable for well-formed functions; guard anyway.
+			return Citation{}, "", ErrRootRequired
+		}
+	}
+}
+
+// ResolveChain implements the alternative semantics the paper mentions
+// ("ones that include every citation on the path from n to r"): every
+// explicit citation on the root-to-node path, ordered root first.
+func (f *Function) ResolveChain(path string) ([]PathCitation, error) {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	var reversed []PathCitation
+	for p := clean; ; p = vcs.ParentPath(p) {
+		if c, ok := f.entries[p]; ok {
+			reversed = append(reversed, PathCitation{Path: p, Citation: c.Clone()})
+		}
+		if p == "/" {
+			break
+		}
+	}
+	out := make([]PathCitation, 0, len(reversed))
+	for i := len(reversed) - 1; i >= 0; i-- {
+		out = append(out, reversed[i])
+	}
+	return out, nil
+}
+
+// ActiveDomain lists the explicit entries in sorted path order.
+func (f *Function) ActiveDomain() []PathCitation {
+	out := make([]PathCitation, 0, len(f.entries))
+	for p, c := range f.entries {
+		out = append(out, PathCitation{Path: p, Citation: c.Clone()})
+	}
+	sortPathCitations(out)
+	return out
+}
+
+// Paths lists the active-domain paths in sorted order.
+func (f *Function) Paths() []string {
+	out := make([]string, 0, len(f.entries))
+	for p := range f.entries {
+		out = append(out, p)
+	}
+	return sortedStrings(out)
+}
+
+// Rename rekeys the entry at oldPath — and, when oldPath is a directory,
+// every entry beneath it — to newPath, reflecting a file or directory
+// move/rename in the version tree (paper §2: "if a file or directory in the
+// active domain of the citation function is moved or renamed then the
+// citation function must be modified"). Paths outside the active domain are
+// ignored (nothing to rekey). Renaming the root is an error.
+func (f *Function) Rename(oldPath, newPath string) error {
+	oldClean, err := vcs.CleanPath(oldPath)
+	if err != nil {
+		return err
+	}
+	newClean, err := vcs.CleanPath(newPath)
+	if err != nil {
+		return err
+	}
+	if oldClean == "/" || newClean == "/" {
+		return fmt.Errorf("%w: cannot rename the root", vcs.ErrBadPath)
+	}
+	if oldClean == newClean {
+		return nil
+	}
+	moved := map[string]Citation{}
+	for p, c := range f.entries {
+		if vcs.IsAncestorPath(oldClean, p) {
+			np, err := vcs.RebasePath(p, oldClean, newClean)
+			if err != nil {
+				return err
+			}
+			moved[np] = c
+		}
+	}
+	for p := range f.entries {
+		if vcs.IsAncestorPath(oldClean, p) {
+			delete(f.entries, p)
+		}
+	}
+	for p, c := range moved {
+		f.entries[p] = c
+	}
+	return nil
+}
+
+// Prune drops every entry (except the root) whose path no longer exists in
+// the tree, returning the removed paths in sorted order. This is the
+// system-side cleanup after deletes and merges (paper §3: "delete any
+// entries that correspond to files that were deleted by the Git merge").
+func (f *Function) Prune(tree Tree) []string {
+	var removed []string
+	for p := range f.entries {
+		if p == "/" {
+			continue
+		}
+		if !tree.Exists(p) {
+			removed = append(removed, p)
+			delete(f.entries, p)
+		}
+	}
+	return sortedStrings(removed)
+}
+
+// Validate checks well-formedness against a version tree: the root entry
+// exists and satisfies the root requirements, and every active-domain path
+// exists in the tree.
+func (f *Function) Validate(tree Tree) error {
+	root, ok := f.entries["/"]
+	if !ok {
+		return fmt.Errorf("%w: no entry for \"/\"", ErrRootRequired)
+	}
+	if err := root.ValidateRoot(); err != nil {
+		return err
+	}
+	for p, c := range f.entries {
+		if !tree.Exists(p) {
+			return fmt.Errorf("%w: %q", ErrPathNotInTree, p)
+		}
+		if c.IsZero() {
+			return fmt.Errorf("%w: %q", ErrEmptyCitation, p)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two functions have identical active domains and
+// entry-wise equal citations.
+func (f *Function) Equal(o *Function) bool {
+	if f.Len() != o.Len() {
+		return false
+	}
+	for p, c := range f.entries {
+		oc, ok := o.entries[p]
+		if !ok || !c.Equal(oc) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedStrings(s []string) []string {
+	sort.Strings(s)
+	return s
+}

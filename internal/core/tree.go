@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/gitcite/gitcite/internal/vcs"
+)
+
+// Tree abstracts the directory structure of one project version — exactly
+// what the citation model needs to validate a citation function: which clean
+// rooted paths exist, and which of them are directories.
+type Tree interface {
+	// Exists reports whether the path names a file or directory (the root
+	// "/" always exists).
+	Exists(path string) bool
+	// IsDir reports whether an existing path is a directory; false for
+	// files and for absent paths.
+	IsDir(path string) bool
+}
+
+// PathSet is an in-memory Tree built from a set of file paths; every
+// ancestor directory of a file is implied. It is the model-level stand-in
+// for a stored vcs tree and the workhorse of tests and benchmarks.
+type PathSet struct {
+	files map[string]bool
+	dirs  map[string]bool
+}
+
+// NewPathSet builds a PathSet from clean or uncleaned file paths.
+func NewPathSet(filePaths ...string) (*PathSet, error) {
+	ps := &PathSet{files: map[string]bool{}, dirs: map[string]bool{"/": true}}
+	for _, p := range filePaths {
+		clean, err := vcs.CleanPath(p)
+		if err != nil {
+			return nil, err
+		}
+		if clean == "/" {
+			return nil, fmt.Errorf("core: %q is not a file path", p)
+		}
+		if ps.dirs[clean] && clean != "/" {
+			return nil, fmt.Errorf("core: %q is both a file and a directory", clean)
+		}
+		ps.files[clean] = true
+		for dir := vcs.ParentPath(clean); ; dir = vcs.ParentPath(dir) {
+			if ps.files[dir] {
+				return nil, fmt.Errorf("core: %q is both a file and a directory", dir)
+			}
+			ps.dirs[dir] = true
+			if dir == "/" {
+				break
+			}
+		}
+	}
+	return ps, nil
+}
+
+// MustPathSet is NewPathSet that panics on error; for tests and literals.
+func MustPathSet(filePaths ...string) *PathSet {
+	ps, err := NewPathSet(filePaths...)
+	if err != nil {
+		panic(err)
+	}
+	return ps
+}
+
+// Exists implements Tree.
+func (ps *PathSet) Exists(path string) bool {
+	return ps.files[path] || ps.dirs[path]
+}
+
+// IsDir implements Tree.
+func (ps *PathSet) IsDir(path string) bool { return ps.dirs[path] }
+
+// Files returns the file paths in sorted order.
+func (ps *PathSet) Files() []string {
+	out := make([]string, 0, len(ps.files))
+	for p := range ps.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Paths returns every existing path — files and directories, including the
+// root — in sorted order.
+func (ps *PathSet) Paths() []string {
+	out := make([]string, 0, len(ps.files)+len(ps.dirs))
+	for p := range ps.files {
+		out = append(out, p)
+	}
+	for p := range ps.dirs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subtree returns the file paths under the given directory (or the single
+// file itself), rebased to "/" — the tree of the subproject rooted there.
+func (ps *PathSet) Subtree(root string) (*PathSet, error) {
+	clean, err := vcs.CleanPath(root)
+	if err != nil {
+		return nil, err
+	}
+	if !ps.Exists(clean) {
+		return nil, fmt.Errorf("core: subtree root %q does not exist", clean)
+	}
+	var moved []string
+	for p := range ps.files {
+		if vcs.IsAncestorPath(clean, p) {
+			rp, err := vcs.RebasePath(p, clean, "/")
+			if err != nil {
+				return nil, err
+			}
+			moved = append(moved, rp)
+		}
+	}
+	return NewPathSet(moved...)
+}
+
+// UnionTree combines two Trees; a path exists (or is a directory) if it is
+// in either input. Used by merge validation, where the merged citation
+// function may briefly reference paths from both sides.
+type UnionTree struct {
+	A, B Tree
+}
+
+// Exists implements Tree.
+func (u UnionTree) Exists(path string) bool { return u.A.Exists(path) || u.B.Exists(path) }
+
+// IsDir implements Tree.
+func (u UnionTree) IsDir(path string) bool { return u.A.IsDir(path) || u.B.IsDir(path) }
+
+// universeTree accepts every path; used when no structural validation is
+// wanted.
+type universeTree struct{}
+
+func (universeTree) Exists(string) bool { return true }
+func (universeTree) IsDir(p string) bool {
+	return p == "/" || !strings.Contains(vcs.BaseName(p), ".")
+}
+
+// AnyTree returns a Tree that accepts every path, for callers that manage
+// structural validity themselves.
+func AnyTree() Tree { return universeTree{} }

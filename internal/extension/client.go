@@ -1,0 +1,312 @@
+// Package extension is the behavioural equivalent of GitCite's Chrome
+// browser extension (paper §3, Figure 2): a client for the hosting
+// platform's REST API. Anyone can generate citations for any node of a
+// remote repository; project members can additionally add, modify and
+// delete citations, which the platform records as new commits touching
+// citation.cite. The package also implements the local tool's push/pull
+// against the platform.
+package extension
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/gitcite/gitcite/internal/citefile"
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/gitcite"
+	"github.com/gitcite/gitcite/internal/hosting"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/refs"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// Client talks to a hosting server. The zero value is not usable; call New.
+type Client struct {
+	baseURL string
+	token   string
+	http    *http.Client
+}
+
+// New creates a client. token may be empty for anonymous (read-only) use —
+// the paper's non-member case.
+func New(baseURL, token string) *Client {
+	return &Client{baseURL: baseURL, token: token, http: &http.Client{}}
+}
+
+// WithToken returns a copy of the client authenticated with token.
+func (c *Client) WithToken(token string) *Client {
+	return &Client{baseURL: c.baseURL, token: token, http: c.http}
+}
+
+// APIError is a non-2xx platform response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("extension: server returned %d: %s", e.Status, e.Message)
+}
+
+// IsPermissionDenied reports whether err is the platform refusing a
+// non-member write (HTTP 401/403) — the greyed-out buttons of Figure 2.
+func IsPermissionDenied(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusUnauthorized || apiErr.Status == http.StatusForbidden
+	}
+	return false
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.baseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eresp hosting.ErrorResponse
+		msg := string(data)
+		if json.Unmarshal(data, &eresp) == nil && eresp.Error != "" {
+			msg = eresp.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("extension: bad response body: %w", err)
+		}
+	}
+	return nil
+}
+
+// CreateUser registers an account and returns its token.
+func (c *Client) CreateUser(name string) (string, error) {
+	var resp hosting.UserResponse
+	err := c.do("POST", "/api/users", hosting.UserRequest{Name: name}, &resp)
+	return resp.Token, err
+}
+
+// CreateRepo creates a repository owned by the authenticated user.
+func (c *Client) CreateRepo(name, url, license string) error {
+	return c.do("POST", "/api/repos", hosting.RepoRequest{Name: name, URL: url, License: license}, nil)
+}
+
+// AddMember grants a user write access (owner only).
+func (c *Client) AddMember(owner, repo, member string) error {
+	return c.do("POST", fmt.Sprintf("/api/repos/%s/%s/members", owner, repo),
+		hosting.MemberRequest{Member: member}, nil)
+}
+
+// GetRepo fetches repository metadata and branches.
+func (c *Client) GetRepo(owner, repo string) (hosting.RepoResponse, error) {
+	var resp hosting.RepoResponse
+	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s", owner, repo), nil, &resp)
+	return resp, err
+}
+
+// Tree lists the paths of a revision, flagging the explicitly cited ones
+// (the popup's solid-blue nodes).
+func (c *Client) Tree(owner, repo, rev string) ([]hosting.TreeEntryResponse, error) {
+	var resp []hosting.TreeEntryResponse
+	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/tree/%s", owner, repo, rev), nil, &resp)
+	return resp, err
+}
+
+// GenCite generates the citation for a node — available to everyone,
+// exactly like the popup's "Generate Citation" button.
+func (c *Client) GenCite(owner, repo, rev, path string) (core.Citation, string, error) {
+	var resp hosting.CiteResponse
+	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/cite/%s?path=%s", owner, repo, rev, path), nil, &resp)
+	if err != nil {
+		return core.Citation{}, "", err
+	}
+	cite, err := citefile.DecodeEntry(resp.Citation)
+	return cite, resp.From, err
+}
+
+// GenCiteRendered generates and renders a citation in one round trip.
+func (c *Client) GenCiteRendered(owner, repo, rev, path, formatName string) (string, error) {
+	var resp hosting.CiteResponse
+	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/cite/%s?path=%s&format=%s", owner, repo, rev, path, formatName), nil, &resp)
+	return resp.Rendered, err
+}
+
+// AddCite attaches a citation remotely (member only).
+func (c *Client) AddCite(owner, repo, branch, path string, cite core.Citation) (string, error) {
+	return c.editCite("POST", owner, repo, branch, path, &cite)
+}
+
+// ModifyCite replaces a citation remotely (member only).
+func (c *Client) ModifyCite(owner, repo, branch, path string, cite core.Citation) (string, error) {
+	return c.editCite("PUT", owner, repo, branch, path, &cite)
+}
+
+// DelCite removes a citation remotely (member only).
+func (c *Client) DelCite(owner, repo, branch, path string) (string, error) {
+	return c.editCite("DELETE", owner, repo, branch, path, nil)
+}
+
+func (c *Client) editCite(method, owner, repo, branch, path string, cite *core.Citation) (string, error) {
+	req := hosting.EditCiteRequest{Branch: branch, Path: path}
+	if cite != nil {
+		raw, err := citefile.EncodeEntry(*cite)
+		if err != nil {
+			return "", err
+		}
+		req.Citation = raw
+	}
+	var resp hosting.EditCiteResponse
+	if err := c.do(method, fmt.Sprintf("/api/repos/%s/%s/cite", owner, repo), req, &resp); err != nil {
+		return "", err
+	}
+	return resp.Commit, nil
+}
+
+// Credit fetches the credit report for a revision: per-author file counts
+// and per-entry coverage.
+func (c *Client) Credit(owner, repo, rev string) (hosting.CreditResponse, error) {
+	var resp hosting.CreditResponse
+	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/credit/%s", owner, repo, rev), nil, &resp)
+	return resp, err
+}
+
+// CiteFile downloads a revision's raw citation.cite.
+func (c *Client) CiteFile(owner, repo, rev string) ([]byte, error) {
+	req, err := http.NewRequest("GET", fmt.Sprintf("%s/api/repos/%s/%s/citefile/%s", c.baseURL, owner, repo, rev), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{Status: resp.StatusCode, Message: string(data)}
+	}
+	return data, nil
+}
+
+// Fork forks owner/repo under the authenticated user's account.
+func (c *Client) Fork(owner, repo, newName string) (hosting.RepoResponse, error) {
+	var resp hosting.RepoResponse
+	err := c.do("POST", fmt.Sprintf("/api/repos/%s/%s/fork", owner, repo), hosting.ForkRequest{NewName: newName}, &resp)
+	return resp, err
+}
+
+// Push uploads a local branch (its tip's full reachable closure) to the
+// remote repository and advances the remote branch — the local tool's
+// "push the local copy (which contains citation.cite) to the remote
+// repository" step.
+func (c *Client) Push(local *gitcite.Repo, owner, repo, branch string) (int, error) {
+	tip, err := local.VCS.BranchTip(branch)
+	if err != nil {
+		return 0, err
+	}
+	scratch := store.NewMemoryStore()
+	if _, err := store.CopyClosure(scratch, local.VCS.Objects, tip); err != nil {
+		return 0, err
+	}
+	ids, err := scratch.IDs()
+	if err != nil {
+		return 0, err
+	}
+	req := hosting.PushRequest{Branch: branch, Tip: tip.String()}
+	for _, id := range ids {
+		o, err := scratch.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		req.Objects = append(req.Objects, hosting.WireObject{Data: base64.StdEncoding.EncodeToString(object.Encode(o))})
+	}
+	var resp hosting.PushResponse
+	if err := c.do("POST", fmt.Sprintf("/api/repos/%s/%s/push", owner, repo), req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Stored, nil
+}
+
+// Pull downloads a remote revision's objects into the local repository and
+// points localBranch at it.
+func (c *Client) Pull(local *gitcite.Repo, owner, repo, rev, localBranch string) (object.ID, error) {
+	var resp hosting.PullResponse
+	if err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/pull/%s", owner, repo, rev), nil, &resp); err != nil {
+		return object.ZeroID, err
+	}
+	tip, err := object.ParseID(resp.Tip)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	for _, wo := range resp.Objects {
+		enc, err := base64.StdEncoding.DecodeString(wo.Data)
+		if err != nil {
+			return object.ZeroID, err
+		}
+		o, err := object.Decode(enc)
+		if err != nil {
+			return object.ZeroID, err
+		}
+		if _, err := local.VCS.Objects.Put(o); err != nil {
+			return object.ZeroID, err
+		}
+	}
+	if err := local.VCS.Refs.Set(refs.BranchRef(localBranch), tip); err != nil {
+		return object.ZeroID, err
+	}
+	return tip, nil
+}
+
+// Clone creates a fresh local citation-enabled repository tracking a remote
+// branch.
+func (c *Client) Clone(owner, repo, rev string) (*gitcite.Repo, error) {
+	meta, err := c.GetRepo(owner, repo)
+	if err != nil {
+		return nil, err
+	}
+	local, err := gitcite.NewMemoryRepo(gitcite.Meta{
+		Owner: meta.Owner, Name: meta.Name, URL: meta.URL, License: meta.License,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Pull(local, owner, repo, rev, rev); err != nil {
+		return nil, err
+	}
+	if err := local.VCS.Checkout(rev); err != nil {
+		return nil, err
+	}
+	return local, nil
+}

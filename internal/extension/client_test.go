@@ -1,0 +1,112 @@
+package extension
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAPIErrorFormatting(t *testing.T) {
+	err := &APIError{Status: 403, Message: "not a member"}
+	if !strings.Contains(err.Error(), "403") || !strings.Contains(err.Error(), "not a member") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}
+
+func TestIsPermissionDenied(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&APIError{Status: 401, Message: "m"}, true},
+		{&APIError{Status: 403, Message: "m"}, true},
+		{&APIError{Status: 404, Message: "m"}, false},
+		{&APIError{Status: 500, Message: "m"}, false},
+		{errors.New("plain"), false},
+		{fmt.Errorf("wrapped: %w", &APIError{Status: 403, Message: "m"}), true},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsPermissionDenied(c.err); got != c.want {
+			t.Errorf("IsPermissionDenied(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestClientSurfacesServerErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, `{"error": "short and stout"}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "")
+	_, err := c.GetRepo("a", "b")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if apiErr.Status != http.StatusTeapot || apiErr.Message != "short and stout" {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+}
+
+func TestClientSurfacesNonJSONErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text error", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "")
+	_, err := c.GetRepo("a", "b")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || !strings.Contains(apiErr.Message, "plain text error") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientRejectsMalformedSuccessBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "this is not json")
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "")
+	if _, err := c.GetRepo("a", "b"); err == nil {
+		t.Error("malformed body accepted")
+	}
+}
+
+func TestClientSendsAuthHeader(t *testing.T) {
+	var gotAuth string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotAuth = r.Header.Get("Authorization")
+		fmt.Fprint(w, `{"owner":"o","name":"n","branches":[]}`)
+	}))
+	defer ts.Close()
+	if _, err := New(ts.URL, "tok123").GetRepo("o", "n"); err != nil {
+		t.Fatal(err)
+	}
+	if gotAuth != "Bearer tok123" {
+		t.Errorf("Authorization = %q", gotAuth)
+	}
+	// Anonymous clients send no header.
+	if _, err := New(ts.URL, "").GetRepo("o", "n"); err != nil {
+		t.Fatal(err)
+	}
+	if gotAuth != "" {
+		t.Errorf("anonymous Authorization = %q", gotAuth)
+	}
+}
+
+func TestWithTokenDerivesIndependentClient(t *testing.T) {
+	base := New("http://example", "")
+	authed := base.WithToken("t2")
+	if base.token != "" {
+		t.Error("WithToken mutated the receiver")
+	}
+	if authed.token != "t2" || authed.baseURL != "http://example" {
+		t.Errorf("derived client = %+v", authed)
+	}
+}

@@ -1,0 +1,312 @@
+// Package format renders citation records in the output formats a
+// bibliography consumer expects: human-readable text (what the paper's
+// browser extension shows in its text window for copy-pasting "to their
+// local bibliography manager"), BibTeX @software entries, the Citation File
+// Format (CITATION.cff) the paper cites as the emerging standard [9,10],
+// and canonical JSON.
+package format
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/citefile"
+	"github.com/gitcite/gitcite/internal/core"
+)
+
+// Format identifies a rendering.
+type Format string
+
+// Supported formats.
+const (
+	FormatText   Format = "text"
+	FormatBibTeX Format = "bibtex"
+	FormatCFF    Format = "cff"
+	FormatJSON   Format = "json"
+	FormatRIS    Format = "ris"
+)
+
+// All lists the supported formats.
+func All() []Format {
+	return []Format{FormatText, FormatBibTeX, FormatCFF, FormatJSON, FormatRIS}
+}
+
+// Parse validates a format name.
+func Parse(s string) (Format, error) {
+	f := Format(strings.ToLower(s))
+	for _, known := range All() {
+		if f == known {
+			return f, nil
+		}
+	}
+	return "", fmt.Errorf("format: unknown format %q (want text, bibtex, cff, json or ris)", s)
+}
+
+// Render renders a citation in the requested format.
+func Render(c core.Citation, f Format) (string, error) {
+	switch f {
+	case FormatText:
+		return Text(c), nil
+	case FormatBibTeX:
+		return BibTeX(c), nil
+	case FormatCFF:
+		return CFF(c), nil
+	case FormatJSON:
+		data, err := citefile.EncodeEntry(c)
+		if err != nil {
+			return "", err
+		}
+		return string(data) + "\n", nil
+	case FormatRIS:
+		return RIS(c), nil
+	default:
+		return "", fmt.Errorf("format: unknown format %q", f)
+	}
+}
+
+// Text renders the human-readable citation the extension popup shows.
+func Text(c core.Citation) string {
+	var b strings.Builder
+	authors := strings.Join(c.AuthorList, ", ")
+	if authors == "" {
+		authors = c.Owner
+	}
+	if authors != "" {
+		b.WriteString(authors)
+		b.WriteString(". ")
+	}
+	if c.RepoName != "" {
+		b.WriteString(c.RepoName)
+		b.WriteString(".")
+	}
+	if c.Version != "" {
+		fmt.Fprintf(&b, " Version %s.", c.Version)
+	}
+	if c.CommitID != "" {
+		fmt.Fprintf(&b, " Commit %s.", c.CommitID)
+	}
+	if !c.CommittedDate.IsZero() {
+		fmt.Fprintf(&b, " %s.", c.CommittedDate.UTC().Format("2006-01-02"))
+	}
+	if c.DOI != "" {
+		fmt.Fprintf(&b, " https://doi.org/%s.", c.DOI)
+	} else if c.URL != "" {
+		fmt.Fprintf(&b, " %s.", c.URL)
+	}
+	if c.License != "" {
+		fmt.Fprintf(&b, " License: %s.", c.License)
+	}
+	if c.Note != "" {
+		fmt.Fprintf(&b, " %s.", c.Note)
+	}
+	return strings.TrimSpace(b.String()) + "\n"
+}
+
+// BibTeX renders an @software entry.
+func BibTeX(c core.Citation) string {
+	key := bibKey(c)
+	var fields []string
+	add := func(name, value string) {
+		if value != "" {
+			fields = append(fields, fmt.Sprintf("  %s = {%s}", name, bibEscape(value)))
+		}
+	}
+	add("author", strings.Join(c.AuthorList, " and "))
+	add("title", c.RepoName)
+	add("url", c.URL)
+	add("doi", c.DOI)
+	add("version", c.Version)
+	if !c.CommittedDate.IsZero() {
+		add("year", c.CommittedDate.UTC().Format("2006"))
+		add("month", strings.ToLower(c.CommittedDate.UTC().Format("Jan")))
+		add("date", c.CommittedDate.UTC().Format("2006-01-02"))
+	}
+	if c.CommitID != "" {
+		add("note", strings.TrimSpace("commit "+c.CommitID+". "+c.Note))
+	} else {
+		add("note", c.Note)
+	}
+	add("license", c.License)
+	add("organization", c.Owner)
+	return fmt.Sprintf("@software{%s,\n%s\n}\n", key, strings.Join(fields, ",\n"))
+}
+
+func bibKey(c core.Citation) string {
+	var parts []string
+	if len(c.AuthorList) > 0 {
+		parts = append(parts, sanitizeKey(lastWord(c.AuthorList[0])))
+	} else if c.Owner != "" {
+		parts = append(parts, sanitizeKey(lastWord(c.Owner)))
+	}
+	if c.RepoName != "" {
+		parts = append(parts, sanitizeKey(c.RepoName))
+	}
+	if !c.CommittedDate.IsZero() {
+		parts = append(parts, c.CommittedDate.UTC().Format("2006"))
+	}
+	if len(parts) == 0 {
+		return "software"
+	}
+	return strings.Join(parts, "_")
+}
+
+func lastWord(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return s
+	}
+	return fields[len(fields)-1]
+}
+
+func sanitizeKey(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '-' || r == '_':
+			return r
+		default:
+			return -1
+		}
+	}, s)
+}
+
+func bibEscape(s string) string {
+	s = strings.ReplaceAll(s, "{", "\\{")
+	s = strings.ReplaceAll(s, "}", "\\}")
+	return s
+}
+
+// CFF renders a minimal CITATION.cff (Citation File Format 1.2) document.
+// The emitter is hand-rolled (the stdlib has no YAML) and covers the
+// fields GitCite records.
+func CFF(c core.Citation) string {
+	var b strings.Builder
+	b.WriteString("cff-version: 1.2.0\n")
+	b.WriteString("message: \"If you use this software, please cite it as below.\"\n")
+	if c.RepoName != "" {
+		fmt.Fprintf(&b, "title: %s\n", yamlString(c.RepoName))
+	}
+	if len(c.AuthorList) > 0 {
+		b.WriteString("authors:\n")
+		for _, a := range c.AuthorList {
+			fmt.Fprintf(&b, "  - name: %s\n", yamlString(a))
+		}
+	} else if c.Owner != "" {
+		b.WriteString("authors:\n")
+		fmt.Fprintf(&b, "  - name: %s\n", yamlString(c.Owner))
+	}
+	if c.Version != "" {
+		fmt.Fprintf(&b, "version: %s\n", yamlString(c.Version))
+	}
+	if c.CommitID != "" {
+		fmt.Fprintf(&b, "commit: %s\n", yamlString(c.CommitID))
+	}
+	if !c.CommittedDate.IsZero() {
+		fmt.Fprintf(&b, "date-released: %s\n", c.CommittedDate.UTC().Format("2006-01-02"))
+	}
+	if c.DOI != "" {
+		fmt.Fprintf(&b, "doi: %s\n", yamlString(c.DOI))
+	}
+	if c.URL != "" {
+		fmt.Fprintf(&b, "repository-code: %s\n", yamlString(c.URL))
+	}
+	if c.License != "" {
+		fmt.Fprintf(&b, "license: %s\n", yamlString(c.License))
+	}
+	if len(c.Extra) > 0 {
+		keys := make([]string, 0, len(c.Extra))
+		for k := range c.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("custom:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s: %s\n", yamlKey(k), yamlString(c.Extra[k]))
+		}
+	}
+	return b.String()
+}
+
+func yamlString(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, ":#{}[]\"'\n&*?|<>=!%@`,\\") || strings.HasPrefix(s, " ") || strings.HasSuffix(s, " ") {
+		return `"` + strings.ReplaceAll(strings.ReplaceAll(s, `\`, `\\`), `"`, `\"`) + `"`
+	}
+	return s
+}
+
+func yamlKey(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-' || r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// RIS renders an RIS (Research Information Systems) record of type COMP
+// (computer program) — the import format of EndNote, Zotero and most
+// reference managers the paper's popup targets for copy-pasting.
+func RIS(c core.Citation) string {
+	var b strings.Builder
+	line := func(tag, value string) {
+		if value != "" {
+			fmt.Fprintf(&b, "%s  - %s\n", tag, value)
+		}
+	}
+	b.WriteString("TY  - COMP\n")
+	for _, a := range c.AuthorList {
+		line("AU", a)
+	}
+	if len(c.AuthorList) == 0 {
+		line("AU", c.Owner)
+	}
+	line("TI", c.RepoName)
+	if !c.CommittedDate.IsZero() {
+		line("PY", c.CommittedDate.UTC().Format("2006"))
+		line("DA", c.CommittedDate.UTC().Format("2006/01/02"))
+	}
+	line("ET", c.Version)
+	line("DO", c.DOI)
+	line("UR", c.URL)
+	line("PB", c.Owner)
+	var notes []string
+	if c.CommitID != "" {
+		notes = append(notes, "commit "+c.CommitID)
+	}
+	if c.License != "" {
+		notes = append(notes, "license "+c.License)
+	}
+	if c.Note != "" {
+		notes = append(notes, c.Note)
+	}
+	line("N1", strings.Join(notes, "; "))
+	b.WriteString("ER  - \n")
+	return b.String()
+}
+
+// ChainText renders a whole-path citation chain (the paper's alternative
+// resolution semantics) as numbered text lines.
+func ChainText(chain []core.PathCitation) string {
+	var b strings.Builder
+	for i, pc := range chain {
+		fmt.Fprintf(&b, "[%d] %s: %s", i+1, pc.Path, Text(pc.Citation))
+	}
+	return b.String()
+}
+
+// Timestamp formats a time the way the citation file does; exposed for CLIs
+// that display committedDate values.
+func Timestamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339)
+}

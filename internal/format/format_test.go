@@ -1,0 +1,208 @@
+package format
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/core"
+)
+
+func demo() core.Citation {
+	return core.Citation{
+		RepoName:      "Data_citation_demo",
+		Owner:         "Yinjun Wu",
+		CommittedDate: time.Date(2018, 9, 4, 2, 35, 20, 0, time.UTC),
+		CommitID:      "bbd248a",
+		URL:           "https://github.com/thuwuyinjun/Data_citation_demo",
+		AuthorList:    []string{"Yinjun Wu", "Yanssie"},
+		Version:       "1.2.0",
+		License:       "MIT",
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, name := range []string{"text", "TEXT", "bibtex", "cff", "json", "ris"} {
+		if _, err := Parse(name); err != nil {
+			t.Errorf("Parse(%q): %v", name, err)
+		}
+	}
+	if _, err := Parse("endnote-xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRIS(t *testing.T) {
+	c := demo()
+	c.DOI = "10.5281/zen.42"
+	c.Note = "imported"
+	s := RIS(c)
+	for _, want := range []string{
+		"TY  - COMP",
+		"AU  - Yinjun Wu",
+		"AU  - Yanssie",
+		"TI  - Data_citation_demo",
+		"PY  - 2018",
+		"DA  - 2018/09/04",
+		"ET  - 1.2.0",
+		"DO  - 10.5281/zen.42",
+		"UR  - https://github.com/thuwuyinjun/Data_citation_demo",
+		"N1  - commit bbd248a; license MIT; imported",
+		"ER  - ",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("RIS missing %q:\n%s", want, s)
+		}
+	}
+	// Record order: TY first, ER last.
+	if !strings.HasPrefix(s, "TY  - COMP\n") || !strings.HasSuffix(s, "ER  - \n") {
+		t.Errorf("RIS framing wrong:\n%s", s)
+	}
+	// Owner fallback author.
+	c.AuthorList = nil
+	if !strings.Contains(RIS(c), "AU  - Yinjun Wu") {
+		t.Error("owner fallback author missing")
+	}
+}
+
+func TestText(t *testing.T) {
+	s := Text(demo())
+	for _, want := range []string{"Yinjun Wu, Yanssie", "Data_citation_demo", "Version 1.2.0", "Commit bbd248a", "2018-09-04", "https://github.com", "License: MIT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Text missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Error("Text lacks trailing newline")
+	}
+	// DOI preferred over URL.
+	c := demo()
+	c.DOI = "10.5281/zen.42"
+	s = Text(c)
+	if !strings.Contains(s, "https://doi.org/10.5281/zen.42") || strings.Contains(s, "github.com") {
+		t.Errorf("DOI precedence: %s", s)
+	}
+	// Owner fallback when no authors.
+	c = demo()
+	c.AuthorList = nil
+	if !strings.HasPrefix(Text(c), "Yinjun Wu.") {
+		t.Errorf("owner fallback: %s", Text(c))
+	}
+}
+
+func TestBibTeX(t *testing.T) {
+	s := BibTeX(demo())
+	for _, want := range []string{
+		"@software{", "author = {Yinjun Wu and Yanssie}",
+		"title = {Data_citation_demo}", "version = {1.2.0}",
+		"year = {2018}", "month = {sep}", "note = {commit bbd248a",
+		"license = {MIT}", "organization = {Yinjun Wu}",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("BibTeX missing %q:\n%s", want, s)
+		}
+	}
+	// Key is derived from author surname + repo + year.
+	if !strings.Contains(s, "@software{Wu_Data_citation_demo_2018,") {
+		t.Errorf("BibTeX key:\n%s", s)
+	}
+	// Braces escaped.
+	c := demo()
+	c.Note = "uses {braces}"
+	if !strings.Contains(BibTeX(c), `\{braces\}`) {
+		t.Error("braces not escaped")
+	}
+}
+
+func TestCFF(t *testing.T) {
+	c := demo()
+	c.DOI = "10.5281/zen.42"
+	c.Extra = map[string]string{"funding": "NSF", "odd key!": "v:1"}
+	s := CFF(c)
+	for _, want := range []string{
+		"cff-version: 1.2.0",
+		"title: Data_citation_demo",
+		"  - name: Yinjun Wu",
+		"  - name: Yanssie",
+		"version: 1.2.0",
+		"commit: bbd248a",
+		"date-released: 2018-09-04",
+		"doi: 10.5281/zen.42",
+		`repository-code: "https://github.com/thuwuyinjun/Data_citation_demo"`,
+		"license: MIT",
+		"custom:",
+		"  funding: NSF",
+		`  odd_key_: "v:1"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CFF missing %q:\n%s", want, s)
+		}
+	}
+	// Owner as fallback author.
+	c.AuthorList = nil
+	if !strings.Contains(CFF(c), "  - name: Yinjun Wu") {
+		t.Error("owner fallback author missing")
+	}
+}
+
+func TestRenderAllFormats(t *testing.T) {
+	for _, f := range All() {
+		out, err := Render(demo(), f)
+		if err != nil {
+			t.Errorf("Render(%s): %v", f, err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("Render(%s) empty", f)
+		}
+	}
+	if _, err := Render(demo(), Format("nope")); err == nil {
+		t.Error("unknown format rendered")
+	}
+	// JSON form contains the Listing-1 field names.
+	out, err := Render(demo(), FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"repoName"`, `"owner"`, `"committedDate"`, `"commitID"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+}
+
+func TestChainText(t *testing.T) {
+	chain := []core.PathCitation{
+		{Path: "/", Citation: demo()},
+		{Path: "/CoreCover", Citation: core.Citation{Owner: "Chen Li", RepoName: "alu01-corecover"}},
+	}
+	s := ChainText(chain)
+	if !strings.Contains(s, "[1] /:") || !strings.Contains(s, "[2] /CoreCover:") {
+		t.Errorf("ChainText:\n%s", s)
+	}
+}
+
+func TestTimestamp(t *testing.T) {
+	if Timestamp(time.Time{}) != "" {
+		t.Error("zero time not empty")
+	}
+	got := Timestamp(time.Date(2018, 9, 4, 2, 35, 20, 0, time.UTC))
+	if got != "2018-09-04T02:35:20Z" {
+		t.Errorf("Timestamp = %q", got)
+	}
+}
+
+func TestYAMLStringQuoting(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		"":           `""`,
+		"has: colon": `"has: colon"`,
+		`quote"mark`: `"quote\"mark"`,
+		"back\\sl":   `"back\\sl"`,
+	}
+	for in, want := range cases {
+		if got := yamlString(in); got != want {
+			t.Errorf("yamlString(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package gitcite
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/vcs"
+)
+
+func testMeta() Meta {
+	return Meta{Owner: "Leshang", Name: "P1", URL: "https://github.com/leshang/P1", License: "MIT"}
+}
+
+func opts(name string, unix int64) vcs.CommitOptions {
+	return vcs.CommitOptions{
+		Author:  vcs.Sig(name, name+"@upenn.edu", time.Unix(unix, 0)),
+		Message: "commit by " + name,
+	}
+}
+
+func cite(owner string) core.Citation {
+	return core.Citation{
+		Owner: owner, RepoName: "ext-" + owner,
+		URL: "https://github.com/" + owner, Version: "1",
+		AuthorList: []string{owner},
+	}
+}
+
+func newRepo(t *testing.T) *Repo {
+	t.Helper()
+	r, err := NewMemoryRepo(testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMetaValidate(t *testing.T) {
+	if err := (Meta{}).Validate(); err == nil {
+		t.Error("empty meta accepted")
+	}
+	if err := (Meta{Owner: "o"}).Validate(); err == nil {
+		t.Error("meta without name accepted")
+	}
+	if err := testMeta().Validate(); err != nil {
+		t.Errorf("valid meta rejected: %v", err)
+	}
+	if _, err := NewMemoryRepo(Meta{}); err == nil {
+		t.Error("NewMemoryRepo with bad meta succeeded")
+	}
+}
+
+func TestCommitWritesCitationFile(t *testing.T) {
+	r := newRepo(t)
+	wt, err := r.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.WriteFile("/src/main.go", []byte("package main\n")); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := wt.Commit(opts("leshang", 1_500_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsCitationEnabled(c1) {
+		t.Fatal("committed version lacks citation.cite")
+	}
+	fn, err := r.FunctionAt(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := fn.Root()
+	if root.Owner != "Leshang" || root.RepoName != "P1" {
+		t.Errorf("root = %+v", root)
+	}
+	if root.CommittedDate.IsZero() {
+		t.Error("root citation not stamped with commit date")
+	}
+	if root.Version == UnreleasedVersion {
+		t.Error("committed root still marked unreleased")
+	}
+	// The raw file parses and contains the root key.
+	raw, err := r.CiteFileBytes(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"/"`) {
+		t.Errorf("cite file:\n%s", raw)
+	}
+}
+
+func TestWorktreeCitationOps(t *testing.T) {
+	r := newRepo(t)
+	wt, err := r.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.WriteFile("/lib/a.go", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.WriteFile("/lib/b.go", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+
+	// AddCite on a directory and a file.
+	if err := wt.AddCite("/lib", cite("libOwner")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.AddCite("/lib/a.go", cite("aOwner")); err != nil {
+		t.Fatal(err)
+	}
+	// GenCite resolves through closest ancestor.
+	got, from, err := wt.GenCite("/lib/b.go")
+	if err != nil || got.Owner != "libOwner" || from != "/lib" {
+		t.Errorf("GenCite = %+v from %q, %v", got, from, err)
+	}
+	// ModifyCite.
+	if err := wt.ModifyCite("/lib", cite("newLibOwner")); err != nil {
+		t.Fatal(err)
+	}
+	// DelCite.
+	if err := wt.DelCite("/lib/a.go"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = wt.GenCite("/lib/a.go")
+	if got.Owner != "newLibOwner" {
+		t.Errorf("after DelCite: %+v", got)
+	}
+	// AddCite to missing path fails.
+	if err := wt.AddCite("/ghost", cite("x")); !errors.Is(err, core.ErrPathNotInTree) {
+		t.Errorf("AddCite missing = %v", err)
+	}
+
+	// Commit persists all of it.
+	c1, err := wt.Commit(opts("leshang", 1_500_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := r.FunctionAt(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libC, err := fn.Get("/lib")
+	if err != nil || libC.Owner != "newLibOwner" {
+		t.Errorf("persisted /lib = %+v, %v", libC, err)
+	}
+}
+
+func TestCitationFileIsSystemManaged(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/citation.cite", []byte("{}")); err == nil {
+		t.Error("direct citation.cite write accepted")
+	}
+}
+
+func TestDeleteFilePrunesCitationAtCommit(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/doomed.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.WriteFile("/kept.txt", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.AddCite("/doomed.txt", cite("dOwner")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wt.Commit(opts("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.RemoveFile("/doomed.txt"); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := wt.Commit(opts("a", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := r.FunctionAt(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Has("/doomed.txt") {
+		t.Error("citation for deleted file survived the commit")
+	}
+}
+
+func TestMoveRekeysCitations(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	for p, d := range map[string]string{"/old/f1.go": "1", "/old/sub/f2.go": "2", "/other.txt": "o"} {
+		if err := wt.WriteFile(p, []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wt.AddCite("/old", cite("dirOwner")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.AddCite("/old/sub/f2.go", cite("leafOwner")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.Move("/old", "/renamed"); err != nil {
+		t.Fatal(err)
+	}
+	// Files moved.
+	if _, err := wt.ReadFile("/renamed/sub/f2.go"); err != nil {
+		t.Errorf("moved file unreadable: %v", err)
+	}
+	if _, err := wt.ReadFile("/old/f1.go"); err == nil {
+		t.Error("old file path still readable")
+	}
+	// Citations rekeyed.
+	got, from, err := wt.GenCite("/renamed/f1.go")
+	if err != nil || got.Owner != "dirOwner" || from != "/renamed" {
+		t.Errorf("GenCite after move = %+v from %q, %v", got, from, err)
+	}
+	leaf, _, _ := wt.GenCite("/renamed/sub/f2.go")
+	if leaf.Owner != "leafOwner" {
+		t.Errorf("leaf after move = %+v", leaf)
+	}
+	// Move errors.
+	if err := wt.Move("/ghost", "/x"); err == nil {
+		t.Error("move of missing path accepted")
+	}
+	if err := wt.Move("/other.txt", "/renamed/f1.go"); err == nil {
+		t.Error("move onto existing file accepted")
+	}
+	c1, err := wt.Commit(opts("a", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := r.FunctionAt(c1)
+	if !fn.Has("/renamed") || fn.Has("/old") {
+		t.Errorf("persisted paths = %v", fn.Paths())
+	}
+}
+
+func TestGenerateFillsRootVersionInfo(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/f.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := wt.Commit(opts("leshang", 1_535_942_120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := r.Generate(c1, "/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "/" {
+		t.Errorf("from = %q", from)
+	}
+	if got.CommitID != c1.Short() {
+		t.Errorf("generated commitID = %q, want %q", got.CommitID, c1.Short())
+	}
+	if got.CommittedDate.IsZero() {
+		t.Error("generated citation lacks a date")
+	}
+	// Non-root entries keep their stored (source) version info.
+	wt2, _ := r.Checkout("main")
+	imported := cite("ChenLi")
+	imported.CommitID = "5cc951e"
+	if err := wt2.AddCite("/f.txt", imported); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := wt2.Commit(opts("leshang", 1_535_942_200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, from, err = r.Generate(c2, "/f.txt")
+	if err != nil || from != "/f.txt" {
+		t.Fatal(err)
+	}
+	if got.CommitID != "5cc951e" {
+		t.Errorf("stored commitID overwritten: %q", got.CommitID)
+	}
+}
+
+func TestGenerateChain(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/a/b/f.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.AddCite("/a", cite("aOwner")); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := wt.Commit(opts("x", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := r.GenerateChain(c1, "/a/b/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0].Path != "/" || chain[1].Path != "/a" {
+		t.Errorf("chain = %+v", chain)
+	}
+}
+
+func TestFunctionAtNonEnabled(t *testing.T) {
+	r := newRepo(t)
+	// Commit directly through the VCS, bypassing the citation layer.
+	c1, err := r.VCS.CommitFiles("legacy", map[string]vcs.FileContent{"/f": vcs.File("x")}, opts("old", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.FunctionAt(c1); !errors.Is(err, ErrNotCitationEnabled) {
+		t.Errorf("FunctionAt legacy = %v", err)
+	}
+	if r.IsCitationEnabled(c1) {
+		t.Error("legacy version reported enabled")
+	}
+	// Checkout enables on the fly with the default root.
+	wt, err := r.Checkout("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.Function().Root().Owner != "Leshang" {
+		t.Errorf("on-the-fly root = %+v", wt.Function().Root())
+	}
+	c2, err := wt.Commit(opts("new", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsCitationEnabled(c2) {
+		t.Error("commit after checkout not enabled")
+	}
+}
+
+func TestCheckoutUnbornBranch(t *testing.T) {
+	r := newRepo(t)
+	wt, err := r.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wt.Base().IsZero() {
+		t.Error("unborn branch has a base")
+	}
+	if wt.Function().Root().Version != UnreleasedVersion {
+		t.Errorf("unborn root = %+v", wt.Function().Root())
+	}
+}
+
+func TestWorktreeIsolatedFromLaterCommits(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/f", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := wt.Commit(opts("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second worktree advances the branch.
+	wt2, _ := r.Checkout("main")
+	if err := wt2.WriteFile("/f", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wt2.Commit(opts("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Historical version unchanged (immutability).
+	fn, err := r.FunctionAt(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Root().CommittedDate.Unix() != 1 {
+		t.Errorf("historical root date = %v", fn.Root().CommittedDate)
+	}
+}

@@ -1,0 +1,274 @@
+package gitcite
+
+import (
+	"fmt"
+
+	"github.com/gitcite/gitcite/internal/citefile"
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/merge"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// MergeOptions configures MergeBranches.
+type MergeOptions struct {
+	// Files settles file-level conflicts; see merge.Options.
+	Files merge.Options
+	// Citations settles citation-key conflicts; see core.MergeOptions. Its
+	// Base field is filled automatically from the merge-base version when
+	// nil and a base exists.
+	Citations core.MergeOptions
+	// Author/Message for the merge commit.
+	Commit vcs.CommitOptions
+}
+
+// MergeResult reports what MergeBranches produced.
+type MergeResult struct {
+	CommitID object.ID
+	// FastForward is set when no merge commit was needed.
+	FastForward bool
+	// FileConflicts are the file-level conflicts encountered (settled by
+	// the file resolver).
+	FileConflicts []merge.Conflict
+	// CiteConflicts are the citation-key conflicts encountered.
+	CiteConflicts []core.MergeConflict
+	// PrunedCitations lists citation entries dropped because the file merge
+	// deleted their paths.
+	PrunedCitations []string
+}
+
+// MergeBranches implements MergeCite (paper §3): it merges srcBranch into
+// dstBranch. Regular files merge under Git-style three-way rules; the
+// citation files are NOT merged textually ("we do not use them on
+// citation.cite since it could leave the citation function inconsistent") —
+// instead the two citation functions are merged by union, entries for
+// merge-deleted files are dropped, and key conflicts go to the configured
+// strategy.
+func (r *Repo) MergeBranches(dstBranch, srcBranch string, opts MergeOptions) (MergeResult, error) {
+	dstTip, err := r.VCS.BranchTip(dstBranch)
+	if err != nil {
+		return MergeResult{}, fmt.Errorf("gitcite: merge destination: %w", err)
+	}
+	srcTip, err := r.VCS.BranchTip(srcBranch)
+	if err != nil {
+		return MergeResult{}, fmt.Errorf("gitcite: merge source: %w", err)
+	}
+
+	baseID, err := r.VCS.MergeBase(dstTip, srcTip)
+	if err != nil {
+		return MergeResult{}, err
+	}
+
+	// Fast-forward cases: nothing to merge.
+	if baseID == srcTip {
+		return MergeResult{CommitID: dstTip, FastForward: true}, nil
+	}
+	if baseID == dstTip {
+		if err := r.VCS.Refs.Set("refs/heads/"+dstBranch, srcTip); err != nil {
+			return MergeResult{}, err
+		}
+		return MergeResult{CommitID: srcTip, FastForward: true}, nil
+	}
+
+	dstTree, err := r.VCS.TreeOf(dstTip)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	srcTree, err := r.VCS.TreeOf(srcTip)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	baseTree := object.ZeroID
+	if !baseID.IsZero() {
+		baseTree, err = r.VCS.TreeOf(baseID)
+		if err != nil {
+			return MergeResult{}, err
+		}
+	}
+
+	// File-level three-way merge, with citation.cite excluded: the paper is
+	// explicit that Git's conflict rules must not touch the citation file.
+	strippedBase, err := dropCiteFile(r.VCS.Objects, baseTree)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	strippedDst, err := dropCiteFile(r.VCS.Objects, dstTree)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	strippedSrc, err := dropCiteFile(r.VCS.Objects, srcTree)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	fileRes, err := merge.Trees(r.VCS.Objects, strippedBase, strippedDst, strippedSrc, opts.Files)
+	if err != nil {
+		return MergeResult{}, err
+	}
+
+	// Citation-function merge over the merged tree.
+	ours, err := r.FunctionAt(dstTip)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	theirs, err := r.FunctionAt(srcTip)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	// The root citation's date is auto-managed version metadata (stamped on
+	// every commit), so two branches always disagree on it; normalise both
+	// sides to the merge commit's date before conflict detection. Real root
+	// differences (owner, repo name, authors, …) still conflict.
+	normalizeRootDate(ours, opts.Commit)
+	normalizeRootDate(theirs, opts.Commit)
+	citeOpts := opts.Citations
+	if citeOpts.Base != nil {
+		normalizeRootDate(citeOpts.Base, opts.Commit)
+	}
+	if citeOpts.Base == nil && !baseID.IsZero() && r.IsCitationEnabled(baseID) {
+		baseFn, err := r.FunctionAt(baseID)
+		if err != nil {
+			return MergeResult{}, err
+		}
+		normalizeRootDate(baseFn, opts.Commit)
+		citeOpts.Base = baseFn
+	}
+	mergedTree := treeAdapter{objects: r.VCS.Objects, treeID: fileRes.TreeID}
+	citeRes, err := core.Merge(ours, theirs, mergedTree, citeOpts)
+	if err != nil {
+		return MergeResult{}, err
+	}
+
+	// Write the merged citation file into the merged tree and commit with
+	// both parents.
+	data, err := citefile.Encode(citeRes.Function, mergedTree.IsDir)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	blobID, err := r.VCS.Objects.Put(objectBlob(data))
+	if err != nil {
+		return MergeResult{}, err
+	}
+	finalTree, err := vcs.InsertSubtree(r.VCS.Objects, fileRes.TreeID, citefile.Path, fileEntry(blobID))
+	if err != nil {
+		return MergeResult{}, err
+	}
+	commitID, err := r.VCS.CommitTree(finalTree, []object.ID{dstTip, srcTip}, opts.Commit)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	if err := r.VCS.Refs.Set("refs/heads/"+dstBranch, commitID); err != nil {
+		return MergeResult{}, err
+	}
+	return MergeResult{
+		CommitID:        commitID,
+		FileConflicts:   fileRes.Conflicts,
+		CiteConflicts:   citeRes.Conflicts,
+		PrunedCitations: citeRes.Pruned,
+	}, nil
+}
+
+// dropCiteFile returns the tree without its /citation.cite entry (zero in,
+// zero out).
+func dropCiteFile(s store.Store, treeID object.ID) (object.ID, error) {
+	if treeID.IsZero() {
+		return treeID, nil
+	}
+	if !vcs.PathExists(s, treeID, citefile.Path) {
+		return treeID, nil
+	}
+	return vcs.RemovePath(s, treeID, citefile.Path)
+}
+
+// CopyCite copies the directory (or file) at srcPath in a source repository
+// version into this worktree at dstPath, migrating the associated citations
+// (paper §3): the source subtree's citation entries are added to the working
+// citation function with rebased keys, and the subtree root is sealed with
+// its resolved citation so Cite is preserved for every copied node.
+func (wt *Worktree) CopyCite(src *Repo, srcCommit object.ID, srcPath, dstPath string) error {
+	srcClean, err := vcs.CleanPath(srcPath)
+	if err != nil {
+		return err
+	}
+	dstClean, err := vcs.CleanPath(dstPath)
+	if err != nil {
+		return err
+	}
+	if srcClean == citefile.Path || dstClean == citefile.Path {
+		return fmt.Errorf("gitcite: cannot copy the citation file itself")
+	}
+	srcTreeID, err := src.VCS.TreeOf(srcCommit)
+	if err != nil {
+		return err
+	}
+	entry, err := vcs.LookupPath(src.VCS.Objects, srcTreeID, srcClean)
+	if err != nil {
+		return fmt.Errorf("gitcite: copy source: %w", err)
+	}
+
+	// Copy the files first.
+	if entry.IsDir() {
+		files, err := vcs.FlattenTree(src.VCS.Objects, entry.ID)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("gitcite: copy source %q is empty", srcClean)
+		}
+		for _, f := range files {
+			if f.Path == citefile.Path {
+				continue
+			}
+			blob, err := store.GetBlob(src.VCS.Objects, f.BlobID)
+			if err != nil {
+				return err
+			}
+			np, err := vcs.RebasePath(f.Path, "/", dstClean)
+			if err != nil {
+				return err
+			}
+			if err := wt.WriteFile(np, blob.Data()); err != nil {
+				return err
+			}
+		}
+	} else {
+		blob, err := store.GetBlob(src.VCS.Objects, entry.ID)
+		if err != nil {
+			return err
+		}
+		if err := wt.WriteFile(dstClean, blob.Data()); err != nil {
+			return err
+		}
+	}
+
+	// Then migrate the citations.
+	srcFn, err := src.FunctionAt(srcCommit)
+	if err != nil {
+		return err
+	}
+	_, err = wt.fn.MigrateSubtree(srcFn, srcClean, dstClean, wt.Tree(), core.CopyOptions{Overwrite: true})
+	return err
+}
+
+// normalizeRootDate rewrites a function's root citation date to the merge
+// commit's time; see MergeBranches. A zero commit time leaves the function
+// untouched.
+func normalizeRootDate(fn *core.Function, opts vcs.CommitOptions) {
+	when := opts.Committer.When
+	if when.IsZero() {
+		when = opts.Author.When
+	}
+	if when.IsZero() {
+		return
+	}
+	root := fn.Root()
+	root.CommittedDate = when.UTC()
+	_ = fn.Modify("/", root)
+}
+
+// objectBlob and fileEntry are tiny helpers keeping merge readable.
+func objectBlob(data []byte) *object.Blob { return object.NewBlob(data) }
+
+func fileEntry(id object.ID) object.TreeEntry {
+	return object.TreeEntry{Name: citefile.Filename, Mode: object.ModeFile, ID: id}
+}

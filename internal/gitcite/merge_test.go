@@ -1,0 +1,543 @@
+package gitcite
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/vcs/merge"
+)
+
+// setupDivergent creates main (with /shared, /main-only.txt) and a "gui"
+// branch (adding /citation/GUI/app.js), both citation-enabled.
+func setupDivergent(t *testing.T) *Repo {
+	t.Helper()
+	r := newRepo(t)
+	wt, err := r.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.WriteFile("/shared.txt", []byte("base\n")); err != nil {
+		t.Fatal(err)
+	}
+	base, err := wt.Commit(opts("leshang", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VCS.CreateBranch("gui", base); err != nil {
+		t.Fatal(err)
+	}
+
+	// main adds a file and cites it.
+	wtMain, err := r.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wtMain.WriteFile("/main-only.txt", []byte("m\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wtMain.AddCite("/main-only.txt", cite("mainOwner")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wtMain.Commit(opts("leshang", 200)); err != nil {
+		t.Fatal(err)
+	}
+
+	// gui adds the GUI directory and cites it (the paper's Yanssie branch).
+	wtGui, err := r.Checkout("gui")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wtGui.WriteFile("/citation/GUI/app.js", []byte("ui\n")); err != nil {
+		t.Fatal(err)
+	}
+	guiCite := cite("Yanssie")
+	if err := wtGui.AddCite("/citation/GUI", guiCite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wtGui.Commit(opts("yanssie", 300)); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMergeBranchesUnion(t *testing.T) {
+	r := setupDivergent(t)
+	res, err := r.MergeBranches("main", "gui", MergeOptions{
+		Commit: opts("leshang", 400),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FastForward {
+		t.Error("divergent merge reported fast-forward")
+	}
+	if len(res.FileConflicts) != 0 || len(res.CiteConflicts) != 0 {
+		t.Errorf("conflicts: files=%+v cites=%+v", res.FileConflicts, res.CiteConflicts)
+	}
+	// Merge commit has two parents.
+	c, err := r.VCS.Commit(res.CommitID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsMerge() {
+		t.Error("merge commit is not a merge")
+	}
+	// Union of citations: both /main-only.txt and /citation/GUI present.
+	fn, err := r.FunctionAt(res.CommitID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fn.Get("/main-only.txt")
+	if err != nil || m.Owner != "mainOwner" {
+		t.Errorf("main citation = %+v, %v", m, err)
+	}
+	g, err := fn.Get("/citation/GUI")
+	if err != nil || g.Owner != "Yanssie" {
+		t.Errorf("gui citation = %+v, %v", g, err)
+	}
+	// Both file sets present.
+	raw, _ := r.CiteFileBytes(res.CommitID)
+	if !strings.Contains(string(raw), "/citation/GUI/") {
+		t.Errorf("cite file missing GUI dir key:\n%s", raw)
+	}
+}
+
+func TestMergeBranchesFastForward(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/f", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	base, err := wt.Commit(opts("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VCS.CreateBranch("feature", base); err != nil {
+		t.Fatal(err)
+	}
+	wtF, _ := r.Checkout("feature")
+	if err := wtF.WriteFile("/g", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	fTip, err := wtF.Commit(opts("a", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main has not moved: merging feature fast-forwards.
+	res, err := r.MergeBranches("main", "feature", MergeOptions{Commit: opts("a", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FastForward || res.CommitID != fTip {
+		t.Errorf("res = %+v, want fast-forward to %s", res, fTip.Short())
+	}
+	tip, _ := r.VCS.BranchTip("main")
+	if tip != fTip {
+		t.Error("main did not advance")
+	}
+	// Reverse direction: feature already contains main's tip.
+	res, err = r.MergeBranches("feature", "main", MergeOptions{Commit: opts("a", 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FastForward || res.CommitID != fTip {
+		t.Errorf("up-to-date merge = %+v", res)
+	}
+}
+
+func TestMergeBranchesCitationConflict(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/lib/f.go", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.AddCite("/lib", cite("original")); err != nil {
+		t.Fatal(err)
+	}
+	base, err := wt.Commit(opts("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VCS.CreateBranch("side", base); err != nil {
+		t.Fatal(err)
+	}
+	// Both sides modify /lib's citation differently.
+	wtMain, _ := r.Checkout("main")
+	if err := wtMain.ModifyCite("/lib", cite("mainEdit")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wtMain.Commit(opts("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	wtSide, _ := r.Checkout("side")
+	if err := wtSide.ModifyCite("/lib", cite("sideEdit")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wtSide.Commit(opts("b", 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ask strategy with a recording resolver (the paper's interactive flow).
+	var asked []core.MergeConflict
+	res, err := r.MergeBranches("main", "side", MergeOptions{
+		Citations: core.MergeOptions{
+			Strategy: core.StrategyAsk,
+			Resolver: func(c core.MergeConflict) (core.Citation, error) {
+				asked = append(asked, c)
+				return c.Theirs, nil
+			},
+		},
+		Commit: opts("a", 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root citations also conflict (the two branches stamped different
+	// commit dates), so the resolver is consulted for "/" and "/lib".
+	sawLib := false
+	for _, c := range asked {
+		if c.Path == "/lib" {
+			sawLib = true
+			if c.Ours.Owner != "mainEdit" || c.Theirs.Owner != "sideEdit" {
+				t.Errorf("conflict sides = %+v", c)
+			}
+		}
+	}
+	if !sawLib {
+		t.Errorf("resolver never asked about /lib: %+v", asked)
+	}
+	fn, err := r.FunctionAt(res.CommitID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, _ := fn.Get("/lib")
+	if lib.Owner != "sideEdit" {
+		t.Errorf("resolved /lib = %+v", lib)
+	}
+}
+
+func TestMergeBranchesThreeWayAutoResolves(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/lib/f.go", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.AddCite("/lib", cite("original")); err != nil {
+		t.Fatal(err)
+	}
+	base, err := wt.Commit(opts("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VCS.CreateBranch("side", base); err != nil {
+		t.Fatal(err)
+	}
+	// Only side edits /lib's citation; main is untouched.
+	wtSide, _ := r.Checkout("side")
+	if err := wtSide.ModifyCite("/lib", cite("sideEdit")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wtSide.Commit(opts("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	wtMain, _ := r.Checkout("main")
+	if err := wtMain.WriteFile("/other.txt", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wtMain.Commit(opts("a", 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := r.MergeBranches("main", "side", MergeOptions{
+		Citations: core.MergeOptions{
+			Strategy: core.StrategyThreeWay,
+			Resolver: func(c core.MergeConflict) (core.Citation, error) { return c.Ours, nil },
+		},
+		Commit: opts("a", 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := r.FunctionAt(res.CommitID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, _ := fn.Get("/lib")
+	if lib.Owner != "sideEdit" {
+		t.Errorf("three-way /lib = %q, want side's edit to win", lib.Owner)
+	}
+}
+
+func TestMergeBranchesFileConflictDoesNotTouchCiteFile(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/f.txt", []byte("base\n")); err != nil {
+		t.Fatal(err)
+	}
+	base, err := wt.Commit(opts("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VCS.CreateBranch("side", base); err != nil {
+		t.Fatal(err)
+	}
+	wtM, _ := r.Checkout("main")
+	if err := wtM.WriteFile("/f.txt", []byte("main edit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wtM.Commit(opts("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	wtS, _ := r.Checkout("side")
+	if err := wtS.WriteFile("/f.txt", []byte("side edit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wtS.Commit(opts("b", 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := r.MergeBranches("main", "side", MergeOptions{
+		Files:  merge.Options{Resolver: func(merge.Conflict) merge.Resolution { return merge.ResolveConcat }},
+		Commit: opts("a", 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FileConflicts) != 1 || res.FileConflicts[0].Path != "/f.txt" {
+		t.Errorf("file conflicts = %+v", res.FileConflicts)
+	}
+	// The conflicted file has markers; the citation file parses cleanly
+	// (never merged textually).
+	fn, err := r.FunctionAt(res.CommitID)
+	if err != nil {
+		t.Fatalf("citation file corrupted by merge: %v", err)
+	}
+	if err := fn.Validate(core.AnyTree()); err != nil {
+		t.Errorf("merged function invalid: %v", err)
+	}
+}
+
+func TestMergePrunesCitationsOfDeletedFiles(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	for p, d := range map[string]string{"/keep.txt": "k", "/drop.txt": "d"} {
+		if err := wt.WriteFile(p, []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wt.AddCite("/drop.txt", cite("dropOwner")); err != nil {
+		t.Fatal(err)
+	}
+	base, err := wt.Commit(opts("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VCS.CreateBranch("side", base); err != nil {
+		t.Fatal(err)
+	}
+	// side deletes drop.txt; main edits keep.txt.
+	wtS, _ := r.Checkout("side")
+	if err := wtS.RemoveFile("/drop.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wtS.Commit(opts("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	wtM, _ := r.Checkout("main")
+	if err := wtM.WriteFile("/keep.txt", []byte("edited")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wtM.Commit(opts("a", 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := r.MergeBranches("main", "side", MergeOptions{Commit: opts("a", 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := r.FunctionAt(res.CommitID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Has("/drop.txt") {
+		t.Error("citation for merge-deleted file survived")
+	}
+	found := false
+	for _, p := range res.PrunedCitations {
+		if p == "/drop.txt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pruned = %v", res.PrunedCitations)
+	}
+}
+
+func TestCopyCiteIntoWorktree(t *testing.T) {
+	// Source repo P2 with a cited CoreCover directory.
+	src, err := NewMemoryRepo(Meta{Owner: "Chen Li", Name: "alu01-corecover", URL: "https://github.com/chenlica/alu01-corecover"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtSrc, _ := src.Checkout("main")
+	for p, d := range map[string]string{
+		"/CoreCover/rewrite.py": "rewrite",
+		"/CoreCover/tests/t.py": "test",
+		"/unrelated/readme.txt": "other",
+	} {
+		if err := wtSrc.WriteFile(p, []byte(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcTip, err := wtSrc.Commit(opts("chenli", 1_521_851_385))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Destination repo P1.
+	dst := newRepo(t)
+	wtDst, _ := dst.Checkout("main")
+	if err := wtDst.WriteFile("/main.py", []byte("main")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wtDst.CopyCite(src, srcTip, "/CoreCover", "/CoreCover"); err != nil {
+		t.Fatal(err)
+	}
+	// Files copied.
+	if _, err := wtDst.ReadFile("/CoreCover/rewrite.py"); err != nil {
+		t.Errorf("copied file missing: %v", err)
+	}
+	if _, err := wtDst.ReadFile("/CoreCover/tests/t.py"); err != nil {
+		t.Errorf("copied nested file missing: %v", err)
+	}
+	// Unrelated source files not copied.
+	if _, err := wtDst.ReadFile("/unrelated/readme.txt"); err == nil {
+		t.Error("unrelated file copied")
+	}
+	// The copied subtree root is sealed with the source's resolved citation
+	// (the source root default, since /CoreCover had no explicit entry).
+	sealed, from, err := wtDst.GenCite("/CoreCover/rewrite.py")
+	if err != nil || from != "/CoreCover" {
+		t.Fatalf("GenCite = %+v from %q, %v", sealed, from, err)
+	}
+	if sealed.Owner != "Chen Li" || sealed.RepoName != "alu01-corecover" {
+		t.Errorf("sealed = %+v", sealed)
+	}
+	c1, err := wtDst.Commit(opts("leshang", 1_535_942_120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persisted: Cite of the copied file still credits Chen Li.
+	got, _, err := dst.Generate(c1, "/CoreCover/tests/t.py")
+	if err != nil || got.Owner != "Chen Li" {
+		t.Errorf("persisted copy citation = %+v, %v", got, err)
+	}
+}
+
+func TestCopyCiteSingleFile(t *testing.T) {
+	src := newRepo(t)
+	wtSrc, _ := src.Checkout("main")
+	if err := wtSrc.WriteFile("/algo.py", []byte("algo")); err != nil {
+		t.Fatal(err)
+	}
+	fileCite := cite("fileOwner")
+	if err := wtSrc.AddCite("/algo.py", fileCite); err != nil {
+		t.Fatal(err)
+	}
+	srcTip, err := wtSrc.Commit(opts("x", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newRepo(t)
+	wtDst, _ := dst.Checkout("main")
+	if err := wtDst.CopyCite(src, srcTip, "/algo.py", "/vendor/algo.py"); err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := wtDst.GenCite("/vendor/algo.py")
+	if err != nil || from != "/vendor/algo.py" || got.Owner != "fileOwner" {
+		t.Errorf("single-file copy = %+v from %q, %v", got, from, err)
+	}
+}
+
+func TestCopyCiteErrors(t *testing.T) {
+	src := newRepo(t)
+	wtSrc, _ := src.Checkout("main")
+	if err := wtSrc.WriteFile("/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	srcTip, err := wtSrc.Commit(opts("x", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newRepo(t)
+	wtDst, _ := dst.Checkout("main")
+	if err := wtDst.CopyCite(src, srcTip, "/ghost", "/here"); err == nil {
+		t.Error("copy of missing source accepted")
+	}
+	if err := wtDst.CopyCite(src, srcTip, "/citation.cite", "/here"); err == nil {
+		t.Error("copy of citation file accepted")
+	}
+}
+
+func TestForkPreservesCitations(t *testing.T) {
+	src := newRepo(t)
+	wt, _ := src.Checkout("main")
+	if err := wt.WriteFile("/lib/f.go", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.AddCite("/lib", cite("libOwner")); err != nil {
+		t.Fatal(err)
+	}
+	tip, err := wt.Commit(opts("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fork, err := Fork(src, Meta{Owner: "Susan", Name: "P2", URL: "https://github.com/susan/P2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same commit IDs, same citations (paper: fork copies history and
+	// citation.cite naturally).
+	forkTip, err := fork.VCS.BranchTip("main")
+	if err != nil || forkTip != tip {
+		t.Errorf("fork tip = %v, %v", forkTip, err)
+	}
+	fn, err := fork.FunctionAt(forkTip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, _ := fn.Get("/lib")
+	if lib.Owner != "libOwner" {
+		t.Errorf("fork citation = %+v", lib)
+	}
+	// Root of the historical version still credits the origin.
+	if fn.Root().Owner != "Leshang" {
+		t.Errorf("fork historical root = %+v", fn.Root())
+	}
+	// New commits in the fork use the fork's meta for fresh roots and do
+	// not affect the origin.
+	wtFork, err := fork.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wtFork.SetRootCitation(fork.DefaultRootCitation(nil, wtFork.Function().Root().CommittedDate)); err != nil {
+		t.Fatal(err)
+	}
+	forkC, err := wtFork.Commit(opts("susan", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkFn, _ := fork.FunctionAt(forkC)
+	if forkFn.Root().Owner != "Susan" {
+		t.Errorf("fork new root = %+v", forkFn.Root())
+	}
+	srcTip, _ := src.VCS.BranchTip("main")
+	if srcTip != tip {
+		t.Error("fork commit moved origin branch")
+	}
+	if err := func() error { _, err := Fork(src, Meta{}); return err }(); err == nil {
+		t.Error("fork with invalid meta accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package gitcite
+
+import (
+	"fmt"
+
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// Release commits the worktree as a released version: the root citation's
+// Version field is set to version, the commit is created, and a tag of the
+// same name points at it. This is the "released version of a software
+// project … treated as open-access data" step of the paper's §1, and the
+// natural input to an archive deposit.
+func (wt *Worktree) Release(version string, opts vcs.CommitOptions) (object.ID, error) {
+	if version == "" {
+		return object.ZeroID, fmt.Errorf("gitcite: release requires a version string")
+	}
+	root := wt.fn.Root()
+	root.Version = version
+	if err := wt.fn.Modify("/", root); err != nil {
+		return object.ZeroID, err
+	}
+	if opts.Message == "" {
+		opts.Message = "Release " + version
+	}
+	id, err := wt.Commit(opts)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	if err := wt.repo.VCS.CreateTag(version, id); err != nil {
+		return object.ZeroID, fmt.Errorf("gitcite: release tag: %w", err)
+	}
+	return id, nil
+}
+
+// ReleaseVersions lists the repository's released versions (tags) with
+// their commits, sorted by tag name.
+func (r *Repo) ReleaseVersions() (map[string]object.ID, error) {
+	tags, err := r.VCS.Tags()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]object.ID, len(tags))
+	for _, t := range tags {
+		id, err := r.VCS.TagTarget(t)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = id
+	}
+	return out, nil
+}

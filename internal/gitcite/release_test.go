@@ -1,0 +1,110 @@
+package gitcite
+
+import (
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/vcs"
+)
+
+func TestReleaseTagsAndVersionsRoot(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/f.go", []byte("v1 code")); err != nil {
+		t.Fatal(err)
+	}
+	relOpts := opts("leshang", 1_600_000_000)
+	relOpts.Message = "" // exercise the default release message
+	rel, err := wt.Release("1.0.0", relOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root citation records the version.
+	fn, err := r.FunctionAt(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Root().Version != "1.0.0" {
+		t.Errorf("root version = %q", fn.Root().Version)
+	}
+	// The tag points at the release commit.
+	target, err := r.VCS.TagTarget("1.0.0")
+	if err != nil || target != rel {
+		t.Errorf("tag target = %v, %v", target, err)
+	}
+	tags, err := r.VCS.TagsAt(rel)
+	if err != nil || len(tags) != 1 || tags[0] != "1.0.0" {
+		t.Errorf("TagsAt = %v, %v", tags, err)
+	}
+	// Generated citations for the release carry the version.
+	cite, _, err := r.Generate(rel, "/f.go")
+	if err != nil || cite.Version != "1.0.0" {
+		t.Errorf("generated = %+v, %v", cite, err)
+	}
+	// Default release message.
+	c, _ := r.VCS.Commit(rel)
+	if c.Summary() != "Release 1.0.0" {
+		t.Errorf("message = %q", c.Summary())
+	}
+}
+
+func TestReleaseRejectsDuplicateVersion(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/f.go", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wt.Release("1.0", opts("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	wt2, _ := r.Checkout("main")
+	if err := wt2.WriteFile("/f.go", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wt2.Release("1.0", opts("a", 2)); err == nil {
+		t.Error("duplicate release version accepted")
+	}
+	if _, err := wt2.Release("", opts("a", 3)); err == nil {
+		t.Error("empty version accepted")
+	}
+}
+
+func TestReleaseVersionsListing(t *testing.T) {
+	r := newRepo(t)
+	var commits []string
+	for i, v := range []string{"0.1", "0.2", "1.0"} {
+		wt, err := r.Checkout("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wt.WriteFile("/f.go", []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		rel, err := wt.Release(v, opts("a", int64(i+1)*1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits = append(commits, rel.Short())
+	}
+	releases, err := r.ReleaseVersions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(releases) != 3 {
+		t.Fatalf("releases = %v", releases)
+	}
+	for _, v := range []string{"0.1", "0.2", "1.0"} {
+		if _, ok := releases[v]; !ok {
+			t.Errorf("missing release %s", v)
+		}
+	}
+	_ = commits
+}
+
+func TestTagsRequireExistingCommit(t *testing.T) {
+	r := newRepo(t)
+	bogus := vcs.NewMemoryRepository() // unrelated store
+	wt, _ := bogus.CommitFiles("main", map[string]vcs.FileContent{"/x": vcs.File("x")}, opts("a", 1))
+	if err := r.VCS.CreateTag("v1", wt); err == nil {
+		t.Error("tag at unknown commit accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package gitcite
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSyncRenamesExactMove(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/old/algo.py", []byte("algorithm body\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.WriteFile("/keep.txt", []byte("keep\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.AddCite("/old/algo.py", cite("algOwner")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wt.Commit(opts("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate an out-of-band move: a fresh worktree where the file
+	// re-appears at a new path with identical content.
+	wt2, err := r.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wt2.RemoveFile("/old/algo.py"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt2.WriteFile("/new/algo.py", []byte("algorithm body\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	applied, err := wt2.SyncRenames(RenameDetection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []DetectedRename{{OldPath: "/old/algo.py", NewPath: "/new/algo.py"}}
+	if !reflect.DeepEqual(applied, want) {
+		t.Fatalf("applied = %+v, want %+v", applied, want)
+	}
+	got, from, err := wt2.GenCite("/new/algo.py")
+	if err != nil || from != "/new/algo.py" || got.Owner != "algOwner" {
+		t.Errorf("citation after sync = %+v from %q, %v", got, from, err)
+	}
+	// Commit keeps the rekeyed entry (nothing pruned).
+	c2, err := wt2.Commit(opts("a", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := r.FunctionAt(c2)
+	if !fn.Has("/new/algo.py") || fn.Has("/old/algo.py") {
+		t.Errorf("persisted paths = %v", fn.Paths())
+	}
+}
+
+func TestSyncRenamesSimilarityMove(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	content := "line1\nline2\nline3\nline4\nline5\nline6\nline7\nline8\nline9\nline10\n"
+	if err := wt.WriteFile("/src/util.go", []byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.AddCite("/src/util.go", cite("utilOwner")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wt.Commit(opts("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	wt2, _ := r.Checkout("main")
+	if err := wt2.RemoveFile("/src/util.go"); err != nil {
+		t.Fatal(err)
+	}
+	edited := "line1\nline2\nline3\nline4\nline5\nline6\nline7\nline8\nline9\nEDITED\n"
+	if err := wt2.WriteFile("/lib/util.go", []byte(edited)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact-only detection misses the edited move.
+	applied, err := wt2.SyncRenames(RenameDetection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 0 {
+		t.Fatalf("exact-only applied %+v", applied)
+	}
+	// Similarity threshold catches it.
+	applied, err = wt2.SyncRenames(RenameDetection{MinSimilarity: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0].NewPath != "/lib/util.go" {
+		t.Fatalf("applied = %+v", applied)
+	}
+	got, _, _ := wt2.GenCite("/lib/util.go")
+	if got.Owner != "utilOwner" {
+		t.Errorf("citation lost across fuzzy rename: %+v", got)
+	}
+}
+
+func TestSyncRenamesIgnoresUncitedMoves(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/plain.txt", []byte("no citation attached\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wt.Commit(opts("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	wt2, _ := r.Checkout("main")
+	if err := wt2.RemoveFile("/plain.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt2.WriteFile("/moved.txt", []byte("no citation attached\n")); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := wt2.SyncRenames(RenameDetection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 0 {
+		t.Errorf("uncited move recorded: %+v", applied)
+	}
+}
+
+func TestSyncRenamesUnbornBranch(t *testing.T) {
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	applied, err := wt.SyncRenames(RenameDetection{})
+	if err != nil || applied != nil {
+		t.Errorf("unborn branch sync = %+v, %v", applied, err)
+	}
+}
+
+func TestSyncRenamesWithoutSyncCitationIsPruned(t *testing.T) {
+	// Control experiment: the same out-of-band move WITHOUT SyncRenames
+	// loses the citation at commit (pruned), which is exactly why the
+	// detection pass exists.
+	r := newRepo(t)
+	wt, _ := r.Checkout("main")
+	if err := wt.WriteFile("/old/f.txt", []byte("data\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.AddCite("/old/f.txt", cite("o")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wt.Commit(opts("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	wt2, _ := r.Checkout("main")
+	if err := wt2.RemoveFile("/old/f.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wt2.WriteFile("/new/f.txt", []byte("data\n")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := wt2.Commit(opts("a", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := r.FunctionAt(c2)
+	if fn.Has("/old/f.txt") || fn.Has("/new/f.txt") {
+		t.Errorf("expected citation to be pruned without sync; paths = %v", fn.Paths())
+	}
+}

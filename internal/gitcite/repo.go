@@ -1,0 +1,223 @@
+// Package gitcite is the integration layer of the system — the core of the
+// paper's "local executable tool" (§3). It binds the citation model
+// (internal/core) to the version-control substrate (internal/vcs) through
+// the citation.cite file stored at the root of every version
+// (internal/citefile), and implements the citation-extended operations:
+// commits that carry citations through file renames and deletions, MergeCite,
+// CopyCite and ForkCite.
+package gitcite
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/citefile"
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// Meta is the repository-level metadata that seeds default root citations —
+// "the owner and name of the repository, the http address" (paper §2).
+type Meta struct {
+	Owner   string
+	Name    string
+	URL     string
+	License string
+}
+
+// Validate checks the fields needed to build a root citation.
+func (m Meta) Validate() error {
+	var missing []string
+	if m.Owner == "" {
+		missing = append(missing, "owner")
+	}
+	if m.Name == "" {
+		missing = append(missing, "name")
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("gitcite: repository metadata missing %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// Repo is a citation-enabled repository: a vcs repository whose versions
+// each carry a citation.cite file.
+type Repo struct {
+	VCS  *vcs.Repository
+	Meta Meta
+}
+
+// NewMemoryRepo creates an empty citation-enabled repository in memory.
+func NewMemoryRepo(meta Meta) (*Repo, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	return &Repo{VCS: vcs.NewMemoryRepository(), Meta: meta}, nil
+}
+
+// OpenFileRepo opens (creating if needed) a repository persisted under dir.
+func OpenFileRepo(dir string, meta Meta) (*Repo, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := vcs.OpenFileRepository(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Repo{VCS: r, Meta: meta}, nil
+}
+
+// UnreleasedVersion marks the root citation of a working copy that has not
+// been committed yet; Commit replaces it with the version's real date.
+const UnreleasedVersion = "unreleased"
+
+// DefaultRootCitation builds the default citation attached to every version
+// root, from repository metadata plus (optionally) the version's commit
+// date. With a zero time the citation is marked UnreleasedVersion so it
+// still satisfies the paper's root requirements.
+func (r *Repo) DefaultRootCitation(authors []string, when time.Time) core.Citation {
+	url := r.Meta.URL
+	if url == "" {
+		url = "https://git.example/" + r.Meta.Owner + "/" + r.Meta.Name
+	}
+	if len(authors) == 0 {
+		authors = []string{r.Meta.Owner}
+	}
+	c := core.Citation{
+		RepoName:   r.Meta.Name,
+		Owner:      r.Meta.Owner,
+		URL:        url,
+		License:    r.Meta.License,
+		AuthorList: append([]string(nil), authors...),
+	}
+	if when.IsZero() {
+		c.Version = UnreleasedVersion
+	} else {
+		c.CommittedDate = when.UTC().Truncate(time.Second)
+	}
+	return c
+}
+
+// treeAdapter exposes a stored vcs tree as a core.Tree, hiding the
+// citation.cite file itself (the citation function never cites it).
+type treeAdapter struct {
+	objects store.Store
+	treeID  object.ID
+}
+
+// TreeAt returns a core.Tree view of a commit's file tree (without the
+// citation file).
+func (r *Repo) TreeAt(commitID object.ID) (core.Tree, error) {
+	treeID, err := r.VCS.TreeOf(commitID)
+	if err != nil {
+		return nil, err
+	}
+	return treeAdapter{objects: r.VCS.Objects, treeID: treeID}, nil
+}
+
+func (t treeAdapter) Exists(path string) bool {
+	if path == citefile.Path {
+		return false
+	}
+	return vcs.PathExists(t.objects, t.treeID, path)
+}
+
+func (t treeAdapter) IsDir(path string) bool {
+	if path == citefile.Path {
+		return false
+	}
+	e, err := vcs.LookupPath(t.objects, t.treeID, path)
+	return err == nil && e.IsDir()
+}
+
+// ErrNotCitationEnabled reports a version without a citation.cite file.
+var ErrNotCitationEnabled = errors.New("gitcite: version has no citation.cite (not citation-enabled)")
+
+// FunctionAt reads the citation function stored with a commit.
+func (r *Repo) FunctionAt(commitID object.ID) (*core.Function, error) {
+	treeID, err := r.VCS.TreeOf(commitID)
+	if err != nil {
+		return nil, err
+	}
+	data, err := vcs.ReadFile(r.VCS.Objects, treeID, citefile.Path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotCitationEnabled, err)
+	}
+	return citefile.Decode(data)
+}
+
+// IsCitationEnabled reports whether the commit carries a citation file.
+func (r *Repo) IsCitationEnabled(commitID object.ID) bool {
+	treeID, err := r.VCS.TreeOf(commitID)
+	if err != nil {
+		return false
+	}
+	return vcs.PathExists(r.VCS.Objects, treeID, citefile.Path)
+}
+
+// Generate implements citation generation (the extension's "Generate
+// Citation" button and the tool's GenCite): resolve the path through the
+// version's citation function, then — when the citation came from the root
+// default — fill in the cited version's own commit ID and date, so the
+// generated citation names the exact version being extracted.
+func (r *Repo) Generate(commitID object.ID, path string) (core.Citation, string, error) {
+	fn, err := r.FunctionAt(commitID)
+	if err != nil {
+		return core.Citation{}, "", err
+	}
+	cite, from, err := fn.Resolve(path)
+	if err != nil {
+		return core.Citation{}, "", err
+	}
+	if from == "/" {
+		c, err := r.VCS.Commit(commitID)
+		if err != nil {
+			return core.Citation{}, "", err
+		}
+		if cite.CommitID == "" {
+			cite.CommitID = commitID.Short()
+		}
+		if cite.CommittedDate.IsZero() {
+			cite.CommittedDate = c.Committer.When
+		}
+	}
+	return cite, from, nil
+}
+
+// GenerateChain is Generate under the alternative whole-path semantics.
+func (r *Repo) GenerateChain(commitID object.ID, path string) ([]core.PathCitation, error) {
+	fn, err := r.FunctionAt(commitID)
+	if err != nil {
+		return nil, err
+	}
+	return fn.ResolveChain(path)
+}
+
+// CiteFileBytes returns the stored citation.cite contents of a commit.
+func (r *Repo) CiteFileBytes(commitID object.ID) ([]byte, error) {
+	treeID, err := r.VCS.TreeOf(commitID)
+	if err != nil {
+		return nil, err
+	}
+	return vcs.ReadFile(r.VCS.Objects, treeID, citefile.Path)
+}
+
+// Fork implements ForkCite (paper §3): "copies a version of a repository,
+// along with its history, and creates a new repository. The citations in
+// citation.cite are also copied." Commit IDs are preserved, so provenance
+// back to the origin is intact; the fork gets its own Meta for future
+// default root citations.
+func Fork(src *Repo, newMeta Meta) (*Repo, error) {
+	if err := newMeta.Validate(); err != nil {
+		return nil, err
+	}
+	forked, err := vcs.Fork(src.VCS)
+	if err != nil {
+		return nil, err
+	}
+	return &Repo{VCS: forked, Meta: newMeta}, nil
+}

@@ -1,0 +1,268 @@
+package gitcite
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/citefile"
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/refs"
+)
+
+// Worktree is a mutable working copy of one branch: the project's files plus
+// the version-in-progress citation function. File edits and citation edits
+// accumulate independently (paper §2: "Modifications to files/directories
+// and to their associated citations are independent") until Commit writes
+// both — the files and the regenerated citation.cite — as one new version.
+type Worktree struct {
+	repo   *Repo
+	branch string
+	base   object.ID // commit checked out; zero for an unborn branch
+	files  map[string]vcs.FileContent
+	fn     *core.Function
+}
+
+// Checkout loads a worktree for the named branch. An unborn branch yields an
+// empty worktree whose citation function has the repository's default root
+// citation. Versions without a citation.cite are citation-enabled on the
+// fly with the default root (see also the retro package for history-aware
+// enabling).
+func (r *Repo) Checkout(branch string) (*Worktree, error) {
+	wt := &Worktree{
+		repo:   r,
+		branch: branch,
+		files:  map[string]vcs.FileContent{},
+	}
+	tip, err := r.VCS.BranchTip(branch)
+	switch {
+	case errors.Is(err, refs.ErrNotFound):
+		fn, err := core.NewFunction(r.DefaultRootCitation(nil, time.Time{}))
+		if err != nil {
+			return nil, err
+		}
+		wt.fn = fn
+		return wt, nil
+	case err != nil:
+		return nil, err
+	}
+	wt.base = tip
+	treeID, err := r.VCS.TreeOf(tip)
+	if err != nil {
+		return nil, err
+	}
+	files, err := vcs.TreeToFileMap(r.VCS.Objects, treeID)
+	if err != nil {
+		return nil, err
+	}
+	delete(files, citefile.Path)
+	wt.files = files
+
+	fn, err := r.FunctionAt(tip)
+	if errors.Is(err, ErrNotCitationEnabled) {
+		fn, err = core.NewFunction(r.DefaultRootCitation(nil, time.Time{}))
+	}
+	if err != nil {
+		return nil, err
+	}
+	wt.fn = fn
+	return wt, nil
+}
+
+// Branch returns the branch the worktree tracks.
+func (wt *Worktree) Branch() string { return wt.branch }
+
+// Base returns the commit the worktree was checked out from (zero for an
+// unborn branch).
+func (wt *Worktree) Base() object.ID { return wt.base }
+
+// Function returns the working citation function (live reference: citation
+// operations mutate it and Commit snapshots it).
+func (wt *Worktree) Function() *core.Function { return wt.fn }
+
+// Tree returns a core.Tree view of the working files.
+func (wt *Worktree) Tree() core.Tree { return worktreeTree{wt} }
+
+type worktreeTree struct{ wt *Worktree }
+
+func (t worktreeTree) Exists(path string) bool {
+	if _, ok := t.wt.files[path]; ok {
+		return true
+	}
+	if path == "/" {
+		return true
+	}
+	for p := range t.wt.files {
+		if vcs.IsAncestorPath(path, p) && path != p {
+			return true
+		}
+	}
+	return false
+}
+
+func (t worktreeTree) IsDir(path string) bool {
+	if _, ok := t.wt.files[path]; ok {
+		return false
+	}
+	return t.Exists(path)
+}
+
+// Files returns the working files as a path map (citation.cite excluded).
+// The returned map is shared; treat it as read-only.
+func (wt *Worktree) Files() map[string]vcs.FileContent { return wt.files }
+
+// WriteFile creates or replaces a file in the working copy.
+func (wt *Worktree) WriteFile(path string, data []byte) error {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if clean == citefile.Path {
+		return fmt.Errorf("gitcite: %s is system-managed and cannot be edited directly", citefile.Filename)
+	}
+	wt.files[clean] = vcs.FileContent{Data: append([]byte(nil), data...)}
+	return nil
+}
+
+// RemoveFile deletes a file; its explicit citation entry (if any) is
+// removed at Commit time by pruning, mirroring the paper's side-effect
+// semantics.
+func (wt *Worktree) RemoveFile(path string) error {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := wt.files[clean]; !ok {
+		return fmt.Errorf("gitcite: %q: no such file", clean)
+	}
+	delete(wt.files, clean)
+	return nil
+}
+
+// Move renames a file or directory and immediately rekeys the affected
+// citation entries (paper §2: a moved/renamed path in the active domain
+// forces a citation-function update).
+func (wt *Worktree) Move(oldPath, newPath string) error {
+	oldClean, err := vcs.CleanPath(oldPath)
+	if err != nil {
+		return err
+	}
+	newClean, err := vcs.CleanPath(newPath)
+	if err != nil {
+		return err
+	}
+	if oldClean == "/" || newClean == "/" {
+		return fmt.Errorf("gitcite: cannot move the root")
+	}
+	var moved []string
+	for p := range wt.files {
+		if vcs.IsAncestorPath(oldClean, p) {
+			moved = append(moved, p)
+		}
+	}
+	if len(moved) == 0 {
+		return fmt.Errorf("gitcite: %q: no such file or directory", oldClean)
+	}
+	for _, p := range moved {
+		np, err := vcs.RebasePath(p, oldClean, newClean)
+		if err != nil {
+			return err
+		}
+		if _, clash := wt.files[np]; clash {
+			return fmt.Errorf("gitcite: move target %q already exists", np)
+		}
+		wt.files[np] = wt.files[p]
+		delete(wt.files, p)
+	}
+	return wt.fn.Rename(oldClean, newClean)
+}
+
+// ReadFile returns a working file's contents.
+func (wt *Worktree) ReadFile(path string) ([]byte, error) {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	fc, ok := wt.files[clean]
+	if !ok {
+		return nil, fmt.Errorf("gitcite: %q: no such file", clean)
+	}
+	return fc.Data, nil
+}
+
+// AddCite attaches a citation to a working path (paper operator AddCite).
+func (wt *Worktree) AddCite(path string, c core.Citation) error {
+	return wt.fn.Add(wt.Tree(), path, c)
+}
+
+// DelCite removes a path's explicit citation (paper operator DelCite).
+func (wt *Worktree) DelCite(path string) error { return wt.fn.Delete(path) }
+
+// ModifyCite replaces a path's explicit citation (paper operator
+// ModifyCite).
+func (wt *Worktree) ModifyCite(path string, c core.Citation) error {
+	return wt.fn.Modify(path, c)
+}
+
+// GenCite resolves the citation for a working path (closest-ancestor
+// semantics), also reporting which active-domain path supplied it.
+func (wt *Worktree) GenCite(path string) (core.Citation, string, error) {
+	return wt.fn.Resolve(path)
+}
+
+// SetRootCitation replaces the version's default root citation.
+func (wt *Worktree) SetRootCitation(c core.Citation) error {
+	return wt.fn.Modify("/", c)
+}
+
+// Commit writes the working files plus the regenerated citation.cite as a
+// new version on the worktree's branch and re-bases the worktree onto it.
+// Before writing, entries for deleted paths are pruned and the function is
+// validated against the new tree, so every committed version satisfies the
+// model invariants.
+func (wt *Worktree) Commit(opts vcs.CommitOptions) (object.ID, error) {
+	wt.fn.Prune(wt.Tree())
+	wt.stampRoot(opts)
+	if err := wt.fn.Validate(wt.Tree()); err != nil {
+		return object.ZeroID, fmt.Errorf("gitcite: pre-commit validation: %w", err)
+	}
+	data, err := citefile.Encode(wt.fn, wt.Tree().IsDir)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	all := make(map[string]vcs.FileContent, len(wt.files)+1)
+	for p, fc := range wt.files {
+		all[p] = fc
+	}
+	all[citefile.Path] = vcs.FileContent{Data: data}
+
+	id, err := wt.repo.VCS.CommitFiles(wt.branch, all, opts)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	wt.base = id
+	return id, nil
+}
+
+// stampRoot dates the version's root citation with the commit time — the
+// paper's requirement that the root citation carry "the version number
+// and/or date" of the version it describes.
+func (wt *Worktree) stampRoot(opts vcs.CommitOptions) {
+	when := opts.Committer.When
+	if when.IsZero() {
+		when = opts.Author.When
+	}
+	if when.IsZero() {
+		return
+	}
+	root := wt.fn.Root()
+	root.CommittedDate = when.UTC().Truncate(time.Second)
+	if root.Version == UnreleasedVersion {
+		root.Version = ""
+	}
+	// Modify cannot fail here: the root exists and stays valid (it now has
+	// a date). Ignore the error defensively all the same.
+	_ = wt.fn.Modify("/", root)
+}

@@ -1,0 +1,667 @@
+package hosting
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/citefile"
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/format"
+	"github.com/gitcite/gitcite/internal/gitcite"
+	"github.com/gitcite/gitcite/internal/report"
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/refs"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// Server exposes a Platform over HTTP — the REST API the paper's browser
+// extension uses ("The extension communicates with the GitHub servers using
+// its REST API").
+type Server struct {
+	platform *Platform
+	mux      *http.ServeMux
+	// Now supplies commit timestamps for server-side citation edits;
+	// overridable for deterministic tests and experiments.
+	Now func() time.Time
+}
+
+// NewServer wraps a platform with the REST API.
+func NewServer(p *Platform) *Server {
+	s := &Server{platform: p, Now: time.Now}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/users", s.handleCreateUser)
+	mux.HandleFunc("POST /api/repos", s.handleCreateRepo)
+	mux.HandleFunc("GET /api/repos/{owner}/{name}", s.handleGetRepo)
+	mux.HandleFunc("POST /api/repos/{owner}/{name}/members", s.handleAddMember)
+	mux.HandleFunc("GET /api/repos/{owner}/{name}/tree/{rev}", s.handleTree)
+	mux.HandleFunc("GET /api/repos/{owner}/{name}/cite/{rev}", s.handleGenCite)
+	mux.HandleFunc("GET /api/repos/{owner}/{name}/chain/{rev}", s.handleChain)
+	mux.HandleFunc("GET /api/repos/{owner}/{name}/citefile/{rev}", s.handleCiteFile)
+	mux.HandleFunc("GET /api/repos/{owner}/{name}/credit/{rev}", s.handleCredit)
+	mux.HandleFunc("POST /api/repos/{owner}/{name}/cite", s.handleEditCite)
+	mux.HandleFunc("PUT /api/repos/{owner}/{name}/cite", s.handleEditCite)
+	mux.HandleFunc("DELETE /api/repos/{owner}/{name}/cite", s.handleEditCite)
+	mux.HandleFunc("POST /api/repos/{owner}/{name}/fork", s.handleFork)
+	mux.HandleFunc("POST /api/repos/{owner}/{name}/push", s.handlePush)
+	mux.HandleFunc("GET /api/repos/{owner}/{name}/pull/{rev}", s.handlePull)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- wire types ----
+
+// UserRequest / UserResponse: account creation.
+type UserRequest struct {
+	Name string `json:"name"`
+}
+
+// UserResponse returns the new account's token.
+type UserResponse struct {
+	Name  string `json:"name"`
+	Token string `json:"token"`
+}
+
+// RepoRequest creates a repository for the authenticated user.
+type RepoRequest struct {
+	Name    string `json:"name"`
+	URL     string `json:"url,omitempty"`
+	License string `json:"license,omitempty"`
+}
+
+// RepoResponse describes a repository.
+type RepoResponse struct {
+	Owner    string   `json:"owner"`
+	Name     string   `json:"name"`
+	URL      string   `json:"url,omitempty"`
+	License  string   `json:"license,omitempty"`
+	Branches []string `json:"branches"`
+}
+
+// MemberRequest grants write access.
+type MemberRequest struct {
+	Member string `json:"member"`
+}
+
+// TreeEntryResponse is one row of a tree listing.
+type TreeEntryResponse struct {
+	Path  string `json:"path"`
+	IsDir bool   `json:"isDir"`
+	Cited bool   `json:"cited"` // has an explicit citation (solid blue circle)
+}
+
+// CiteResponse is a generated citation.
+type CiteResponse struct {
+	Path     string          `json:"path"`
+	From     string          `json:"from"` // active-domain path that supplied it
+	Citation json.RawMessage `json:"citation"`
+	Rendered string          `json:"rendered,omitempty"`
+}
+
+// ChainResponse is the whole-path alternative semantics.
+type ChainResponse struct {
+	Path  string         `json:"path"`
+	Chain []CiteResponse `json:"chain"`
+}
+
+// EditCiteRequest adds/modifies/deletes a citation entry on a branch; the
+// platform commits the updated citation.cite server-side.
+type EditCiteRequest struct {
+	Branch   string          `json:"branch"`
+	Path     string          `json:"path"`
+	Citation json.RawMessage `json:"citation,omitempty"` // absent for DELETE
+	Message  string          `json:"message,omitempty"`
+}
+
+// EditCiteResponse reports the commit recording the edit.
+type EditCiteResponse struct {
+	Commit string `json:"commit"`
+}
+
+// ForkRequest forks a repository under the authenticated user.
+type ForkRequest struct {
+	NewName string `json:"newName,omitempty"`
+}
+
+// WireObject is one canonical object encoding in a push/pull payload.
+type WireObject struct {
+	Data string `json:"data"` // base64 of the canonical encoding
+}
+
+// PushRequest uploads objects and advances a branch (fast-forward only).
+type PushRequest struct {
+	Branch  string       `json:"branch"`
+	Tip     string       `json:"tip"` // full hex commit ID
+	Objects []WireObject `json:"objects"`
+}
+
+// PushResponse reports how many objects the server stored.
+type PushResponse struct {
+	Stored int    `json:"stored"`
+	Tip    string `json:"tip"`
+}
+
+// PullResponse downloads a branch tip and its reachable objects.
+type PullResponse struct {
+	Tip     string       `json:"tip"`
+	Objects []WireObject `json:"objects"`
+}
+
+// ErrorResponse is the JSON error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnauthorized):
+		status = http.StatusUnauthorized
+	case errors.Is(err, ErrForbidden):
+		status = http.StatusForbidden
+	case errors.Is(err, ErrNotFound), errors.Is(err, vcs.ErrNoCommits), errors.Is(err, refs.ErrNotFound), errors.Is(err, core.ErrNoEntry):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict), errors.Is(err, core.ErrEntryExists):
+		status = http.StatusConflict
+	case errors.Is(err, vcs.ErrBadPath), errors.Is(err, core.ErrPathNotInTree),
+		errors.Is(err, core.ErrEmptyCitation), errors.Is(err, core.ErrIncompleteCitation),
+		errors.Is(err, core.ErrRootRequired), errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func token(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	if t, ok := strings.CutPrefix(h, "Bearer "); ok {
+		return t
+	}
+	return ""
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: body: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// resolveRev maps a branch name or full commit hex to a commit ID.
+func resolveRev(repo *gitcite.Repo, rev string) (object.ID, error) {
+	if id, err := object.ParseID(rev); err == nil {
+		if _, err := repo.VCS.Commit(id); err != nil {
+			return object.ZeroID, fmt.Errorf("%w: commit %s", ErrNotFound, rev)
+		}
+		return id, nil
+	}
+	id, err := repo.VCS.BranchTip(rev)
+	if err != nil {
+		return object.ZeroID, fmt.Errorf("%w: branch %q", ErrNotFound, rev)
+	}
+	return id, nil
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
+	var req UserRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	u, err := s.platform.CreateUser(req.Name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, UserResponse{Name: u.Name, Token: u.Token})
+}
+
+func (s *Server) handleCreateRepo(w http.ResponseWriter, r *http.Request) {
+	var req RepoRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	repo, err := s.platform.CreateRepo(token(r), req.Name, req.URL, req.License)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, RepoResponse{
+		Owner: repo.Meta.Owner, Name: repo.Meta.Name, URL: repo.Meta.URL, License: repo.Meta.License,
+		Branches: []string{},
+	})
+}
+
+func (s *Server) handleGetRepo(w http.ResponseWriter, r *http.Request) {
+	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	branches, err := repo.VCS.Branches()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if branches == nil {
+		branches = []string{}
+	}
+	writeJSON(w, http.StatusOK, RepoResponse{
+		Owner: repo.Meta.Owner, Name: repo.Meta.Name, URL: repo.Meta.URL,
+		License: repo.Meta.License, Branches: branches,
+	})
+}
+
+func (s *Server) handleAddMember(w http.ResponseWriter, r *http.Request) {
+	var req MemberRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.platform.AddMember(token(r), r.PathValue("owner"), r.PathValue("name"), req.Member); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	commit, err := resolveRev(repo, r.PathValue("rev"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	treeID, err := repo.VCS.TreeOf(commit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	fn, err := repo.FunctionAt(commit)
+	if err != nil && !errors.Is(err, gitcite.ErrNotCitationEnabled) {
+		writeErr(w, err)
+		return
+	}
+	var out []TreeEntryResponse
+	err = vcs.WalkTree(repo.VCS.Objects, treeID, func(p string, e object.TreeEntry) error {
+		if p == citefile.Path {
+			return nil
+		}
+		cited := fn != nil && fn.Has(p)
+		out = append(out, TreeEntryResponse{Path: p, IsDir: e.IsDir(), Cited: cited})
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if out == nil {
+		out = []TreeEntryResponse{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGenCite(w http.ResponseWriter, r *http.Request) {
+	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	commit, err := resolveRev(repo, r.PathValue("rev"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		path = "/"
+	}
+	cite, from, err := repo.Generate(commit, path)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	raw, err := citefile.EncodeEntry(cite)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := CiteResponse{Path: path, From: from, Citation: raw}
+	if name := r.URL.Query().Get("format"); name != "" {
+		f, err := format.Parse(name)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		rendered, err := format.Render(cite, f)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		resp.Rendered = rendered
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleChain(w http.ResponseWriter, r *http.Request) {
+	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	commit, err := resolveRev(repo, r.PathValue("rev"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		path = "/"
+	}
+	chain, err := repo.GenerateChain(commit, path)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := ChainResponse{Path: path}
+	for _, pc := range chain {
+		raw, err := citefile.EncodeEntry(pc.Citation)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		resp.Chain = append(resp.Chain, CiteResponse{Path: pc.Path, From: pc.Path, Citation: raw})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCiteFile(w http.ResponseWriter, r *http.Request) {
+	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	commit, err := resolveRev(repo, r.PathValue("rev"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	data, err := repo.CiteFileBytes(commit)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: citation.cite", ErrNotFound))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// CreditResponse is the wire form of a credit report.
+type CreditResponse struct {
+	Commit        string         `json:"commit"`
+	TotalFiles    int            `json:"totalFiles"`
+	ExternalFiles int            `json:"externalFiles"`
+	Authors       []CreditAuthor `json:"authors"`
+	Entries       []CreditEntry  `json:"entries"`
+}
+
+// CreditAuthor is one per-author row.
+type CreditAuthor struct {
+	Author  string `json:"author"`
+	Files   int    `json:"files"`
+	Entries int    `json:"entries"`
+}
+
+// CreditEntry is one active-domain entry with its exclusive coverage.
+type CreditEntry struct {
+	Path     string `json:"path"`
+	Files    int    `json:"files"`
+	External bool   `json:"external"`
+}
+
+// handleCredit serves the credit report for a revision (public read, like
+// citation generation).
+func (s *Server) handleCredit(w http.ResponseWriter, r *http.Request) {
+	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	commit, err := resolveRev(repo, r.PathValue("rev"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rep, err := report.Build(repo, commit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := CreditResponse{
+		Commit:        rep.Commit.String(),
+		TotalFiles:    rep.TotalFiles,
+		ExternalFiles: rep.ExternalFiles,
+	}
+	for _, a := range rep.Authors {
+		resp.Authors = append(resp.Authors, CreditAuthor{Author: a.Author, Files: a.Files, Entries: a.Entries})
+	}
+	for _, e := range rep.Entries {
+		resp.Entries = append(resp.Entries, CreditEntry{Path: e.Path, Files: e.Files, External: e.External})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEditCite implements the member-only Add/Modify/Delete buttons of the
+// extension popup: the platform applies the operation and commits the
+// updated citation.cite to the branch.
+func (s *Server) handleEditCite(w http.ResponseWriter, r *http.Request) {
+	var req EditCiteRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	owner, name := r.PathValue("owner"), r.PathValue("name")
+	repo, user, err := s.platform.AuthorizeWrite(token(r), owner, name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	unlock, err := s.platform.LockForEdit(owner, name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer unlock()
+	if req.Branch == "" {
+		req.Branch = "main"
+	}
+	wt, err := repo.Checkout(req.Branch)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	var op string
+	switch r.Method {
+	case http.MethodPost, http.MethodPut:
+		var cite core.Citation
+		if len(req.Citation) == 0 {
+			writeErr(w, fmt.Errorf("%w: missing citation", ErrBadRequest))
+			return
+		}
+		cite, err = citefile.DecodeEntry(req.Citation)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if r.Method == http.MethodPost {
+			op = "AddCite"
+			err = wt.AddCite(req.Path, cite)
+		} else {
+			op = "ModifyCite"
+			err = wt.ModifyCite(req.Path, cite)
+		}
+	case http.MethodDelete:
+		op = "DelCite"
+		err = wt.DelCite(req.Path)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	msg := req.Message
+	if msg == "" {
+		msg = fmt.Sprintf("%s %s (via GitCite)", op, req.Path)
+	}
+	commit, err := wt.Commit(vcs.CommitOptions{
+		Author:  vcs.Sig(user.Name, user.Name+"@users.git.example", s.Now()),
+		Message: msg,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EditCiteResponse{Commit: commit.String()})
+}
+
+func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
+	var req ForkRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	forked, err := s.platform.ForkRepo(token(r), r.PathValue("owner"), r.PathValue("name"), req.NewName)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	branches, err := forked.VCS.Branches()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if branches == nil {
+		branches = []string{}
+	}
+	writeJSON(w, http.StatusCreated, RepoResponse{
+		Owner: forked.Meta.Owner, Name: forked.Meta.Name, URL: forked.Meta.URL,
+		License: forked.Meta.License, Branches: branches,
+	})
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	var req PushRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	repo, _, err := s.platform.AuthorizeWrite(token(r), r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	tip, err := object.ParseID(req.Tip)
+	if err != nil {
+		writeErr(w, fmt.Errorf("hosting: bad tip: %w", err))
+		return
+	}
+	stored := 0
+	for _, wo := range req.Objects {
+		enc, err := base64.StdEncoding.DecodeString(wo.Data)
+		if err != nil {
+			writeErr(w, fmt.Errorf("hosting: bad object payload: %w", err))
+			return
+		}
+		o, err := object.Decode(enc)
+		if err != nil {
+			writeErr(w, fmt.Errorf("hosting: bad object: %w", err))
+			return
+		}
+		if _, err := repo.VCS.Objects.Put(o); err != nil {
+			writeErr(w, err)
+			return
+		}
+		stored++
+	}
+	if _, err := repo.VCS.Commit(tip); err != nil {
+		writeErr(w, fmt.Errorf("hosting: push tip %s not among uploaded objects: %w", tip.Short(), err))
+		return
+	}
+	// Fast-forward check.
+	ref := refs.BranchRef(req.Branch)
+	if cur, err := repo.VCS.Refs.Get(ref); err == nil {
+		ok, err := repo.VCS.IsAncestor(cur, tip)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if !ok {
+			writeErr(w, fmt.Errorf("%w: non-fast-forward push to %s", ErrConflict, req.Branch))
+			return
+		}
+	}
+	if err := repo.VCS.Refs.Set(ref, tip); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PushResponse{Stored: stored, Tip: tip.String()})
+}
+
+func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
+	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	commit, err := resolveRev(repo, r.PathValue("rev"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Collect the reachable closure into a scratch store, then serialise.
+	scratch := store.NewMemoryStore()
+	if _, err := store.CopyClosure(scratch, repo.VCS.Objects, commit); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ids, err := scratch.IDs()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := PullResponse{Tip: commit.String()}
+	for _, id := range ids {
+		o, err := scratch.Get(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		resp.Objects = append(resp.Objects, WireObject{Data: base64.StdEncoding.EncodeToString(object.Encode(o))})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

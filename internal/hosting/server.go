@@ -1,0 +1,243 @@
+// Package hosting simulates the project-hosting platform GitCite's browser
+// extension talks to (GitHub in the paper): user accounts with API tokens,
+// hosted citation-enabled repositories with member lists, a REST API over
+// net/http, fork support and push/pull object transfer.
+//
+// The permission model is the one Figure 2 of the paper demonstrates:
+// anyone may read and generate citations; only the owner and project
+// members may add, delete or modify citations (they are the only ones
+// allowed to change files, and citation.cite is a file).
+package hosting
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/gitcite/gitcite/internal/gitcite"
+)
+
+// Errors reported by the platform core.
+var (
+	ErrUnauthorized = errors.New("hosting: invalid or missing token")
+	ErrForbidden    = errors.New("hosting: operation requires project membership")
+	ErrNotFound     = errors.New("hosting: not found")
+	ErrConflict     = errors.New("hosting: already exists")
+	ErrBadRequest   = errors.New("hosting: bad request")
+)
+
+// User is one platform account.
+type User struct {
+	Name  string
+	Token string
+}
+
+// hostedRepo couples a citation-enabled repository with its access control.
+type hostedRepo struct {
+	repo    *gitcite.Repo
+	owner   string
+	members map[string]bool // user names with write access (owner included)
+	// editMu serialises server-side checkout→edit→commit sequences so
+	// concurrent citation edits on one repository cannot lose updates.
+	editMu sync.Mutex
+}
+
+// Platform is the in-process hosting service. Wrap it with NewServer for
+// the HTTP API. Safe for concurrent use.
+type Platform struct {
+	mu      sync.RWMutex
+	users   map[string]*User // by name
+	byToken map[string]*User
+	repos   map[string]*hostedRepo // by "owner/name"
+}
+
+// NewPlatform creates an empty platform.
+func NewPlatform() *Platform {
+	return &Platform{
+		users:   map[string]*User{},
+		byToken: map[string]*User{},
+		repos:   map[string]*hostedRepo{},
+	}
+}
+
+func repoKey(owner, name string) string { return owner + "/" + name }
+
+// CreateUser registers an account and returns its API token.
+func (p *Platform) CreateUser(name string) (*User, error) {
+	if name == "" || strings.ContainsAny(name, "/\n") {
+		return nil, fmt.Errorf("hosting: invalid user name %q", name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.users[name]; ok {
+		return nil, fmt.Errorf("%w: user %q", ErrConflict, name)
+	}
+	tok := make([]byte, 20)
+	if _, err := rand.Read(tok); err != nil {
+		return nil, err
+	}
+	u := &User{Name: name, Token: "gct_" + hex.EncodeToString(tok)}
+	p.users[name] = u
+	p.byToken[u.Token] = u
+	return u, nil
+}
+
+// Authenticate resolves a token to its user.
+func (p *Platform) Authenticate(token string) (*User, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	u, ok := p.byToken[token]
+	if !ok {
+		return nil, ErrUnauthorized
+	}
+	return u, nil
+}
+
+// CreateRepo creates a citation-enabled repository owned by the
+// authenticated user.
+func (p *Platform) CreateRepo(token, name, url, license string) (*gitcite.Repo, error) {
+	u, err := p.Authenticate(token)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := repoKey(u.Name, name)
+	if _, ok := p.repos[key]; ok {
+		return nil, fmt.Errorf("%w: repository %q", ErrConflict, key)
+	}
+	repo, err := gitcite.NewMemoryRepo(gitcite.Meta{Owner: u.Name, Name: name, URL: url, License: license})
+	if err != nil {
+		return nil, err
+	}
+	p.repos[key] = &hostedRepo{
+		repo:    repo,
+		owner:   u.Name,
+		members: map[string]bool{u.Name: true},
+	}
+	return repo, nil
+}
+
+// AddMember grants write access; only the owner may call it.
+func (p *Platform) AddMember(token, owner, name, member string) error {
+	u, err := p.Authenticate(token)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	hr, ok := p.repos[repoKey(owner, name)]
+	if !ok {
+		return fmt.Errorf("%w: repository %s/%s", ErrNotFound, owner, name)
+	}
+	if hr.owner != u.Name {
+		return fmt.Errorf("%w: only the owner may add members", ErrForbidden)
+	}
+	if _, ok := p.users[member]; !ok {
+		return fmt.Errorf("%w: user %q", ErrNotFound, member)
+	}
+	hr.members[member] = true
+	return nil
+}
+
+// Repo returns the repository for read access (no authentication: public
+// read, like public GitHub repositories).
+func (p *Platform) Repo(owner, name string) (*gitcite.Repo, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	hr, ok := p.repos[repoKey(owner, name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: repository %s/%s", ErrNotFound, owner, name)
+	}
+	return hr.repo, nil
+}
+
+// AuthorizeWrite returns the repository if (and only if) the token belongs
+// to a member.
+func (p *Platform) AuthorizeWrite(token, owner, name string) (*gitcite.Repo, *User, error) {
+	u, err := p.Authenticate(token)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	hr, ok := p.repos[repoKey(owner, name)]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: repository %s/%s", ErrNotFound, owner, name)
+	}
+	if !hr.members[u.Name] {
+		return nil, nil, fmt.Errorf("%w: %s is not a member of %s/%s", ErrForbidden, u.Name, owner, name)
+	}
+	return hr.repo, u, nil
+}
+
+// LockForEdit takes the repository's edit lock, returning the unlock
+// function. Server-side citation edits hold it across their
+// checkout→modify→commit sequence.
+func (p *Platform) LockForEdit(owner, name string) (func(), error) {
+	p.mu.RLock()
+	hr, ok := p.repos[repoKey(owner, name)]
+	p.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: repository %s/%s", ErrNotFound, owner, name)
+	}
+	hr.editMu.Lock()
+	return hr.editMu.Unlock, nil
+}
+
+// IsMember reports whether the user may write to the repository.
+func (p *Platform) IsMember(userName, owner, name string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	hr, ok := p.repos[repoKey(owner, name)]
+	return ok && hr.members[userName]
+}
+
+// ForkRepo implements the platform side of ForkCite: the authenticated user
+// gets a full-history copy under their account (paper §3: "Our way of
+// storing citations will naturally enable ForkCite through GitHub's Fork").
+func (p *Platform) ForkRepo(token, owner, name, newName string) (*gitcite.Repo, error) {
+	u, err := p.Authenticate(token)
+	if err != nil {
+		return nil, err
+	}
+	src, err := p.Repo(owner, name)
+	if err != nil {
+		return nil, err
+	}
+	if newName == "" {
+		newName = name
+	}
+	forked, err := gitcite.Fork(src, gitcite.Meta{
+		Owner: u.Name, Name: newName,
+		URL:     "https://git.example/" + u.Name + "/" + newName,
+		License: src.Meta.License,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := repoKey(u.Name, newName)
+	if _, ok := p.repos[key]; ok {
+		return nil, fmt.Errorf("%w: repository %q", ErrConflict, key)
+	}
+	p.repos[key] = &hostedRepo{repo: forked, owner: u.Name, members: map[string]bool{u.Name: true}}
+	return forked, nil
+}
+
+// ListRepos returns "owner/name" keys in sorted order.
+func (p *Platform) ListRepos() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	keys := make([]string, 0, len(p.repos))
+	for k := range p.repos {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

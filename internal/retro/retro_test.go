@@ -1,0 +1,273 @@
+package retro
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/gitcite"
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// legacyRepo builds a three-commit history with NO citation files, authored
+// by two people working in different directories — the "already developed
+// without being citation-enabled" case.
+func legacyRepo(t *testing.T) *gitcite.Repo {
+	t.Helper()
+	repo, err := gitcite.NewMemoryRepo(gitcite.Meta{
+		Owner: "legacy", Name: "oldproj", URL: "https://git.example/legacy/oldproj",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := func(files map[string]string, author string, unix int64, msg string) object.ID {
+		fc := map[string]vcs.FileContent{}
+		for p, d := range files {
+			fc[p] = vcs.File(d)
+		}
+		id, err := repo.VCS.CommitFiles("main", fc, vcs.CommitOptions{
+			Author:  vcs.Sig(author, author+"@x", time.Unix(unix, 0)),
+			Message: msg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	// alice creates core; bob adds gui; alice expands core.
+	commit(map[string]string{"/core/a.go": "a1", "/README.md": "r"}, "alice", 100, "core")
+	commit(map[string]string{"/core/a.go": "a1", "/README.md": "r", "/gui/app.js": "ui"}, "bob", 200, "gui")
+	commit(map[string]string{"/core/a.go": "a2", "/core/b.go": "b1", "/README.md": "r", "/gui/app.js": "ui"}, "alice", 300, "more core")
+	return repo
+}
+
+func TestEnableSynthesisesHistory(t *testing.T) {
+	repo := legacyRepo(t)
+	// Sanity: original history has issues.
+	issues, err := Check(repo, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 3 {
+		t.Fatalf("legacy issues = %d, want 3 missing-cite issues", len(issues))
+	}
+
+	report, err := Enable(repo, "main", "main-cited", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rewritten) != 3 {
+		t.Errorf("rewrote %d commits, want 3", len(report.Rewritten))
+	}
+	if report.EntriesAdded < 3 {
+		t.Errorf("entries added = %d, want at least a root per version", report.EntriesAdded)
+	}
+
+	// The rewritten branch is fully consistent.
+	issues, err = Check(repo, "main-cited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Errorf("rewritten branch issues: %v", issues)
+	}
+
+	// Attribution: /gui is credited to bob in the final version.
+	tip, err := repo.VCS.BranchTip("main-cited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := repo.FunctionAt(tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gui, err := fn.Get("/gui")
+	if err != nil {
+		t.Fatalf("no /gui citation: have %v", fn.Paths())
+	}
+	if len(gui.AuthorList) != 1 || gui.AuthorList[0] != "bob" {
+		t.Errorf("/gui authors = %v, want [bob]", gui.AuthorList)
+	}
+	if !strings.Contains(gui.Note, "retroactive") {
+		t.Errorf("note = %q", gui.Note)
+	}
+	// /core in the final version was touched only by alice; the root set is
+	// {alice, bob}, so /core earns its own citation.
+	coreCite, err := fn.Get("/core")
+	if err != nil {
+		t.Fatalf("no /core citation: have %v", fn.Paths())
+	}
+	if len(coreCite.AuthorList) != 1 || coreCite.AuthorList[0] != "alice" {
+		t.Errorf("/core authors = %v, want [alice]", coreCite.AuthorList)
+	}
+
+	// Original branch untouched.
+	origTip, _ := repo.VCS.BranchTip("main")
+	if repo.IsCitationEnabled(origTip) {
+		t.Error("Enable mutated the original branch")
+	}
+	// Rewritten history preserves messages, authors and dates.
+	newTip, _ := repo.VCS.Commit(report.NewTip)
+	oldTip, _ := repo.VCS.Commit(origTip)
+	if newTip.Message != oldTip.Message || newTip.Author != oldTip.Author {
+		t.Error("rewrite changed commit metadata")
+	}
+}
+
+func TestEnablePreservesExistingCitations(t *testing.T) {
+	repo, err := gitcite.NewMemoryRepo(gitcite.Meta{Owner: "o", Name: "n", URL: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := repo.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.WriteFile("/f.go", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wt.Commit(vcs.CommitOptions{Author: vcs.Sig("a", "a@x", time.Unix(1, 0)), Message: "enabled"}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Enable(repo, "main", "main2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.EntriesAdded != 0 {
+		t.Errorf("added %d entries to an already-enabled history", report.EntriesAdded)
+	}
+	// Tree unchanged → same commit content except parents (none) → the
+	// rewritten commit is identical, IDs preserved.
+	origTip, _ := repo.VCS.BranchTip("main")
+	if report.NewTip != origTip {
+		t.Error("already-enabled history was not preserved bit-for-bit")
+	}
+}
+
+func TestEnableHandlesMerges(t *testing.T) {
+	repo, err := gitcite.NewMemoryRepo(gitcite.Meta{Owner: "o", Name: "n", URL: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := func(branch string, files map[string]string, author string, unix int64) object.ID {
+		fc := map[string]vcs.FileContent{}
+		for p, d := range files {
+			fc[p] = vcs.File(d)
+		}
+		id, err := repo.VCS.CommitFiles(branch, fc, vcs.CommitOptions{
+			Author: vcs.Sig(author, author+"@x", time.Unix(unix, 0)), Message: branch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	base := commit("main", map[string]string{"/a": "a"}, "alice", 1)
+	if err := repo.VCS.CreateBranch("side", base); err != nil {
+		t.Fatal(err)
+	}
+	m := commit("main", map[string]string{"/a": "a", "/b": "b"}, "alice", 2)
+	s := commit("side", map[string]string{"/a": "a", "/c/d.go": "d"}, "bob", 3)
+	// Manual merge commit.
+	treeID, err := vcs.BuildTree(repo.VCS.Objects, map[string]vcs.FileContent{
+		"/a": vcs.File("a"), "/b": vcs.File("b"), "/c/d.go": vcs.File("d"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergeC, err := repo.VCS.CommitTree(treeID, []object.ID{m, s}, vcs.CommitOptions{
+		Author: vcs.Sig("alice", "a@x", time.Unix(4, 0)), Message: "merge",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.VCS.Refs.Set("refs/heads/main", mergeC); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := Enable(repo, "main", "cited", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rewritten) != 4 {
+		t.Errorf("rewrote %d commits, want 4", len(report.Rewritten))
+	}
+	newTip, err := repo.VCS.Commit(report.NewTip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !newTip.IsMerge() {
+		t.Error("merge shape lost in rewrite")
+	}
+	// /c came from bob through the merged branch.
+	fn, err := repo.FunctionAt(report.NewTip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cCite, err := fn.Get("/c")
+	if err != nil {
+		t.Fatalf("no /c citation: %v", fn.Paths())
+	}
+	if len(cCite.AuthorList) != 1 || cCite.AuthorList[0] != "bob" {
+		t.Errorf("/c authors = %v", cCite.AuthorList)
+	}
+	if issues, _ := Check(repo, "cited"); len(issues) != 0 {
+		t.Errorf("issues = %v", issues)
+	}
+}
+
+func TestEnableMaxDepth(t *testing.T) {
+	repo, err := gitcite.NewMemoryRepo(gitcite.Meta{Owner: "o", Name: "n", URL: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.VCS.CommitFiles("main", map[string]vcs.FileContent{
+		"/deep/deeper/deepest/f.go": vcs.File("x"),
+		"/top.go":                   vcs.File("t"),
+	}, vcs.CommitOptions{Author: vcs.Sig("solo", "s@x", time.Unix(1, 0)), Message: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Enable(repo, "main", "cited", Options{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := repo.FunctionAt(report.NewTip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fn.Paths() {
+		if len(vcs.SplitPath(p)) > 1 {
+			t.Errorf("entry %q deeper than MaxDepth", p)
+		}
+	}
+}
+
+func TestCheckFindsDanglingEntries(t *testing.T) {
+	// Build a version whose citation.cite references a path the tree lacks,
+	// by writing the file manually through the VCS.
+	repo, err := gitcite.NewMemoryRepo(gitcite.Meta{Owner: "o", Name: "n", URL: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badCite := `{
+	  "/": {"repoName": "n", "owner": "o", "url": "u", "version": "1"},
+	  "/ghost.go": {"owner": "nobody"}
+	}`
+	if _, err := repo.VCS.CommitFiles("main", map[string]vcs.FileContent{
+		"/real.go":       vcs.File("x"),
+		"/citation.cite": vcs.File(badCite),
+	}, vcs.CommitOptions{Author: vcs.Sig("a", "a@x", time.Unix(1, 0)), Message: "bad"}); err != nil {
+		t.Fatal(err)
+	}
+	issues, err := Check(repo, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 1 || issues[0].Path != "/ghost.go" {
+		t.Errorf("issues = %v", issues)
+	}
+	if !strings.Contains(issues[0].String(), "/ghost.go") {
+		t.Errorf("issue string = %q", issues[0].String())
+	}
+}

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/citefile"
+)
+
+func TestFigure1ReproducesPaperValues(t *testing.T) {
+	res, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := res.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 7 {
+		t.Errorf("checks = %d, want 7", len(lines))
+	}
+	var buf bytes.Buffer
+	if err := res.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"V1:", "V5:", "Cite(V3,P2)(f2) = C4", "MergeCite"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFigure1VersionsAreDistinctCommits(t *testing.T) {
+	res, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, id := range []string{res.V1.String(), res.V2.String(), res.V3.String(), res.V4.String(), res.V5.String()} {
+		if seen[id] {
+			t.Errorf("duplicate version commit %s", id[:7])
+		}
+		seen[id] = true
+	}
+	// V5 is a merge of V2 and V4.
+	c, err := res.P1.VCS.Commit(res.V5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Parents) != 2 || c.Parents[0] != res.V2 || c.Parents[1] != res.V4 {
+		t.Errorf("V5 parents = %v, want [V2 V4]", c.Parents)
+	}
+}
+
+func TestListing1ReproducesPaperFile(t *testing.T) {
+	res, err := Listing1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := res.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Errorf("checks = %d, want 3 entries", len(lines))
+	}
+	// The regenerated file carries the paper's literal keys and values.
+	s := string(res.CiteFile)
+	for _, want := range []string{
+		`"/"`, `"/CoreCover/"`, `"/citation/GUI/"`,
+		`"repoName": "Data_citation_demo"`,
+		`"owner": "Yinjun Wu"`,
+		`"committedDate": "2018-09-04T02:35:20Z"`,
+		`"commitID": "bbd248a"`,
+		`"url": "https://github.com/thuwuyinjun/Data_citation_demo"`,
+		`"repoName": "alu01-corecover"`,
+		`"owner": "Chen Li"`,
+		`"committedDate": "2018-03-24T00:29:45Z"`,
+		`"commitID": "5cc951e"`,
+		`"committedDate": "2017-06-16T20:57:06Z"`,
+		`"commitID": "2dd6813"`,
+		`"Yanssie"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("citation.cite missing %s:\n%s", want, s)
+		}
+	}
+	// And it parses back to the same function.
+	fn, err := citefile.Decode(res.CiteFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Len() != 3 {
+		t.Errorf("decoded entries = %d", fn.Len())
+	}
+}
+
+func TestListing1ResolutionSemantics(t *testing.T) {
+	res, err := Listing1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Files inside CoreCover credit Chen Li via closest ancestor.
+	cite, from, err := res.Demo.Generate(res.FinalCommit, "/CoreCover/src/CoreCover.java")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "/CoreCover" || cite.Owner != "Chen Li" {
+		t.Errorf("CoreCover file = %+v from %q", cite, from)
+	}
+	// GUI files credit Yanssie.
+	cite, _, err = res.Demo.Generate(res.FinalCommit, "/citation/GUI/app.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cite.AuthorList) != 1 || cite.AuthorList[0] != "Yanssie" {
+		t.Errorf("GUI authors = %v", cite.AuthorList)
+	}
+	// Non-GUI citation code still credits the project root.
+	cite, from, err = res.Demo.Generate(res.FinalCommit, "/citation/CiteDB.py")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "/" || cite.AuthorList[0] != "Yinjun Wu" {
+		t.Errorf("CiteDB.py = %+v from %q", cite, from)
+	}
+	var buf bytes.Buffer
+	if err := res.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Regenerated citation.cite") {
+		t.Error("report missing the regenerated file")
+	}
+}
+
+func TestFigure2PermissionMatrix(t *testing.T) {
+	res, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := res.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 10 {
+		t.Errorf("matrix rows = %d, want at least 10", len(lines))
+	}
+	if !strings.Contains(res.GeneratedText, "Leshang Chen") {
+		t.Errorf("popup text = %q", res.GeneratedText)
+	}
+	var buf bytes.Buffer
+	if err := res.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"anonymous", "non-member", "member", "denied", "allowed"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package diff computes differences between two stored trees: added,
+// deleted and modified files, with an optional rename-detection pass that
+// pairs deleted and added files by exact content or content similarity.
+// GitCite uses renames to rekey citation-function entries when files move
+// (paper §2: "if a file or directory in the active domain … is moved or
+// renamed then the citation function must be modified").
+package diff
+
+import (
+	"sort"
+
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// Op classifies one change.
+type Op uint8
+
+// Change kinds.
+const (
+	OpAdd Op = iota + 1
+	OpDelete
+	OpModify
+	OpRename
+)
+
+// String names the op for display.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpDelete:
+		return "delete"
+	case OpModify:
+		return "modify"
+	case OpRename:
+		return "rename"
+	default:
+		return "unknown"
+	}
+}
+
+// Change describes one file-level difference between two trees.
+type Change struct {
+	Op      Op
+	Path    string // the file's path in the new tree (old tree for deletes)
+	OldPath string // for renames: path in the old tree
+	OldID   object.ID
+	NewID   object.ID
+}
+
+// Options configures a diff.
+type Options struct {
+	// DetectRenames pairs deletes with adds.
+	DetectRenames bool
+	// RenameSimilarity is the minimum content similarity in [0,1] for an
+	// inexact rename pair; 0 means exact-content renames only.
+	RenameSimilarity float64
+}
+
+// Trees compares two trees (either may be the zero ID meaning "empty") and
+// returns file-level changes sorted by path.
+func Trees(s store.Store, oldTree, newTree object.ID, opts Options) ([]Change, error) {
+	oldFiles, err := flatten(s, oldTree)
+	if err != nil {
+		return nil, err
+	}
+	newFiles, err := flatten(s, newTree)
+	if err != nil {
+		return nil, err
+	}
+
+	var changes []Change
+	for p, of := range oldFiles {
+		nf, ok := newFiles[p]
+		switch {
+		case !ok:
+			changes = append(changes, Change{Op: OpDelete, Path: p, OldID: of.BlobID})
+		case nf.BlobID != of.BlobID || nf.Mode != of.Mode:
+			changes = append(changes, Change{Op: OpModify, Path: p, OldID: of.BlobID, NewID: nf.BlobID})
+		}
+	}
+	for p, nf := range newFiles {
+		if _, ok := oldFiles[p]; !ok {
+			changes = append(changes, Change{Op: OpAdd, Path: p, NewID: nf.BlobID})
+		}
+	}
+
+	if opts.DetectRenames {
+		changes, err = detectRenames(s, changes, opts.RenameSimilarity)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].Path != changes[j].Path {
+			return changes[i].Path < changes[j].Path
+		}
+		return changes[i].Op < changes[j].Op
+	})
+	return changes, nil
+}
+
+func flatten(s store.Store, treeID object.ID) (map[string]vcs.TreeFile, error) {
+	out := map[string]vcs.TreeFile{}
+	if treeID.IsZero() {
+		return out, nil
+	}
+	files, err := vcs.FlattenTree(s, treeID)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		out[f.Path] = f
+	}
+	return out, nil
+}
+
+// detectRenames pairs OpDelete with OpAdd changes. Exact content matches
+// (same blob ID) pair first; if minSimilarity > 0, remaining pairs are
+// scored by content similarity and greedily matched best-first.
+func detectRenames(s store.Store, changes []Change, minSimilarity float64) ([]Change, error) {
+	var dels, adds []Change
+	var rest []Change
+	for _, c := range changes {
+		switch c.Op {
+		case OpDelete:
+			dels = append(dels, c)
+		case OpAdd:
+			adds = append(adds, c)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	sort.Slice(dels, func(i, j int) bool { return dels[i].Path < dels[j].Path })
+	sort.Slice(adds, func(i, j int) bool { return adds[i].Path < adds[j].Path })
+
+	usedAdd := make([]bool, len(adds))
+	usedDel := make([]bool, len(dels))
+	var renames []Change
+
+	// Pass 1: exact blob matches.
+	byID := map[object.ID][]int{}
+	for i, a := range adds {
+		byID[a.NewID] = append(byID[a.NewID], i)
+	}
+	for di, d := range dels {
+		cands := byID[d.OldID]
+		for _, ai := range cands {
+			if usedAdd[ai] {
+				continue
+			}
+			usedAdd[ai] = true
+			usedDel[di] = true
+			renames = append(renames, Change{
+				Op: OpRename, Path: adds[ai].Path, OldPath: d.Path,
+				OldID: d.OldID, NewID: adds[ai].NewID,
+			})
+			break
+		}
+	}
+
+	// Pass 2: similarity matches.
+	if minSimilarity > 0 {
+		type pair struct {
+			di, ai int
+			score  float64
+		}
+		var pairs []pair
+		for di, d := range dels {
+			if usedDel[di] {
+				continue
+			}
+			oldData, err := blobData(s, d.OldID)
+			if err != nil {
+				return nil, err
+			}
+			for ai, a := range adds {
+				if usedAdd[ai] {
+					continue
+				}
+				newData, err := blobData(s, a.NewID)
+				if err != nil {
+					return nil, err
+				}
+				if score := Similarity(oldData, newData); score >= minSimilarity {
+					pairs = append(pairs, pair{di, ai, score})
+				}
+			}
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].score != pairs[j].score {
+				return pairs[i].score > pairs[j].score
+			}
+			if dels[pairs[i].di].Path != dels[pairs[j].di].Path {
+				return dels[pairs[i].di].Path < dels[pairs[j].di].Path
+			}
+			return adds[pairs[i].ai].Path < adds[pairs[j].ai].Path
+		})
+		for _, p := range pairs {
+			if usedDel[p.di] || usedAdd[p.ai] {
+				continue
+			}
+			usedDel[p.di] = true
+			usedAdd[p.ai] = true
+			renames = append(renames, Change{
+				Op: OpRename, Path: adds[p.ai].Path, OldPath: dels[p.di].Path,
+				OldID: dels[p.di].OldID, NewID: adds[p.ai].NewID,
+			})
+		}
+	}
+
+	out := rest
+	for di, d := range dels {
+		if !usedDel[di] {
+			out = append(out, d)
+		}
+	}
+	for ai, a := range adds {
+		if !usedAdd[ai] {
+			out = append(out, a)
+		}
+	}
+	return append(out, renames...), nil
+}
+
+func blobData(s store.Store, id object.ID) ([]byte, error) {
+	b, err := store.GetBlob(s, id)
+	if err != nil {
+		return nil, err
+	}
+	return b.Data(), nil
+}
+
+// Similarity estimates content similarity in [0,1] using line-set overlap
+// (the Jaccard index over line multisets), a cheap approximation of Git's
+// rename scoring. Two empty inputs are fully similar.
+func Similarity(a, b []byte) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	la := lineCounts(a)
+	lb := lineCounts(b)
+	inter, union := 0, 0
+	for line, ca := range la {
+		cb := lb[line]
+		inter += min(ca, cb)
+		union += max(ca, cb)
+	}
+	for line, cb := range lb {
+		if _, ok := la[line]; !ok {
+			union += cb
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func lineCounts(data []byte) map[string]int {
+	counts := map[string]int{}
+	start := 0
+	for i := 0; i <= len(data); i++ {
+		if i == len(data) || data[i] == '\n' {
+			if i > start {
+				counts[string(data[start:i])]++
+			}
+			start = i + 1
+		}
+	}
+	return counts
+}

@@ -1,0 +1,254 @@
+package diff
+
+import (
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+func buildTree(t *testing.T, s store.Store, files map[string]string) object.ID {
+	t.Helper()
+	m := map[string]vcs.FileContent{}
+	for p, data := range files {
+		m[p] = vcs.File(data)
+	}
+	id, err := vcs.BuildTree(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func changeMap(changes []Change) map[string]Change {
+	out := map[string]Change{}
+	for _, c := range changes {
+		out[c.Path] = c
+	}
+	return out
+}
+
+func TestTreesAddDeleteModify(t *testing.T) {
+	s := store.NewMemoryStore()
+	oldT := buildTree(t, s, map[string]string{
+		"/keep.txt":   "same",
+		"/gone.txt":   "to be deleted",
+		"/change.txt": "v1",
+	})
+	newT := buildTree(t, s, map[string]string{
+		"/keep.txt":   "same",
+		"/change.txt": "v2",
+		"/new.txt":    "fresh",
+	})
+	changes, err := Trees(s, oldT, newT, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 3 {
+		t.Fatalf("got %d changes: %+v", len(changes), changes)
+	}
+	m := changeMap(changes)
+	if m["/gone.txt"].Op != OpDelete {
+		t.Errorf("/gone.txt op = %v", m["/gone.txt"].Op)
+	}
+	if m["/change.txt"].Op != OpModify {
+		t.Errorf("/change.txt op = %v", m["/change.txt"].Op)
+	}
+	if m["/new.txt"].Op != OpAdd {
+		t.Errorf("/new.txt op = %v", m["/new.txt"].Op)
+	}
+}
+
+func TestTreesIdentical(t *testing.T) {
+	s := store.NewMemoryStore()
+	tr := buildTree(t, s, map[string]string{"/a": "x", "/b/c": "y"})
+	changes, err := Trees(s, tr, tr, Options{DetectRenames: true, RenameSimilarity: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Errorf("identical trees produced changes: %+v", changes)
+	}
+}
+
+func TestTreesAgainstEmpty(t *testing.T) {
+	s := store.NewMemoryStore()
+	tr := buildTree(t, s, map[string]string{"/a": "x", "/b": "y"})
+	adds, err := Trees(s, object.ZeroID, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adds) != 2 || adds[0].Op != OpAdd || adds[1].Op != OpAdd {
+		t.Errorf("empty->tree = %+v", adds)
+	}
+	dels, err := Trees(s, tr, object.ZeroID, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dels) != 2 || dels[0].Op != OpDelete || dels[1].Op != OpDelete {
+		t.Errorf("tree->empty = %+v", dels)
+	}
+}
+
+func TestExactRenameDetection(t *testing.T) {
+	s := store.NewMemoryStore()
+	oldT := buildTree(t, s, map[string]string{"/old/name.go": "package x\nfunc F() {}\n"})
+	newT := buildTree(t, s, map[string]string{"/new/name.go": "package x\nfunc F() {}\n"})
+
+	// Without detection: delete + add.
+	plain, err := Trees(s, oldT, newT, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 2 {
+		t.Fatalf("plain diff = %+v", plain)
+	}
+
+	// With detection: single rename.
+	detected, err := Trees(s, oldT, newT, Options{DetectRenames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detected) != 1 {
+		t.Fatalf("rename diff = %+v", detected)
+	}
+	r := detected[0]
+	if r.Op != OpRename || r.OldPath != "/old/name.go" || r.Path != "/new/name.go" {
+		t.Errorf("rename = %+v", r)
+	}
+}
+
+func TestSimilarityRenameDetection(t *testing.T) {
+	s := store.NewMemoryStore()
+	content := "line1\nline2\nline3\nline4\nline5\nline6\nline7\nline8\nline9\nline10\n"
+	edited := "line1\nline2\nline3\nline4\nline5\nline6\nline7\nline8\nline9\nCHANGED\n"
+	oldT := buildTree(t, s, map[string]string{"/src/util.go": content})
+	newT := buildTree(t, s, map[string]string{"/lib/util.go": edited})
+
+	// Exact-only detection misses the edit.
+	exact, err := Trees(s, oldT, newT, Options{DetectRenames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != 2 {
+		t.Errorf("exact-only = %+v, want delete+add", exact)
+	}
+
+	// Similarity 0.8: 9/11 shared lines ≈ 0.82, detected.
+	fuzzy, err := Trees(s, oldT, newT, Options{DetectRenames: true, RenameSimilarity: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fuzzy) != 1 || fuzzy[0].Op != OpRename {
+		t.Fatalf("fuzzy = %+v", fuzzy)
+	}
+	if fuzzy[0].OldPath != "/src/util.go" || fuzzy[0].Path != "/lib/util.go" {
+		t.Errorf("fuzzy rename = %+v", fuzzy[0])
+	}
+
+	// Similarity 0.95: too strict, not detected.
+	strict, err := Trees(s, oldT, newT, Options{DetectRenames: true, RenameSimilarity: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) != 2 {
+		t.Errorf("strict = %+v", strict)
+	}
+}
+
+func TestRenameDoesNotPairModified(t *testing.T) {
+	// A file that stays put and is modified must not be consumed as a
+	// rename target.
+	s := store.NewMemoryStore()
+	oldT := buildTree(t, s, map[string]string{"/a.txt": "content", "/b.txt": "bbb"})
+	newT := buildTree(t, s, map[string]string{"/a.txt": "different", "/c.txt": "content"})
+	changes, err := Trees(s, oldT, newT, Options{DetectRenames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := changeMap(changes)
+	if m["/a.txt"].Op != OpModify {
+		t.Errorf("/a.txt = %+v", m["/a.txt"])
+	}
+	if m["/c.txt"].Op != OpRename || m["/c.txt"].OldPath != "/b.txt" {
+		// b.txt deleted, c.txt has b's... no wait, c.txt has a's old content.
+		// b.txt -> deleted; c.txt added with "content" (the OLD a.txt data).
+		// Exact match pairs the delete of b? No: b's content is "bbb".
+		// c.txt pairs with nothing exact. So expect delete b + add c.
+		if m["/b.txt"].Op != OpDelete || m["/c.txt"].Op != OpAdd {
+			t.Errorf("changes = %+v", changes)
+		}
+	}
+}
+
+func TestMultipleExactRenamesStablePairing(t *testing.T) {
+	s := store.NewMemoryStore()
+	oldT := buildTree(t, s, map[string]string{
+		"/d1/same.txt": "identical",
+		"/d2/same.txt": "identical",
+	})
+	newT := buildTree(t, s, map[string]string{
+		"/e1/same.txt": "identical",
+		"/e2/same.txt": "identical",
+	})
+	changes, err := Trees(s, oldT, newT, Options{DetectRenames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 2 {
+		t.Fatalf("changes = %+v", changes)
+	}
+	for _, c := range changes {
+		if c.Op != OpRename {
+			t.Errorf("op = %v", c.Op)
+		}
+	}
+	// Deterministic: run again, same pairing.
+	changes2, err := Trees(s, oldT, newT, Options{DetectRenames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range changes {
+		if changes[i] != changes2[i] {
+			t.Errorf("pairing not deterministic: %+v vs %+v", changes[i], changes2[i])
+		}
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b string
+		min  float64
+		max  float64
+	}{
+		{"", "", 1, 1},
+		{"x", "", 0, 0},
+		{"", "x", 0, 0},
+		{"a\nb\nc\n", "a\nb\nc\n", 1, 1},
+		{"a\nb\nc\nd\n", "a\nb\nc\nx\n", 0.5, 0.7},
+		{"a\n", "b\n", 0, 0},
+	}
+	for _, c := range cases {
+		got := Similarity([]byte(c.a), []byte(c.b))
+		if got < c.min || got > c.max {
+			t.Errorf("Similarity(%q, %q) = %v, want in [%v, %v]", c.a, c.b, got, c.min, c.max)
+		}
+	}
+}
+
+func TestSimilaritySymmetric(t *testing.T) {
+	a := []byte("one\ntwo\nthree\n")
+	b := []byte("one\ntwo\nfour\nfive\n")
+	if Similarity(a, b) != Similarity(b, a) {
+		t.Error("similarity not symmetric")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpAdd: "add", OpDelete: "delete", OpModify: "modify", OpRename: "rename", Op(99): "unknown"} {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package merge implements three-way tree merging over the vcs substrate:
+// given a merge base and two branch tips, it produces a merged tree and a
+// list of file-level conflicts. GitCite layers citation-function merging
+// (MergeCite) on top of the file results computed here.
+package merge
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// ConflictKind classifies a file-level merge conflict.
+type ConflictKind uint8
+
+// Conflict kinds.
+const (
+	// ConflictBothModified: both sides changed the same file differently.
+	ConflictBothModified ConflictKind = iota + 1
+	// ConflictModifyDelete: one side modified a file the other deleted.
+	ConflictModifyDelete
+	// ConflictBothAdded: both sides added the same path with different content.
+	ConflictBothAdded
+)
+
+// String names the conflict kind.
+func (k ConflictKind) String() string {
+	switch k {
+	case ConflictBothModified:
+		return "both-modified"
+	case ConflictModifyDelete:
+		return "modify-delete"
+	case ConflictBothAdded:
+		return "both-added"
+	default:
+		return "unknown"
+	}
+}
+
+// Conflict describes one path the merge could not resolve automatically.
+type Conflict struct {
+	Path     string
+	Kind     ConflictKind
+	BaseID   object.ID // zero if absent in base
+	OursID   object.ID // zero if deleted on our side
+	TheirsID object.ID // zero if deleted on their side
+}
+
+// Resolution tells Trees how to settle a conflict.
+type Resolution uint8
+
+// Resolutions.
+const (
+	// ResolveOurs keeps our side's version (absence included).
+	ResolveOurs Resolution = iota + 1
+	// ResolveTheirs keeps their side's version (absence included).
+	ResolveTheirs
+	// ResolveConcat keeps both contents with conflict markers, like Git's
+	// textual conflict output.
+	ResolveConcat
+)
+
+// Options configures a merge.
+type Options struct {
+	// Resolver settles conflicts; nil leaves them unresolved (the merge
+	// returns the conflicts and resolves those paths to our side so the
+	// result is still a valid tree).
+	Resolver func(Conflict) Resolution
+}
+
+// Result is the outcome of a tree merge.
+type Result struct {
+	TreeID object.ID
+	// Conflicts are the paths that required resolution (even when a
+	// resolver settled them).
+	Conflicts []Conflict
+	// DeletedPaths lists files present in at least one input that are
+	// absent from the merged tree; MergeCite prunes citation entries for
+	// these (paper §3: "delete any entries that correspond to files that
+	// were deleted by the Git merge").
+	DeletedPaths []string
+}
+
+// Trees merges ours and theirs against base (any of which may be the zero
+// ID, meaning an empty tree) and returns the merged tree plus conflicts.
+//
+// Per-file rules, with base version b, ours o, theirs t:
+//
+//	o == t                  → take either
+//	o == b (only they moved) → take t
+//	t == b (only we moved)   → take o
+//	otherwise                → conflict
+//
+// "Version" includes absence, so add/add, modify/delete and delete/delete
+// cases all reduce to these rules.
+func Trees(s store.Store, base, ours, theirs object.ID, opts Options) (Result, error) {
+	bf, err := flatten(s, base)
+	if err != nil {
+		return Result{}, err
+	}
+	of, err := flatten(s, ours)
+	if err != nil {
+		return Result{}, err
+	}
+	tf, err := flatten(s, theirs)
+	if err != nil {
+		return Result{}, err
+	}
+
+	paths := map[string]bool{}
+	for p := range bf {
+		paths[p] = true
+	}
+	for p := range of {
+		paths[p] = true
+	}
+	for p := range tf {
+		paths[p] = true
+	}
+
+	merged := map[string]vcs.FileContent{}
+	var conflicts []Conflict
+	var deleted []string
+
+	keep := func(p string, f vcs.TreeFile) error {
+		blob, err := store.GetBlob(s, f.BlobID)
+		if err != nil {
+			return err
+		}
+		merged[p] = vcs.FileContent{Data: blob.Data(), Mode: f.Mode}
+		return nil
+	}
+
+	for _, p := range vcs.SortedPaths(paths) {
+		b, inB := bf[p]
+		o, inO := of[p]
+		t, inT := tf[p]
+
+		same := func(x vcs.TreeFile, inX bool, y vcs.TreeFile, inY bool) bool {
+			if inX != inY {
+				return false
+			}
+			if !inX {
+				return true
+			}
+			return x.BlobID == y.BlobID && x.Mode == y.Mode
+		}
+
+		switch {
+		case same(o, inO, t, inT): // both sides agree
+			if inO {
+				if err := keep(p, o); err != nil {
+					return Result{}, err
+				}
+			} else if inB {
+				deleted = append(deleted, p)
+			}
+		case same(o, inO, b, inB): // only theirs changed
+			if inT {
+				if err := keep(p, t); err != nil {
+					return Result{}, err
+				}
+			} else {
+				deleted = append(deleted, p)
+			}
+		case same(t, inT, b, inB): // only ours changed
+			if inO {
+				if err := keep(p, o); err != nil {
+					return Result{}, err
+				}
+			} else {
+				deleted = append(deleted, p)
+			}
+		default: // true conflict
+			c := Conflict{Path: p}
+			if inB {
+				c.BaseID = b.BlobID
+			}
+			if inO {
+				c.OursID = o.BlobID
+			}
+			if inT {
+				c.TheirsID = t.BlobID
+			}
+			switch {
+			case !inO || !inT:
+				c.Kind = ConflictModifyDelete
+			case !inB:
+				c.Kind = ConflictBothAdded
+			default:
+				c.Kind = ConflictBothModified
+			}
+			conflicts = append(conflicts, c)
+
+			res := ResolveOurs
+			if opts.Resolver != nil {
+				res = opts.Resolver(c)
+			}
+			switch res {
+			case ResolveOurs:
+				if inO {
+					if err := keep(p, o); err != nil {
+						return Result{}, err
+					}
+				} else {
+					deleted = append(deleted, p)
+				}
+			case ResolveTheirs:
+				if inT {
+					if err := keep(p, t); err != nil {
+						return Result{}, err
+					}
+				} else {
+					deleted = append(deleted, p)
+				}
+			case ResolveConcat:
+				data, err := concatConflict(s, c)
+				if err != nil {
+					return Result{}, err
+				}
+				mode := object.ModeFile
+				if inO {
+					mode = o.Mode
+				} else if inT {
+					mode = t.Mode
+				}
+				merged[p] = vcs.FileContent{Data: data, Mode: mode}
+			default:
+				return Result{}, fmt.Errorf("merge: unknown resolution %d for %q", res, p)
+			}
+		}
+	}
+
+	treeID, err := vcs.BuildTree(s, merged)
+	if err != nil {
+		return Result{}, err
+	}
+	sort.Strings(deleted)
+	return Result{TreeID: treeID, Conflicts: conflicts, DeletedPaths: deleted}, nil
+}
+
+func flatten(s store.Store, treeID object.ID) (map[string]vcs.TreeFile, error) {
+	out := map[string]vcs.TreeFile{}
+	if treeID.IsZero() {
+		return out, nil
+	}
+	files, err := vcs.FlattenTree(s, treeID)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		out[f.Path] = f
+	}
+	return out, nil
+}
+
+func concatConflict(s store.Store, c Conflict) ([]byte, error) {
+	read := func(id object.ID) ([]byte, error) {
+		if id.IsZero() {
+			return nil, nil
+		}
+		b, err := store.GetBlob(s, id)
+		if err != nil {
+			return nil, err
+		}
+		return b.Data(), nil
+	}
+	ours, err := read(c.OursID)
+	if err != nil {
+		return nil, err
+	}
+	theirs, err := read(c.TheirsID)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.WriteString("<<<<<<< ours\n")
+	buf.Write(ours)
+	if len(ours) > 0 && ours[len(ours)-1] != '\n' {
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("=======\n")
+	buf.Write(theirs)
+	if len(theirs) > 0 && theirs[len(theirs)-1] != '\n' {
+		buf.WriteByte('\n')
+	}
+	buf.WriteString(">>>>>>> theirs\n")
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,255 @@
+package merge
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+func buildTree(t *testing.T, s store.Store, files map[string]string) object.ID {
+	t.Helper()
+	m := map[string]vcs.FileContent{}
+	for p, data := range files {
+		m[p] = vcs.File(data)
+	}
+	id, err := vcs.BuildTree(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func readAll(t *testing.T, s store.Store, tree object.ID) map[string]string {
+	t.Helper()
+	files, err := vcs.TreeToFileMap(s, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for p, f := range files {
+		out[p] = string(f.Data)
+	}
+	return out
+}
+
+func TestCleanMerge(t *testing.T) {
+	s := store.NewMemoryStore()
+	base := buildTree(t, s, map[string]string{"/shared": "base", "/a": "a0", "/b": "b0"})
+	ours := buildTree(t, s, map[string]string{"/shared": "base", "/a": "a1", "/b": "b0"})
+	theirs := buildTree(t, s, map[string]string{"/shared": "base", "/a": "a0", "/b": "b1", "/new": "n"})
+
+	res, err := Trees(s, base, ours, theirs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	got := readAll(t, s, res.TreeID)
+	want := map[string]string{"/shared": "base", "/a": "a1", "/b": "b1", "/new": "n"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged = %v, want %v", got, want)
+	}
+	if len(res.DeletedPaths) != 0 {
+		t.Errorf("deleted = %v", res.DeletedPaths)
+	}
+}
+
+func TestMergeDeletions(t *testing.T) {
+	s := store.NewMemoryStore()
+	base := buildTree(t, s, map[string]string{"/keep": "k", "/ourDel": "x", "/theirDel": "y", "/bothDel": "z"})
+	ours := buildTree(t, s, map[string]string{"/keep": "k", "/theirDel": "y"})
+	theirs := buildTree(t, s, map[string]string{"/keep": "k", "/ourDel": "x"})
+
+	res, err := Trees(s, base, ours, theirs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	got := readAll(t, s, res.TreeID)
+	if !reflect.DeepEqual(got, map[string]string{"/keep": "k"}) {
+		t.Errorf("merged = %v", got)
+	}
+	wantDel := []string{"/bothDel", "/ourDel", "/theirDel"}
+	if !reflect.DeepEqual(res.DeletedPaths, wantDel) {
+		t.Errorf("deleted = %v, want %v", res.DeletedPaths, wantDel)
+	}
+}
+
+func TestBothModifiedConflict(t *testing.T) {
+	s := store.NewMemoryStore()
+	base := buildTree(t, s, map[string]string{"/f": "base"})
+	ours := buildTree(t, s, map[string]string{"/f": "ours"})
+	theirs := buildTree(t, s, map[string]string{"/f": "theirs"})
+
+	// Default (nil resolver): ours wins but the conflict is reported.
+	res, err := Trees(s, base, ours, theirs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0].Kind != ConflictBothModified {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	if got := readAll(t, s, res.TreeID)["/f"]; got != "ours" {
+		t.Errorf("default resolution = %q", got)
+	}
+
+	// Theirs resolver.
+	res, err = Trees(s, base, ours, theirs, Options{Resolver: func(Conflict) Resolution { return ResolveTheirs }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, s, res.TreeID)["/f"]; got != "theirs" {
+		t.Errorf("theirs resolution = %q", got)
+	}
+
+	// Concat resolver produces marker file.
+	res, err = Trees(s, base, ours, theirs, Options{Resolver: func(Conflict) Resolution { return ResolveConcat }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, s, res.TreeID)["/f"]
+	for _, want := range []string{"<<<<<<< ours", "ours", "=======", "theirs", ">>>>>>> theirs"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("concat body %q missing %q", body, want)
+		}
+	}
+}
+
+func TestModifyDeleteConflict(t *testing.T) {
+	s := store.NewMemoryStore()
+	base := buildTree(t, s, map[string]string{"/f": "base"})
+	ours := buildTree(t, s, map[string]string{"/f": "modified"})
+	theirs := buildTree(t, s, map[string]string{}) // deleted
+
+	res, err := Trees(s, base, ours, theirs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0].Kind != ConflictModifyDelete {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	// Ours default: modified file kept.
+	if got := readAll(t, s, res.TreeID)["/f"]; got != "modified" {
+		t.Errorf("kept = %q", got)
+	}
+
+	// Resolve theirs: file dropped, reported deleted.
+	res, err = Trees(s, base, ours, theirs, Options{Resolver: func(Conflict) Resolution { return ResolveTheirs }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := readAll(t, s, res.TreeID)["/f"]; ok {
+		t.Error("file kept after theirs-deletion resolution")
+	}
+	if !reflect.DeepEqual(res.DeletedPaths, []string{"/f"}) {
+		t.Errorf("deleted = %v", res.DeletedPaths)
+	}
+}
+
+func TestBothAddedConflict(t *testing.T) {
+	s := store.NewMemoryStore()
+	base := buildTree(t, s, map[string]string{})
+	ours := buildTree(t, s, map[string]string{"/f": "ours-new"})
+	theirs := buildTree(t, s, map[string]string{"/f": "theirs-new"})
+
+	res, err := Trees(s, base, ours, theirs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0].Kind != ConflictBothAdded {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	if res.Conflicts[0].BaseID != object.ZeroID {
+		t.Error("both-added conflict has a base ID")
+	}
+}
+
+func TestBothAddedIdentical(t *testing.T) {
+	s := store.NewMemoryStore()
+	base := buildTree(t, s, map[string]string{})
+	ours := buildTree(t, s, map[string]string{"/f": "same"})
+	theirs := buildTree(t, s, map[string]string{"/f": "same"})
+	res, err := Trees(s, base, ours, theirs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Errorf("identical adds conflicted: %+v", res.Conflicts)
+	}
+	if got := readAll(t, s, res.TreeID)["/f"]; got != "same" {
+		t.Errorf("merged = %q", got)
+	}
+}
+
+func TestMergeWithZeroBase(t *testing.T) {
+	// No merge base (disjoint histories): everything not identical conflicts.
+	s := store.NewMemoryStore()
+	ours := buildTree(t, s, map[string]string{"/a": "a", "/common": "x"})
+	theirs := buildTree(t, s, map[string]string{"/b": "b", "/common": "y"})
+	res, err := Trees(s, object.ZeroID, ours, theirs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, s, res.TreeID)
+	if got["/a"] != "a" || got["/b"] != "b" {
+		t.Errorf("union missing one-sided files: %v", got)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0].Path != "/common" {
+		t.Errorf("conflicts = %+v", res.Conflicts)
+	}
+}
+
+func TestNestedDirectoryMerge(t *testing.T) {
+	s := store.NewMemoryStore()
+	base := buildTree(t, s, map[string]string{"/src/a.go": "a", "/docs/x.md": "x"})
+	ours := buildTree(t, s, map[string]string{"/src/a.go": "a", "/src/b.go": "b", "/docs/x.md": "x"})
+	theirs := buildTree(t, s, map[string]string{"/src/a.go": "a", "/docs/x.md": "x", "/docs/y.md": "y"})
+	res, err := Trees(s, base, ours, theirs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, s, res.TreeID)
+	want := map[string]string{"/src/a.go": "a", "/src/b.go": "b", "/docs/x.md": "x", "/docs/y.md": "y"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged = %v, want %v", got, want)
+	}
+}
+
+func TestConflictKindString(t *testing.T) {
+	for k, want := range map[ConflictKind]string{
+		ConflictBothModified: "both-modified",
+		ConflictModifyDelete: "modify-delete",
+		ConflictBothAdded:    "both-added",
+		ConflictKind(42):     "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestMergeIsSymmetricModuloSides(t *testing.T) {
+	s := store.NewMemoryStore()
+	base := buildTree(t, s, map[string]string{"/f": "base", "/g": "g"})
+	ours := buildTree(t, s, map[string]string{"/f": "left", "/g": "g"})
+	theirs := buildTree(t, s, map[string]string{"/f": "base", "/g": "g", "/h": "h"})
+
+	r1, err := Trees(s, base, ours, theirs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Trees(s, base, theirs, ours, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TreeID != r2.TreeID {
+		t.Error("clean merge not symmetric")
+	}
+}

@@ -1,0 +1,36 @@
+package object
+
+// Blob holds the raw bytes of a single file version. Blobs carry no name or
+// mode: those live in the referencing tree entry, so identical content is
+// stored once no matter how many paths point at it.
+type Blob struct {
+	data []byte
+}
+
+// NewBlob creates a blob over a private copy of data.
+func NewBlob(data []byte) *Blob {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return &Blob{data: cp}
+}
+
+// NewBlobString creates a blob from a string.
+func NewBlobString(s string) *Blob { return &Blob{data: []byte(s)} }
+
+// Type reports TypeBlob.
+func (b *Blob) Type() Type { return TypeBlob }
+
+// Data returns the blob's contents. The returned slice must not be modified.
+func (b *Blob) Data() []byte { return b.data }
+
+// Len returns the content length in bytes.
+func (b *Blob) Len() int { return len(b.data) }
+
+// ID returns the blob's content-derived identifier.
+func (b *Blob) ID() ID { return Hash(b) }
+
+func (b *Blob) encode(dst []byte) []byte { return append(dst, b.data...) }
+
+func decodeBlob(payload []byte) (*Blob, error) {
+	return NewBlob(payload), nil
+}

@@ -1,0 +1,423 @@
+package object
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	for _, typ := range []Type{TypeBlob, TypeTree, TypeCommit} {
+		got, err := ParseType(typ.String())
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", typ.String(), err)
+		}
+		if got != typ {
+			t.Errorf("ParseType(%q) = %v, want %v", typ.String(), got, typ)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Error("ParseType(bogus) succeeded, want error")
+	}
+}
+
+func TestIDParseRoundTrip(t *testing.T) {
+	id := NewBlobString("hello").ID()
+	back, err := ParseID(id.String())
+	if err != nil {
+		t.Fatalf("ParseID: %v", err)
+	}
+	if back != id {
+		t.Errorf("round-trip mismatch: %v vs %v", back, id)
+	}
+	if len(id.Short()) != 7 {
+		t.Errorf("Short length = %d, want 7", len(id.Short()))
+	}
+	if !strings.HasPrefix(id.String(), id.Short()) {
+		t.Errorf("Short %q is not a prefix of %q", id.Short(), id.String())
+	}
+}
+
+func TestParseIDErrors(t *testing.T) {
+	for _, bad := range []string{"", "abc", strings.Repeat("z", 64), strings.Repeat("a", 63)} {
+		if _, err := ParseID(bad); err == nil {
+			t.Errorf("ParseID(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestZeroID(t *testing.T) {
+	if !ZeroID.IsZero() {
+		t.Error("ZeroID.IsZero() = false")
+	}
+	if NewBlobString("x").ID().IsZero() {
+		t.Error("content blob reported zero ID")
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, []byte("hello world"), bytes.Repeat([]byte{0, 1, 2, 0xff}, 1000)} {
+		b := NewBlob(data)
+		enc := Encode(b)
+		o, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		b2, ok := o.(*Blob)
+		if !ok {
+			t.Fatalf("Decode returned %T, want *Blob", o)
+		}
+		if !bytes.Equal(b2.Data(), data) {
+			t.Errorf("data mismatch: %q vs %q", b2.Data(), data)
+		}
+		if b2.ID() != b.ID() {
+			t.Error("ID changed across round trip")
+		}
+	}
+}
+
+func TestBlobCopiesInput(t *testing.T) {
+	buf := []byte("mutable")
+	b := NewBlob(buf)
+	buf[0] = 'X'
+	if string(b.Data()) != "mutable" {
+		t.Errorf("blob aliased caller's buffer: %q", b.Data())
+	}
+}
+
+func TestBlobIDStableAndDistinct(t *testing.T) {
+	a1 := NewBlobString("same").ID()
+	a2 := NewBlobString("same").ID()
+	b := NewBlobString("different").ID()
+	if a1 != a2 {
+		t.Error("equal content produced different IDs")
+	}
+	if a1 == b {
+		t.Error("different content produced equal IDs")
+	}
+}
+
+func mustTree(t *testing.T, entries ...TreeEntry) *Tree {
+	t.Helper()
+	tr, err := NewTree(entries)
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	return tr
+}
+
+func TestTreeSortingAndLookup(t *testing.T) {
+	b := NewBlobString("x").ID()
+	tr := mustTree(t,
+		TreeEntry{Name: "zeta", Mode: ModeFile, ID: b},
+		TreeEntry{Name: "alpha", Mode: ModeDir, ID: b},
+		TreeEntry{Name: "mid", Mode: ModeExecutable, ID: b},
+	)
+	names := make([]string, 0, tr.Len())
+	for _, e := range tr.Entries() {
+		names = append(names, e.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"alpha", "mid", "zeta"}) {
+		t.Errorf("entries not sorted: %v", names)
+	}
+	if e, ok := tr.Entry("mid"); !ok || e.Mode != ModeExecutable {
+		t.Errorf("Entry(mid) = %+v, %v", e, ok)
+	}
+	if _, ok := tr.Entry("nope"); ok {
+		t.Error("Entry(nope) found")
+	}
+}
+
+func TestTreeRejectsBadEntries(t *testing.T) {
+	id := NewBlobString("x").ID()
+	cases := []TreeEntry{
+		{Name: "", Mode: ModeFile, ID: id},
+		{Name: "a/b", Mode: ModeFile, ID: id},
+		{Name: ".", Mode: ModeFile, ID: id},
+		{Name: "..", Mode: ModeFile, ID: id},
+		{Name: "nl\n", Mode: ModeFile, ID: id},
+		{Name: "ok", Mode: Mode(0o777), ID: id},
+	}
+	for _, e := range cases {
+		if _, err := NewTree([]TreeEntry{e}); err == nil {
+			t.Errorf("NewTree(%+v) succeeded, want error", e)
+		}
+	}
+	_, err := NewTree([]TreeEntry{
+		{Name: "dup", Mode: ModeFile, ID: id},
+		{Name: "dup", Mode: ModeDir, ID: id},
+	})
+	if err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestTreeWithWithout(t *testing.T) {
+	id1 := NewBlobString("1").ID()
+	id2 := NewBlobString("2").ID()
+	tr := mustTree(t, TreeEntry{Name: "a", Mode: ModeFile, ID: id1})
+
+	tr2, err := tr.With(TreeEntry{Name: "b", Mode: ModeFile, ID: id2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 2 || tr.Len() != 1 {
+		t.Errorf("With mutated receiver or failed: %d, %d", tr2.Len(), tr.Len())
+	}
+
+	tr3, err := tr2.With(TreeEntry{Name: "a", Mode: ModeFile, ID: id2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := tr3.Entry("a"); e.ID != id2 {
+		t.Error("With did not replace existing entry")
+	}
+	if tr3.Len() != 2 {
+		t.Errorf("replace changed length: %d", tr3.Len())
+	}
+
+	tr4, err := tr3.Without("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr4.Entry("a"); ok {
+		t.Error("Without left entry behind")
+	}
+	tr5, err := tr4.Without("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr5.Len() != tr4.Len() {
+		t.Error("Without(absent) changed tree")
+	}
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	id := NewBlobString("leaf").ID()
+	sub := mustTree(t, TreeEntry{Name: "f", Mode: ModeFile, ID: id})
+	tr := mustTree(t,
+		TreeEntry{Name: "dir", Mode: ModeDir, ID: sub.ID()},
+		TreeEntry{Name: "file.txt", Mode: ModeFile, ID: id},
+		TreeEntry{Name: "link", Mode: ModeSymlink, ID: id},
+		TreeEntry{Name: "run.sh", Mode: ModeExecutable, ID: id},
+	)
+	o, err := Decode(Encode(tr))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	tr2 := o.(*Tree)
+	if !reflect.DeepEqual(tr.Entries(), tr2.Entries()) {
+		t.Errorf("entries mismatch:\n%v\n%v", tr.Entries(), tr2.Entries())
+	}
+	if tr.ID() != tr2.ID() {
+		t.Error("tree ID changed across round trip")
+	}
+}
+
+func TestEmptyTreeRoundTrip(t *testing.T) {
+	tr := EmptyTree()
+	o, err := Decode(Encode(tr))
+	if err != nil {
+		t.Fatalf("Decode empty tree: %v", err)
+	}
+	if o.(*Tree).Len() != 0 {
+		t.Error("empty tree decoded non-empty")
+	}
+}
+
+func TestTreeHashOrderIndependent(t *testing.T) {
+	id := NewBlobString("x").ID()
+	a := mustTree(t,
+		TreeEntry{Name: "p", Mode: ModeFile, ID: id},
+		TreeEntry{Name: "q", Mode: ModeFile, ID: id},
+	)
+	b := mustTree(t,
+		TreeEntry{Name: "q", Mode: ModeFile, ID: id},
+		TreeEntry{Name: "p", Mode: ModeFile, ID: id},
+	)
+	if a.ID() != b.ID() {
+		t.Error("entry insertion order affected tree ID")
+	}
+}
+
+func testCommit() *Commit {
+	when := time.Date(2018, 9, 4, 2, 35, 20, 0, time.UTC)
+	return &Commit{
+		TreeID:    NewBlobString("treeish").ID(),
+		Parents:   []ID{NewBlobString("p1").ID(), NewBlobString("p2").ID()},
+		Author:    NewSignature("Yinjun Wu", "wuyinjun@seas.upenn.edu", when),
+		Committer: NewSignature("Yinjun Wu", "wuyinjun@seas.upenn.edu", when),
+		Message:   "Merge branch 'GUI'\n\ndetails here",
+	}
+}
+
+func TestCommitRoundTrip(t *testing.T) {
+	c := testCommit()
+	o, err := Decode(Encode(c))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	c2 := o.(*Commit)
+	if !reflect.DeepEqual(c, c2) {
+		t.Errorf("commit mismatch:\n%#v\n%#v", c, c2)
+	}
+	if c.ID() != c2.ID() {
+		t.Error("commit ID changed across round trip")
+	}
+}
+
+func TestCommitNoParentsRoundTrip(t *testing.T) {
+	c := testCommit()
+	c.Parents = nil
+	o, err := Decode(Encode(c))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got := o.(*Commit); len(got.Parents) != 0 {
+		t.Errorf("parents = %v, want none", got.Parents)
+	}
+}
+
+func TestCommitHelpers(t *testing.T) {
+	c := testCommit()
+	if !c.IsMerge() {
+		t.Error("two-parent commit not a merge")
+	}
+	if c.Summary() != "Merge branch 'GUI'" {
+		t.Errorf("Summary = %q", c.Summary())
+	}
+	c.Parents = c.Parents[:1]
+	if c.IsMerge() {
+		t.Error("one-parent commit reported as merge")
+	}
+	c.Message = "single line"
+	if c.Summary() != "single line" {
+		t.Errorf("Summary = %q", c.Summary())
+	}
+}
+
+func TestSignatureParse(t *testing.T) {
+	sig := NewSignature("Susan B. Davidson", "susan@cis.upenn.edu", time.Unix(1535942400, 999))
+	parsed, err := parseSignature(sig.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != sig {
+		t.Errorf("signature mismatch: %+v vs %+v", parsed, sig)
+	}
+	for _, bad := range []string{"", "no markers", "a <b", "a b> 12"} {
+		if _, err := parseSignature(bad); err == nil {
+			t.Errorf("parseSignature(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestDecodeTyped(t *testing.T) {
+	enc := Encode(NewBlobString("x"))
+	if _, err := DecodeTyped(enc, TypeBlob); err != nil {
+		t.Errorf("DecodeTyped blob: %v", err)
+	}
+	if _, err := DecodeTyped(enc, TypeCommit); err == nil {
+		t.Error("DecodeTyped accepted wrong type")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("garbage with no nul"),
+		[]byte("blob 5\x00abc"),       // length mismatch
+		[]byte("weird 3\x00abc"),      // unknown type
+		[]byte("tree 4\x00abcd"),      // malformed tree payload
+		[]byte("commit 7\x00tree xx"), // malformed commit
+		[]byte("blob notanum\x00abc"), // bad length
+		append([]byte("tree 39\x00100644 f\x00"), make([]byte, 30)...), // truncated id
+	}
+	for _, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", data)
+		}
+	}
+}
+
+// quick-check property: blob encode/decode is the identity and IDs are
+// deterministic functions of content.
+func TestQuickBlobRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		b := NewBlob(data)
+		o, err := Decode(Encode(b))
+		if err != nil {
+			return false
+		}
+		b2 := o.(*Blob)
+		return bytes.Equal(b2.Data(), data) && b2.ID() == b.ID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick-check property: trees built from random valid entry sets round-trip
+// and hash independently of insertion order.
+func TestQuickTreeRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := r.Intn(12)
+			entries := make([]TreeEntry, 0, n)
+			seen := map[string]bool{}
+			modes := []Mode{ModeFile, ModeExecutable, ModeSymlink, ModeDir}
+			for len(entries) < n {
+				name := randName(r)
+				if seen[name] {
+					continue
+				}
+				seen[name] = true
+				var id ID
+				r.Read(id[:])
+				entries = append(entries, TreeEntry{Name: name, Mode: modes[r.Intn(len(modes))], ID: id})
+			}
+			args[0] = reflect.ValueOf(entries)
+		},
+	}
+	f := func(entries []TreeEntry) bool {
+		tr, err := NewTree(entries)
+		if err != nil {
+			return false
+		}
+		o, err := Decode(Encode(tr))
+		if err != nil {
+			return false
+		}
+		if o.(*Tree).ID() != tr.ID() {
+			return false
+		}
+		// shuffle and rebuild: same ID
+		shuffled := make([]TreeEntry, len(entries))
+		copy(shuffled, entries)
+		rand.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		tr2, err := NewTree(shuffled)
+		return err == nil && tr2.ID() == tr.ID()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func randName(r *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+	n := 1 + r.Intn(12)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alpha[r.Intn(len(alpha))])
+	}
+	s := sb.String()
+	if s == "." || s == ".." {
+		return s + "x"
+	}
+	return s
+}

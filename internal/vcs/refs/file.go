@@ -1,0 +1,173 @@
+package refs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// FileStore persists references as small text files under a root directory
+// (root/refs/heads/<branch>, root/refs/tags/<tag>) and HEAD as root/HEAD,
+// the layout used inside the local tool's ".gitcite" directory.
+type FileStore struct {
+	root string
+	mu   sync.RWMutex
+}
+
+// NewFileStore opens (creating if necessary) a file-backed ref store. A
+// fresh store gets a HEAD pointing at the unborn branch "main".
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("refs: create root: %w", err)
+	}
+	s := &FileStore{root: dir}
+	if _, err := os.Stat(s.headPath()); os.IsNotExist(err) {
+		if err := s.SetHEAD(HEAD{Symbolic: BranchRef("main")}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *FileStore) headPath() string { return filepath.Join(s.root, "HEAD") }
+
+func (s *FileStore) refPath(name string) string {
+	return filepath.Join(s.root, filepath.FromSlash(name))
+}
+
+// Set implements Store.
+func (s *FileStore) Set(name string, id object.ID) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	if id.IsZero() {
+		return fmt.Errorf("refs: refusing to set %q to the zero ID", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.refPath(name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("refs: mkdir: %w", err)
+	}
+	return atomicWrite(path, []byte(id.String()+"\n"))
+}
+
+// Get implements Store.
+func (s *FileStore) Get(name string) (object.ID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := os.ReadFile(s.refPath(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return object.ZeroID, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return object.ZeroID, err
+	}
+	return object.ParseID(strings.TrimSpace(string(data)))
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.refPath(name))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return err
+}
+
+// List implements Store.
+func (s *FileStore) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var names []string
+	base := filepath.Join(s.root, "refs")
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			return err
+		}
+		names = append(names, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SetHEAD implements Store.
+func (s *FileStore) SetHEAD(h HEAD) error {
+	var content string
+	if h.Symbolic != "" {
+		if err := ValidateName(h.Symbolic); err != nil {
+			return err
+		}
+		content = "ref: " + h.Symbolic + "\n"
+	} else {
+		if h.Detached.IsZero() {
+			return fmt.Errorf("refs: HEAD must be symbolic or detached, not empty")
+		}
+		content = h.Detached.String() + "\n"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return atomicWrite(s.headPath(), []byte(content))
+}
+
+// GetHEAD implements Store.
+func (s *FileStore) GetHEAD() (HEAD, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := os.ReadFile(s.headPath())
+	if err != nil {
+		return HEAD{}, err
+	}
+	line := strings.TrimSpace(string(data))
+	if target, ok := strings.CutPrefix(line, "ref: "); ok {
+		return HEAD{Symbolic: target}, nil
+	}
+	id, err := object.ParseID(line)
+	if err != nil {
+		return HEAD{}, fmt.Errorf("refs: corrupt HEAD %q: %w", line, err)
+	}
+	return HEAD{Detached: id}, nil
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-ref-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

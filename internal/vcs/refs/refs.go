@@ -1,0 +1,184 @@
+// Package refs manages named references (branches and tags) and the HEAD
+// pointer for a repository. A reference maps a stable name such as
+// "refs/heads/main" to a commit ID; HEAD is either symbolic (points at a
+// branch name) or detached (points directly at a commit).
+package refs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// Namespace prefixes.
+const (
+	BranchPrefix = "refs/heads/"
+	TagPrefix    = "refs/tags/"
+)
+
+// Errors reported by reference stores.
+var (
+	ErrNotFound = errors.New("refs: reference not found")
+	ErrBadName  = errors.New("refs: invalid reference name")
+	ErrDetached = errors.New("refs: HEAD is detached")
+)
+
+// HEAD models the current-branch pointer.
+type HEAD struct {
+	// Symbolic is the full ref name HEAD points at ("refs/heads/main"),
+	// empty when detached.
+	Symbolic string
+	// Detached is the commit HEAD points at when not symbolic.
+	Detached object.ID
+}
+
+// IsDetached reports whether HEAD points directly at a commit.
+func (h HEAD) IsDetached() bool { return h.Symbolic == "" }
+
+// Store records references and HEAD.
+//
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Set creates or moves a reference.
+	Set(name string, id object.ID) error
+	// Get resolves a reference, returning ErrNotFound if absent.
+	Get(name string) (object.ID, error)
+	// Delete removes a reference; deleting an absent ref is an error.
+	Delete(name string) error
+	// List returns all reference names in sorted order.
+	List() ([]string, error)
+	// SetHEAD replaces the HEAD pointer.
+	SetHEAD(h HEAD) error
+	// GetHEAD returns the HEAD pointer.
+	GetHEAD() (HEAD, error)
+}
+
+// BranchRef converts a short branch name to its full ref name.
+func BranchRef(branch string) string { return BranchPrefix + branch }
+
+// TagRef converts a short tag name to its full ref name.
+func TagRef(tag string) string { return TagPrefix + tag }
+
+// ShortName strips a known namespace prefix from a full ref name.
+func ShortName(ref string) string {
+	switch {
+	case strings.HasPrefix(ref, BranchPrefix):
+		return ref[len(BranchPrefix):]
+	case strings.HasPrefix(ref, TagPrefix):
+		return ref[len(TagPrefix):]
+	default:
+		return ref
+	}
+}
+
+// ValidateName checks a full reference name: it must be namespaced, use
+// clean path-like components and avoid characters that break the textual
+// ref file format.
+func ValidateName(name string) error {
+	if !strings.HasPrefix(name, BranchPrefix) && !strings.HasPrefix(name, TagPrefix) {
+		return fmt.Errorf("%w: %q lacks refs/heads/ or refs/tags/ prefix", ErrBadName, name)
+	}
+	short := ShortName(name)
+	if short == "" {
+		return fmt.Errorf("%w: empty name", ErrBadName)
+	}
+	for _, part := range strings.Split(short, "/") {
+		if part == "" || part == "." || part == ".." {
+			return fmt.Errorf("%w: %q has empty or dot component", ErrBadName, name)
+		}
+	}
+	if strings.ContainsAny(short, " \t\n:*?[\\^~") {
+		return fmt.Errorf("%w: %q contains forbidden character", ErrBadName, name)
+	}
+	return nil
+}
+
+// MemoryStore is an in-memory reference store. Create with NewMemoryStore.
+type MemoryStore struct {
+	mu   sync.RWMutex
+	refs map[string]object.ID
+	head HEAD
+}
+
+// NewMemoryStore creates an empty reference store whose HEAD points at the
+// (not yet existing) branch "main".
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{
+		refs: make(map[string]object.ID),
+		head: HEAD{Symbolic: BranchRef("main")},
+	}
+}
+
+// Set implements Store.
+func (s *MemoryStore) Set(name string, id object.ID) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	if id.IsZero() {
+		return fmt.Errorf("refs: refusing to set %q to the zero ID", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refs[name] = id
+	return nil
+}
+
+// Get implements Store.
+func (s *MemoryStore) Get(name string) (object.ID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.refs[name]
+	if !ok {
+		return object.ZeroID, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return id, nil
+}
+
+// Delete implements Store.
+func (s *MemoryStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.refs[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(s.refs, name)
+	return nil
+}
+
+// List implements Store.
+func (s *MemoryStore) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.refs))
+	for name := range s.refs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SetHEAD implements Store.
+func (s *MemoryStore) SetHEAD(h HEAD) error {
+	if h.Symbolic != "" {
+		if err := ValidateName(h.Symbolic); err != nil {
+			return err
+		}
+	} else if h.Detached.IsZero() {
+		return errors.New("refs: HEAD must be symbolic or detached, not empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.head = h
+	return nil
+}
+
+// GetHEAD implements Store.
+func (s *MemoryStore) GetHEAD() (HEAD, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.head, nil
+}

@@ -1,0 +1,239 @@
+package refs
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+func testStores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "gitcite"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"memory": NewMemoryStore(), "file": fs}
+}
+
+func id(s string) object.ID { return object.NewBlobString(s).ID() }
+
+func TestNameHelpers(t *testing.T) {
+	if BranchRef("main") != "refs/heads/main" {
+		t.Errorf("BranchRef = %q", BranchRef("main"))
+	}
+	if TagRef("v1") != "refs/tags/v1" {
+		t.Errorf("TagRef = %q", TagRef("v1"))
+	}
+	if ShortName("refs/heads/dev/x") != "dev/x" {
+		t.Errorf("ShortName = %q", ShortName("refs/heads/dev/x"))
+	}
+	if ShortName("refs/tags/v1") != "v1" {
+		t.Errorf("ShortName tag = %q", ShortName("refs/tags/v1"))
+	}
+	if ShortName("HEAD") != "HEAD" {
+		t.Errorf("ShortName passthrough = %q", ShortName("HEAD"))
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	good := []string{"refs/heads/main", "refs/heads/feature/gui", "refs/tags/v1.0.0"}
+	for _, name := range good {
+		if err := ValidateName(name); err != nil {
+			t.Errorf("ValidateName(%q) = %v", name, err)
+		}
+	}
+	bad := []string{
+		"", "main", "refs/heads/", "refs/heads//x", "refs/heads/.", "refs/heads/..",
+		"refs/heads/a b", "refs/heads/a:b", "refs/heads/a..b/../c", "refs/heads/x*",
+	}
+	for _, name := range bad {
+		if err := ValidateName(name); err == nil {
+			t.Errorf("ValidateName(%q) succeeded, want error", name)
+		}
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			ref := BranchRef("main")
+			want := id("c1")
+			if err := s.Set(ref, want); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			got, err := s.Get(ref)
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if got != want {
+				t.Errorf("Get = %s, want %s", got.Short(), want.Short())
+			}
+			// Move the ref.
+			want2 := id("c2")
+			if err := s.Set(ref, want2); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := s.Get(ref); got != want2 {
+				t.Error("Set did not move ref")
+			}
+			if err := s.Delete(ref); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Get(ref); !errors.Is(err, ErrNotFound) {
+				t.Errorf("Get after delete = %v, want ErrNotFound", err)
+			}
+			if err := s.Delete(ref); !errors.Is(err, ErrNotFound) {
+				t.Errorf("double Delete = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestSetRejectsInvalid(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Set("main", id("x")); err == nil {
+				t.Error("Set with un-namespaced name succeeded")
+			}
+			if err := s.Set(BranchRef("ok"), object.ZeroID); err == nil {
+				t.Error("Set to zero ID succeeded")
+			}
+		})
+	}
+}
+
+func TestList(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			refs := []string{BranchRef("main"), BranchRef("dev"), TagRef("v1"), BranchRef("feature/gui")}
+			for _, r := range refs {
+				if err := s.Set(r, id(r)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := s.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"refs/heads/dev", "refs/heads/feature/gui", "refs/heads/main", "refs/tags/v1"}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("List = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestListEmpty(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			got, err := s.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 0 {
+				t.Errorf("List on empty store = %v", got)
+			}
+		})
+	}
+}
+
+func TestHEADSymbolicAndDetached(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			// Fresh stores point at unborn main.
+			h, err := s.GetHEAD()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Symbolic != BranchRef("main") || h.IsDetached() {
+				t.Errorf("fresh HEAD = %+v", h)
+			}
+			// Switch branch.
+			if err := s.SetHEAD(HEAD{Symbolic: BranchRef("dev")}); err != nil {
+				t.Fatal(err)
+			}
+			h, _ = s.GetHEAD()
+			if h.Symbolic != BranchRef("dev") {
+				t.Errorf("HEAD = %+v, want dev", h)
+			}
+			// Detach.
+			c := id("commit")
+			if err := s.SetHEAD(HEAD{Detached: c}); err != nil {
+				t.Fatal(err)
+			}
+			h, _ = s.GetHEAD()
+			if !h.IsDetached() || h.Detached != c {
+				t.Errorf("detached HEAD = %+v", h)
+			}
+			// Invalid HEADs rejected.
+			if err := s.SetHEAD(HEAD{}); err == nil {
+				t.Error("empty HEAD accepted")
+			}
+			if err := s.SetHEAD(HEAD{Symbolic: "garbage"}); err == nil {
+				t.Error("invalid symbolic HEAD accepted")
+			}
+		})
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "gitcite")
+	s1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := id("persisted")
+	if err := s1.Set(BranchRef("main"), want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.SetHEAD(HEAD{Detached: want}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(BranchRef("main"))
+	if err != nil || got != want {
+		t.Errorf("reopened Get = %v, %v", got.Short(), err)
+	}
+	h, err := s2.GetHEAD()
+	if err != nil || h.Detached != want {
+		t.Errorf("reopened HEAD = %+v, %v; reopen must not clobber detached HEAD", h, err)
+	}
+}
+
+func TestConcurrentRefUpdates(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					ref := BranchRef(fmt.Sprintf("b%d", g))
+					for i := 0; i < 10; i++ {
+						if err := s.Set(ref, id(fmt.Sprintf("%d-%d", g, i))); err != nil {
+							t.Errorf("Set: %v", err)
+							return
+						}
+						if _, err := s.Get(ref); err != nil {
+							t.Errorf("Get: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			names, err := s.List()
+			if err != nil || len(names) != 8 {
+				t.Errorf("List = %v (%v), want 8 refs", names, err)
+			}
+		})
+	}
+}

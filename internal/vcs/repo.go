@@ -1,0 +1,402 @@
+package vcs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/refs"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// Repository combines an object store with a reference store and provides
+// version-graph operations: committing, branching, history traversal and
+// merge-base computation. It corresponds to one "project repository" in the
+// paper's model — a DAG of versions, each a rooted tree.
+type Repository struct {
+	Objects store.Store
+	Refs    refs.Store
+}
+
+// ErrNoCommits reports an operation that needs a commit on a branch that has
+// none yet.
+var ErrNoCommits = errors.New("vcs: branch has no commits")
+
+// NewMemoryRepository creates a repository backed entirely by memory.
+func NewMemoryRepository() *Repository {
+	return &Repository{Objects: store.NewMemoryStore(), Refs: refs.NewMemoryStore()}
+}
+
+// OpenFileRepository opens (creating if needed) a repository persisted under
+// dir — objects in dir/objects, refs in dir/refs + dir/HEAD.
+func OpenFileRepository(dir string) (*Repository, error) {
+	objs, err := store.NewFileStore(dir + "/objects")
+	if err != nil {
+		return nil, err
+	}
+	rs, err := refs.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{Objects: objs, Refs: rs}, nil
+}
+
+// CommitOptions carries the metadata for a new commit.
+type CommitOptions struct {
+	Author  object.Signature
+	Message string
+	// Committer defaults to Author when zero.
+	Committer object.Signature
+}
+
+func (o CommitOptions) committer() object.Signature {
+	if o.Committer == (object.Signature{}) {
+		return o.Author
+	}
+	return o.Committer
+}
+
+// Sig is a convenience constructor for commit signatures.
+func Sig(name, email string, when time.Time) object.Signature {
+	return object.NewSignature(name, email, when)
+}
+
+// CommitTree records a commit pointing at treeID with the given parents and
+// returns the new commit's ID. It does not move any ref.
+func (r *Repository) CommitTree(treeID object.ID, parents []object.ID, opts CommitOptions) (object.ID, error) {
+	if _, err := store.GetTree(r.Objects, treeID); err != nil {
+		return object.ZeroID, fmt.Errorf("vcs: commit tree: %w", err)
+	}
+	for _, p := range parents {
+		if _, err := store.GetCommit(r.Objects, p); err != nil {
+			return object.ZeroID, fmt.Errorf("vcs: commit parent %s: %w", p.Short(), err)
+		}
+	}
+	c := &object.Commit{
+		TreeID:    treeID,
+		Parents:   append([]object.ID(nil), parents...),
+		Author:    opts.Author,
+		Committer: opts.committer(),
+		Message:   opts.Message,
+	}
+	return r.Objects.Put(c)
+}
+
+// CommitFiles builds a tree from the flat file map and commits it on the
+// named branch (advancing the branch ref). The parent is the branch's
+// current tip, if any.
+func (r *Repository) CommitFiles(branch string, files map[string]FileContent, opts CommitOptions) (object.ID, error) {
+	treeID, err := BuildTree(r.Objects, files)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	return r.CommitTreeOnBranch(branch, treeID, opts)
+}
+
+// CommitTreeOnBranch commits an already-built tree on the named branch,
+// using the branch tip (if any) as the parent and advancing the ref.
+func (r *Repository) CommitTreeOnBranch(branch string, treeID object.ID, opts CommitOptions) (object.ID, error) {
+	var parents []object.ID
+	tip, err := r.Refs.Get(refs.BranchRef(branch))
+	switch {
+	case err == nil:
+		parents = []object.ID{tip}
+	case errors.Is(err, refs.ErrNotFound):
+		// unborn branch: root commit
+	default:
+		return object.ZeroID, err
+	}
+	id, err := r.CommitTree(treeID, parents, opts)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	if err := r.Refs.Set(refs.BranchRef(branch), id); err != nil {
+		return object.ZeroID, err
+	}
+	return id, nil
+}
+
+// MergeCommitOnBranch records a merge commit with the branch tip as first
+// parent and other as second, pointing at treeID, and advances the branch.
+func (r *Repository) MergeCommitOnBranch(branch string, treeID, other object.ID, opts CommitOptions) (object.ID, error) {
+	tip, err := r.Refs.Get(refs.BranchRef(branch))
+	if err != nil {
+		return object.ZeroID, fmt.Errorf("vcs: merge target: %w", err)
+	}
+	id, err := r.CommitTree(treeID, []object.ID{tip, other}, opts)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	if err := r.Refs.Set(refs.BranchRef(branch), id); err != nil {
+		return object.ZeroID, err
+	}
+	return id, nil
+}
+
+// Head resolves the commit the repository's HEAD currently points at.
+func (r *Repository) Head() (object.ID, error) {
+	h, err := r.Refs.GetHEAD()
+	if err != nil {
+		return object.ZeroID, err
+	}
+	if h.IsDetached() {
+		return h.Detached, nil
+	}
+	id, err := r.Refs.Get(h.Symbolic)
+	if errors.Is(err, refs.ErrNotFound) {
+		return object.ZeroID, fmt.Errorf("%w: %s", ErrNoCommits, refs.ShortName(h.Symbolic))
+	}
+	return id, err
+}
+
+// CurrentBranch returns the short name of the branch HEAD points at, or
+// refs.ErrDetached when HEAD is detached.
+func (r *Repository) CurrentBranch() (string, error) {
+	h, err := r.Refs.GetHEAD()
+	if err != nil {
+		return "", err
+	}
+	if h.IsDetached() {
+		return "", refs.ErrDetached
+	}
+	return refs.ShortName(h.Symbolic), nil
+}
+
+// CreateBranch points a new branch at the given commit.
+func (r *Repository) CreateBranch(name string, at object.ID) error {
+	ref := refs.BranchRef(name)
+	if _, err := r.Refs.Get(ref); err == nil {
+		return fmt.Errorf("vcs: branch %q already exists", name)
+	}
+	if _, err := store.GetCommit(r.Objects, at); err != nil {
+		return fmt.Errorf("vcs: branch target: %w", err)
+	}
+	return r.Refs.Set(ref, at)
+}
+
+// Checkout makes HEAD point at the named branch (which may be unborn).
+func (r *Repository) Checkout(branch string) error {
+	return r.Refs.SetHEAD(refs.HEAD{Symbolic: refs.BranchRef(branch)})
+}
+
+// Branches lists short branch names in sorted order.
+func (r *Repository) Branches() ([]string, error) {
+	names, err := r.Refs.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range names {
+		if len(n) > len(refs.BranchPrefix) && n[:len(refs.BranchPrefix)] == refs.BranchPrefix {
+			out = append(out, refs.ShortName(n))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// BranchTip resolves a branch's current commit.
+func (r *Repository) BranchTip(branch string) (object.ID, error) {
+	return r.Refs.Get(refs.BranchRef(branch))
+}
+
+// Commit fetches a commit object by ID.
+func (r *Repository) Commit(id object.ID) (*object.Commit, error) {
+	return store.GetCommit(r.Objects, id)
+}
+
+// TreeOf returns the root tree ID of a commit.
+func (r *Repository) TreeOf(commitID object.ID) (object.ID, error) {
+	c, err := r.Commit(commitID)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	return c.TreeID, nil
+}
+
+// Log walks first-parent-last history from the given commit in reverse
+// topological order (children before parents), visiting each commit once.
+func (r *Repository) Log(from object.ID, fn func(id object.ID, c *object.Commit) error) error {
+	seen := make(map[object.ID]bool)
+	stack := []object.ID{from}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id.IsZero() || seen[id] {
+			continue
+		}
+		seen[id] = true
+		c, err := r.Commit(id)
+		if err != nil {
+			return err
+		}
+		if err := fn(id, c); err != nil {
+			return err
+		}
+		// Push parents in reverse so the first parent is visited next,
+		// approximating git log's first-parent bias.
+		for i := len(c.Parents) - 1; i >= 0; i-- {
+			stack = append(stack, c.Parents[i])
+		}
+	}
+	return nil
+}
+
+// History returns the IDs visited by Log, in visit order.
+func (r *Repository) History(from object.ID) ([]object.ID, error) {
+	var out []object.ID
+	err := r.Log(from, func(id object.ID, _ *object.Commit) error {
+		out = append(out, id)
+		return nil
+	})
+	return out, err
+}
+
+// IsAncestor reports whether anc is reachable from desc (a commit is its own
+// ancestor).
+func (r *Repository) IsAncestor(anc, desc object.ID) (bool, error) {
+	found := false
+	errStop := errors.New("stop")
+	err := r.Log(desc, func(id object.ID, _ *object.Commit) error {
+		if id == anc {
+			found = true
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		return false, err
+	}
+	return found, nil
+}
+
+// MergeBase computes a best common ancestor of two commits: a common
+// ancestor not dominated by any other common ancestor. With multiple
+// candidates (criss-cross merges) the one with the greatest commit
+// generation depth is chosen, deterministically breaking remaining ties by
+// ID. Returns ZeroID when the commits share no history.
+func (r *Repository) MergeBase(a, b object.ID) (object.ID, error) {
+	reachA, err := r.reachableDepths(a)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	reachB, err := r.reachableDepths(b)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	// Common ancestors.
+	common := make(map[object.ID]bool)
+	for id := range reachA {
+		if _, ok := reachB[id]; ok {
+			common[id] = true
+		}
+	}
+	if len(common) == 0 {
+		return object.ZeroID, nil
+	}
+	// Drop any common ancestor that is a strict ancestor of another common
+	// ancestor ("dominated").
+	best := make([]object.ID, 0, len(common))
+	for id := range common {
+		best = append(best, id)
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i].String() < best[j].String() })
+	undominated := make([]object.ID, 0, 1)
+	for _, cand := range best {
+		dominated := false
+		for _, other := range best {
+			if other == cand {
+				continue
+			}
+			anc, err := r.IsAncestor(cand, other)
+			if err != nil {
+				return object.ZeroID, err
+			}
+			if anc && common[other] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			undominated = append(undominated, cand)
+		}
+	}
+	if len(undominated) == 1 {
+		return undominated[0], nil
+	}
+	// Criss-cross: pick the deepest (max generation), tie-break by ID.
+	sort.Slice(undominated, func(i, j int) bool {
+		di, dj := depthOf(reachA, undominated[i]), depthOf(reachA, undominated[j])
+		if di != dj {
+			return di > dj
+		}
+		return undominated[i].String() < undominated[j].String()
+	})
+	return undominated[0], nil
+}
+
+func depthOf(m map[object.ID]int, id object.ID) int { return m[id] }
+
+// reachableDepths maps every commit reachable from start to its maximum
+// generation depth (root commits have the greatest depth values).
+func (r *Repository) reachableDepths(start object.ID) (map[object.ID]int, error) {
+	depths := make(map[object.ID]int)
+	type frame struct {
+		id    object.ID
+		depth int
+	}
+	stack := []frame{{start, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.id.IsZero() {
+			continue
+		}
+		if d, ok := depths[f.id]; ok && d >= f.depth {
+			continue
+		}
+		depths[f.id] = f.depth
+		c, err := r.Commit(f.id)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range c.Parents {
+			stack = append(stack, frame{p, f.depth + 1})
+		}
+	}
+	return depths, nil
+}
+
+// Fork copies the full reachable object graph of every branch from src into
+// a new memory-backed repository with the same branch names, preserving all
+// commit IDs (I8 in DESIGN.md). The new repository's HEAD points at src's
+// current branch.
+func Fork(src *Repository) (*Repository, error) {
+	dst := NewMemoryRepository()
+	names, err := src.Refs.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		id, err := src.Refs.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := store.CopyClosure(dst.Objects, src.Objects, id); err != nil {
+			return nil, err
+		}
+		if err := dst.Refs.Set(name, id); err != nil {
+			return nil, err
+		}
+	}
+	h, err := src.Refs.GetHEAD()
+	if err != nil {
+		return nil, err
+	}
+	if err := dst.Refs.SetHEAD(h); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// CachedStore is a read-through LRU cache over another Store. Because
+// objects are immutable, cached entries can never go stale; eviction is
+// purely a memory-bound concern. It is safe for concurrent use.
+type CachedStore struct {
+	backend Store
+	cap     int
+
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used; values are cacheEntry
+	index map[object.ID]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	id  object.ID
+	obj object.Object
+}
+
+// NewCachedStore wraps backend with a cache of at most capacity objects.
+// A capacity of 0 or less disables caching (pass-through).
+func NewCachedStore(backend Store, capacity int) *CachedStore {
+	return &CachedStore{
+		backend: backend,
+		cap:     capacity,
+		lru:     list.New(),
+		index:   make(map[object.ID]*list.Element),
+	}
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (s *CachedStore) Stats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Put implements Store, populating the cache on write.
+func (s *CachedStore) Put(o object.Object) (object.ID, error) {
+	id, err := s.backend.Put(o)
+	if err != nil {
+		return id, err
+	}
+	s.insert(id, o)
+	return id, nil
+}
+
+// Get implements Store.
+func (s *CachedStore) Get(id object.ID) (object.Object, error) {
+	s.mu.Lock()
+	if el, ok := s.index[id]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		o := el.Value.(cacheEntry).obj
+		s.mu.Unlock()
+		return o, nil
+	}
+	s.misses++
+	s.mu.Unlock()
+
+	o, err := s.backend.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	s.insert(id, o)
+	return o, nil
+}
+
+func (s *CachedStore) insert(id object.ID, o object.Object) {
+	if s.cap <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[id]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.index[id] = s.lru.PushFront(cacheEntry{id: id, obj: o})
+	for s.lru.Len() > s.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.index, oldest.Value.(cacheEntry).id)
+	}
+}
+
+// Has implements Store.
+func (s *CachedStore) Has(id object.ID) (bool, error) {
+	s.mu.Lock()
+	_, ok := s.index[id]
+	s.mu.Unlock()
+	if ok {
+		return true, nil
+	}
+	return s.backend.Has(id)
+}
+
+// IDs implements Store.
+func (s *CachedStore) IDs() ([]object.ID, error) { return s.backend.IDs() }
+
+// Len implements Store.
+func (s *CachedStore) Len() (int, error) { return s.backend.Len() }

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// FileStore persists objects as zlib-compressed loose files under a root
+// directory, fanned out by the first two hex characters of the ID
+// (root/ab/cdef....), the layout used by the local executable tool's
+// ".gitcite/objects" directory. It is safe for concurrent use within a
+// single process.
+type FileStore struct {
+	root string
+	mu   sync.RWMutex
+}
+
+// NewFileStore opens (creating if necessary) a file store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create root: %w", err)
+	}
+	return &FileStore{root: dir}, nil
+}
+
+// Root returns the directory the store persists into.
+func (s *FileStore) Root() string { return s.root }
+
+func (s *FileStore) pathFor(id object.ID) string {
+	hexid := id.String()
+	return filepath.Join(s.root, hexid[:2], hexid[2:])
+}
+
+// Put implements Store.
+func (s *FileStore) Put(o object.Object) (object.ID, error) {
+	enc := object.Encode(o)
+	id := object.HashBytes(enc)
+	path := s.pathFor(id)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.Stat(path); err == nil {
+		return id, nil // content-addressed: already present means identical
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return object.ZeroID, fmt.Errorf("store: fanout dir: %w", err)
+	}
+
+	var buf bytes.Buffer
+	zw := zlib.NewWriter(&buf)
+	if _, err := zw.Write(enc); err != nil {
+		return object.ZeroID, fmt.Errorf("store: compress: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return object.ZeroID, fmt.Errorf("store: compress close: %w", err)
+	}
+
+	// Write-then-rename so readers never observe a partial object.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-obj-*")
+	if err != nil {
+		return object.ZeroID, fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return object.ZeroID, fmt.Errorf("store: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return object.ZeroID, fmt.Errorf("store: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return object.ZeroID, fmt.Errorf("store: rename: %w", err)
+	}
+	return id, nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(id object.ID) (object.Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, err := os.Open(s.pathFor(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	defer f.Close()
+	zr, err := zlib.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: object %s corrupt: %w", id.Short(), err)
+	}
+	defer zr.Close()
+	enc, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("store: decompress %s: %w", id.Short(), err)
+	}
+	if object.HashBytes(enc) != id {
+		return nil, fmt.Errorf("store: object %s fails hash verification", id.Short())
+	}
+	return object.Decode(enc)
+}
+
+// Has implements Store.
+func (s *FileStore) Has(id object.ID) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, err := os.Stat(s.pathFor(id))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+// IDs implements Store.
+func (s *FileStore) IDs() ([]object.ID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ids []object.ID
+	fanouts, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	for _, fan := range fanouts {
+		if !fan.IsDir() || len(fan.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.root, fan.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			if strings.HasPrefix(f.Name(), ".tmp-") {
+				continue
+			}
+			id, err := object.ParseID(fan.Name() + f.Name())
+			if err != nil {
+				continue // foreign file; ignore
+			}
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// Len implements Store.
+func (s *FileStore) Len() (int, error) {
+	ids, err := s.IDs()
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}

@@ -1,0 +1,68 @@
+package store
+
+import (
+	"sync"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// MemoryStore is an in-memory Store. The zero value is not usable; call
+// NewMemoryStore. It is safe for concurrent use.
+type MemoryStore struct {
+	mu      sync.RWMutex
+	objects map[object.ID][]byte
+}
+
+// NewMemoryStore creates an empty in-memory store.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{objects: make(map[object.ID][]byte)}
+}
+
+// Put implements Store.
+func (s *MemoryStore) Put(o object.Object) (object.ID, error) {
+	enc := object.Encode(o)
+	id := object.HashBytes(enc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[id]; !ok {
+		s.objects[id] = enc
+	}
+	return id, nil
+}
+
+// Get implements Store.
+func (s *MemoryStore) Get(id object.ID) (object.Object, error) {
+	s.mu.RLock()
+	enc, ok := s.objects[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return object.Decode(enc)
+}
+
+// Has implements Store.
+func (s *MemoryStore) Has(id object.ID) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[id]
+	return ok, nil
+}
+
+// IDs implements Store.
+func (s *MemoryStore) IDs() ([]object.ID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]object.ID, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Len implements Store.
+func (s *MemoryStore) Len() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects), nil
+}

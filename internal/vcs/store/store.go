@@ -1,0 +1,143 @@
+// Package store provides content-addressed object storage for the vcs
+// substrate. A Store persists canonical object encodings keyed by their ID;
+// because IDs are content hashes, Put is idempotent and objects are
+// immutable once stored.
+//
+// Three implementations are provided: MemoryStore (tests, hosting platform,
+// benchmarks), FileStore (the on-disk layout used by the local tool, with
+// zlib-compressed loose objects), and CachedStore (an LRU read-through cache
+// layered over any Store).
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// ErrNotFound reports a lookup for an object the store does not hold.
+var ErrNotFound = errors.New("store: object not found")
+
+// Store is a content-addressed object database.
+//
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Put stores an object and returns its ID. Storing an object that is
+	// already present is a cheap no-op.
+	Put(o object.Object) (object.ID, error)
+	// Get retrieves an object by ID, returning ErrNotFound if absent.
+	Get(id object.ID) (object.Object, error)
+	// Has reports whether the store holds the object.
+	Has(id object.ID) (bool, error)
+	// IDs returns the IDs of every stored object, in unspecified order.
+	IDs() ([]object.ID, error)
+	// Len returns the number of stored objects.
+	Len() (int, error)
+}
+
+// GetBlob retrieves an object and asserts it is a blob.
+func GetBlob(s Store, id object.ID) (*object.Blob, error) {
+	o, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := o.(*object.Blob)
+	if !ok {
+		return nil, fmt.Errorf("store: object %s is a %v, want blob", id.Short(), o.Type())
+	}
+	return b, nil
+}
+
+// GetTree retrieves an object and asserts it is a tree.
+func GetTree(s Store, id object.ID) (*object.Tree, error) {
+	o, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := o.(*object.Tree)
+	if !ok {
+		return nil, fmt.Errorf("store: object %s is a %v, want tree", id.Short(), o.Type())
+	}
+	return t, nil
+}
+
+// GetCommit retrieves an object and asserts it is a commit.
+func GetCommit(s Store, id object.ID) (*object.Commit, error) {
+	o, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := o.(*object.Commit)
+	if !ok {
+		return nil, fmt.Errorf("store: object %s is a %v, want commit", id.Short(), o.Type())
+	}
+	return c, nil
+}
+
+// Copy transfers the object with the given ID from src to dst. It returns
+// ErrNotFound if src lacks the object.
+func Copy(dst, src Store, id object.ID) error {
+	o, err := src.Get(id)
+	if err != nil {
+		return err
+	}
+	_, err = dst.Put(o)
+	return err
+}
+
+// CopyAll transfers every object in src into dst and reports how many
+// objects were examined.
+func CopyAll(dst, src Store) (int, error) {
+	ids, err := src.IDs()
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range ids {
+		if err := Copy(dst, src, id); err != nil {
+			return 0, err
+		}
+	}
+	return len(ids), nil
+}
+
+// CopyClosure copies the full object graph reachable from the given roots
+// (commits pull in parents and trees; trees pull in entries) from src to
+// dst. Objects already present in dst prune the walk, which makes pushes and
+// fetches incremental. It returns the number of objects copied.
+func CopyClosure(dst, src Store, roots ...object.ID) (int, error) {
+	copied := 0
+	seen := make(map[object.ID]bool)
+	stack := append([]object.ID(nil), roots...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id.IsZero() || seen[id] {
+			continue
+		}
+		seen[id] = true
+		if ok, err := dst.Has(id); err != nil {
+			return copied, err
+		} else if ok {
+			continue
+		}
+		o, err := src.Get(id)
+		if err != nil {
+			return copied, fmt.Errorf("store: closure copy %s: %w", id.Short(), err)
+		}
+		if _, err := dst.Put(o); err != nil {
+			return copied, err
+		}
+		copied++
+		switch v := o.(type) {
+		case *object.Commit:
+			stack = append(stack, v.TreeID)
+			stack = append(stack, v.Parents...)
+		case *object.Tree:
+			for _, e := range v.Entries() {
+				stack = append(stack, e.ID)
+			}
+		}
+	}
+	return copied, nil
+}

@@ -1,0 +1,67 @@
+package vcs
+
+import (
+	"sort"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/refs"
+)
+
+// CreateTag points a new tag at a commit. Tags are immutable by convention:
+// re-tagging an existing name is an error.
+func (r *Repository) CreateTag(name string, at object.ID) error {
+	ref := refs.TagRef(name)
+	if _, err := r.Refs.Get(ref); err == nil {
+		return &TagExistsError{Name: name}
+	}
+	if _, err := r.Commit(at); err != nil {
+		return err
+	}
+	return r.Refs.Set(ref, at)
+}
+
+// TagExistsError reports an attempt to move an existing tag.
+type TagExistsError struct{ Name string }
+
+// Error implements error.
+func (e *TagExistsError) Error() string { return "vcs: tag " + e.Name + " already exists" }
+
+// Tags lists short tag names in sorted order.
+func (r *Repository) Tags() ([]string, error) {
+	names, err := r.Refs.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range names {
+		if len(n) > len(refs.TagPrefix) && n[:len(refs.TagPrefix)] == refs.TagPrefix {
+			out = append(out, refs.ShortName(n))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// TagTarget resolves a tag's commit.
+func (r *Repository) TagTarget(name string) (object.ID, error) {
+	return r.Refs.Get(refs.TagRef(name))
+}
+
+// TagsAt lists the tags pointing at the given commit, sorted.
+func (r *Repository) TagsAt(at object.ID) ([]string, error) {
+	tags, err := r.Tags()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, t := range tags {
+		target, err := r.TagTarget(t)
+		if err != nil {
+			return nil, err
+		}
+		if target == at {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package vcs
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestTagsLifecycle(t *testing.T) {
+	r := NewMemoryRepository()
+	c1 := commitOn(t, r, "main", map[string]FileContent{"/f": File("1")}, "one", 1)
+	c2 := commitOn(t, r, "main", map[string]FileContent{"/f": File("2")}, "two", 2)
+
+	if err := r.CreateTag("v1.0", c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CreateTag("v2.0", c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CreateTag("v2.0-rc1", c2); err != nil {
+		t.Fatal(err)
+	}
+
+	tags, err := r.Tags()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tags, []string{"v1.0", "v2.0", "v2.0-rc1"}) {
+		t.Errorf("Tags = %v", tags)
+	}
+	target, err := r.TagTarget("v1.0")
+	if err != nil || target != c1 {
+		t.Errorf("TagTarget = %v, %v", target, err)
+	}
+	at, err := r.TagsAt(c2)
+	if err != nil || !reflect.DeepEqual(at, []string{"v2.0", "v2.0-rc1"}) {
+		t.Errorf("TagsAt = %v, %v", at, err)
+	}
+	at, err = r.TagsAt(c1)
+	if err != nil || !reflect.DeepEqual(at, []string{"v1.0"}) {
+		t.Errorf("TagsAt c1 = %v, %v", at, err)
+	}
+}
+
+func TestTagsAreImmutable(t *testing.T) {
+	r := NewMemoryRepository()
+	c1 := commitOn(t, r, "main", map[string]FileContent{"/f": File("1")}, "one", 1)
+	c2 := commitOn(t, r, "main", map[string]FileContent{"/f": File("2")}, "two", 2)
+	if err := r.CreateTag("v1", c1); err != nil {
+		t.Fatal(err)
+	}
+	err := r.CreateTag("v1", c2)
+	var exists *TagExistsError
+	if !errors.As(err, &exists) || exists.Name != "v1" {
+		t.Errorf("re-tag error = %v", err)
+	}
+	// Target unchanged.
+	if target, _ := r.TagTarget("v1"); target != c1 {
+		t.Error("tag moved")
+	}
+}
+
+func TestMergeBaseCrissCross(t *testing.T) {
+	// Criss-cross history:
+	//
+	//	base — a1 — m1(a1,b1) — a2
+	//	     \ b1 — m2(b1,a1) — b2
+	//
+	// a2 and b2 have two undominated common ancestors (a1 and b1); the
+	// merge base must pick one deterministically.
+	r := NewMemoryRepository()
+	base := commitOn(t, r, "main", map[string]FileContent{"/f": File("0")}, "base", 1)
+	if err := r.CreateBranch("b", base); err != nil {
+		t.Fatal(err)
+	}
+	a1 := commitOn(t, r, "main", map[string]FileContent{"/f": File("a1")}, "a1", 2)
+	b1 := commitOn(t, r, "b", map[string]FileContent{"/f": File("b1")}, "b1", 3)
+
+	treeA, err := r.TreeOf(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeB, err := r.TreeOf(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := r.MergeCommitOnBranch("main", treeA, b1, CommitOptions{Author: sig("x", 4), Message: "m1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.MergeCommitOnBranch("b", treeB, a1, CommitOptions{Author: sig("x", 5), Message: "m2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mb, err := r.MergeBase(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb != a1 && mb != b1 {
+		t.Errorf("criss-cross merge base = %s, want a1 (%s) or b1 (%s)", mb.Short(), a1.Short(), b1.Short())
+	}
+	// Deterministic across calls and argument order.
+	mb2, err := r.MergeBase(m2, m1)
+	if err != nil || mb2 != mb {
+		t.Errorf("merge base not symmetric/deterministic: %s vs %s", mb.Short(), mb2.Short())
+	}
+}

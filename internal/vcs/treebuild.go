@@ -1,0 +1,318 @@
+package vcs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// FileContent describes one file when building a tree from a flat path map.
+type FileContent struct {
+	Data []byte
+	Mode object.Mode // zero value means ModeFile
+}
+
+// File is a convenience constructor for a regular file's content.
+func File(data string) FileContent { return FileContent{Data: []byte(data)} }
+
+// BuildTree writes blobs and nested trees for a flat map of clean paths to
+// file contents, returning the root tree ID. Intermediate directories are
+// implied by the paths. An empty map produces the empty tree.
+func BuildTree(s store.Store, files map[string]FileContent) (object.ID, error) {
+	type dirNode struct {
+		files map[string]FileContent
+		dirs  map[string]*dirNode
+	}
+	newDir := func() *dirNode {
+		return &dirNode{files: map[string]FileContent{}, dirs: map[string]*dirNode{}}
+	}
+	root := newDir()
+
+	for p, content := range files {
+		clean, err := CleanPath(p)
+		if err != nil {
+			return object.ZeroID, err
+		}
+		if clean == "/" {
+			return object.ZeroID, fmt.Errorf("%w: cannot store file at the root path", ErrBadPath)
+		}
+		parts := SplitPath(clean)
+		cur := root
+		for _, part := range parts[:len(parts)-1] {
+			next, ok := cur.dirs[part]
+			if !ok {
+				next = newDir()
+				cur.dirs[part] = next
+			}
+			cur = next
+		}
+		name := parts[len(parts)-1]
+		if _, ok := cur.dirs[name]; ok {
+			return object.ZeroID, fmt.Errorf("%w: %q is both a file and a directory", ErrBadPath, clean)
+		}
+		cur.files[name] = content
+	}
+
+	var write func(d *dirNode) (object.ID, error)
+	write = func(d *dirNode) (object.ID, error) {
+		entries := make([]object.TreeEntry, 0, len(d.files)+len(d.dirs))
+		for name, content := range d.files {
+			if _, ok := d.dirs[name]; ok {
+				return object.ZeroID, fmt.Errorf("%w: %q is both a file and a directory", ErrBadPath, name)
+			}
+			mode := content.Mode
+			if mode == 0 {
+				mode = object.ModeFile
+			}
+			blobID, err := s.Put(object.NewBlob(content.Data))
+			if err != nil {
+				return object.ZeroID, err
+			}
+			entries = append(entries, object.TreeEntry{Name: name, Mode: mode, ID: blobID})
+		}
+		for name, sub := range d.dirs {
+			subID, err := write(sub)
+			if err != nil {
+				return object.ZeroID, err
+			}
+			entries = append(entries, object.TreeEntry{Name: name, Mode: object.ModeDir, ID: subID})
+		}
+		tree, err := object.NewTree(entries)
+		if err != nil {
+			return object.ZeroID, err
+		}
+		return s.Put(tree)
+	}
+	return write(root)
+}
+
+// TreeFile describes one file found while flattening a stored tree.
+type TreeFile struct {
+	Path   string // clean rooted path
+	Mode   object.Mode
+	BlobID object.ID
+}
+
+// FlattenTree lists every file under the given tree as clean rooted paths in
+// sorted order.
+func FlattenTree(s store.Store, treeID object.ID) ([]TreeFile, error) {
+	var out []TreeFile
+	err := WalkTree(s, treeID, func(p string, e object.TreeEntry) error {
+		if !e.IsDir() {
+			out = append(out, TreeFile{Path: p, Mode: e.Mode, BlobID: e.ID})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// WalkTree visits every entry (files and directories) under treeID in
+// depth-first name order, calling fn with the entry's clean rooted path. The
+// root itself is not visited (it has no entry).
+func WalkTree(s store.Store, treeID object.ID, fn func(path string, e object.TreeEntry) error) error {
+	return walkTree(s, treeID, "/", fn)
+}
+
+func walkTree(s store.Store, treeID object.ID, prefix string, fn func(string, object.TreeEntry) error) error {
+	tree, err := store.GetTree(s, treeID)
+	if err != nil {
+		return err
+	}
+	for _, e := range tree.Entries() {
+		var p string
+		if prefix == "/" {
+			p = "/" + e.Name
+		} else {
+			p = prefix + "/" + e.Name
+		}
+		if err := fn(p, e); err != nil {
+			return err
+		}
+		if e.IsDir() {
+			if err := walkTree(s, e.ID, p, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LookupPath resolves a clean rooted path within a tree. For the root path
+// it returns a synthetic directory entry holding the root tree's ID.
+func LookupPath(s store.Store, treeID object.ID, cleanPath string) (object.TreeEntry, error) {
+	if cleanPath == "/" {
+		return object.TreeEntry{Name: "", Mode: object.ModeDir, ID: treeID}, nil
+	}
+	parts := SplitPath(cleanPath)
+	cur := treeID
+	for i, part := range parts {
+		tree, err := store.GetTree(s, cur)
+		if err != nil {
+			return object.TreeEntry{}, err
+		}
+		e, ok := tree.Entry(part)
+		if !ok {
+			return object.TreeEntry{}, fmt.Errorf("vcs: path %q not found (missing %q)", cleanPath, strings.Join(parts[:i+1], "/"))
+		}
+		if i == len(parts)-1 {
+			return e, nil
+		}
+		if !e.IsDir() {
+			return object.TreeEntry{}, fmt.Errorf("vcs: path %q traverses file %q", cleanPath, strings.Join(parts[:i+1], "/"))
+		}
+		cur = e.ID
+	}
+	return object.TreeEntry{}, fmt.Errorf("vcs: path %q not found", cleanPath)
+}
+
+// PathExists reports whether a clean rooted path names a file or directory
+// within the tree.
+func PathExists(s store.Store, treeID object.ID, cleanPath string) bool {
+	_, err := LookupPath(s, treeID, cleanPath)
+	return err == nil
+}
+
+// ReadFile returns the contents of the file at a clean rooted path.
+func ReadFile(s store.Store, treeID object.ID, cleanPath string) ([]byte, error) {
+	e, err := LookupPath(s, treeID, cleanPath)
+	if err != nil {
+		return nil, err
+	}
+	if e.IsDir() {
+		return nil, fmt.Errorf("vcs: %q is a directory", cleanPath)
+	}
+	blob, err := store.GetBlob(s, e.ID)
+	if err != nil {
+		return nil, err
+	}
+	return blob.Data(), nil
+}
+
+// TreeToFileMap converts a stored tree back into the flat path map form
+// accepted by BuildTree. BuildTree(TreeToFileMap(t)) reproduces t's ID
+// (for trees without empty directories, which BuildTree cannot express).
+func TreeToFileMap(s store.Store, treeID object.ID) (map[string]FileContent, error) {
+	files, err := FlattenTree(s, treeID)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]FileContent, len(files))
+	for _, f := range files {
+		blob, err := store.GetBlob(s, f.BlobID)
+		if err != nil {
+			return nil, err
+		}
+		out[f.Path] = FileContent{Data: blob.Data(), Mode: f.Mode}
+	}
+	return out, nil
+}
+
+// InsertSubtree returns a new root tree in which the subtree (or file)
+// identified by srcEntry is grafted at dstPath, creating intermediate
+// directories as needed and replacing anything previously at dstPath.
+func InsertSubtree(s store.Store, rootTree object.ID, dstPath string, srcEntry object.TreeEntry) (object.ID, error) {
+	clean, err := CleanPath(dstPath)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	if clean == "/" {
+		if !srcEntry.IsDir() {
+			return object.ZeroID, fmt.Errorf("%w: cannot graft a file at the root", ErrBadPath)
+		}
+		return srcEntry.ID, nil
+	}
+	return graft(s, rootTree, SplitPath(clean), srcEntry)
+}
+
+func graft(s store.Store, treeID object.ID, parts []string, srcEntry object.TreeEntry) (object.ID, error) {
+	var tree *object.Tree
+	var err error
+	if treeID.IsZero() {
+		tree = object.EmptyTree()
+	} else {
+		tree, err = store.GetTree(s, treeID)
+		if err != nil {
+			return object.ZeroID, err
+		}
+	}
+	name := parts[0]
+	var newEntry object.TreeEntry
+	if len(parts) == 1 {
+		newEntry = object.TreeEntry{Name: name, Mode: srcEntry.Mode, ID: srcEntry.ID}
+	} else {
+		childID := object.ZeroID
+		if e, ok := tree.Entry(name); ok {
+			if !e.IsDir() {
+				return object.ZeroID, fmt.Errorf("vcs: graft path traverses file %q", name)
+			}
+			childID = e.ID
+		}
+		subID, err := graft(s, childID, parts[1:], srcEntry)
+		if err != nil {
+			return object.ZeroID, err
+		}
+		newEntry = object.TreeEntry{Name: name, Mode: object.ModeDir, ID: subID}
+	}
+	updated, err := tree.With(newEntry)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	return s.Put(updated)
+}
+
+// RemovePath returns a new root tree with the entry at the clean path
+// removed; empty intermediate directories are pruned. Removing the root is
+// an error.
+func RemovePath(s store.Store, rootTree object.ID, cleanPath string) (object.ID, error) {
+	if cleanPath == "/" {
+		return object.ZeroID, fmt.Errorf("%w: cannot remove the root", ErrBadPath)
+	}
+	return prune(s, rootTree, SplitPath(cleanPath))
+}
+
+func prune(s store.Store, treeID object.ID, parts []string) (object.ID, error) {
+	tree, err := store.GetTree(s, treeID)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	name := parts[0]
+	e, ok := tree.Entry(name)
+	if !ok {
+		return object.ZeroID, fmt.Errorf("vcs: remove: path component %q not found", name)
+	}
+	var updated *object.Tree
+	if len(parts) == 1 {
+		updated, err = tree.Without(name)
+		if err != nil {
+			return object.ZeroID, err
+		}
+	} else {
+		if !e.IsDir() {
+			return object.ZeroID, fmt.Errorf("vcs: remove: path traverses file %q", name)
+		}
+		subID, err := prune(s, e.ID, parts[1:])
+		if err != nil {
+			return object.ZeroID, err
+		}
+		sub, err := store.GetTree(s, subID)
+		if err != nil {
+			return object.ZeroID, err
+		}
+		if sub.Len() == 0 {
+			updated, err = tree.Without(name)
+		} else {
+			updated, err = tree.With(object.TreeEntry{Name: name, Mode: object.ModeDir, ID: subID})
+		}
+		if err != nil {
+			return object.ZeroID, err
+		}
+	}
+	return s.Put(updated)
+}

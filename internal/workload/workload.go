@@ -1,0 +1,250 @@
+// Package workload generates deterministic synthetic project trees, citation
+// functions and edit scripts for benchmarks and stress tests. All output is
+// a pure function of Config (including its Seed), so benchmark runs are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/vcs"
+)
+
+// Config parameterises a synthetic project.
+type Config struct {
+	Seed int64
+	// Depth is the directory nesting depth.
+	Depth int
+	// Fanout is the number of subdirectories per directory.
+	Fanout int
+	// FilesPerDir is the number of files in each directory.
+	FilesPerDir int
+	// CiteDensity in [0,1] is the fraction of paths given explicit
+	// citations by GenFunction.
+	CiteDensity float64
+	// FileBytes is the approximate content size of generated files.
+	FileBytes int
+}
+
+// Default returns a mid-sized configuration (≈ hundreds of files).
+func Default() Config {
+	return Config{Seed: 42, Depth: 3, Fanout: 3, FilesPerDir: 4, CiteDensity: 0.2, FileBytes: 256}
+}
+
+// rng builds the deterministic source for one generation step; the salt
+// keeps independent generators decorrelated.
+func (c Config) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1_000_003 + salt))
+}
+
+// Paths returns the file paths of the synthetic tree in generation order.
+func (c Config) Paths() []string {
+	var out []string
+	var walk func(prefix string, depth int)
+	walk = func(prefix string, depth int) {
+		for f := 0; f < c.FilesPerDir; f++ {
+			out = append(out, fmt.Sprintf("%s/file%02d.go", prefix, f))
+		}
+		if depth >= c.Depth {
+			return
+		}
+		for d := 0; d < c.Fanout; d++ {
+			walk(fmt.Sprintf("%s/dir%02d", prefix, d), depth+1)
+		}
+	}
+	walk("", 1)
+	for i, p := range out {
+		out[i] = vcs.MustCleanPath(p)
+	}
+	return out
+}
+
+// DeepPath returns a single path at exactly the requested depth (for
+// resolution-latency benchmarks).
+func DeepPath(depth int) string {
+	p := ""
+	for i := 0; i < depth; i++ {
+		p += fmt.Sprintf("/d%02d", i)
+	}
+	return p + "/leaf.go"
+}
+
+// Files materialises the tree's contents: pseudo-source files of roughly
+// FileBytes bytes each.
+func (c Config) Files() map[string]vcs.FileContent {
+	r := c.rng(1)
+	out := map[string]vcs.FileContent{}
+	for _, p := range c.Paths() {
+		out[p] = vcs.FileContent{Data: sourceLike(r, c.FileBytes)}
+	}
+	return out
+}
+
+// Tree builds the core.Tree (PathSet) for the synthetic project.
+func (c Config) Tree() *core.PathSet {
+	return core.MustPathSet(c.Paths()...)
+}
+
+// RootCitation is the deterministic root citation for generated projects.
+func (c Config) RootCitation() core.Citation {
+	return core.Citation{
+		RepoName:      fmt.Sprintf("synthetic-%d", c.Seed),
+		Owner:         "workload",
+		URL:           fmt.Sprintf("https://git.example/workload/synthetic-%d", c.Seed),
+		Version:       "1.0",
+		CommittedDate: time.Unix(1_535_942_120, 0).UTC(),
+		AuthorList:    []string{"Workload Generator"},
+	}
+}
+
+// Citation produces the i-th synthetic citation.
+func (c Config) Citation(i int) core.Citation {
+	return core.Citation{
+		RepoName:      fmt.Sprintf("dep-%d", i),
+		Owner:         fmt.Sprintf("owner-%d", i%17),
+		URL:           fmt.Sprintf("https://git.example/owner-%d/dep-%d", i%17, i),
+		CommitID:      fmt.Sprintf("%07x", i*2654435761),
+		CommittedDate: time.Unix(1_500_000_000+int64(i)*3600, 0).UTC(),
+		AuthorList:    []string{fmt.Sprintf("Author %d", i%29), fmt.Sprintf("Author %d", (i+7)%29)},
+	}
+}
+
+// Function builds a citation function over the synthetic tree with
+// CiteDensity of all paths (files and directories) explicitly cited.
+func (c Config) Function() *core.Function {
+	tree := c.Tree()
+	fn := core.MustNewFunction(c.RootCitation())
+	r := c.rng(2)
+	i := 0
+	for _, p := range tree.Paths() {
+		if p == "/" {
+			continue
+		}
+		if r.Float64() < c.CiteDensity {
+			if err := fn.Add(tree, p, c.Citation(i)); err != nil {
+				panic(err) // generation bug: paths come from the tree itself
+			}
+			i++
+		}
+	}
+	return fn
+}
+
+// FunctionWithEntries builds a function with exactly n non-root entries
+// over a flat tree (for codec and merge benchmarks keyed on entry count).
+func FunctionWithEntries(n int) (*core.Function, *core.PathSet) {
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/mod%03d/pkg%03d/file.go", i/100, i%100)
+	}
+	var tree *core.PathSet
+	if n == 0 {
+		tree = core.MustPathSet("/placeholder.go")
+	} else {
+		tree = core.MustPathSet(paths...)
+	}
+	cfg := Default()
+	fn := core.MustNewFunction(cfg.RootCitation())
+	for i, p := range paths {
+		if err := fn.Add(tree, p, cfg.Citation(i)); err != nil {
+			panic(err)
+		}
+	}
+	return fn, tree
+}
+
+// SplitForMerge derives two divergent functions from a base function for
+// merge benchmarks: each side receives half of the base's non-root entries,
+// and conflictFraction of the shared paths are modified differently on the
+// two sides.
+func SplitForMerge(base *core.Function, tree core.Tree, conflictFraction float64, seed int64) (ours, theirs *core.Function) {
+	r := rand.New(rand.NewSource(seed))
+	ours = core.MustNewFunction(base.Root())
+	theirs = core.MustNewFunction(base.Root())
+	i := 0
+	for _, pc := range base.ActiveDomain() {
+		if pc.Path == "/" {
+			continue
+		}
+		switch {
+		case r.Float64() < conflictFraction:
+			// Both sides carry the path with different citations.
+			oursC := pc.Citation.Clone()
+			oursC.Note = "ours"
+			theirsC := pc.Citation.Clone()
+			theirsC.Note = "theirs"
+			mustSet(ours, tree, pc.Path, oursC)
+			mustSet(theirs, tree, pc.Path, theirsC)
+		case i%2 == 0:
+			mustSet(ours, tree, pc.Path, pc.Citation)
+		default:
+			mustSet(theirs, tree, pc.Path, pc.Citation)
+		}
+		i++
+	}
+	return ours, theirs
+}
+
+func mustSet(fn *core.Function, tree core.Tree, path string, c core.Citation) {
+	if err := fn.Set(tree, path, c); err != nil {
+		panic(err)
+	}
+}
+
+// Edit is one step of a synthetic edit script.
+type Edit struct {
+	// Op is "write", "remove" or "move".
+	Op   string
+	Path string
+	To   string // for moves
+	Data []byte // for writes
+}
+
+// EditScript generates n edits over the config's tree: 60% writes (half to
+// new files), 20% removals, 20% moves.
+func (c Config) EditScript(n int) []Edit {
+	r := c.rng(3)
+	paths := c.Paths()
+	live := append([]string(nil), paths...)
+	var out []Edit
+	for i := 0; i < n; i++ {
+		switch x := r.Float64(); {
+		case x < 0.3: // overwrite existing
+			p := live[r.Intn(len(live))]
+			out = append(out, Edit{Op: "write", Path: p, Data: sourceLike(r, c.FileBytes)})
+		case x < 0.6: // new file
+			p := vcs.MustCleanPath(fmt.Sprintf("/new/dir%02d/f%04d.go", i%10, i))
+			live = append(live, p)
+			out = append(out, Edit{Op: "write", Path: p, Data: sourceLike(r, c.FileBytes)})
+		case x < 0.8 && len(live) > 1: // remove
+			j := r.Intn(len(live))
+			p := live[j]
+			live = append(live[:j], live[j+1:]...)
+			out = append(out, Edit{Op: "remove", Path: p})
+		default: // move
+			j := r.Intn(len(live))
+			p := live[j]
+			np := vcs.MustCleanPath(fmt.Sprintf("/moved/f%04d.go", i))
+			live[j] = np
+			out = append(out, Edit{Op: "move", Path: p, To: np})
+		}
+	}
+	return out
+}
+
+// sourceLike produces n-ish bytes of line-structured pseudo-code, so rename
+// similarity scoring has realistic input.
+func sourceLike(r *rand.Rand, n int) []byte {
+	words := []string{"func", "return", "if", "err", "nil", "range", "var", "struct", "citation", "version"}
+	out := make([]byte, 0, n+16)
+	for len(out) < n {
+		line := fmt.Sprintf("%s %s%d := %s(%d)\n",
+			words[r.Intn(len(words))], words[r.Intn(len(words))], r.Intn(100),
+			words[r.Intn(len(words))], r.Intn(1000))
+		out = append(out, line...)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/vcs"
+)
+
+func TestPathsDeterministicAndClean(t *testing.T) {
+	cfg := Default()
+	a := cfg.Paths()
+	b := cfg.Paths()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Paths not deterministic")
+	}
+	if len(a) == 0 {
+		t.Fatal("no paths generated")
+	}
+	for _, p := range a {
+		if vcs.MustCleanPath(p) != p {
+			t.Errorf("path %q not clean", p)
+		}
+	}
+	// Size formula: files per dir × number of dirs.
+	// dirs(depth d, fanout f) = 1 + f + f² + … + f^(d-1)
+	wantDirs := 1 + 3 + 9
+	if len(a) != wantDirs*cfg.FilesPerDir {
+		t.Errorf("got %d files, want %d", len(a), wantDirs*cfg.FilesPerDir)
+	}
+}
+
+func TestFilesAndTreeAgree(t *testing.T) {
+	cfg := Default()
+	files := cfg.Files()
+	tree := cfg.Tree()
+	if len(files) != len(cfg.Paths()) {
+		t.Errorf("files = %d, paths = %d", len(files), len(cfg.Paths()))
+	}
+	for p, fc := range files {
+		if !tree.Exists(p) {
+			t.Errorf("tree missing %q", p)
+		}
+		if len(fc.Data) < cfg.FileBytes {
+			t.Errorf("file %q only %d bytes", p, len(fc.Data))
+		}
+	}
+}
+
+func TestFunctionRespectsDensity(t *testing.T) {
+	cfg := Default()
+	cfg.CiteDensity = 0.5
+	fn := cfg.Function()
+	total := len(cfg.Tree().Paths()) - 1 // minus root
+	got := fn.Len() - 1
+	if got < total/4 || got > total*3/4 {
+		t.Errorf("density 0.5 produced %d/%d entries", got, total)
+	}
+	// Determinism.
+	if fn2 := cfg.Function(); !fn.Equal(fn2) {
+		t.Error("Function not deterministic")
+	}
+	// Zero density: only the root.
+	cfg.CiteDensity = 0
+	if cfg.Function().Len() != 1 {
+		t.Error("zero density produced entries")
+	}
+}
+
+func TestFunctionWithEntries(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 250} {
+		fn, tree := FunctionWithEntries(n)
+		if fn.Len() != n+1 {
+			t.Errorf("n=%d: len = %d", n, fn.Len())
+		}
+		if err := fn.Validate(tree); err != nil {
+			t.Errorf("n=%d: invalid: %v", n, err)
+		}
+	}
+}
+
+func TestSplitForMerge(t *testing.T) {
+	fn, tree := FunctionWithEntries(100)
+	ours, theirs := SplitForMerge(fn, tree, 0.2, 7)
+	// Merge them back: conflicts roughly 20% of 100.
+	res, err := core.Merge(ours, theirs, tree, core.MergeOptions{Strategy: core.StrategyOurs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) < 5 || len(res.Conflicts) > 40 {
+		t.Errorf("conflicts = %d, want ≈20", len(res.Conflicts))
+	}
+	// All 100 paths are present in the union.
+	if res.Function.Len() != 101 {
+		t.Errorf("union len = %d, want 101", res.Function.Len())
+	}
+	// Zero conflict fraction merges cleanly.
+	ours0, theirs0 := SplitForMerge(fn, tree, 0, 7)
+	res0, err := core.Merge(ours0, theirs0, tree, core.MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res0.Conflicts) != 0 {
+		t.Errorf("zero fraction produced %d conflicts", len(res0.Conflicts))
+	}
+}
+
+func TestEditScriptShape(t *testing.T) {
+	cfg := Default()
+	edits := cfg.EditScript(200)
+	if len(edits) != 200 {
+		t.Fatalf("len = %d", len(edits))
+	}
+	counts := map[string]int{}
+	for _, e := range edits {
+		counts[e.Op]++
+		switch e.Op {
+		case "write":
+			if len(e.Data) == 0 {
+				t.Error("write without data")
+			}
+		case "move":
+			if e.To == "" {
+				t.Error("move without target")
+			}
+		case "remove":
+		default:
+			t.Errorf("unknown op %q", e.Op)
+		}
+	}
+	if counts["write"] == 0 || counts["remove"] == 0 || counts["move"] == 0 {
+		t.Errorf("op mix = %v", counts)
+	}
+	// Deterministic.
+	if !reflect.DeepEqual(edits, cfg.EditScript(200)) {
+		t.Error("EditScript not deterministic")
+	}
+}
+
+func TestDeepPath(t *testing.T) {
+	p := DeepPath(4)
+	if got := len(vcs.SplitPath(p)); got != 5 {
+		t.Errorf("DeepPath(4) has %d components: %q", got, p)
+	}
+	if vcs.MustCleanPath(p) != p {
+		t.Errorf("DeepPath not clean: %q", p)
+	}
+}
+
+func TestCitationDistinct(t *testing.T) {
+	cfg := Default()
+	a, b := cfg.Citation(1), cfg.Citation(2)
+	if a.Equal(b) {
+		t.Error("distinct indices produced equal citations")
+	}
+	if !cfg.Citation(1).Equal(a) {
+		t.Error("Citation not deterministic")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/gitcite/gitcite
+
+go 1.22

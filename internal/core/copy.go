@@ -19,7 +19,7 @@ func (f *Function) Subtree(srcRoot string) (map[string]Citation, error) {
 		return nil, err
 	}
 	out := map[string]Citation{}
-	for p, c := range f.entries {
+	for p, c := range f.snapshot() {
 		if vcs.IsAncestorPath(clean, p) {
 			out[p] = c.Clone()
 		}
@@ -29,7 +29,9 @@ func (f *Function) Subtree(srcRoot string) (map[string]Citation, error) {
 		if err != nil {
 			return nil, err
 		}
-		out[clean] = sealed
+		// Resolve returns a shallow citation off the index; clone it so the
+		// extracted subtree shares no storage with the source function.
+		out[clean] = sealed.Clone()
 	}
 	return out, nil
 }
@@ -75,14 +77,21 @@ func (dst *Function) MigrateSubtree(src *Function, srcRoot, dstRoot string, dstT
 		if !dstTree.Exists(np) {
 			return nil, fmt.Errorf("%w: %q (copy the files before their citations)", ErrPathNotInTree, np)
 		}
-		if !opts.Overwrite {
+		staged[np] = c
+	}
+	// Collision check and write happen under one lock, so Overwrite=false
+	// stays atomic against concurrent mutators of dst.
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if !opts.Overwrite {
+		for np := range staged {
 			if _, exists := dst.entries[np]; exists {
 				return nil, fmt.Errorf("%w: %q", ErrEntryExists, np)
 			}
 		}
-		staged[np] = c
 	}
 	written := make([]string, 0, len(staged))
+	dst.prepareWriteLocked()
 	for np, c := range staged {
 		dst.entries[np] = c
 		written = append(written, np)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/gitcite/gitcite/internal/vcs"
 )
@@ -12,14 +13,42 @@ import (
 // rooted paths of one project version to citations. The root path "/" is
 // always in the active domain (paper §2), so resolution is total.
 //
-// A Function is a mutable value owned by a single version under
-// construction; committed versions hold immutable snapshots (see Clone).
+// A Function is safe for concurrent use: any number of readers (Resolve,
+// ResolveChain, Get, Has, ...) may run in parallel with each other and with
+// writers (Add, Delete, Modify, Rename, ...). Reads are served from a
+// lazily-built resolution index — the first Resolve of a path walks the
+// ancestor chain and memoises the answer, and every subsequent Resolve of
+// that path is an O(1) map hit with no allocations. Any mutation
+// invalidates the index.
+//
+// Committed versions hold snapshots taken with Clone, which is
+// copy-on-write: the clone shares the entry map with its source until
+// either side is next mutated, so snapshotting a large function is O(1).
 // Methods that change the function correspond one-to-one to the paper's
 // operators: Add (AddCite), Delete (DelCite), Modify (ModifyCite), Rename
 // (the side effect of Git renames), plus the subtree and merge operations
 // that implement CopyCite and MergeCite.
 type Function struct {
+	mu      sync.RWMutex
 	entries map[string]Citation
+	// cow marks the entry map as shared with at least one other Function
+	// (a Clone source or product); the next mutation copies it first.
+	cow bool
+	// gen counts mutations; Resolve uses it to discard index inserts that
+	// raced with a writer.
+	gen uint64
+	// idx memoises Resolve results; chain memoises ResolveChain results.
+	// Both are nil until first use and dropped on every mutation. Values
+	// share AuthorList/Extra storage with entries — see Resolve.
+	idx   map[string]resolved
+	chain map[string][]PathCitation
+}
+
+// resolved is one memoised resolution: the citation and the active-domain
+// path that supplied it.
+type resolved struct {
+	cite Citation
+	from string
 }
 
 // Errors returned by citation-function operations.
@@ -73,21 +102,50 @@ func FromEntries(entries map[string]Citation) (*Function, error) {
 	return f, nil
 }
 
-// Clone returns an independent deep copy — the snapshot stored with a
-// committed version.
+// Clone returns an independent snapshot — the value stored with a committed
+// version. The snapshot is copy-on-write: both functions share the entry
+// map until one of them is next mutated, so cloning is O(1) regardless of
+// the active domain's size. The clone starts with a cold resolution index.
 func (f *Function) Clone() *Function {
-	out := &Function{entries: make(map[string]Citation, len(f.entries))}
-	for p, c := range f.entries {
-		out.entries[p] = c.Clone()
-	}
+	f.mu.Lock()
+	f.cow = true
+	out := &Function{entries: f.entries, cow: true}
+	f.mu.Unlock()
 	return out
 }
 
+// prepareWriteLocked readies the function for a mutation: a shared
+// (copy-on-write) entry map is copied, and the resolution index is dropped.
+// Citation values are shared by the copy — the package invariant is that a
+// stored Citation is only ever replaced whole, never mutated in place, so a
+// shallow map copy fully detaches the two functions. Callers hold mu.
+func (f *Function) prepareWriteLocked() {
+	if f.cow {
+		m := make(map[string]Citation, len(f.entries))
+		for p, c := range f.entries {
+			m[p] = c
+		}
+		f.entries = m
+		f.cow = false
+	}
+	f.gen++
+	f.idx = nil
+	f.chain = nil
+}
+
 // Len returns the number of explicit entries (the active domain's size).
-func (f *Function) Len() int { return len(f.entries) }
+func (f *Function) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.entries)
+}
 
 // Root returns the root citation.
-func (f *Function) Root() Citation { return f.entries["/"].Clone() }
+func (f *Function) Root() Citation {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.entries["/"].Clone()
+}
 
 // Has reports whether the path is in the active domain.
 func (f *Function) Has(path string) bool {
@@ -95,18 +153,23 @@ func (f *Function) Has(path string) bool {
 	if err != nil {
 		return false
 	}
+	f.mu.RLock()
 	_, ok := f.entries[clean]
+	f.mu.RUnlock()
 	return ok
 }
 
 // Get returns the explicit citation attached to path, or ErrNoEntry if the
-// path is not in the active domain. (Use Resolve for the paper's Cite.)
+// path is not in the active domain. (Use Resolve for the paper's Cite.) The
+// returned citation is a deep copy the caller may freely mutate.
 func (f *Function) Get(path string) (Citation, error) {
 	clean, err := vcs.CleanPath(path)
 	if err != nil {
 		return Citation{}, err
 	}
+	f.mu.RLock()
 	c, ok := f.entries[clean]
+	f.mu.RUnlock()
 	if !ok {
 		return Citation{}, fmt.Errorf("%w: %q", ErrNoEntry, clean)
 	}
@@ -126,9 +189,12 @@ func (f *Function) Add(tree Tree, path string, c Citation) error {
 	if !tree.Exists(clean) {
 		return fmt.Errorf("%w: %q", ErrPathNotInTree, clean)
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if _, ok := f.entries[clean]; ok {
 		return fmt.Errorf("%w: %q (use Modify)", ErrEntryExists, clean)
 	}
+	f.prepareWriteLocked()
 	f.entries[clean] = c.Clone()
 	return nil
 }
@@ -143,29 +209,46 @@ func (f *Function) Modify(path string, c Citation) error {
 	if c.IsZero() {
 		return fmt.Errorf("%w: %q", ErrEmptyCitation, clean)
 	}
+	if clean == "/" {
+		if err := c.ValidateRoot(); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if _, ok := f.entries[clean]; !ok {
 		return fmt.Errorf("%w: %q (use Add)", ErrNoEntry, clean)
+	}
+	f.prepareWriteLocked()
+	f.entries[clean] = c.Clone()
+	return nil
+}
+
+// Set is Add-or-Modify: attach or replace without caring which; the path
+// must exist in the tree. Used by system-side updates (copy, retro). The
+// check-and-write is atomic, so Set never fails with an add-vs-modify
+// error under concurrent mutators.
+func (f *Function) Set(tree Tree, path string, c Citation) error {
+	clean, err := vcs.CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if c.IsZero() {
+		return fmt.Errorf("%w: %q", ErrEmptyCitation, clean)
 	}
 	if clean == "/" {
 		if err := c.ValidateRoot(); err != nil {
 			return err
 		}
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.entries[clean]; !ok && !tree.Exists(clean) {
+		return fmt.Errorf("%w: %q", ErrPathNotInTree, clean)
+	}
+	f.prepareWriteLocked()
 	f.entries[clean] = c.Clone()
 	return nil
-}
-
-// Set is Add-or-Modify: attach or replace without caring which; the path
-// must exist in the tree. Used by system-side updates (copy, retro).
-func (f *Function) Set(tree Tree, path string, c Citation) error {
-	clean, err := vcs.CleanPath(path)
-	if err != nil {
-		return err
-	}
-	if _, ok := f.entries[clean]; ok {
-		return f.Modify(clean, c)
-	}
-	return f.Add(tree, clean, c)
 }
 
 // Delete implements DelCite: remove a path from the active domain. The root
@@ -178,9 +261,12 @@ func (f *Function) Delete(path string) error {
 	if clean == "/" {
 		return ErrRootRequired
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if _, ok := f.entries[clean]; !ok {
 		return fmt.Errorf("%w: %q", ErrNoEntry, clean)
 	}
+	f.prepareWriteLocked()
 	delete(f.entries, clean)
 	return nil
 }
@@ -189,62 +275,116 @@ func (f *Function) Delete(path string) error {
 // attached to the path, or that of its closest cited ancestor. The second
 // return names the active-domain path the citation came from. Resolution is
 // total because the root is always present.
+//
+// The first resolution of a path walks the ancestor chain and memoises the
+// answer in the function's resolution index; repeat resolutions are O(1)
+// map hits with zero allocations. To stay allocation-free, the returned
+// citation shares its AuthorList and Extra storage with the function:
+// treat those fields as read-only, or Clone the citation before mutating
+// them. Scalar fields of the returned value may be set freely.
 func (f *Function) Resolve(path string) (Citation, string, error) {
 	clean, err := vcs.CleanPath(path)
 	if err != nil {
 		return Citation{}, "", err
 	}
+	f.mu.RLock()
+	if r, ok := f.idx[clean]; ok {
+		f.mu.RUnlock()
+		return r.cite, r.from, nil
+	}
+	gen := f.gen
+	var hit resolved
 	for p := clean; ; p = vcs.ParentPath(p) {
 		if c, ok := f.entries[p]; ok {
-			return c.Clone(), p, nil
+			hit = resolved{cite: c, from: p}
+			break
 		}
 		if p == "/" {
 			// Unreachable for well-formed functions; guard anyway.
+			f.mu.RUnlock()
 			return Citation{}, "", ErrRootRequired
 		}
 	}
+	f.mu.RUnlock()
+
+	f.mu.Lock()
+	// A writer may have slipped in between the two lock regions; only
+	// memoise answers computed against the current generation.
+	if f.gen == gen {
+		if f.idx == nil {
+			f.idx = make(map[string]resolved)
+		}
+		f.idx[clean] = hit
+	}
+	f.mu.Unlock()
+	return hit.cite, hit.from, nil
 }
 
 // ResolveChain implements the alternative semantics the paper mentions
 // ("ones that include every citation on the path from n to r"): every
 // explicit citation on the root-to-node path, ordered root first.
+//
+// Like Resolve, repeat calls for the same path are served from the
+// resolution index without allocating; the returned slice is shared and
+// must be treated as read-only.
 func (f *Function) ResolveChain(path string) ([]PathCitation, error) {
 	clean, err := vcs.CleanPath(path)
 	if err != nil {
 		return nil, err
 	}
+	f.mu.RLock()
+	if c, ok := f.chain[clean]; ok {
+		f.mu.RUnlock()
+		return c, nil
+	}
+	gen := f.gen
 	var reversed []PathCitation
 	for p := clean; ; p = vcs.ParentPath(p) {
 		if c, ok := f.entries[p]; ok {
-			reversed = append(reversed, PathCitation{Path: p, Citation: c.Clone()})
+			reversed = append(reversed, PathCitation{Path: p, Citation: c})
 		}
 		if p == "/" {
 			break
 		}
 	}
+	f.mu.RUnlock()
 	out := make([]PathCitation, 0, len(reversed))
 	for i := len(reversed) - 1; i >= 0; i-- {
 		out = append(out, reversed[i])
 	}
+
+	f.mu.Lock()
+	if f.gen == gen {
+		if f.chain == nil {
+			f.chain = make(map[string][]PathCitation)
+		}
+		f.chain[clean] = out
+	}
+	f.mu.Unlock()
 	return out, nil
 }
 
-// ActiveDomain lists the explicit entries in sorted path order.
+// ActiveDomain lists the explicit entries in sorted path order. Citations
+// are deep copies the caller may freely mutate.
 func (f *Function) ActiveDomain() []PathCitation {
+	f.mu.RLock()
 	out := make([]PathCitation, 0, len(f.entries))
 	for p, c := range f.entries {
 		out = append(out, PathCitation{Path: p, Citation: c.Clone()})
 	}
+	f.mu.RUnlock()
 	sortPathCitations(out)
 	return out
 }
 
 // Paths lists the active-domain paths in sorted order.
 func (f *Function) Paths() []string {
+	f.mu.RLock()
 	out := make([]string, 0, len(f.entries))
 	for p := range f.entries {
 		out = append(out, p)
 	}
+	f.mu.RUnlock()
 	return sortedStrings(out)
 }
 
@@ -269,6 +409,8 @@ func (f *Function) Rename(oldPath, newPath string) error {
 	if oldClean == newClean {
 		return nil
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	moved := map[string]Citation{}
 	for p, c := range f.entries {
 		if vcs.IsAncestorPath(oldClean, p) {
@@ -279,6 +421,10 @@ func (f *Function) Rename(oldPath, newPath string) error {
 			moved[np] = c
 		}
 	}
+	if len(moved) == 0 {
+		return nil
+	}
+	f.prepareWriteLocked()
 	for p := range f.entries {
 		if vcs.IsAncestorPath(oldClean, p) {
 			delete(f.entries, p)
@@ -295,6 +441,8 @@ func (f *Function) Rename(oldPath, newPath string) error {
 // system-side cleanup after deletes and merges (paper §3: "delete any
 // entries that correspond to files that were deleted by the Git merge").
 func (f *Function) Prune(tree Tree) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	var removed []string
 	for p := range f.entries {
 		if p == "/" {
@@ -302,6 +450,11 @@ func (f *Function) Prune(tree Tree) []string {
 		}
 		if !tree.Exists(p) {
 			removed = append(removed, p)
+		}
+	}
+	if len(removed) > 0 {
+		f.prepareWriteLocked()
+		for _, p := range removed {
 			delete(f.entries, p)
 		}
 	}
@@ -312,6 +465,8 @@ func (f *Function) Prune(tree Tree) []string {
 // exists and satisfies the root requirements, and every active-domain path
 // exists in the tree.
 func (f *Function) Validate(tree Tree) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	root, ok := f.entries["/"]
 	if !ok {
 		return fmt.Errorf("%w: no entry for \"/\"", ErrRootRequired)
@@ -330,14 +485,32 @@ func (f *Function) Validate(tree Tree) error {
 	return nil
 }
 
+// snapshot returns a shallow copy of the entry map: a private map whose
+// Citation values share storage with the function. Safe to iterate without
+// holding the lock; values must not be mutated in place.
+func (f *Function) snapshot() map[string]Citation {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	m := make(map[string]Citation, len(f.entries))
+	for p, c := range f.entries {
+		m[p] = c
+	}
+	return m
+}
+
 // Equal reports whether two functions have identical active domains and
 // entry-wise equal citations.
 func (f *Function) Equal(o *Function) bool {
-	if f.Len() != o.Len() {
+	if f == o {
+		return true
+	}
+	// Snapshot both sides separately so two locks are never held at once.
+	fe, oe := f.snapshot(), o.snapshot()
+	if len(fe) != len(oe) {
 		return false
 	}
-	for p, c := range f.entries {
-		oc, ok := o.entries[p]
+	for p, c := range fe {
+		oc, ok := oe[p]
 		if !ok || !c.Equal(oc) {
 			return false
 		}

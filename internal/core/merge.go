@@ -100,10 +100,20 @@ func Merge(ours, theirs *Function, mergedTree Tree, opts MergeOptions) (MergeRes
 		return MergeResult{}, errors.New("core: StrategyThreeWay requires MergeOptions.Base")
 	}
 
+	// Clone is copy-on-write; detach the merged function up front since the
+	// loop below edits its entry map directly. out is private to this call,
+	// so the direct writes need no locking once detached.
 	out := ours.Clone()
+	out.mu.Lock()
+	out.prepareWriteLocked()
+	out.mu.Unlock()
+	var baseEntries map[string]Citation
+	if opts.Base != nil {
+		baseEntries = opts.Base.snapshot()
+	}
 	var conflicts []MergeConflict
 
-	for p, theirC := range theirs.entries {
+	for p, theirC := range theirs.snapshot() {
 		ourC, inOurs := out.entries[p]
 		if !inOurs {
 			out.entries[p] = theirC.Clone()
@@ -113,8 +123,8 @@ func Merge(ours, theirs *Function, mergedTree Tree, opts MergeOptions) (MergeRes
 			continue
 		}
 		c := MergeConflict{Path: p, Ours: ourC.Clone(), Theirs: theirC.Clone()}
-		if opts.Base != nil {
-			if baseC, ok := opts.Base.entries[p]; ok {
+		if baseEntries != nil {
+			if baseC, ok := baseEntries[p]; ok {
 				c.Base = baseC.Clone()
 				c.HasBase = true
 			}

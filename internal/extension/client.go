@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 
 	"github.com/gitcite/gitcite/internal/citefile"
 	"github.com/gitcite/gitcite/internal/core"
@@ -33,9 +34,15 @@ type Client struct {
 }
 
 // New creates a client. token may be empty for anonymous (read-only) use —
-// the paper's non-member case.
+// the paper's non-member case. The client is safe for concurrent use; its
+// transport keeps enough idle connections per host that parallel callers
+// reuse connections instead of churning through new ones (the default
+// transport caps idle connections per host at 2).
 func New(baseURL, token string) *Client {
-	return &Client{baseURL: baseURL, token: token, http: &http.Client{}}
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = 256
+	transport.MaxIdleConnsPerHost = 256
+	return &Client{baseURL: baseURL, token: token, http: &http.Client{Transport: transport}}
 }
 
 // WithToken returns a copy of the client authenticated with token.
@@ -145,7 +152,7 @@ func (c *Client) Tree(owner, repo, rev string) ([]hosting.TreeEntryResponse, err
 // exactly like the popup's "Generate Citation" button.
 func (c *Client) GenCite(owner, repo, rev, path string) (core.Citation, string, error) {
 	var resp hosting.CiteResponse
-	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/cite/%s?path=%s", owner, repo, rev, path), nil, &resp)
+	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/cite/%s?path=%s", owner, repo, rev, url.QueryEscape(path)), nil, &resp)
 	if err != nil {
 		return core.Citation{}, "", err
 	}
@@ -153,10 +160,29 @@ func (c *Client) GenCite(owner, repo, rev, path string) (core.Citation, string, 
 	return cite, resp.From, err
 }
 
+// Chain generates the whole-path citation chain for a node (the paper's
+// alternative semantics) — available to everyone, like GenCite.
+func (c *Client) Chain(owner, repo, rev, path string) ([]core.PathCitation, error) {
+	var resp hosting.ChainResponse
+	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/chain/%s?path=%s", owner, repo, rev, url.QueryEscape(path)), nil, &resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.PathCitation, 0, len(resp.Chain))
+	for _, link := range resp.Chain {
+		cite, err := citefile.DecodeEntry(link.Citation)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.PathCitation{Path: link.Path, Citation: cite})
+	}
+	return out, nil
+}
+
 // GenCiteRendered generates and renders a citation in one round trip.
 func (c *Client) GenCiteRendered(owner, repo, rev, path, formatName string) (string, error) {
 	var resp hosting.CiteResponse
-	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/cite/%s?path=%s&format=%s", owner, repo, rev, path, formatName), nil, &resp)
+	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/cite/%s?path=%s&format=%s", owner, repo, rev, url.QueryEscape(path), url.QueryEscape(formatName)), nil, &resp)
 	return resp.Rendered, err
 }
 

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/gitcite/gitcite/internal/citefile"
@@ -44,11 +45,24 @@ func (m Meta) Validate() error {
 	return nil
 }
 
+// fnCacheCap bounds the number of per-commit citation functions a Repo
+// keeps decoded in memory. Committed versions are immutable, so cached
+// functions never go stale; the cap is purely a memory bound.
+const fnCacheCap = 512
+
 // Repo is a citation-enabled repository: a vcs repository whose versions
-// each carry a citation.cite file.
+// each carry a citation.cite file. It is safe for concurrent use: read
+// operations (Generate, GenerateChain, ResolvedFunctionAt, TreeAt) may run
+// in parallel with each other and with commits.
 type Repo struct {
 	VCS  *vcs.Repository
 	Meta Meta
+
+	// fnCache holds the decoded citation function of committed versions,
+	// keyed by commit ID. Every reader of the same version shares one
+	// Function — and therefore one warm resolution index.
+	fnMu    sync.RWMutex
+	fnCache map[object.ID]*core.Function
 }
 
 // NewMemoryRepo creates an empty citation-enabled repository in memory.
@@ -137,8 +151,77 @@ func (t treeAdapter) IsDir(path string) bool {
 // ErrNotCitationEnabled reports a version without a citation.cite file.
 var ErrNotCitationEnabled = errors.New("gitcite: version has no citation.cite (not citation-enabled)")
 
-// FunctionAt reads the citation function stored with a commit.
+// FunctionAt returns the citation function stored with a commit. The
+// returned function is a private copy-on-write snapshot the caller may
+// freely mutate (worktrees do exactly that).
 func (r *Repo) FunctionAt(commitID object.ID) (*core.Function, error) {
+	fn, err := r.ResolvedFunctionAt(commitID)
+	if err != nil {
+		return nil, err
+	}
+	return fn.Clone(), nil
+}
+
+// ResolvedFunctionAt returns the shared, read-only citation function of a
+// committed version. All readers of the same commit get the same Function
+// instance, so its lazily-built resolution index warms once and serves
+// every subsequent Resolve as an O(1) hit. Callers must not mutate it —
+// use FunctionAt for a mutable snapshot.
+func (r *Repo) ResolvedFunctionAt(commitID object.ID) (*core.Function, error) {
+	r.fnMu.RLock()
+	fn := r.fnCache[commitID]
+	r.fnMu.RUnlock()
+	if fn != nil {
+		return fn, nil
+	}
+	fn, err := r.loadFunction(commitID)
+	if err != nil {
+		return nil, err
+	}
+	r.fnMu.Lock()
+	if cur, ok := r.fnCache[commitID]; ok {
+		// A concurrent loader won; share its instance (and its index).
+		fn = cur
+	} else {
+		if r.fnCache == nil {
+			r.fnCache = make(map[object.ID]*core.Function, fnCacheCap)
+		}
+		if len(r.fnCache) >= fnCacheCap {
+			for k := range r.fnCache {
+				delete(r.fnCache, k)
+				break // drop one arbitrary entry; victims reload on demand
+			}
+		}
+		r.fnCache[commitID] = fn
+	}
+	r.fnMu.Unlock()
+	return fn, nil
+}
+
+// cacheFunction seeds the per-commit cache with the snapshot a worktree
+// just committed, so the version's first reader skips the citation.cite
+// decode.
+func (r *Repo) cacheFunction(commitID object.ID, fn *core.Function) {
+	r.fnMu.Lock()
+	defer r.fnMu.Unlock()
+	if _, ok := r.fnCache[commitID]; ok {
+		return
+	}
+	if r.fnCache == nil {
+		r.fnCache = make(map[object.ID]*core.Function, fnCacheCap)
+	}
+	if len(r.fnCache) >= fnCacheCap {
+		for k := range r.fnCache {
+			delete(r.fnCache, k)
+			break
+		}
+	}
+	r.fnCache[commitID] = fn
+}
+
+// loadFunction reads and decodes a commit's citation.cite from the object
+// store.
+func (r *Repo) loadFunction(commitID object.ID) (*core.Function, error) {
 	treeID, err := r.VCS.TreeOf(commitID)
 	if err != nil {
 		return nil, err
@@ -165,10 +248,12 @@ func (r *Repo) IsCitationEnabled(commitID object.ID) bool {
 // default — fill in the cited version's own commit ID and date, so the
 // generated citation names the exact version being extracted.
 func (r *Repo) Generate(commitID object.ID, path string) (core.Citation, string, error) {
-	fn, err := r.FunctionAt(commitID)
+	fn, err := r.ResolvedFunctionAt(commitID)
 	if err != nil {
 		return core.Citation{}, "", err
 	}
+	// Resolve returns a shallow citation off the shared warm index; only
+	// scalar fields are filled in below, which is safe on the value copy.
 	cite, from, err := fn.Resolve(path)
 	if err != nil {
 		return core.Citation{}, "", err
@@ -190,7 +275,7 @@ func (r *Repo) Generate(commitID object.ID, path string) (core.Citation, string,
 
 // GenerateChain is Generate under the alternative whole-path semantics.
 func (r *Repo) GenerateChain(commitID object.ID, path string) ([]core.PathCitation, error) {
-	fn, err := r.FunctionAt(commitID)
+	fn, err := r.ResolvedFunctionAt(commitID)
 	if err != nil {
 		return nil, err
 	}

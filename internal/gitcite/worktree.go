@@ -207,7 +207,10 @@ func (wt *Worktree) ModifyCite(path string, c core.Citation) error {
 }
 
 // GenCite resolves the citation for a working path (closest-ancestor
-// semantics), also reporting which active-domain path supplied it.
+// semantics), also reporting which active-domain path supplied it. Like
+// core.Function.Resolve, the returned citation's AuthorList and Extra
+// share storage with the working function — treat them as read-only, or
+// Clone the citation before mutating them.
 func (wt *Worktree) GenCite(path string) (core.Citation, string, error) {
 	return wt.fn.Resolve(path)
 }
@@ -243,6 +246,9 @@ func (wt *Worktree) Commit(opts vcs.CommitOptions) (object.ID, error) {
 		return object.ZeroID, err
 	}
 	wt.base = id
+	// Seed the repository's read cache with a COW snapshot of the function
+	// just committed; later worktree edits copy-on-write away from it.
+	wt.repo.cacheFunction(id, wt.fn.Clone())
 	return id, nil
 }
 

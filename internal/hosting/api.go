@@ -301,7 +301,7 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	fn, err := repo.FunctionAt(commit)
+	fn, err := repo.ResolvedFunctionAt(commit)
 	if err != nil && !errors.Is(err, gitcite.ErrNotCitationEnabled) {
 		writeErr(w, err)
 		return
@@ -643,25 +643,19 @@ func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	// Collect the reachable closure into a scratch store, then serialise.
-	scratch := store.NewMemoryStore()
-	if _, err := store.CopyClosure(scratch, repo.VCS.Objects, commit); err != nil {
-		writeErr(w, err)
-		return
-	}
-	ids, err := scratch.IDs()
+	// Serialise the reachable closure straight out of the live store —
+	// objects are immutable and the store is concurrency-safe, so no
+	// platform-level lock is held (or needed) across the transfer, no
+	// scratch copy of the closure is staged, and each object is fetched
+	// exactly once.
+	resp := PullResponse{Tip: commit.String()}
+	err = store.WalkClosure(repo.VCS.Objects, func(_ object.ID, o object.Object) error {
+		resp.Objects = append(resp.Objects, WireObject{Data: base64.StdEncoding.EncodeToString(object.Encode(o))})
+		return nil
+	}, commit)
 	if err != nil {
 		writeErr(w, err)
 		return
-	}
-	resp := PullResponse{Tip: commit.String()}
-	for _, id := range ids {
-		o, err := scratch.Get(id)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		resp.Objects = append(resp.Objects, WireObject{Data: base64.StdEncoding.EncodeToString(object.Encode(o))})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

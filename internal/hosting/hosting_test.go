@@ -3,6 +3,7 @@ package hosting_test
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -495,6 +496,71 @@ func TestEditCiteRejectsBadBodies(t *testing.T) {
 	}
 	if got := post(`{"branch": "main", "path": "/src"}`); got < 400 || got >= 500 {
 		t.Errorf("missing citation status = %d", got)
+	}
+}
+
+// TestParallelReadEndpoints hammers every public read endpoint — GenCite,
+// chain, credit, tree listing and pull — from parallel clients against one
+// hosted repository; run with -race. All of them ride the shared
+// resolved-citation function of the branch tip.
+func TestParallelReadEndpoints(t *testing.T) {
+	fx := newFixture(t)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					cite, from, err := fx.anon.GenCite("leshang", "P1", "main", "/CoreCover/rewrite.py")
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if from != "/CoreCover" || cite.Owner != "Chen Li" {
+						errCh <- fmt.Errorf("GenCite owner=%q from=%q", cite.Owner, from)
+						return
+					}
+				case 1:
+					chain, err := fx.anon.Chain("leshang", "P1", "main", "/CoreCover/rewrite.py")
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if len(chain) != 2 {
+						errCh <- fmt.Errorf("chain length %d, want 2", len(chain))
+						return
+					}
+				case 2:
+					rep, err := fx.anon.Credit("leshang", "P1", "main")
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if rep.TotalFiles != 4 {
+						errCh <- fmt.Errorf("credit totalFiles=%d, want 4", rep.TotalFiles)
+						return
+					}
+				case 3:
+					entries, err := fx.anon.Tree("leshang", "P1", "main")
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if len(entries) == 0 {
+						errCh <- fmt.Errorf("empty tree listing")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("parallel read: %v", err)
 	}
 }
 

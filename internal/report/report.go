@@ -62,7 +62,9 @@ type Report struct {
 // Build computes the credit report for one version of a citation-enabled
 // repository.
 func Build(repo *gitcite.Repo, commit object.ID) (*Report, error) {
-	fn, err := repo.FunctionAt(commit)
+	// Read-only access: share the repository's cached function so repeated
+	// credit reports for one version reuse its warm resolution index.
+	fn, err := repo.ResolvedFunctionAt(commit)
 	if err != nil {
 		return nil, err
 	}

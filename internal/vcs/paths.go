@@ -22,6 +22,9 @@ func CleanPath(p string) (string, error) {
 	if p == "" {
 		return "", fmt.Errorf("%w: empty", ErrBadPath)
 	}
+	if IsCleanPath(p) {
+		return p, nil
+	}
 	if !strings.HasPrefix(p, "/") {
 		p = "/" + p
 	}
@@ -45,6 +48,31 @@ func CleanPath(p string) (string, error) {
 		return "/", nil
 	}
 	return cleaned, nil
+}
+
+// IsCleanPath reports whether p is already in the canonical form CleanPath
+// produces: "/" or a "/"-rooted path with no trailing slash and no empty,
+// "." or ".." components. It performs no allocations, which keeps CleanPath
+// allocation-free on the hot resolution path where inputs are usually
+// already clean.
+func IsCleanPath(p string) bool {
+	if p == "/" {
+		return true
+	}
+	if len(p) < 2 || p[0] != '/' || p[len(p)-1] == '/' {
+		return false
+	}
+	start := 1
+	for i := 1; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			seg := p[start:i]
+			if seg == "" || seg == "." || seg == ".." {
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
 }
 
 // MustCleanPath is CleanPath that panics on error; for tests and literals.

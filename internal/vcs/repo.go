@@ -24,13 +24,25 @@ type Repository struct {
 // none yet.
 var ErrNoCommits = errors.New("vcs: branch has no commits")
 
+// objectCacheCap bounds the decoded-object cache every repository layers
+// over its raw store. Objects are immutable, so cached entries never go
+// stale; hot commits and trees skip both I/O and decoding on every read
+// after the first.
+const objectCacheCap = 4096
+
 // NewMemoryRepository creates a repository backed entirely by memory.
+// Reads go through a decoded-object cache: the memory store holds
+// canonical encodings, so without it every Get would re-decode.
 func NewMemoryRepository() *Repository {
-	return &Repository{Objects: store.NewMemoryStore(), Refs: refs.NewMemoryStore()}
+	return &Repository{
+		Objects: store.NewCachedStore(store.NewMemoryStore(), objectCacheCap),
+		Refs:    refs.NewMemoryStore(),
+	}
 }
 
 // OpenFileRepository opens (creating if needed) a repository persisted under
-// dir — objects in dir/objects, refs in dir/refs + dir/HEAD.
+// dir — objects in dir/objects, refs in dir/refs + dir/HEAD. Reads go
+// through a decoded-object cache over the loose-object files.
 func OpenFileRepository(dir string) (*Repository, error) {
 	objs, err := store.NewFileStore(dir + "/objects")
 	if err != nil {
@@ -40,7 +52,7 @@ func OpenFileRepository(dir string) (*Repository, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Repository{Objects: objs, Refs: rs}, nil
+	return &Repository{Objects: store.NewCachedStore(objs, objectCacheCap), Refs: rs}, nil
 }
 
 // CommitOptions carries the metadata for a new commit.

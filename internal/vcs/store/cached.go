@@ -3,22 +3,39 @@ package store
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gitcite/gitcite/internal/vcs/object"
 )
 
+// cacheShardCount is the number of independent LRU shards. Objects map to
+// shards by the first byte of their ID (a uniform content hash), so
+// parallel Gets of distinct objects contend on a shard mutex only 1/16th
+// of the time.
+const cacheShardCount = 16
+
 // CachedStore is a read-through LRU cache over another Store. Because
 // objects are immutable, cached entries can never go stale; eviction is
 // purely a memory-bound concern. It is safe for concurrent use.
+//
+// The cache is sharded: each shard has its own mutex, LRU list and index,
+// so parallel reads do not serialise on a single lock. Concurrent misses
+// for the same object are deduplicated singleflight-style — one caller
+// fetches from the backend while the rest wait for its result — so a hot
+// object being requested by N readers costs one backend read, not N.
 type CachedStore struct {
-	backend Store
-	cap     int
+	backend     Store
+	capPerShard int
+	shards      []cacheShard
 
-	mu    sync.Mutex
-	lru   *list.List // front = most recently used; values are cacheEntry
-	index map[object.ID]*list.Element
+	hits, misses atomic.Uint64
+}
 
-	hits, misses uint64
+type cacheShard struct {
+	mu       sync.Mutex
+	lru      *list.List // front = most recently used; values are cacheEntry
+	index    map[object.ID]*list.Element
+	inflight map[object.ID]*fetchCall
 }
 
 type cacheEntry struct {
@@ -26,22 +43,46 @@ type cacheEntry struct {
 	obj object.Object
 }
 
-// NewCachedStore wraps backend with a cache of at most capacity objects.
-// A capacity of 0 or less disables caching (pass-through).
-func NewCachedStore(backend Store, capacity int) *CachedStore {
-	return &CachedStore{
-		backend: backend,
-		cap:     capacity,
-		lru:     list.New(),
-		index:   make(map[object.ID]*list.Element),
-	}
+// fetchCall is one in-flight backend fetch that concurrent misses for the
+// same object wait on.
+type fetchCall struct {
+	done chan struct{}
+	obj  object.Object
+	err  error
 }
 
-// Stats returns the cumulative hit and miss counts.
+// NewCachedStore wraps backend with a cache of at most capacity objects.
+// A capacity of 0 or less disables caching (pass-through). Caches smaller
+// than cacheShardCount² objects keep a single shard, preserving exact
+// global LRU order; larger caches shard, making the capacity approximate
+// (it is rounded up to a multiple of the shard count).
+func NewCachedStore(backend Store, capacity int) *CachedStore {
+	n := 1
+	if capacity >= cacheShardCount*cacheShardCount {
+		n = cacheShardCount
+	}
+	s := &CachedStore{backend: backend, shards: make([]cacheShard, n)}
+	if capacity > 0 {
+		s.capPerShard = (capacity + n - 1) / n
+	}
+	for i := range s.shards {
+		s.shards[i].lru = list.New()
+		s.shards[i].index = make(map[object.ID]*list.Element)
+		s.shards[i].inflight = make(map[object.ID]*fetchCall)
+	}
+	return s
+}
+
+func (s *CachedStore) shard(id object.ID) *cacheShard {
+	return &s.shards[int(id[0])%len(s.shards)]
+}
+
+// Stats returns the cumulative hit and miss counts. Every Get or Has that
+// is answered from the cache counts as a hit; every one that has to
+// consult the backend (including singleflight waiters that piggyback on
+// another caller's fetch) counts as a miss.
 func (s *CachedStore) Stats() (hits, misses uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.hits, s.misses
+	return s.hits.Load(), s.misses.Load()
 }
 
 // Put implements Store, populating the cache on write.
@@ -56,51 +97,68 @@ func (s *CachedStore) Put(o object.Object) (object.ID, error) {
 
 // Get implements Store.
 func (s *CachedStore) Get(id object.ID) (object.Object, error) {
-	s.mu.Lock()
-	if el, ok := s.index[id]; ok {
-		s.lru.MoveToFront(el)
-		s.hits++
+	sh := s.shard(id)
+	sh.mu.Lock()
+	if el, ok := sh.index[id]; ok {
+		sh.lru.MoveToFront(el)
 		o := el.Value.(cacheEntry).obj
-		s.mu.Unlock()
+		sh.mu.Unlock()
+		s.hits.Add(1)
 		return o, nil
 	}
-	s.misses++
-	s.mu.Unlock()
-
-	o, err := s.backend.Get(id)
-	if err != nil {
-		return nil, err
+	s.misses.Add(1)
+	if call, ok := sh.inflight[id]; ok {
+		// Another caller is already fetching this object; wait for it.
+		sh.mu.Unlock()
+		<-call.done
+		return call.obj, call.err
 	}
-	s.insert(id, o)
-	return o, nil
+	call := &fetchCall{done: make(chan struct{})}
+	sh.inflight[id] = call
+	sh.mu.Unlock()
+
+	call.obj, call.err = s.backend.Get(id)
+	if call.err == nil {
+		s.insert(id, call.obj)
+	}
+	sh.mu.Lock()
+	delete(sh.inflight, id)
+	sh.mu.Unlock()
+	close(call.done)
+	return call.obj, call.err
 }
 
 func (s *CachedStore) insert(id object.ID, o object.Object) {
-	if s.cap <= 0 {
+	if s.capPerShard <= 0 {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.index[id]; ok {
-		s.lru.MoveToFront(el)
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.index[id]; ok {
+		sh.lru.MoveToFront(el)
 		return
 	}
-	s.index[id] = s.lru.PushFront(cacheEntry{id: id, obj: o})
-	for s.lru.Len() > s.cap {
-		oldest := s.lru.Back()
-		s.lru.Remove(oldest)
-		delete(s.index, oldest.Value.(cacheEntry).id)
+	sh.index[id] = sh.lru.PushFront(cacheEntry{id: id, obj: o})
+	for sh.lru.Len() > s.capPerShard {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.index, oldest.Value.(cacheEntry).id)
 	}
 }
 
-// Has implements Store.
+// Has implements Store. A cache hit answers immediately (and counts toward
+// Stats); otherwise the backend is consulted.
 func (s *CachedStore) Has(id object.ID) (bool, error) {
-	s.mu.Lock()
-	_, ok := s.index[id]
-	s.mu.Unlock()
+	sh := s.shard(id)
+	sh.mu.Lock()
+	_, ok := sh.index[id]
+	sh.mu.Unlock()
 	if ok {
+		s.hits.Add(1)
 		return true, nil
 	}
+	s.misses.Add(1)
 	return s.backend.Has(id)
 }
 

@@ -18,9 +18,14 @@ import (
 // (root/ab/cdef....), the layout used by the local executable tool's
 // ".gitcite/objects" directory. It is safe for concurrent use within a
 // single process.
+//
+// Locking is striped per fanout directory (one RWMutex per first ID byte),
+// so readers and writers touching different fanout dirs never contend; and
+// zlib compression/decompression happens outside the critical section, so
+// the locks are held only around the filesystem operations themselves.
 type FileStore struct {
-	root string
-	mu   sync.RWMutex
+	root  string
+	locks [256]sync.RWMutex
 }
 
 // NewFileStore opens (creating if necessary) a file store rooted at dir.
@@ -39,21 +44,25 @@ func (s *FileStore) pathFor(id object.ID) string {
 	return filepath.Join(s.root, hexid[:2], hexid[2:])
 }
 
+// stripe returns the lock covering the object's fanout directory.
+func (s *FileStore) stripe(id object.ID) *sync.RWMutex { return &s.locks[id[0]] }
+
 // Put implements Store.
 func (s *FileStore) Put(o object.Object) (object.ID, error) {
 	enc := object.Encode(o)
 	id := object.HashBytes(enc)
 	path := s.pathFor(id)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := os.Stat(path); err == nil {
+	mu := s.stripe(id)
+	mu.RLock()
+	_, statErr := os.Stat(path)
+	mu.RUnlock()
+	if statErr == nil {
 		return id, nil // content-addressed: already present means identical
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return object.ZeroID, fmt.Errorf("store: fanout dir: %w", err)
-	}
 
+	// Compress outside the critical section: only the filesystem writes
+	// below need the stripe lock.
 	var buf bytes.Buffer
 	zw := zlib.NewWriter(&buf)
 	if _, err := zw.Write(enc); err != nil {
@@ -61,6 +70,15 @@ func (s *FileStore) Put(o object.Object) (object.ID, error) {
 	}
 	if err := zw.Close(); err != nil {
 		return object.ZeroID, fmt.Errorf("store: compress close: %w", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if _, err := os.Stat(path); err == nil {
+		return id, nil // a concurrent Put won the race; identical content
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return object.ZeroID, fmt.Errorf("store: fanout dir: %w", err)
 	}
 
 	// Write-then-rename so readers never observe a partial object.
@@ -87,17 +105,18 @@ func (s *FileStore) Put(o object.Object) (object.ID, error) {
 
 // Get implements Store.
 func (s *FileStore) Get(id object.ID) (object.Object, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	f, err := os.Open(s.pathFor(id))
+	mu := s.stripe(id)
+	mu.RLock()
+	compressed, err := os.ReadFile(s.pathFor(id))
+	mu.RUnlock()
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, ErrNotFound
 		}
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
-	defer f.Close()
-	zr, err := zlib.NewReader(f)
+	// Decompress and verify outside the lock.
+	zr, err := zlib.NewReader(bytes.NewReader(compressed))
 	if err != nil {
 		return nil, fmt.Errorf("store: object %s corrupt: %w", id.Short(), err)
 	}
@@ -114,8 +133,9 @@ func (s *FileStore) Get(id object.ID) (object.Object, error) {
 
 // Has implements Store.
 func (s *FileStore) Has(id object.ID) (bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	mu := s.stripe(id)
+	mu.RLock()
+	defer mu.RUnlock()
 	_, err := os.Stat(s.pathFor(id))
 	if err == nil {
 		return true, nil
@@ -128,8 +148,8 @@ func (s *FileStore) Has(id object.ID) (bool, error) {
 
 // IDs implements Store.
 func (s *FileStore) IDs() ([]object.ID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// No locks needed: writes land via atomic rename, so a directory scan
+	// only ever sees complete objects (in-flight temp files are skipped).
 	var ids []object.ID
 	fanouts, err := os.ReadDir(s.root)
 	if err != nil {

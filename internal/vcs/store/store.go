@@ -101,6 +101,55 @@ func CopyAll(dst, src Store) (int, error) {
 	return len(ids), nil
 }
 
+// WalkClosure visits the full object graph reachable from the given roots
+// (commits pull in parents and trees; trees pull in entries), calling
+// visit once per object. Unlike CopyClosure it moves nothing — read
+// handlers use it to serialise a closure straight out of a live store,
+// each object fetched exactly once, without staging a second copy.
+func WalkClosure(src Store, visit func(object.ID, object.Object) error, roots ...object.ID) error {
+	seen := make(map[object.ID]bool)
+	stack := append([]object.ID(nil), roots...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id.IsZero() || seen[id] {
+			continue
+		}
+		seen[id] = true
+		o, err := src.Get(id)
+		if err != nil {
+			return fmt.Errorf("store: closure walk %s: %w", id.Short(), err)
+		}
+		if err := visit(id, o); err != nil {
+			return err
+		}
+		switch v := o.(type) {
+		case *object.Commit:
+			stack = append(stack, v.TreeID)
+			stack = append(stack, v.Parents...)
+		case *object.Tree:
+			for _, e := range v.Entries() {
+				stack = append(stack, e.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// ClosureIDs returns every ID reachable from the given roots, via
+// WalkClosure.
+func ClosureIDs(src Store, roots ...object.ID) ([]object.ID, error) {
+	var out []object.ID
+	err := WalkClosure(src, func(id object.ID, _ object.Object) error {
+		out = append(out, id)
+		return nil
+	}, roots...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // CopyClosure copies the full object graph reachable from the given roots
 // (commits pull in parents and trees; trees pull in entries) from src to
 // dst. Objects already present in dst prune the walk, which makes pushes and

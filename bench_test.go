@@ -18,6 +18,8 @@ import (
 	"github.com/gitcite/gitcite/internal/hosting"
 	"github.com/gitcite/gitcite/internal/scenario"
 	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
 	"github.com/gitcite/gitcite/internal/workload"
 )
 
@@ -330,6 +332,204 @@ func BenchmarkCommitCitationEnabled(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---- E8: incremental write path ----
+
+// benchTreeFiles builds a nested map of n files (10 top dirs × 10 subdirs).
+func benchTreeFiles(n int) map[string]vcs.FileContent {
+	fc := make(map[string]vcs.FileContent, n)
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("/d%d/s%d/f%d.txt", i%10, (i/10)%10, i)
+		fc[p] = vcs.File(fmt.Sprintf("seed content %d", i))
+	}
+	return fc
+}
+
+// BenchmarkCommitOneFileIn1k measures the cost of committing one changed
+// file into a 1000-file repository. "cold" is the pre-incremental write
+// path — a from-scratch BuildTree of the whole map every commit;
+// "incremental" diffs against the parent's tree and re-hashes only the
+// changed path. "worktree" is the full citation-enabled commit (lazy
+// worktree + citation.cite regeneration) on the incremental path.
+func BenchmarkCommitOneFileIn1k(b *testing.B) {
+	const n = 1000
+	b.Run("cold", func(b *testing.B) {
+		fc := benchTreeFiles(n)
+		repo := vcs.NewMemoryRepository()
+		opts := vcs.CommitOptions{Author: vcs.Sig("bench", "b@x", time.Unix(1, 0)), Message: "bench"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fc["/d3/s4/f435.txt"] = vcs.File(fmt.Sprintf("edit %d", i))
+			if _, err := repo.CommitFiles("main", fc, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		fc := benchTreeFiles(n)
+		repo := vcs.NewMemoryRepository()
+		opts := vcs.CommitOptions{Author: vcs.Sig("bench", "b@x", time.Unix(1, 0)), Message: "bench"}
+		tip, err := repo.CommitFiles("main", fc, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := repo.TreeOf(tip)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			edits := map[string]vcs.TreeEdit{
+				"/d3/s4/f435.txt": {Data: []byte(fmt.Sprintf("edit %d", i))},
+			}
+			tip, err = repo.CommitDelta("main", base, edits, nil, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if base, err = repo.TreeOf(tip); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("worktree", func(b *testing.B) {
+		repo, err := gitcite.NewRepository(gitcite.Meta{Owner: "bench", Name: "b", URL: "u"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wt, err := repo.Checkout("main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p, f := range benchTreeFiles(n) {
+			if err := wt.WriteFile(p, f.Data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		opts := vcs.CommitOptions{Author: vcs.Sig("bench", "b@x", time.Unix(1, 0)), Message: "bench"}
+		if _, err := wt.Commit(opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := wt.WriteFile("/d3/s4/f435.txt", []byte(fmt.Sprintf("edit %d", i))); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := wt.Commit(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// copyClosurePerObject is the pre-batch closure copy: one lock-acquiring
+// Has and one Put round trip per object. Kept as the BenchmarkPushClosure
+// baseline.
+func copyClosurePerObject(dst, src store.Store, roots ...object.ID) (int, error) {
+	copied := 0
+	seen := make(map[object.ID]bool)
+	stack := append([]object.ID(nil), roots...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id.IsZero() || seen[id] {
+			continue
+		}
+		seen[id] = true
+		if ok, err := dst.Has(id); err != nil {
+			return copied, err
+		} else if ok {
+			continue
+		}
+		o, err := src.Get(id)
+		if err != nil {
+			return copied, err
+		}
+		if _, err := dst.Put(o); err != nil {
+			return copied, err
+		}
+		copied++
+		switch v := o.(type) {
+		case *object.Commit:
+			stack = append(stack, v.TreeID)
+			stack = append(stack, v.Parents...)
+		case *object.Tree:
+			for _, e := range v.Entries() {
+				stack = append(stack, e.ID)
+			}
+		}
+	}
+	return copied, nil
+}
+
+// BenchmarkPushClosure measures transferring a 1000-file commit closure
+// into an empty store: the batched frontier walk (HasMany/PutMany) against
+// the per-object baseline.
+func BenchmarkPushClosure(b *testing.B) {
+	src := store.NewMemoryStore()
+	tree, err := vcs.BuildTree(src, benchTreeFiles(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	commit := &object.Commit{
+		TreeID:    tree,
+		Author:    vcs.Sig("bench", "b@x", time.Unix(1, 0)),
+		Committer: vcs.Sig("bench", "b@x", time.Unix(1, 0)),
+		Message:   "bench",
+	}
+	root, err := src.Put(commit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("memory/batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dst := store.NewMemoryStore()
+			b.StartTimer()
+			if _, err := store.CopyClosure(dst, src, root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("memory/per-object", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dst := store.NewMemoryStore()
+			b.StartTimer()
+			if _, err := copyClosurePerObject(dst, src, root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The file-backed variants are where batching matters: per-fanout-dir
+	// locking, a single directory scan instead of per-object stats, and
+	// pooled compressors.
+	b.Run("file/batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dst, err := store.NewFileStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := store.CopyClosure(dst, src, root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("file/per-object", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dst, err := store.NewFileStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := copyClosurePerObject(dst, src, root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---- E6: hosting round trips over loopback HTTP ----

@@ -10,6 +10,8 @@
 //	gitcite-bench -experiment demo       §4 scenario incl. live add/modify
 //	gitcite-bench -experiment concurrent concurrent GenCite load generator
 //	                                     (-clients N -requests M)
+//	gitcite-bench -experiment commit     incremental vs full-rebuild write
+//	                                     path (-files N -commits M)
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gitcite/gitcite/internal/core"
@@ -26,15 +29,20 @@ import (
 	"github.com/gitcite/gitcite/internal/hosting"
 	"github.com/gitcite/gitcite/internal/scenario"
 	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/refs"
+	"github.com/gitcite/gitcite/internal/vcs/store"
 )
 
 var (
 	clients  = flag.Int("clients", 16, "concurrent clients for -experiment concurrent")
 	requests = flag.Int("requests", 500, "requests per client for -experiment concurrent")
+	files    = flag.Int("files", 1000, "repository size for -experiment commit")
+	commits  = flag.Int("commits", 200, "measured commits for -experiment commit")
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, figure1, architecture, figure2, listing1, demo, concurrent")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, figure1, architecture, figure2, listing1, demo, concurrent, commit")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -44,8 +52,9 @@ func main() {
 		"listing1":     runListing1,
 		"demo":         runDemo,
 		"concurrent":   runConcurrent,
+		"commit":       runCommit,
 	}
-	order := []string{"figure1", "architecture", "figure2", "listing1", "demo", "concurrent"}
+	order := []string{"figure1", "architecture", "figure2", "listing1", "demo", "concurrent", "commit"}
 
 	if *experiment != "all" {
 		run, ok := runners[*experiment]
@@ -227,6 +236,106 @@ func runConcurrent() error {
 		elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds(),
 		(elapsed * time.Duration(*clients) / time.Duration(total)).Round(time.Microsecond))
+	return nil
+}
+
+// countingStore wraps a Store to count how many objects each write path
+// actually hashes and stores.
+type countingStore struct {
+	store.Store
+	puts atomic.Int64
+}
+
+func (c *countingStore) Put(o object.Object) (object.ID, error) {
+	c.puts.Add(1)
+	return c.Store.Put(o)
+}
+
+func (c *countingStore) PutMany(objs []object.Object) ([]object.ID, error) {
+	c.puts.Add(int64(len(objs)))
+	return store.PutMany(c.Store, objs)
+}
+
+func (c *countingStore) PutManyEncoded(batch []store.Encoded) error {
+	c.puts.Add(int64(len(batch)))
+	return store.PutManyEncoded(c.Store, batch)
+}
+
+// runCommit contrasts the two write paths on a -files-sized repository:
+// the pre-incremental full rebuild (every blob and tree re-hashed and
+// re-Put per commit) against the incremental delta commit (only the dirty
+// path re-hashes). This is the commit-traffic regime the paper's
+// piggybacking design depends on at hosting-platform scale.
+func runCommit() error {
+	fmt.Println("Incremental write path (commit-one-file)")
+	fmt.Println("----------------------------------------")
+	if *files < 1 || *commits < 1 {
+		return fmt.Errorf("-files and -commits must be at least 1 (got %d, %d)", *files, *commits)
+	}
+	fileMap := make(map[string]vcs.FileContent, *files)
+	for i := 0; i < *files; i++ {
+		p := fmt.Sprintf("/d%d/s%d/f%d.txt", i%10, (i/10)%10, i)
+		fileMap[p] = vcs.File(fmt.Sprintf("seed content %d", i))
+	}
+	opts := vcs.CommitOptions{Author: vcs.Sig("bench", "bench@x", time.Unix(1, 0)), Message: "bench"}
+	edited := "/d3/s4/f0.txt"
+	for p := range fileMap {
+		edited = p
+		break
+	}
+
+	// Full rebuild: the old write path.
+	cold := &countingStore{Store: store.NewMemoryStore()}
+	coldRepo := &vcs.Repository{Objects: cold, Refs: refs.NewMemoryStore()}
+	if _, err := coldRepo.CommitFiles("main", fileMap, opts); err != nil {
+		return err
+	}
+	cold.puts.Store(0)
+	start := time.Now()
+	for i := 0; i < *commits; i++ {
+		fileMap[edited] = vcs.File(fmt.Sprintf("edit %d", i))
+		if _, err := coldRepo.CommitFiles("main", fileMap, opts); err != nil {
+			return err
+		}
+	}
+	coldTime := time.Since(start)
+	coldPuts := cold.puts.Load()
+
+	// Incremental: delta against the parent's tree.
+	inc := &countingStore{Store: store.NewMemoryStore()}
+	incRepo := &vcs.Repository{Objects: inc, Refs: refs.NewMemoryStore()}
+	tip, err := incRepo.CommitFiles("main", fileMap, opts)
+	if err != nil {
+		return err
+	}
+	base, err := incRepo.TreeOf(tip)
+	if err != nil {
+		return err
+	}
+	inc.puts.Store(0)
+	start = time.Now()
+	for i := 0; i < *commits; i++ {
+		edits := map[string]vcs.TreeEdit{edited: {Data: []byte(fmt.Sprintf("edit %d", i))}}
+		tip, err = incRepo.CommitDelta("main", base, edits, nil, opts)
+		if err != nil {
+			return err
+		}
+		if base, err = incRepo.TreeOf(tip); err != nil {
+			return err
+		}
+	}
+	incTime := time.Since(start)
+	incPuts := inc.puts.Load()
+
+	fmt.Printf("  repository: %d files; %d one-file commits per mode\n", *files, *commits)
+	fmt.Printf("  full rebuild:  %8s/commit, %6.1f store Puts/commit\n",
+		(coldTime / time.Duration(*commits)).Round(time.Microsecond), float64(coldPuts)/float64(*commits))
+	fmt.Printf("  incremental:   %8s/commit, %6.1f store Puts/commit (tree depth + blob + commit)\n",
+		(incTime / time.Duration(*commits)).Round(time.Microsecond), float64(incPuts)/float64(*commits))
+	if incTime > 0 {
+		fmt.Printf("  speedup: %.1fx wall clock, %.0fx fewer store writes\n",
+			float64(coldTime)/float64(incTime), float64(coldPuts)/float64(incPuts))
+	}
 	return nil
 }
 

@@ -181,7 +181,7 @@ func loadWorktree(repo *gitcite.Repo) (*gitcite.Worktree, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	for p := range wt.Files() {
+	for _, p := range wt.Paths() {
 		if !seen[p] {
 			if err := wt.RemoveFile(p); err != nil {
 				return nil, "", err

@@ -46,7 +46,7 @@ func (wt *Worktree) SyncRenames(opts RenameDetection) ([]DetectedRename, error) 
 	if err != nil {
 		return nil, err
 	}
-	workTree, err := vcs.BuildTree(wt.repo.VCS.Objects, wt.files)
+	workTree, err := wt.buildFileTree()
 	if err != nil {
 		return nil, err
 	}

@@ -183,30 +183,16 @@ func (r *Repo) ResolvedFunctionAt(commitID object.ID) (*core.Function, error) {
 		// A concurrent loader won; share its instance (and its index).
 		fn = cur
 	} else {
-		if r.fnCache == nil {
-			r.fnCache = make(map[object.ID]*core.Function, fnCacheCap)
-		}
-		if len(r.fnCache) >= fnCacheCap {
-			for k := range r.fnCache {
-				delete(r.fnCache, k)
-				break // drop one arbitrary entry; victims reload on demand
-			}
-		}
-		r.fnCache[commitID] = fn
+		r.putFunctionLocked(commitID, fn)
 	}
 	r.fnMu.Unlock()
 	return fn, nil
 }
 
-// cacheFunction seeds the per-commit cache with the snapshot a worktree
-// just committed, so the version's first reader skips the citation.cite
-// decode.
-func (r *Repo) cacheFunction(commitID object.ID, fn *core.Function) {
-	r.fnMu.Lock()
-	defer r.fnMu.Unlock()
-	if _, ok := r.fnCache[commitID]; ok {
-		return
-	}
+// putFunctionLocked inserts into the per-commit cache, evicting one
+// arbitrary entry at capacity (victims reload on demand). Caller holds
+// fnMu.
+func (r *Repo) putFunctionLocked(commitID object.ID, fn *core.Function) {
 	if r.fnCache == nil {
 		r.fnCache = make(map[object.ID]*core.Function, fnCacheCap)
 	}
@@ -217,6 +203,18 @@ func (r *Repo) cacheFunction(commitID object.ID, fn *core.Function) {
 		}
 	}
 	r.fnCache[commitID] = fn
+}
+
+// cacheFunction seeds the per-commit cache with the function a worktree
+// just committed, so the version's first reader skips the citation.cite
+// decode.
+func (r *Repo) cacheFunction(commitID object.ID, fn *core.Function) {
+	r.fnMu.Lock()
+	defer r.fnMu.Unlock()
+	if _, ok := r.fnCache[commitID]; ok {
+		return
+	}
+	r.putFunctionLocked(commitID, fn)
 }
 
 // loadFunction reads and decodes a commit's citation.cite from the object

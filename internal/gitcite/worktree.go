@@ -3,6 +3,7 @@ package gitcite
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/gitcite/gitcite/internal/citefile"
@@ -10,19 +11,48 @@ import (
 	"github.com/gitcite/gitcite/internal/vcs"
 	"github.com/gitcite/gitcite/internal/vcs/object"
 	"github.com/gitcite/gitcite/internal/vcs/refs"
+	"github.com/gitcite/gitcite/internal/vcs/store"
 )
+
+// workFile is one file of the working copy. Unmodified files checked out
+// from the base version stay as a (blobID, mode) reference into the object
+// store and are loaded only when read; written files carry their bytes
+// directly. Committing a reference costs no blob re-encode or re-hash.
+type workFile struct {
+	mode   object.Mode
+	blobID object.ID // non-zero: content lives in the store (lazy)
+	data   []byte    // authoritative when blobID is zero
+}
 
 // Worktree is a mutable working copy of one branch: the project's files plus
 // the version-in-progress citation function. File edits and citation edits
 // accumulate independently (paper §2: "Modifications to files/directories
 // and to their associated citations are independent") until Commit writes
 // both — the files and the regenerated citation.cite — as one new version.
+//
+// The worktree is change-tracking: it records which paths were written,
+// moved or removed since checkout, and Commit hands only that delta (plus
+// the base version's tree) to the incremental tree builder, so commit cost
+// is proportional to the change, not the repository.
 type Worktree struct {
 	repo   *Repo
 	branch string
 	base   object.ID // commit checked out; zero for an unborn branch
-	files  map[string]vcs.FileContent
-	fn     *core.Function
+	// baseTree is base's root tree, the diff target for incremental
+	// commits; zero for an unborn branch.
+	baseTree object.ID
+	files    map[string]*workFile
+	// dirty marks paths created or modified since checkout; removed marks
+	// paths deleted (or moved away) that the base tree may still hold.
+	dirty   map[string]bool
+	removed map[string]bool
+	fn      *core.Function
+
+	// gen counts file-set mutations; dirIndex/dirIndexGen memoise the
+	// directory-set index the commit-time tree view queries.
+	gen         uint64
+	dirIndex    map[string]bool
+	dirIndexGen uint64
 }
 
 // Checkout loads a worktree for the named branch. An unborn branch yields an
@@ -30,11 +60,17 @@ type Worktree struct {
 // citation. Versions without a citation.cite are citation-enabled on the
 // fly with the default root (see also the retro package for history-aware
 // enabling).
+//
+// Checkout does not materialise file contents: every file of the base
+// version is held as a blob reference and loaded from the object store
+// only if read.
 func (r *Repo) Checkout(branch string) (*Worktree, error) {
 	wt := &Worktree{
-		repo:   r,
-		branch: branch,
-		files:  map[string]vcs.FileContent{},
+		repo:    r,
+		branch:  branch,
+		files:   map[string]*workFile{},
+		dirty:   map[string]bool{},
+		removed: map[string]bool{},
 	}
 	tip, err := r.VCS.BranchTip(branch)
 	switch {
@@ -53,12 +89,17 @@ func (r *Repo) Checkout(branch string) (*Worktree, error) {
 	if err != nil {
 		return nil, err
 	}
-	files, err := vcs.TreeToFileMap(r.VCS.Objects, treeID)
+	wt.baseTree = treeID
+	listed, err := vcs.FlattenTree(r.VCS.Objects, treeID)
 	if err != nil {
 		return nil, err
 	}
-	delete(files, citefile.Path)
-	wt.files = files
+	for _, f := range listed {
+		if f.Path == citefile.Path {
+			continue
+		}
+		wt.files[f.Path] = &workFile{mode: f.Mode, blobID: f.BlobID}
+	}
 
 	fn, err := r.FunctionAt(tip)
 	if errors.Is(err, ErrNotCitationEnabled) {
@@ -85,33 +126,64 @@ func (wt *Worktree) Function() *core.Function { return wt.fn }
 // Tree returns a core.Tree view of the working files.
 func (wt *Worktree) Tree() core.Tree { return worktreeTree{wt} }
 
+// dirs returns the set of every directory implied by the working files
+// (always including "/"), built once per file-set generation. Pre-commit
+// validation and pruning issue one Exists/IsDir query per cited path, so
+// the view must answer in O(1) rather than scanning all files per query.
+func (wt *Worktree) dirs() map[string]bool {
+	if wt.dirIndex != nil && wt.dirIndexGen == wt.gen {
+		return wt.dirIndex
+	}
+	dirs := map[string]bool{"/": true}
+	for p := range wt.files {
+		for d := vcs.ParentPath(p); !dirs[d]; d = vcs.ParentPath(d) {
+			dirs[d] = true
+		}
+	}
+	wt.dirIndex, wt.dirIndexGen = dirs, wt.gen
+	return dirs
+}
+
 type worktreeTree struct{ wt *Worktree }
 
 func (t worktreeTree) Exists(path string) bool {
 	if _, ok := t.wt.files[path]; ok {
 		return true
 	}
-	if path == "/" {
-		return true
-	}
-	for p := range t.wt.files {
-		if vcs.IsAncestorPath(path, p) && path != p {
-			return true
-		}
-	}
-	return false
+	return t.wt.dirs()[path]
 }
 
 func (t worktreeTree) IsDir(path string) bool {
 	if _, ok := t.wt.files[path]; ok {
 		return false
 	}
-	return t.Exists(path)
+	return t.wt.dirs()[path]
 }
 
-// Files returns the working files as a path map (citation.cite excluded).
-// The returned map is shared; treat it as read-only.
-func (wt *Worktree) Files() map[string]vcs.FileContent { return wt.files }
+// Paths returns the working file paths in sorted order (citation.cite
+// excluded).
+func (wt *Worktree) Paths() []string {
+	out := make([]string, 0, len(wt.files))
+	for p := range wt.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// markWritten records a path as created/modified since checkout.
+func (wt *Worktree) markWritten(path string) {
+	wt.dirty[path] = true
+	delete(wt.removed, path)
+	wt.gen++
+}
+
+// markRemoved records a path as deleted since checkout.
+func (wt *Worktree) markRemoved(path string) {
+	delete(wt.dirty, path)
+	wt.removed[path] = true
+	wt.gen++
+}
 
 // WriteFile creates or replaces a file in the working copy.
 func (wt *Worktree) WriteFile(path string, data []byte) error {
@@ -122,7 +194,8 @@ func (wt *Worktree) WriteFile(path string, data []byte) error {
 	if clean == citefile.Path {
 		return fmt.Errorf("gitcite: %s is system-managed and cannot be edited directly", citefile.Filename)
 	}
-	wt.files[clean] = vcs.FileContent{Data: append([]byte(nil), data...)}
+	wt.files[clean] = &workFile{data: append([]byte(nil), data...)}
+	wt.markWritten(clean)
 	return nil
 }
 
@@ -138,12 +211,14 @@ func (wt *Worktree) RemoveFile(path string) error {
 		return fmt.Errorf("gitcite: %q: no such file", clean)
 	}
 	delete(wt.files, clean)
+	wt.markRemoved(clean)
 	return nil
 }
 
 // Move renames a file or directory and immediately rekeys the affected
 // citation entries (paper §2: a moved/renamed path in the active domain
-// forces a citation-function update).
+// forces a citation-function update). Unloaded files move as blob
+// references: only their paths re-hash at commit, never their contents.
 func (wt *Worktree) Move(oldPath, newPath string) error {
 	oldClean, err := vcs.CleanPath(oldPath)
 	if err != nil {
@@ -155,6 +230,9 @@ func (wt *Worktree) Move(oldPath, newPath string) error {
 	}
 	if oldClean == "/" || newClean == "/" {
 		return fmt.Errorf("gitcite: cannot move the root")
+	}
+	if newClean == citefile.Path {
+		return fmt.Errorf("gitcite: %s is system-managed and cannot be a move target", citefile.Filename)
 	}
 	var moved []string
 	for p := range wt.files {
@@ -170,26 +248,41 @@ func (wt *Worktree) Move(oldPath, newPath string) error {
 		if err != nil {
 			return err
 		}
+		if np == citefile.Path {
+			return fmt.Errorf("gitcite: %s is system-managed and cannot be a move target", citefile.Filename)
+		}
 		if _, clash := wt.files[np]; clash {
 			return fmt.Errorf("gitcite: move target %q already exists", np)
 		}
 		wt.files[np] = wt.files[p]
 		delete(wt.files, p)
+		wt.markRemoved(p)
+		wt.markWritten(np)
 	}
 	return wt.fn.Rename(oldClean, newClean)
 }
 
-// ReadFile returns a working file's contents.
+// ReadFile returns a working file's contents, loading unmodified files
+// from the object store on demand.
 func (wt *Worktree) ReadFile(path string) ([]byte, error) {
 	clean, err := vcs.CleanPath(path)
 	if err != nil {
 		return nil, err
 	}
-	fc, ok := wt.files[clean]
+	f, ok := wt.files[clean]
 	if !ok {
 		return nil, fmt.Errorf("gitcite: %q: no such file", clean)
 	}
-	return fc.Data, nil
+	if f.blobID.IsZero() {
+		return append([]byte(nil), f.data...), nil
+	}
+	blob, err := store.GetBlob(wt.repo.VCS.Objects, f.blobID)
+	if err != nil {
+		return nil, err
+	}
+	// Copy out: the blob's backing slice is shared with the repository's
+	// object cache, and callers may mutate what we return.
+	return append([]byte(nil), blob.Data()...), nil
 }
 
 // AddCite attaches a citation to a working path (paper operator AddCite).
@@ -220,11 +313,41 @@ func (wt *Worktree) SetRootCitation(c core.Citation) error {
 	return wt.fn.Modify("/", c)
 }
 
+// delta returns the accumulated file changes since checkout in the form
+// BuildTreeDelta consumes. Dirty files that were never loaded contribute
+// their blob reference, so no content re-hashes.
+func (wt *Worktree) delta() (edits map[string]vcs.TreeEdit, removed []string) {
+	edits = make(map[string]vcs.TreeEdit, len(wt.dirty)+1)
+	for p := range wt.dirty {
+		f := wt.files[p]
+		edits[p] = vcs.TreeEdit{Data: f.data, BlobID: f.blobID, Mode: f.mode}
+	}
+	removed = make([]string, 0, len(wt.removed))
+	for p := range wt.removed {
+		removed = append(removed, p)
+	}
+	return edits, removed
+}
+
+// buildFileTree writes the current working files (without citation.cite)
+// as a tree, incrementally against the base version's tree.
+func (wt *Worktree) buildFileTree() (object.ID, error) {
+	edits, removed := wt.delta()
+	// The base tree carries the base version's citation.cite; the working
+	// file set never does.
+	removed = append(removed, citefile.Path)
+	return vcs.BuildTreeDelta(wt.repo.VCS.Objects, wt.baseTree, edits, removed)
+}
+
 // Commit writes the working files plus the regenerated citation.cite as a
 // new version on the worktree's branch and re-bases the worktree onto it.
 // Before writing, entries for deleted paths are pruned and the function is
 // validated against the new tree, so every committed version satisfies the
 // model invariants.
+//
+// The new tree is built incrementally: only the paths touched since
+// checkout (plus the regenerated citation.cite) re-hash, and subtrees the
+// delta does not reach reuse the base version's stored trees verbatim.
 func (wt *Worktree) Commit(opts vcs.CommitOptions) (object.ID, error) {
 	wt.fn.Prune(wt.Tree())
 	wt.stampRoot(opts)
@@ -235,20 +358,29 @@ func (wt *Worktree) Commit(opts vcs.CommitOptions) (object.ID, error) {
 	if err != nil {
 		return object.ZeroID, err
 	}
-	all := make(map[string]vcs.FileContent, len(wt.files)+1)
-	for p, fc := range wt.files {
-		all[p] = fc
-	}
-	all[citefile.Path] = vcs.FileContent{Data: data}
+	edits, removed := wt.delta()
+	edits[citefile.Path] = vcs.TreeEdit{Data: data}
 
-	id, err := wt.repo.VCS.CommitFiles(wt.branch, all, opts)
+	id, err := wt.repo.VCS.CommitDelta(wt.branch, wt.baseTree, edits, removed, opts)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	newTree, err := wt.repo.VCS.TreeOf(id)
 	if err != nil {
 		return object.ZeroID, err
 	}
 	wt.base = id
-	// Seed the repository's read cache with a COW snapshot of the function
-	// just committed; later worktree edits copy-on-write away from it.
-	wt.repo.cacheFunction(id, wt.fn.Clone())
+	wt.baseTree = newTree
+	wt.dirty = map[string]bool{}
+	wt.removed = map[string]bool{}
+	// Seed the repository's read cache by decoding the bytes just written,
+	// so the cached view is byte-identical to what a cold loadFunction
+	// would produce (the encoding normalises dates; the live wt.fn may
+	// hold sub-second precision the file cannot express). A decode failure
+	// only skips the seeding — readers fall back to loading on demand.
+	if fn, err := citefile.Decode(data); err == nil {
+		wt.repo.cacheFunction(id, fn)
+	}
 	return id, nil
 }
 

@@ -590,7 +590,10 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("hosting: bad tip: %w", err))
 		return
 	}
-	stored := 0
+	// Decode the whole payload first, then store it as one batch: the
+	// store-side locks are taken once per shard/fanout dir instead of once
+	// per pushed object.
+	objs := make([]object.Object, 0, len(req.Objects))
 	for _, wo := range req.Objects {
 		enc, err := base64.StdEncoding.DecodeString(wo.Data)
 		if err != nil {
@@ -602,12 +605,13 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, fmt.Errorf("hosting: bad object: %w", err))
 			return
 		}
-		if _, err := repo.VCS.Objects.Put(o); err != nil {
-			writeErr(w, err)
-			return
-		}
-		stored++
+		objs = append(objs, o)
 	}
+	if _, err := store.PutMany(repo.VCS.Objects, objs); err != nil {
+		writeErr(w, err)
+		return
+	}
+	stored := len(objs)
 	if _, err := repo.VCS.Commit(tip); err != nil {
 		writeErr(w, fmt.Errorf("hosting: push tip %s not among uploaded objects: %w", tip.Short(), err))
 		return

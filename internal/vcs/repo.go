@@ -107,6 +107,19 @@ func (r *Repository) CommitFiles(branch string, files map[string]FileContent, op
 	return r.CommitTreeOnBranch(branch, treeID, opts)
 }
 
+// CommitDelta builds a tree incrementally — the edits and removals applied
+// against baseTree, via BuildTreeDelta — and commits it on the named
+// branch. Cost is proportional to the delta: unchanged subtrees of
+// baseTree are reused without re-hashing. A zero baseTree builds from
+// scratch.
+func (r *Repository) CommitDelta(branch string, baseTree object.ID, edits map[string]TreeEdit, removed []string, opts CommitOptions) (object.ID, error) {
+	treeID, err := BuildTreeDelta(r.Objects, baseTree, edits, removed)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	return r.CommitTreeOnBranch(branch, treeID, opts)
+}
+
 // CommitTreeOnBranch commits an already-built tree on the named branch,
 // using the branch tip (if any) as the parent and advancing the ref.
 func (r *Repository) CommitTreeOnBranch(branch string, treeID object.ID, opts CommitOptions) (object.ID, error) {
@@ -309,47 +322,51 @@ func (r *Repository) MergeBase(a, b object.ID) (object.ID, error) {
 		return object.ZeroID, nil
 	}
 	// Drop any common ancestor that is a strict ancestor of another common
-	// ancestor ("dominated").
-	best := make([]object.ID, 0, len(common))
+	// ancestor ("dominated"). Every ancestor of a common ancestor is itself
+	// a common ancestor (reachability is transitive), so the common set is
+	// ancestor-closed and one multi-source parent walk from all common
+	// ancestors marks exactly the dominated ones — no pairwise full-history
+	// IsAncestor checks.
+	dominated := make(map[object.ID]bool, len(common))
+	stack := make([]object.ID, 0, len(common))
 	for id := range common {
-		best = append(best, id)
-	}
-	sort.Slice(best, func(i, j int) bool { return best[i].String() < best[j].String() })
-	undominated := make([]object.ID, 0, 1)
-	for _, cand := range best {
-		dominated := false
-		for _, other := range best {
-			if other == cand {
-				continue
-			}
-			anc, err := r.IsAncestor(cand, other)
-			if err != nil {
-				return object.ZeroID, err
-			}
-			if anc && common[other] {
-				dominated = true
-				break
-			}
+		c, err := r.Commit(id)
+		if err != nil {
+			return object.ZeroID, err
 		}
-		if !dominated {
-			undominated = append(undominated, cand)
+		stack = append(stack, c.Parents...)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id.IsZero() || dominated[id] {
+			continue
+		}
+		dominated[id] = true
+		c, err := r.Commit(id)
+		if err != nil {
+			return object.ZeroID, err
+		}
+		stack = append(stack, c.Parents...)
+	}
+	var best object.ID
+	found := false
+	for id := range common {
+		if dominated[id] {
+			continue
+		}
+		if !found {
+			best, found = id, true
+			continue
+		}
+		// Criss-cross: pick the deepest (max generation), tie-break by ID.
+		di, dj := reachA[id], reachA[best]
+		if di > dj || (di == dj && id.String() < best.String()) {
+			best = id
 		}
 	}
-	if len(undominated) == 1 {
-		return undominated[0], nil
-	}
-	// Criss-cross: pick the deepest (max generation), tie-break by ID.
-	sort.Slice(undominated, func(i, j int) bool {
-		di, dj := depthOf(reachA, undominated[i]), depthOf(reachA, undominated[j])
-		if di != dj {
-			return di > dj
-		}
-		return undominated[i].String() < undominated[j].String()
-	})
-	return undominated[0], nil
+	return best, nil
 }
-
-func depthOf(m map[object.ID]int, id object.ID) int { return m[id] }
 
 // reachableDepths maps every commit reachable from start to its maximum
 // generation depth (root commits have the greatest depth values).

@@ -147,6 +147,69 @@ func (s *CachedStore) insert(id object.ID, o object.Object) {
 	}
 }
 
+// PutMany implements BatchStore: the batch goes to the backend's batch
+// path, then populates the cache.
+func (s *CachedStore) PutMany(objs []object.Object) ([]object.ID, error) {
+	ids, err := PutMany(s.backend, objs)
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range objs {
+		s.insert(ids[i], o)
+	}
+	return ids, nil
+}
+
+// PutManyEncoded implements RawBatchStore by forwarding to the backend's
+// raw path. The cache is not populated (there are no decoded objects to
+// hold); entries fill on first read as usual.
+func (s *CachedStore) PutManyEncoded(batch []Encoded) error {
+	return PutManyEncoded(s.backend, batch)
+}
+
+// HasMany implements BatchStore: cache hits are answered locally — one
+// lock acquisition per shard, not per ID — and only the residue is
+// forwarded to the backend as one batch.
+func (s *CachedStore) HasMany(ids []object.ID) ([]bool, error) {
+	have := make([]bool, len(ids))
+	var missIdx []int
+	byShard := make(map[*cacheShard][]int)
+	for i, id := range ids {
+		sh := s.shard(id)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	hits := 0
+	for sh, idxs := range byShard {
+		sh.mu.Lock()
+		for _, i := range idxs {
+			if _, ok := sh.index[ids[i]]; ok {
+				have[i] = true
+				hits++
+			} else {
+				missIdx = append(missIdx, i)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	s.hits.Add(uint64(hits))
+	s.misses.Add(uint64(len(missIdx)))
+	if len(missIdx) == 0 {
+		return have, nil
+	}
+	missIDs := make([]object.ID, len(missIdx))
+	for j, i := range missIdx {
+		missIDs[j] = ids[i]
+	}
+	backendHave, err := HasMany(s.backend, missIDs)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		have[i] = backendHave[j]
+	}
+	return have, nil
+}
+
 // Has implements Store. A cache hit answers immediately (and counts toward
 // Stats); otherwise the backend is consulted.
 func (s *CachedStore) Has(id object.ID) (bool, error) {

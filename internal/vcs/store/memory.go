@@ -41,6 +41,50 @@ func (s *MemoryStore) Get(id object.ID) (object.Object, error) {
 	return object.Decode(enc)
 }
 
+// PutMany implements BatchStore: the whole batch is encoded and hashed
+// outside the lock, then inserted under a single lock acquisition.
+func (s *MemoryStore) PutMany(objs []object.Object) ([]object.ID, error) {
+	ids := make([]object.ID, len(objs))
+	encs := make([][]byte, len(objs))
+	for i, o := range objs {
+		encs[i] = object.Encode(o)
+		ids[i] = object.HashBytes(encs[i])
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, id := range ids {
+		if _, ok := s.objects[id]; !ok {
+			s.objects[id] = encs[i]
+		}
+	}
+	return ids, nil
+}
+
+// PutManyEncoded implements RawBatchStore: already-canonical encodings go
+// straight into the map under one lock acquisition, with no re-encode or
+// re-hash.
+func (s *MemoryStore) PutManyEncoded(batch []Encoded) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range batch {
+		if _, ok := s.objects[e.ID]; !ok {
+			s.objects[e.ID] = e.Enc
+		}
+	}
+	return nil
+}
+
+// HasMany implements BatchStore under a single lock acquisition.
+func (s *MemoryStore) HasMany(ids []object.ID) ([]bool, error) {
+	have := make([]bool, len(ids))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, id := range ids {
+		_, have[i] = s.objects[id]
+	}
+	return have, nil
+}
+
 // Has implements Store.
 func (s *MemoryStore) Has(id object.ID) (bool, error) {
 	s.mu.RLock()

@@ -36,6 +36,99 @@ type Store interface {
 	Len() (int, error)
 }
 
+// BatchStore is the optional batch extension of Store. Stores that
+// implement it amortise synchronisation and filesystem traffic over many
+// objects at once — one lock acquisition per shard or fanout directory
+// instead of one per object. Callers should go through the package-level
+// PutMany/HasMany helpers, which fall back to per-object calls on stores
+// without native batch support.
+type BatchStore interface {
+	// PutMany stores every object, returning their IDs in input order.
+	// Like Put, storing objects already present is a cheap no-op.
+	PutMany(objs []object.Object) ([]object.ID, error)
+	// HasMany reports, for each ID in input order, whether the store
+	// holds the object.
+	HasMany(ids []object.ID) ([]bool, error)
+}
+
+// PutMany stores a batch of objects through the store's native batch path
+// when it has one, and object-by-object otherwise. IDs are returned in
+// input order.
+func PutMany(s Store, objs []object.Object) ([]object.ID, error) {
+	if bs, ok := s.(BatchStore); ok {
+		return bs.PutMany(objs)
+	}
+	ids := make([]object.ID, len(objs))
+	for i, o := range objs {
+		id, err := s.Put(o)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// Encoded is an object already in canonical form: its encoding plus the
+// ID derived from it. Producers that had to encode and hash anyway (the
+// tree builder derives child IDs during construction) hand these to
+// PutManyEncoded so stores do not encode and hash a second time.
+type Encoded struct {
+	ID  object.ID
+	Enc []byte
+}
+
+// RawBatchStore is an optional interface for stores that ingest canonical
+// encodings directly, skipping the re-encode/re-hash a Put of the decoded
+// object would pay. The store takes ownership of the Enc slices.
+//
+// Trust contract: each ID MUST equal object.HashBytes(Enc) and Enc must
+// not be mutated afterwards. Stores index the bytes under the given ID
+// without re-verifying (re-hashing on ingest would erase the saving this
+// interface exists for), so a violating producer corrupts the
+// content-addressed store — memory-backed stores silently, file-backed
+// ones detected at Get time by hash verification.
+type RawBatchStore interface {
+	PutManyEncoded(batch []Encoded) error
+}
+
+// PutManyEncoded stores pre-encoded objects through the store's raw batch
+// path when it has one; otherwise each encoding is decoded and stored via
+// Put.
+func PutManyEncoded(s Store, batch []Encoded) error {
+	if rs, ok := s.(RawBatchStore); ok {
+		return rs.PutManyEncoded(batch)
+	}
+	for _, e := range batch {
+		o, err := object.Decode(e.Enc)
+		if err != nil {
+			return err
+		}
+		if _, err := s.Put(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasMany answers a batch of presence queries through the store's native
+// batch path when it has one, and one-by-one otherwise. Results are in
+// input order.
+func HasMany(s Store, ids []object.ID) ([]bool, error) {
+	if bs, ok := s.(BatchStore); ok {
+		return bs.HasMany(ids)
+	}
+	have := make([]bool, len(ids))
+	for i, id := range ids {
+		ok, err := s.Has(id)
+		if err != nil {
+			return nil, err
+		}
+		have[i] = ok
+	}
+	return have, nil
+}
+
 // GetBlob retrieves an object and asserts it is a blob.
 func GetBlob(s Store, id object.ID) (*object.Blob, error) {
 	o, err := s.Get(id)
@@ -154,37 +247,55 @@ func ClosureIDs(src Store, roots ...object.ID) ([]object.ID, error) {
 // (commits pull in parents and trees; trees pull in entries) from src to
 // dst. Objects already present in dst prune the walk, which makes pushes and
 // fetches incremental. It returns the number of objects copied.
+//
+// The walk proceeds frontier by frontier through the batch API: each round
+// asks dst for the whole frontier at once (HasMany) and stores every
+// missing object at once (PutMany), so closure transfer does not pay a
+// lock-acquiring Has/Put round trip per object.
 func CopyClosure(dst, src Store, roots ...object.ID) (int, error) {
 	copied := 0
 	seen := make(map[object.ID]bool)
-	stack := append([]object.ID(nil), roots...)
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if id.IsZero() || seen[id] {
-			continue
+	var frontier []object.ID
+	push := func(ids ...object.ID) {
+		for _, id := range ids {
+			if !id.IsZero() && !seen[id] {
+				seen[id] = true
+				frontier = append(frontier, id)
+			}
 		}
-		seen[id] = true
-		if ok, err := dst.Has(id); err != nil {
-			return copied, err
-		} else if ok {
-			continue
-		}
-		o, err := src.Get(id)
+	}
+	push(roots...)
+	for len(frontier) > 0 {
+		batch := frontier
+		frontier = nil
+		have, err := HasMany(dst, batch)
 		if err != nil {
-			return copied, fmt.Errorf("store: closure copy %s: %w", id.Short(), err)
-		}
-		if _, err := dst.Put(o); err != nil {
 			return copied, err
 		}
-		copied++
-		switch v := o.(type) {
-		case *object.Commit:
-			stack = append(stack, v.TreeID)
-			stack = append(stack, v.Parents...)
-		case *object.Tree:
-			for _, e := range v.Entries() {
-				stack = append(stack, e.ID)
+		objs := make([]object.Object, 0, len(batch))
+		for i, id := range batch {
+			if have[i] {
+				continue // dst already holds it: prune the walk here
+			}
+			o, err := src.Get(id)
+			if err != nil {
+				return copied, fmt.Errorf("store: closure copy %s: %w", id.Short(), err)
+			}
+			objs = append(objs, o)
+		}
+		if _, err := PutMany(dst, objs); err != nil {
+			return copied, err
+		}
+		copied += len(objs)
+		for _, o := range objs {
+			switch v := o.(type) {
+			case *object.Commit:
+				push(v.TreeID)
+				push(v.Parents...)
+			case *object.Tree:
+				for _, e := range v.Entries() {
+					push(e.ID)
+				}
 			}
 		}
 	}

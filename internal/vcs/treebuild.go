@@ -21,17 +21,73 @@ func File(data string) FileContent { return FileContent{Data: []byte(data)} }
 // BuildTree writes blobs and nested trees for a flat map of clean paths to
 // file contents, returning the root tree ID. Intermediate directories are
 // implied by the paths. An empty map produces the empty tree.
+//
+// BuildTree is the from-scratch special case of BuildTreeDelta: every path
+// is an edit against an empty base.
 func BuildTree(s store.Store, files map[string]FileContent) (object.ID, error) {
-	type dirNode struct {
-		files map[string]FileContent
-		dirs  map[string]*dirNode
+	edits := make(map[string]TreeEdit, len(files))
+	for p, fc := range files {
+		edits[p] = TreeEdit{Data: fc.Data, Mode: fc.Mode}
 	}
-	newDir := func() *dirNode {
-		return &dirNode{files: map[string]FileContent{}, dirs: map[string]*dirNode{}}
-	}
-	root := newDir()
+	return BuildTreeDelta(s, object.ZeroID, edits, nil)
+}
 
-	for p, content := range files {
+// TreeEdit describes the new state of one created or modified file for
+// BuildTreeDelta. Either Data carries fresh content to be stored as a new
+// blob, or BlobID references a blob already in the store (a lazily-held
+// worktree file or a moved file), in which case no blob is re-encoded or
+// re-hashed. A zero Mode means ModeFile.
+type TreeEdit struct {
+	Data   []byte
+	BlobID object.ID
+	Mode   object.Mode
+}
+
+// BuildTreeDelta builds a new tree by applying a set of file edits and
+// removals to the base tree, returning the new root tree ID. Work is
+// proportional to the delta, not the repository: subtrees no edit or
+// removal touches are never loaded, re-encoded, re-hashed or re-Put —
+// their existing IDs are reused verbatim — and only the directories on
+// dirty paths are rebuilt. All newly created blobs and trees are written
+// through the store's batch API in one call.
+//
+// A zero base is the empty tree, so BuildTreeDelta(s, ZeroID, edits, nil)
+// is a from-scratch build. Removing a path absent from the base is a
+// no-op; removing a path that names a directory in the base removes that
+// entire subtree; directories left empty by removals are pruned, matching
+// the flat-map form (which cannot express empty directories). The result
+// is therefore bit-identical to a from-scratch BuildTree of the post-edit
+// file map.
+func BuildTreeDelta(s store.Store, base object.ID, edits map[string]TreeEdit, removed []string) (object.ID, error) {
+	type deltaNode struct {
+		edits    map[string]TreeEdit
+		removes  map[string]bool
+		children map[string]*deltaNode
+	}
+	newNode := func() *deltaNode {
+		return &deltaNode{}
+	}
+	root := newNode()
+	// descend walks/creates the trie node for a path's parent directory and
+	// returns it with the leaf name.
+	descend := func(clean string) (*deltaNode, string) {
+		parts := SplitPath(clean)
+		cur := root
+		for _, part := range parts[:len(parts)-1] {
+			if cur.children == nil {
+				cur.children = map[string]*deltaNode{}
+			}
+			next, ok := cur.children[part]
+			if !ok {
+				next = newNode()
+				cur.children[part] = next
+			}
+			cur = next
+		}
+		return cur, parts[len(parts)-1]
+	}
+
+	for p, ed := range edits {
 		clean, err := CleanPath(p)
 		if err != nil {
 			return object.ZeroID, err
@@ -39,54 +95,129 @@ func BuildTree(s store.Store, files map[string]FileContent) (object.ID, error) {
 		if clean == "/" {
 			return object.ZeroID, fmt.Errorf("%w: cannot store file at the root path", ErrBadPath)
 		}
-		parts := SplitPath(clean)
-		cur := root
-		for _, part := range parts[:len(parts)-1] {
-			next, ok := cur.dirs[part]
-			if !ok {
-				next = newDir()
-				cur.dirs[part] = next
-			}
-			cur = next
+		if ed.Mode.IsDir() {
+			return object.ZeroID, fmt.Errorf("%w: %q: edits describe files, not directories", ErrBadPath, clean)
 		}
-		name := parts[len(parts)-1]
-		if _, ok := cur.dirs[name]; ok {
-			return object.ZeroID, fmt.Errorf("%w: %q is both a file and a directory", ErrBadPath, clean)
+		node, name := descend(clean)
+		if node.edits == nil {
+			node.edits = map[string]TreeEdit{}
 		}
-		cur.files[name] = content
+		node.edits[name] = ed
 	}
-
-	var write func(d *dirNode) (object.ID, error)
-	write = func(d *dirNode) (object.ID, error) {
-		entries := make([]object.TreeEntry, 0, len(d.files)+len(d.dirs))
-		for name, content := range d.files {
-			if _, ok := d.dirs[name]; ok {
-				return object.ZeroID, fmt.Errorf("%w: %q is both a file and a directory", ErrBadPath, name)
-			}
-			mode := content.Mode
-			if mode == 0 {
-				mode = object.ModeFile
-			}
-			blobID, err := s.Put(object.NewBlob(content.Data))
-			if err != nil {
-				return object.ZeroID, err
-			}
-			entries = append(entries, object.TreeEntry{Name: name, Mode: mode, ID: blobID})
-		}
-		for name, sub := range d.dirs {
-			subID, err := write(sub)
-			if err != nil {
-				return object.ZeroID, err
-			}
-			entries = append(entries, object.TreeEntry{Name: name, Mode: object.ModeDir, ID: subID})
-		}
-		tree, err := object.NewTree(entries)
+	for _, p := range removed {
+		clean, err := CleanPath(p)
 		if err != nil {
 			return object.ZeroID, err
 		}
-		return s.Put(tree)
+		if clean == "/" {
+			return object.ZeroID, fmt.Errorf("%w: cannot remove the root", ErrBadPath)
+		}
+		node, name := descend(clean)
+		if node.removes == nil {
+			node.removes = map[string]bool{}
+		}
+		node.removes[name] = true
 	}
-	return write(root)
+
+	// pending accumulates every newly created object (children before
+	// parents) in canonical form, for a single raw batch Put once the
+	// whole delta is hashed. Each object is encoded and hashed exactly
+	// once — here — and never again by the store.
+	var pending []store.Encoded
+	hash := func(o object.Object) object.ID {
+		enc := object.Encode(o)
+		id := object.HashBytes(enc)
+		pending = append(pending, store.Encoded{ID: id, Enc: enc})
+		return id
+	}
+
+	// build rebuilds one dirty directory. It returns the directory's new
+	// tree ID, or ZeroID when the directory ends up empty (pruned by the
+	// caller). Unvisited base entries are carried over untouched.
+	var build func(n *deltaNode, baseID object.ID) (object.ID, error)
+	build = func(n *deltaNode, baseID object.ID) (object.ID, error) {
+		entries := map[string]object.TreeEntry{}
+		if !baseID.IsZero() {
+			baseTree, err := store.GetTree(s, baseID)
+			if err != nil {
+				return object.ZeroID, err
+			}
+			for _, e := range baseTree.Entries() {
+				entries[e.Name] = e
+			}
+		}
+		for name := range n.removes {
+			delete(entries, name) // absent paths: removal is a no-op
+		}
+		for name, child := range n.children {
+			childBase := object.ZeroID
+			if e, ok := entries[name]; ok && e.IsDir() {
+				childBase = e.ID
+			}
+			subID, err := build(child, childBase)
+			if err != nil {
+				return object.ZeroID, err
+			}
+			if subID.IsZero() {
+				// The subtree emptied out; prune it — but never a base
+				// file that merely shared the name with a no-op removal.
+				if e, ok := entries[name]; ok && e.IsDir() {
+					delete(entries, name)
+				}
+				continue
+			}
+			if e, ok := entries[name]; ok && !e.IsDir() {
+				return object.ZeroID, fmt.Errorf("%w: %q is both a file and a directory", ErrBadPath, name)
+			}
+			entries[name] = object.TreeEntry{Name: name, Mode: object.ModeDir, ID: subID}
+		}
+		for name, ed := range n.edits {
+			if e, ok := entries[name]; ok && e.IsDir() {
+				return object.ZeroID, fmt.Errorf("%w: %q is both a file and a directory", ErrBadPath, name)
+			}
+			mode := ed.Mode
+			if mode == 0 {
+				mode = object.ModeFile
+			}
+			blobID := ed.BlobID
+			if blobID.IsZero() {
+				blobID = hash(object.NewBlob(ed.Data))
+			}
+			entries[name] = object.TreeEntry{Name: name, Mode: mode, ID: blobID}
+		}
+		if len(entries) == 0 {
+			return object.ZeroID, nil
+		}
+		list := make([]object.TreeEntry, 0, len(entries))
+		for _, e := range entries {
+			list = append(list, e)
+		}
+		tree, err := object.NewTree(list)
+		if err != nil {
+			return object.ZeroID, err
+		}
+		enc := object.Encode(tree)
+		id := object.HashBytes(enc)
+		if id == baseID {
+			return id, nil // rebuilt identically; nothing new to store
+		}
+		pending = append(pending, store.Encoded{ID: id, Enc: enc})
+		return id, nil
+	}
+
+	rootID, err := build(root, base)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	if rootID.IsZero() {
+		// Everything was removed (or there was nothing): the root is the
+		// one directory allowed to be empty.
+		rootID = hash(object.EmptyTree())
+	}
+	if err := store.PutManyEncoded(s, pending); err != nil {
+		return object.ZeroID, err
+	}
+	return rootID, nil
 }
 
 // TreeFile describes one file found while flattening a stored tree.

@@ -6,7 +6,10 @@
 package gitcite_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -527,6 +530,193 @@ func BenchmarkPushClosure(b *testing.B) {
 			b.StartTimer()
 			if _, err := copyClosurePerObject(dst, src, root); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E9: negotiated sync + immutable-read caching (API v1) ----
+
+// newSyncBench hosts a 1000-file repository and returns the owner client,
+// the pushing local repo + worktree, a second cloned repo for fetching, and
+// the server URL for raw conditional GETs.
+func newSyncBench(b *testing.B) (owner *extension.Client, local *gitcite.Repository, wt *gitcite.Worktree, clone *gitcite.Repository, baseURL string, closeFn func()) {
+	b.Helper()
+	platform := hosting.NewPlatform()
+	ts := httptest.NewServer(hosting.NewServer(platform))
+	anon := extension.New(ts.URL, "")
+	tok, err := anon.CreateUser("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner = anon.WithToken(tok)
+	if err := owner.CreateRepo("repo", "https://x/repo", ""); err != nil {
+		b.Fatal(err)
+	}
+	local, err = gitcite.NewRepository(gitcite.Meta{Owner: "bench", Name: "repo", URL: "https://x/repo"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wt, err = local.Checkout("main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p, f := range benchTreeFiles(1000) {
+		if err := wt.WriteFile(p, f.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opts := vcs.CommitOptions{Author: vcs.Sig("bench", "b@x", time.Unix(1, 0)), Message: "seed"}
+	if _, err := wt.Commit(opts); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := owner.Sync(local, "bench", "repo", "main"); err != nil {
+		b.Fatal(err)
+	}
+	clone, err = owner.Clone("bench", "repo", "main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return owner, local, wt, clone, ts.URL, ts.Close
+}
+
+// syncDeltaBound is the acceptance-criterion wire bound for a one-file
+// commit in the 1000-file bench tree: 3 tree levels + file blob + commit,
+// plus the regenerated citation.cite blob.
+const syncDeltaBound = 3 + 2 + 1
+
+// BenchmarkSyncFetchOneCommit measures the incremental pull of exactly one
+// new commit on a 1000-file repository: negotiate + streamed delta. Every
+// iteration asserts the wire carries at most syncDeltaBound objects —
+// O(delta), against the ~2100-object full closure the legacy pull moves.
+func BenchmarkSyncFetchOneCommit(b *testing.B) {
+	owner, local, wt, clone, _, closeFn := newSyncBench(b)
+	defer closeFn()
+	opts := vcs.CommitOptions{Author: vcs.Sig("bench", "b@x", time.Unix(2, 0)), Message: "edit"}
+	wire := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := wt.WriteFile("/d3/s4/f435.txt", []byte(fmt.Sprintf("edit %d", i))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wt.Commit(opts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := owner.Sync(local, "bench", "repo", "main"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		_, n, err := owner.Fetch(clone, "bench", "repo", "main", "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n > syncDeltaBound {
+			b.Fatalf("fetch moved %d wire objects for one commit, want ≤ %d", n, syncDeltaBound)
+		}
+		wire += n
+	}
+	b.ReportMetric(float64(wire)/float64(b.N), "wireobjs/op")
+}
+
+// BenchmarkSyncPushOneCommit measures the incremental push direction under
+// the same bound.
+func BenchmarkSyncPushOneCommit(b *testing.B) {
+	owner, local, wt, _, _, closeFn := newSyncBench(b)
+	defer closeFn()
+	opts := vcs.CommitOptions{Author: vcs.Sig("bench", "b@x", time.Unix(2, 0)), Message: "edit"}
+	wire := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := wt.WriteFile("/d3/s4/f435.txt", []byte(fmt.Sprintf("edit %d", i))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wt.Commit(opts); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		n, err := owner.Sync(local, "bench", "repo", "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n > syncDeltaBound {
+			b.Fatalf("push moved %d wire objects for one commit, want ≤ %d", n, syncDeltaBound)
+		}
+		wire += n
+	}
+	b.ReportMetric(float64(wire)/float64(b.N), "wireobjs/op")
+}
+
+// BenchmarkPullFullClosureLegacy is the pre-v1 baseline the sync benches
+// are judged against: the deprecated pull endpoint re-downloads the whole
+// closure as one in-memory JSON array every time.
+func BenchmarkPullFullClosureLegacy(b *testing.B) {
+	_, _, _, _, baseURL, closeFn := newSyncBench(b)
+	defer closeFn()
+	url := baseURL + "/api/repos/bench/repo/pull/main"
+	wire := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pull hosting.PullResponse
+		err = json.NewDecoder(resp.Body).Decode(&pull)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire += len(pull.Objects)
+	}
+	b.ReportMetric(float64(wire)/float64(b.N), "wireobjs/op")
+}
+
+// BenchmarkConditionalGenCite measures the immutable-read cache: a
+// commit-addressed citation read served fully (200) versus revalidated by
+// ETag (304, zero citation-resolution work server-side).
+func BenchmarkConditionalGenCite(b *testing.B) {
+	_, local, _, _, baseURL, closeFn := newSyncBench(b)
+	defer closeFn()
+	tip, err := local.VCS.BranchTip("main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := fmt.Sprintf("%s/api/v1/repos/bench/repo/cite/%s?path=/d3/s4/f435.txt", baseURL, tip.String())
+	etag := `"` + tip.String() + `"`
+	b.Run("200", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+	b.Run("304", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			req, err := http.NewRequest("GET", url, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("If-None-Match", etag)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotModified {
+				b.Fatalf("status %d, want 304", resp.StatusCode)
 			}
 		}
 	})

@@ -12,11 +12,15 @@
 //	                                     (-clients N -requests M)
 //	gitcite-bench -experiment commit     incremental vs full-rebuild write
 //	                                     path (-files N -commits M)
+//	gitcite-bench -experiment sync       v1 negotiated incremental sync +
+//	                                     ETag/304 reads (-files N -commits M)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"sync"
@@ -26,6 +30,7 @@ import (
 	"github.com/gitcite/gitcite/internal/core"
 	"github.com/gitcite/gitcite/internal/extension"
 	"github.com/gitcite/gitcite/internal/format"
+	"github.com/gitcite/gitcite/internal/gitcite"
 	"github.com/gitcite/gitcite/internal/hosting"
 	"github.com/gitcite/gitcite/internal/scenario"
 	"github.com/gitcite/gitcite/internal/vcs"
@@ -42,7 +47,7 @@ var (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, figure1, architecture, figure2, listing1, demo, concurrent, commit")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, figure1, architecture, figure2, listing1, demo, concurrent, commit, sync")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -53,8 +58,9 @@ func main() {
 		"demo":         runDemo,
 		"concurrent":   runConcurrent,
 		"commit":       runCommit,
+		"sync":         runSync,
 	}
-	order := []string{"figure1", "architecture", "figure2", "listing1", "demo", "concurrent", "commit"}
+	order := []string{"figure1", "architecture", "figure2", "listing1", "demo", "concurrent", "commit", "sync"}
 
 	if *experiment != "all" {
 		run, ok := runners[*experiment]
@@ -336,6 +342,147 @@ func runCommit() error {
 		fmt.Printf("  speedup: %.1fx wall clock, %.0fx fewer store writes\n",
 			float64(coldTime)/float64(incTime), float64(coldPuts)/float64(incPuts))
 	}
+	return nil
+}
+
+// runSync measures the v1 negotiated sync protocol on a -files-sized
+// repository. The pre-v1 wire protocol re-transferred the whole closure as
+// one in-memory base64 array on every push and pull; v1 negotiates first
+// (the peer declares the tips it has, the server answers with exactly the
+// missing object IDs) and then streams only that delta, so per-commit
+// transfer cost is O(delta) like the PR 2 write path made commits. The
+// conditional-GET section measures the ETag/304 fast path on a
+// commit-addressed citation read.
+func runSync() error {
+	fmt.Println("Negotiated incremental sync (API v1)")
+	fmt.Println("------------------------------------")
+	if *files < 1 || *commits < 1 {
+		return fmt.Errorf("-files and -commits must be at least 1 (got %d, %d)", *files, *commits)
+	}
+	local, err := gitcite.NewMemoryRepo(gitcite.Meta{Owner: "bench", Name: "repo", URL: "https://x/repo"})
+	if err != nil {
+		return err
+	}
+	wt, err := local.Checkout("main")
+	if err != nil {
+		return err
+	}
+	edited := ""
+	for i := 0; i < *files; i++ {
+		p := fmt.Sprintf("/d%d/s%d/f%d.txt", i%10, (i/10)%10, i)
+		if edited == "" {
+			edited = p
+		}
+		if err := wt.WriteFile(p, []byte(fmt.Sprintf("seed content %d", i))); err != nil {
+			return err
+		}
+	}
+	opts := vcs.CommitOptions{Author: vcs.Sig("bench", "bench@x", time.Unix(1, 0)), Message: "seed"}
+	if _, err := wt.Commit(opts); err != nil {
+		return err
+	}
+
+	platform := hosting.NewPlatform()
+	ts := httptest.NewServer(hosting.NewServer(platform))
+	defer ts.Close()
+	anon := extension.New(ts.URL, "")
+	tok, err := anon.CreateUser("bench")
+	if err != nil {
+		return err
+	}
+	owner := anon.WithToken(tok)
+	if err := owner.CreateRepo("repo", "https://x/repo", ""); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	full, err := owner.Sync(local, "bench", "repo", "main")
+	if err != nil {
+		return err
+	}
+	fullTime := time.Since(start)
+	fmt.Printf("  initial push: %d objects in %s (full closure — nothing to negotiate away)\n",
+		full, fullTime.Round(time.Microsecond))
+
+	puller, err := owner.Clone("bench", "repo", "main")
+	if err != nil {
+		return err
+	}
+
+	var pushObjs, pullObjs int
+	var pushTime, pullTime time.Duration
+	var tip object.ID
+	for i := 0; i < *commits; i++ {
+		if err := wt.WriteFile(edited, []byte(fmt.Sprintf("edit %d", i))); err != nil {
+			return err
+		}
+		if tip, err = wt.Commit(opts); err != nil {
+			return err
+		}
+		start = time.Now()
+		n, err := owner.Sync(local, "bench", "repo", "main")
+		if err != nil {
+			return err
+		}
+		pushTime += time.Since(start)
+		pushObjs += n
+		start = time.Now()
+		_, n, err = owner.Fetch(puller, "bench", "repo", "main", "main")
+		if err != nil {
+			return err
+		}
+		pullTime += time.Since(start)
+		pullObjs += n
+	}
+	fmt.Printf("  repository: %d files; %d one-file commits per direction\n", *files, *commits)
+	fmt.Printf("  incremental push (Sync):  %8s/commit, %5.1f objects/commit on the wire\n",
+		(pushTime / time.Duration(*commits)).Round(time.Microsecond), float64(pushObjs)/float64(*commits))
+	fmt.Printf("  incremental pull (Fetch): %8s/commit, %5.1f objects/commit on the wire\n",
+		(pullTime / time.Duration(*commits)).Round(time.Microsecond), float64(pullObjs)/float64(*commits))
+	fmt.Printf("  (full closure would be ~%d objects per transfer)\n", full)
+
+	// Conditional GET: a commit-addressed citation read revalidated by ETag.
+	url := fmt.Sprintf("%s/api/v1/repos/bench/repo/cite/%s?path=%s", ts.URL, tip.String(), edited)
+	const reads = 200
+	var etag string
+	start = time.Now()
+	for i := 0; i < reads; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		etag = resp.Header.Get("ETag")
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("cite read: status %d", resp.StatusCode)
+		}
+	}
+	warmTime := time.Since(start)
+	start = time.Now()
+	for i := 0; i < reads; i++ {
+		req, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("If-None-Match", etag)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			return fmt.Errorf("conditional cite read: status %d, want 304", resp.StatusCode)
+		}
+	}
+	condTime := time.Since(start)
+	fmt.Printf("  commit-addressed GET /cite: 200 in %s/req, 304 revalidation in %s/req (zero citation work)\n",
+		(warmTime / reads).Round(time.Microsecond), (condTime / reads).Round(time.Microsecond))
 	return nil
 }
 

@@ -1,9 +1,9 @@
 // Command gitcite-server runs the hosting platform (the paper's
 // project-hosting side — the role GitHub plays): user accounts, hosted
-// citation-enabled repositories, and the REST API the browser-extension
-// client talks to.
+// citation-enabled repositories, and the versioned REST API (/api/v1) the
+// browser-extension client talks to.
 //
-//	gitcite-server -addr :8080 [-seed]
+//	gitcite-server -addr :8080 [-seed] [-cors-origin ORIGIN] [-rate-limit RPS -rate-burst N] [-log]
 //
 // With -seed, the server starts pre-populated with the paper's §4
 // demonstration repositories (Data_citation_demo and alu01-corecover) under
@@ -11,25 +11,39 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/httptest"
 	"os"
 
 	"github.com/gitcite/gitcite/internal/extension"
 	"github.com/gitcite/gitcite/internal/hosting"
 	"github.com/gitcite/gitcite/internal/scenario"
-	"net/http/httptest"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Bool("seed", false, "pre-populate with the paper's demonstration repositories")
+	corsOrigin := flag.String("cors-origin", "*", "CORS allowed origin for the browser extension (empty disables CORS)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-token request rate limit in req/s (0 disables)")
+	rateBurst := flag.Int("rate-burst", 30, "rate-limit burst capacity")
+	logReqs := flag.Bool("log", false, "log one line per request")
 	flag.Parse()
 
+	var opts []hosting.ServerOption
+	opts = append(opts, hosting.WithAllowedOrigin(*corsOrigin))
+	if *rateLimit > 0 {
+		opts = append(opts, hosting.WithRateLimit(*rateLimit, *rateBurst))
+	}
+	if *logReqs {
+		opts = append(opts, hosting.WithRequestLogger(log.New(os.Stderr, "http: ", log.LstdFlags)))
+	}
+
 	platform := hosting.NewPlatform()
-	server := hosting.NewServer(platform)
+	server := hosting.NewServer(platform, opts...)
 
 	if *seed {
 		if err := seedDemo(platform, server, *addr); err != nil {
@@ -37,7 +51,7 @@ func main() {
 		}
 	}
 
-	log.Printf("gitcite-server listening on %s", *addr)
+	log.Printf("gitcite-server listening on %s (API v1 under /api/v1)", *addr)
 	if err := http.ListenAndServe(*addr, server); err != nil {
 		log.Fatal(err)
 	}
@@ -50,28 +64,28 @@ func seedDemo(platform *hosting.Platform, server *hosting.Server, addr string) e
 	if err != nil {
 		return err
 	}
-	user, err := platform.CreateUser("demo")
+	user, err := platform.CreateUser(context.Background(), "demo")
 	if err != nil {
 		return err
 	}
 	// Register both repositories and push their histories through the same
-	// HTTP path a real client would use.
+	// HTTP sync path a real client would use.
 	ts := httptest.NewServer(server)
 	defer ts.Close()
 	client := extension.New(ts.URL, user.Token)
 	if err := client.CreateRepo("Data_citation_demo", res.Demo.Meta.URL, ""); err != nil {
 		return err
 	}
-	if _, err := client.Push(res.Demo, "demo", "Data_citation_demo", "master"); err != nil {
+	if _, err := client.Sync(res.Demo, "demo", "Data_citation_demo", "master"); err != nil {
 		return err
 	}
 	if err := client.CreateRepo("alu01-corecover", res.CoreCover.Meta.URL, ""); err != nil {
 		return err
 	}
-	if _, err := client.Push(res.CoreCover, "demo", "alu01-corecover", "master"); err != nil {
+	if _, err := client.Sync(res.CoreCover, "demo", "alu01-corecover", "master"); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "seeded demo repositories; API token for user %q: %s\n", user.Name, user.Token)
-	fmt.Fprintf(os.Stderr, "try: curl 'http://localhost%s/api/repos/demo/Data_citation_demo/cite/master?path=/CoreCover&format=text'\n", addr)
+	fmt.Fprintf(os.Stderr, "try: curl 'http://localhost%s/api/v1/repos/demo/Data_citation_demo/cite/master?path=/CoreCover&format=text'\n", addr)
 	return nil
 }

@@ -758,21 +758,23 @@ func cmdSync(cmd string, args []string) error {
 	}
 	client := extension.New(*server, *tok)
 	if cmd == "push" {
-		n, err := client.Push(repo, *owner, *repoName, *branch)
+		// Sync negotiates with the remote branch tips first, so only the
+		// object delta travels.
+		n, err := client.Sync(repo, *owner, *repoName, *branch)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("pushed %s (%d objects)\n", *branch, n)
+		fmt.Printf("pushed %s (%d new objects)\n", *branch, n)
 		return nil
 	}
-	tip, err := client.Pull(repo, *owner, *repoName, *branch, *branch)
+	tip, n, err := client.Fetch(repo, *owner, *repoName, *branch, *branch)
 	if err != nil {
 		return err
 	}
 	if err := materialize(repo, tip); err != nil {
 		return err
 	}
-	fmt.Printf("pulled %s at %s\n", *branch, tip.Short())
+	fmt.Printf("pulled %s at %s (%d new objects)\n", *branch, tip.Short(), n)
 	return nil
 }
 

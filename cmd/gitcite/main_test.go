@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -117,11 +118,11 @@ func TestCLIPushPull(t *testing.T) {
 	platform := hosting.NewPlatform()
 	ts := httptest.NewServer(hosting.NewServer(platform))
 	defer ts.Close()
-	user, err := platform.CreateUser("alice")
+	user, err := platform.CreateUser(context.Background(), "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := platform.CreateRepo(user.Token, "demo", "https://x/demo", ""); err != nil {
+	if _, err := platform.CreateRepo(context.Background(), user.Token, "demo", "https://x/demo", ""); err != nil {
 		t.Fatal(err)
 	}
 	inTempRepo(t, func(string) {

@@ -31,6 +31,7 @@
 package gitcite
 
 import (
+	"log"
 	"time"
 
 	"github.com/gitcite/gitcite/internal/archive"
@@ -173,21 +174,46 @@ func Render(c Citation, f Format) (string, error) { return format.Render(c, f) }
 
 // ---- hosting platform + extension client ----
 
-// Platform is the in-process hosting service (the GitHub stand-in).
+// Platform is the in-process hosting service (the GitHub stand-in). Its
+// methods take a context.Context threaded down from the HTTP request.
 type Platform = hosting.Platform
 
-// Server exposes a Platform over HTTP.
+// Server exposes a Platform over the versioned REST API (/api/v1) with
+// negotiated incremental sync, streaming object transfer, ETag-based
+// immutable-read caching and a middleware chain (logging, CORS, per-token
+// rate limiting, auth extraction).
 type Server = hosting.Server
 
-// Client is the browser-extension-equivalent REST client.
+// ServerOption configures the Server middleware chain.
+type ServerOption = hosting.ServerOption
+
+// Client is the browser-extension-equivalent REST client for API v1. Sync
+// pushes and Fetch pulls move only the negotiated object delta, streamed
+// one object per line.
 type Client = extension.Client
+
+// APIError is a non-2xx platform response carrying the stable
+// machine-readable error code ("not_found", "conflict", "ambiguous_ref",
+// "rate_limited", …).
+type APIError = extension.APIError
 
 // NewPlatform creates an empty hosting platform.
 func NewPlatform() *Platform { return hosting.NewPlatform() }
 
 // NewServer wraps a platform with the REST API; mount it on any net/http
 // server.
-func NewServer(p *Platform) *Server { return hosting.NewServer(p) }
+func NewServer(p *Platform, opts ...ServerOption) *Server { return hosting.NewServer(p, opts...) }
+
+// WithAllowedOrigin sets the CORS allowed origin ("*" is the default; empty
+// disables CORS handling).
+func WithAllowedOrigin(origin string) ServerOption { return hosting.WithAllowedOrigin(origin) }
+
+// WithRateLimit enables per-token rate limiting (429 + "rate_limited"
+// beyond rps with the given burst).
+func WithRateLimit(rps float64, burst int) ServerOption { return hosting.WithRateLimit(rps, burst) }
+
+// WithRequestLogger makes the server log one line per request.
+func WithRequestLogger(l *log.Logger) ServerOption { return hosting.WithRequestLogger(l) }
 
 // NewClient creates an API client; token may be empty for anonymous use.
 func NewClient(baseURL, token string) *Client { return extension.New(baseURL, token) }

@@ -1,15 +1,16 @@
 // Package extension is the behavioural equivalent of GitCite's Chrome
 // browser extension (paper §3, Figure 2): a client for the hosting
-// platform's REST API. Anyone can generate citations for any node of a
-// remote repository; project members can additionally add, modify and
-// delete citations, which the platform records as new commits touching
-// citation.cite. The package also implements the local tool's push/pull
-// against the platform.
+// platform's versioned REST API (/api/v1). Anyone can generate citations
+// for any node of a remote repository; project members can additionally
+// add, modify and delete citations, which the platform records as new
+// commits touching citation.cite. The package also implements the local
+// tool's transfer against the platform: Sync (negotiated incremental push)
+// and Fetch (negotiated incremental pull) move only the object delta,
+// streamed one object per NDJSON line.
 package extension
 
 import (
 	"bytes"
-	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,6 +26,13 @@ import (
 	"github.com/gitcite/gitcite/internal/vcs/refs"
 	"github.com/gitcite/gitcite/internal/vcs/store"
 )
+
+// apiPrefix is the versioned API root every request goes to.
+const apiPrefix = hosting.APIv1Prefix
+
+// fetchBatchSize bounds how many streamed objects accumulate before being
+// flushed to the local store in one raw batch write.
+const fetchBatchSize = 512
 
 // Client talks to a hosting server. The zero value is not usable; call New.
 type Client struct {
@@ -50,14 +58,20 @@ func (c *Client) WithToken(token string) *Client {
 	return &Client{baseURL: c.baseURL, token: token, http: c.http}
 }
 
-// APIError is a non-2xx platform response.
+// APIError is a non-2xx platform response. Code carries the platform's
+// stable machine-readable error code ("not_found", "conflict",
+// "ambiguous_ref", "rate_limited", …) when the server sent one.
 type APIError struct {
 	Status  int
+	Code    string
 	Message string
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("extension: server returned %d (%s): %s", e.Status, e.Code, e.Message)
+	}
 	return fmt.Sprintf("extension: server returned %d: %s", e.Status, e.Message)
 }
 
@@ -71,6 +85,30 @@ func IsPermissionDenied(err error) bool {
 	return false
 }
 
+// newRequest builds an authenticated request against the server.
+func (c *Client) newRequest(method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequest(method, c.baseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return req, nil
+}
+
+// apiErrorFrom turns a non-2xx response body into an APIError.
+func apiErrorFrom(status int, data []byte) *APIError {
+	var eresp hosting.ErrorResponse
+	msg := string(data)
+	code := ""
+	if json.Unmarshal(data, &eresp) == nil && eresp.Error != "" {
+		msg = eresp.Error
+		code = eresp.Code
+	}
+	return &APIError{Status: status, Code: code, Message: msg}
+}
+
 func (c *Client) do(method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
@@ -80,15 +118,12 @@ func (c *Client) do(method, path string, body, out any) error {
 		}
 		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.baseURL+path, rd)
+	req, err := c.newRequest(method, path, rd)
 	if err != nil {
 		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
-	}
-	if c.token != "" {
-		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -100,12 +135,7 @@ func (c *Client) do(method, path string, body, out any) error {
 		return err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var eresp hosting.ErrorResponse
-		msg := string(data)
-		if json.Unmarshal(data, &eresp) == nil && eresp.Error != "" {
-			msg = eresp.Error
-		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return apiErrorFrom(resp.StatusCode, data)
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -115,44 +145,110 @@ func (c *Client) do(method, path string, body, out any) error {
 	return nil
 }
 
+// doStream issues a request whose response is an NDJSON object stream. The
+// caller owns the returned body and must close it.
+func (c *Client) doStream(method, path string, body any) (io.ReadCloser, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := c.newRequest(method, path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return nil, apiErrorFrom(resp.StatusCode, data)
+	}
+	return resp.Body, nil
+}
+
+// ---- accounts and repositories ----
+
 // CreateUser registers an account and returns its token.
 func (c *Client) CreateUser(name string) (string, error) {
 	var resp hosting.UserResponse
-	err := c.do("POST", "/api/users", hosting.UserRequest{Name: name}, &resp)
+	err := c.do("POST", apiPrefix+"/users", hosting.UserRequest{Name: name}, &resp)
 	return resp.Token, err
 }
 
 // CreateRepo creates a repository owned by the authenticated user.
 func (c *Client) CreateRepo(name, url, license string) error {
-	return c.do("POST", "/api/repos", hosting.RepoRequest{Name: name, URL: url, License: license}, nil)
+	return c.do("POST", apiPrefix+"/repos", hosting.RepoRequest{Name: name, URL: url, License: license}, nil)
 }
 
 // AddMember grants a user write access (owner only).
 func (c *Client) AddMember(owner, repo, member string) error {
-	return c.do("POST", fmt.Sprintf("/api/repos/%s/%s/members", owner, repo),
+	return c.do("POST", fmt.Sprintf("%s/repos/%s/%s/members", apiPrefix, owner, repo),
 		hosting.MemberRequest{Member: member}, nil)
 }
 
-// GetRepo fetches repository metadata and branches.
+// GetRepo fetches repository metadata, branches and branch tips.
 func (c *Client) GetRepo(owner, repo string) (hosting.RepoResponse, error) {
 	var resp hosting.RepoResponse
-	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s", owner, repo), nil, &resp)
+	err := c.do("GET", fmt.Sprintf("%s/repos/%s/%s", apiPrefix, owner, repo), nil, &resp)
 	return resp, err
 }
 
-// Tree lists the paths of a revision, flagging the explicitly cited ones
-// (the popup's solid-blue nodes).
-func (c *Client) Tree(owner, repo, rev string) ([]hosting.TreeEntryResponse, error) {
-	var resp []hosting.TreeEntryResponse
-	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/tree/%s", owner, repo, rev), nil, &resp)
-	return resp, err
+// ---- tree listings ----
+
+// TreePage fetches one page of a revision's tree listing. cursor is empty
+// for the first page and the previous page's NextCursor afterwards; limit 0
+// asks for everything in one page.
+func (c *Client) TreePage(owner, repo, rev, cursor string, limit int) (hosting.TreePage, error) {
+	path := fmt.Sprintf("%s/repos/%s/%s/tree/%s", apiPrefix, owner, repo, rev)
+	q := url.Values{}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page hosting.TreePage
+	err := c.do("GET", path, nil, &page)
+	return page, err
 }
+
+// Tree lists all paths of a revision, flagging the explicitly cited ones
+// (the popup's solid-blue nodes), following pagination to the end.
+func (c *Client) Tree(owner, repo, rev string) ([]hosting.TreeEntryResponse, error) {
+	var out []hosting.TreeEntryResponse
+	cursor := ""
+	for {
+		page, err := c.TreePage(owner, repo, rev, cursor, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page.Entries...)
+		if page.NextCursor == "" {
+			return out, nil
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// ---- citation reads ----
 
 // GenCite generates the citation for a node — available to everyone,
 // exactly like the popup's "Generate Citation" button.
 func (c *Client) GenCite(owner, repo, rev, path string) (core.Citation, string, error) {
 	var resp hosting.CiteResponse
-	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/cite/%s?path=%s", owner, repo, rev, url.QueryEscape(path)), nil, &resp)
+	err := c.do("GET", fmt.Sprintf("%s/repos/%s/%s/cite/%s?path=%s", apiPrefix, owner, repo, rev, url.QueryEscape(path)), nil, &resp)
 	if err != nil {
 		return core.Citation{}, "", err
 	}
@@ -164,7 +260,7 @@ func (c *Client) GenCite(owner, repo, rev, path string) (core.Citation, string, 
 // alternative semantics) — available to everyone, like GenCite.
 func (c *Client) Chain(owner, repo, rev, path string) ([]core.PathCitation, error) {
 	var resp hosting.ChainResponse
-	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/chain/%s?path=%s", owner, repo, rev, url.QueryEscape(path)), nil, &resp)
+	err := c.do("GET", fmt.Sprintf("%s/repos/%s/%s/chain/%s?path=%s", apiPrefix, owner, repo, rev, url.QueryEscape(path)), nil, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -182,9 +278,11 @@ func (c *Client) Chain(owner, repo, rev, path string) ([]core.PathCitation, erro
 // GenCiteRendered generates and renders a citation in one round trip.
 func (c *Client) GenCiteRendered(owner, repo, rev, path, formatName string) (string, error) {
 	var resp hosting.CiteResponse
-	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/cite/%s?path=%s&format=%s", owner, repo, rev, url.QueryEscape(path), url.QueryEscape(formatName)), nil, &resp)
+	err := c.do("GET", fmt.Sprintf("%s/repos/%s/%s/cite/%s?path=%s&format=%s", apiPrefix, owner, repo, rev, url.QueryEscape(path), url.QueryEscape(formatName)), nil, &resp)
 	return resp.Rendered, err
 }
+
+// ---- citation edits ----
 
 // AddCite attaches a citation remotely (member only).
 func (c *Client) AddCite(owner, repo, branch, path string, cite core.Citation) (string, error) {
@@ -211,7 +309,7 @@ func (c *Client) editCite(method, owner, repo, branch, path string, cite *core.C
 		req.Citation = raw
 	}
 	var resp hosting.EditCiteResponse
-	if err := c.do(method, fmt.Sprintf("/api/repos/%s/%s/cite", owner, repo), req, &resp); err != nil {
+	if err := c.do(method, fmt.Sprintf("%s/repos/%s/%s/cite", apiPrefix, owner, repo), req, &resp); err != nil {
 		return "", err
 	}
 	return resp.Commit, nil
@@ -221,98 +319,235 @@ func (c *Client) editCite(method, owner, repo, branch, path string, cite *core.C
 // and per-entry coverage.
 func (c *Client) Credit(owner, repo, rev string) (hosting.CreditResponse, error) {
 	var resp hosting.CreditResponse
-	err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/credit/%s", owner, repo, rev), nil, &resp)
+	err := c.do("GET", fmt.Sprintf("%s/repos/%s/%s/credit/%s", apiPrefix, owner, repo, rev), nil, &resp)
 	return resp, err
 }
 
 // CiteFile downloads a revision's raw citation.cite.
 func (c *Client) CiteFile(owner, repo, rev string) ([]byte, error) {
-	req, err := http.NewRequest("GET", fmt.Sprintf("%s/api/repos/%s/%s/citefile/%s", c.baseURL, owner, repo, rev), nil)
+	data, _, _, err := c.CiteFileIfChanged(owner, repo, rev, "")
+	return data, err
+}
+
+// CiteFileIfChanged is CiteFile with conditional-GET support: pass the ETag
+// of a previous download and the server answers 304 (notModified=true, nil
+// data) when the revision still resolves to the same immutable commit —
+// zero citation work server-side, near-zero bytes on the wire.
+func (c *Client) CiteFileIfChanged(owner, repo, rev, etag string) (data []byte, newETag string, notModified bool, err error) {
+	req, err := c.newRequest("GET", fmt.Sprintf("%s/repos/%s/%s/citefile/%s", apiPrefix, owner, repo, rev), nil)
 	if err != nil {
-		return nil, err
+		return nil, "", false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, "", false, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusNotModified {
+		return nil, resp.Header.Get("ETag"), true, nil
+	}
+	data, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, "", false, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, &APIError{Status: resp.StatusCode, Message: string(data)}
+		return nil, "", false, apiErrorFrom(resp.StatusCode, data)
 	}
-	return data, nil
+	return data, resp.Header.Get("ETag"), false, nil
 }
 
 // Fork forks owner/repo under the authenticated user's account.
 func (c *Client) Fork(owner, repo, newName string) (hosting.RepoResponse, error) {
 	var resp hosting.RepoResponse
-	err := c.do("POST", fmt.Sprintf("/api/repos/%s/%s/fork", owner, repo), hosting.ForkRequest{NewName: newName}, &resp)
+	err := c.do("POST", fmt.Sprintf("%s/repos/%s/%s/fork", apiPrefix, owner, repo), hosting.ForkRequest{NewName: newName}, &resp)
 	return resp, err
 }
 
-// Push uploads a local branch (its tip's full reachable closure) to the
-// remote repository and advances the remote branch — the local tool's
-// "push the local copy (which contains citation.cite) to the remote
-// repository" step.
-func (c *Client) Push(local *gitcite.Repo, owner, repo, branch string) (int, error) {
+// ---- negotiated incremental transfer ----
+
+// localTips collects the commit IDs of every local branch, in hex — the
+// have-set a negotiate declares.
+func localTips(local *gitcite.Repo) ([]string, error) {
+	branches, err := local.VCS.Branches()
+	if err != nil {
+		return nil, err
+	}
+	hexes := make([]string, 0, len(branches))
+	for _, b := range branches {
+		tip, err := local.VCS.BranchTip(b)
+		if err != nil {
+			return nil, err
+		}
+		hexes = append(hexes, tip.String())
+	}
+	return hexes, nil
+}
+
+// Sync uploads a local branch incrementally: the remote branch tips (from
+// repository metadata) seed the same frontier walk the server uses for
+// pulls, so only objects the server is missing travel — one NDJSON line
+// each, never a whole-closure buffer. It returns the number of objects
+// uploaded (0 when the server is already up to date; the ref still
+// advances). This is the local tool's "push the local copy (which contains
+// citation.cite) to the remote repository" step.
+func (c *Client) Sync(local *gitcite.Repo, owner, repo, branch string) (int, error) {
 	tip, err := local.VCS.BranchTip(branch)
 	if err != nil {
 		return 0, err
 	}
-	scratch := store.NewMemoryStore()
-	if _, err := store.CopyClosure(scratch, local.VCS.Objects, tip); err != nil {
-		return 0, err
-	}
-	ids, err := scratch.IDs()
+	meta, err := c.GetRepo(owner, repo)
 	if err != nil {
 		return 0, err
 	}
-	req := hosting.PushRequest{Branch: branch, Tip: tip.String()}
-	for _, id := range ids {
-		o, err := scratch.Get(id)
-		if err != nil {
-			return 0, err
+	have := make([]object.ID, 0, len(meta.Tips))
+	for _, h := range meta.Tips {
+		if id, err := object.ParseID(h); err == nil {
+			have = append(have, id)
 		}
-		req.Objects = append(req.Objects, hosting.WireObject{Data: base64.StdEncoding.EncodeToString(object.Encode(o))})
 	}
-	var resp hosting.PushResponse
-	if err := c.do("POST", fmt.Sprintf("/api/repos/%s/%s/push", owner, repo), req, &resp); err != nil {
+	missing, err := hosting.MissingObjects(local.VCS.Objects, tip, have)
+	if err != nil {
 		return 0, err
 	}
-	return resp.Stored, nil
+
+	pr, pw := io.Pipe()
+	go func() {
+		sw := hosting.NewObjectStreamWriter(pw)
+		err := sw.WriteValue(hosting.PushHeader{Branch: branch, Tip: tip.String()})
+		for _, id := range missing {
+			if err != nil {
+				break
+			}
+			var o object.Object
+			if o, err = local.VCS.Objects.Get(id); err == nil {
+				err = sw.WriteObject(o)
+			}
+		}
+		if err == nil {
+			err = sw.Flush()
+		}
+		pw.CloseWithError(err)
+	}()
+
+	req, err := c.newRequest("POST", fmt.Sprintf("%s/repos/%s/%s/push", apiPrefix, owner, repo), pr)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", hosting.MediaTypeNDJSON)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return 0, apiErrorFrom(resp.StatusCode, data)
+	}
+	var pushResp hosting.PushResponse
+	if err := json.Unmarshal(data, &pushResp); err != nil {
+		return 0, fmt.Errorf("extension: bad push response: %w", err)
+	}
+	return pushResp.Stored, nil
+}
+
+// Fetch downloads a remote revision incrementally into the local
+// repository: it negotiates with the local branch tips as the have-set,
+// streams exactly the missing objects, stores them in raw batches, and
+// points localBranch (if non-empty) at the tip. It returns the tip and the
+// number of objects transferred — proportional to the delta, not the
+// repository.
+func (c *Client) Fetch(local *gitcite.Repo, owner, repo, rev, localBranch string) (object.ID, int, error) {
+	haveHex, err := localTips(local)
+	if err != nil {
+		return object.ZeroID, 0, err
+	}
+	var neg hosting.NegotiateResponse
+	err = c.do("POST", fmt.Sprintf("%s/repos/%s/%s/negotiate", apiPrefix, owner, repo),
+		hosting.NegotiateRequest{Want: rev, Have: haveHex}, &neg)
+	if err != nil {
+		return object.ZeroID, 0, err
+	}
+	tip, err := object.ParseID(neg.Tip)
+	if err != nil {
+		return object.ZeroID, 0, fmt.Errorf("extension: bad negotiate tip: %w", err)
+	}
+	n := 0
+	if len(neg.Missing) > 0 {
+		body, err := c.doStream("POST", fmt.Sprintf("%s/repos/%s/%s/objects", apiPrefix, owner, repo),
+			hosting.FetchRequest{IDs: neg.Missing})
+		if err != nil {
+			return object.ZeroID, 0, err
+		}
+		defer body.Close()
+		sr := hosting.NewObjectStreamReader(body)
+		batch := make([]store.Encoded, 0, fetchBatchSize)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			if err := store.PutManyEncoded(local.VCS.Objects, batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+			return nil
+		}
+		for {
+			_, enc, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return object.ZeroID, 0, err
+			}
+			// The ID is recomputed locally from the received bytes, so the
+			// raw-batch trust contract holds regardless of what the server
+			// claims to have sent.
+			batch = append(batch, store.Encoded{ID: object.HashBytes(enc), Enc: enc})
+			n++
+			if len(batch) == fetchBatchSize {
+				if err := flush(); err != nil {
+					return object.ZeroID, 0, err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return object.ZeroID, 0, err
+		}
+		if n != len(neg.Missing) {
+			return object.ZeroID, 0, fmt.Errorf("extension: server sent %d of %d negotiated objects", n, len(neg.Missing))
+		}
+	}
+	if localBranch != "" {
+		if err := local.VCS.Refs.Set(refs.BranchRef(localBranch), tip); err != nil {
+			return object.ZeroID, 0, err
+		}
+	}
+	return tip, n, nil
+}
+
+// Push uploads a local branch and advances the remote branch (fast-forward
+// only).
+//
+// Deprecated: Push is Sync under its pre-v1 name; new code should call Sync
+// and use the transferred-object count it reports.
+func (c *Client) Push(local *gitcite.Repo, owner, repo, branch string) (int, error) {
+	return c.Sync(local, owner, repo, branch)
 }
 
 // Pull downloads a remote revision's objects into the local repository and
 // points localBranch at it.
+//
+// Deprecated: Pull is Fetch without the transfer count; new code should
+// call Fetch.
 func (c *Client) Pull(local *gitcite.Repo, owner, repo, rev, localBranch string) (object.ID, error) {
-	var resp hosting.PullResponse
-	if err := c.do("GET", fmt.Sprintf("/api/repos/%s/%s/pull/%s", owner, repo, rev), nil, &resp); err != nil {
-		return object.ZeroID, err
-	}
-	tip, err := object.ParseID(resp.Tip)
-	if err != nil {
-		return object.ZeroID, err
-	}
-	for _, wo := range resp.Objects {
-		enc, err := base64.StdEncoding.DecodeString(wo.Data)
-		if err != nil {
-			return object.ZeroID, err
-		}
-		o, err := object.Decode(enc)
-		if err != nil {
-			return object.ZeroID, err
-		}
-		if _, err := local.VCS.Objects.Put(o); err != nil {
-			return object.ZeroID, err
-		}
-	}
-	if err := local.VCS.Refs.Set(refs.BranchRef(localBranch), tip); err != nil {
-		return object.ZeroID, err
-	}
-	return tip, nil
+	tip, _, err := c.Fetch(local, owner, repo, rev, localBranch)
+	return tip, err
 }
 
 // Clone creates a fresh local citation-enabled repository tracking a remote
@@ -328,7 +563,7 @@ func (c *Client) Clone(owner, repo, rev string) (*gitcite.Repo, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := c.Pull(local, owner, repo, rev, rev); err != nil {
+	if _, _, err := c.Fetch(local, owner, repo, rev, rev); err != nil {
 		return nil, err
 	}
 	if err := local.VCS.Checkout(rev); err != nil {

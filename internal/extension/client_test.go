@@ -14,6 +14,28 @@ func TestAPIErrorFormatting(t *testing.T) {
 	if !strings.Contains(err.Error(), "403") || !strings.Contains(err.Error(), "not a member") {
 		t.Errorf("Error() = %q", err.Error())
 	}
+	coded := &APIError{Status: 409, Code: "ambiguous_ref", Message: "prefix matches 2 commits"}
+	if !strings.Contains(coded.Error(), "ambiguous_ref") || !strings.Contains(coded.Error(), "409") {
+		t.Errorf("Error() = %q", coded.Error())
+	}
+}
+
+func TestClientParsesErrorCode(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"code": "not_found", "error": "hosting: not found: repository a/b"}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "")
+	_, err := c.GetRepo("a", "b")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if apiErr.Code != "not_found" || apiErr.Status != 404 {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
 }
 
 func TestIsPermissionDenied(t *testing.T) {

@@ -1,11 +1,14 @@
 package hosting
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,24 +25,55 @@ import (
 
 // Server exposes a Platform over HTTP — the REST API the paper's browser
 // extension uses ("The extension communicates with the GitHub servers using
-// its REST API").
+// its REST API"). The surface is versioned under /api/v1; the unversioned
+// /api routes are deprecated aliases for pre-v1 clients. Requests flow
+// through the middleware chain (logging → CORS → rate limit → auth) before
+// reaching the router.
 type Server struct {
 	platform *Platform
 	mux      *http.ServeMux
+	handler  http.Handler
 	// Now supplies commit timestamps for server-side citation edits;
 	// overridable for deterministic tests and experiments.
 	Now func() time.Time
+
+	corsOrigin string
+	limiter    *rateLimiter
+	logger     interface{ Printf(string, ...any) }
 }
 
-// NewServer wraps a platform with the REST API.
-func NewServer(p *Platform) *Server {
-	s := &Server{platform: p, Now: time.Now}
+// NewServer wraps a platform with the REST API. Options configure the
+// middleware chain (CORS origin, rate limiting, request logging).
+func NewServer(p *Platform, opts ...ServerOption) *Server {
+	s := &Server{platform: p, Now: time.Now, corsOrigin: "*"}
+	for _, o := range opts {
+		o(s)
+	}
 	mux := http.NewServeMux()
+	// ---- v1 ----
+	mux.HandleFunc("POST /api/v1/users", s.handleCreateUser)
+	mux.HandleFunc("POST /api/v1/repos", s.handleCreateRepo)
+	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}", s.handleGetRepo)
+	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/members", s.handleAddMember)
+	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/tree/{rev}", s.handleTreeV1)
+	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/cite/{rev}", s.handleGenCite)
+	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/chain/{rev}", s.handleChain)
+	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/citefile/{rev}", s.handleCiteFile)
+	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/credit/{rev}", s.handleCredit)
+	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/cite", s.handleEditCite)
+	mux.HandleFunc("PUT /api/v1/repos/{owner}/{name}/cite", s.handleEditCite)
+	mux.HandleFunc("DELETE /api/v1/repos/{owner}/{name}/cite", s.handleEditCite)
+	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/fork", s.handleFork)
+	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/negotiate", s.handleNegotiate)
+	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/objects", s.handleFetchObjects)
+	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/push", s.handlePushV1)
+	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/pull/{rev}", s.handlePullV1)
+	// ---- deprecated unversioned aliases (pre-v1 wire protocol) ----
 	mux.HandleFunc("POST /api/users", s.handleCreateUser)
 	mux.HandleFunc("POST /api/repos", s.handleCreateRepo)
 	mux.HandleFunc("GET /api/repos/{owner}/{name}", s.handleGetRepo)
 	mux.HandleFunc("POST /api/repos/{owner}/{name}/members", s.handleAddMember)
-	mux.HandleFunc("GET /api/repos/{owner}/{name}/tree/{rev}", s.handleTree)
+	mux.HandleFunc("GET /api/repos/{owner}/{name}/tree/{rev}", s.handleTreeLegacy)
 	mux.HandleFunc("GET /api/repos/{owner}/{name}/cite/{rev}", s.handleGenCite)
 	mux.HandleFunc("GET /api/repos/{owner}/{name}/chain/{rev}", s.handleChain)
 	mux.HandleFunc("GET /api/repos/{owner}/{name}/citefile/{rev}", s.handleCiteFile)
@@ -48,14 +82,20 @@ func NewServer(p *Platform) *Server {
 	mux.HandleFunc("PUT /api/repos/{owner}/{name}/cite", s.handleEditCite)
 	mux.HandleFunc("DELETE /api/repos/{owner}/{name}/cite", s.handleEditCite)
 	mux.HandleFunc("POST /api/repos/{owner}/{name}/fork", s.handleFork)
-	mux.HandleFunc("POST /api/repos/{owner}/{name}/push", s.handlePush)
-	mux.HandleFunc("GET /api/repos/{owner}/{name}/pull/{rev}", s.handlePull)
+	mux.HandleFunc("POST /api/repos/{owner}/{name}/push", s.handlePushLegacy)
+	mux.HandleFunc("GET /api/repos/{owner}/{name}/pull/{rev}", s.handlePullLegacy)
 	s.mux = mux
+	var h http.Handler = mux
+	h = s.withAuth(h)
+	h = s.withRateLimit(h)
+	h = s.withCORS(h)
+	h = s.withLogging(h)
+	s.handler = h
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // ---- wire types ----
 
@@ -77,13 +117,15 @@ type RepoRequest struct {
 	License string `json:"license,omitempty"`
 }
 
-// RepoResponse describes a repository.
+// RepoResponse describes a repository. Tips maps each branch to its current
+// commit ID — the have-set seed for negotiated pushes.
 type RepoResponse struct {
-	Owner    string   `json:"owner"`
-	Name     string   `json:"name"`
-	URL      string   `json:"url,omitempty"`
-	License  string   `json:"license,omitempty"`
-	Branches []string `json:"branches"`
+	Owner    string            `json:"owner"`
+	Name     string            `json:"name"`
+	URL      string            `json:"url,omitempty"`
+	License  string            `json:"license,omitempty"`
+	Branches []string          `json:"branches"`
+	Tips     map[string]string `json:"tips,omitempty"`
 }
 
 // MemberRequest grants write access.
@@ -96,6 +138,14 @@ type TreeEntryResponse struct {
 	Path  string `json:"path"`
 	IsDir bool   `json:"isDir"`
 	Cited bool   `json:"cited"` // has an explicit citation (solid blue circle)
+}
+
+// TreePage is one page of a v1 tree listing. NextCursor is empty on the
+// last page; otherwise pass it back verbatim to continue. Cursors are
+// stable because the listed tree is addressed by an immutable commit.
+type TreePage struct {
+	Entries    []TreeEntryResponse `json:"entries"`
+	NextCursor string              `json:"nextCursor,omitempty"`
 }
 
 // CiteResponse is a generated citation.
@@ -131,12 +181,13 @@ type ForkRequest struct {
 	NewName string `json:"newName,omitempty"`
 }
 
-// WireObject is one canonical object encoding in a push/pull payload.
+// WireObject is one canonical object encoding in a deprecated push/pull
+// payload (v1 streams objectLine values instead).
 type WireObject struct {
 	Data string `json:"data"` // base64 of the canonical encoding
 }
 
-// PushRequest uploads objects and advances a branch (fast-forward only).
+// PushRequest is the deprecated whole-closure upload body.
 type PushRequest struct {
 	Branch  string       `json:"branch"`
 	Tip     string       `json:"tip"` // full hex commit ID
@@ -149,15 +200,10 @@ type PushResponse struct {
 	Tip    string `json:"tip"`
 }
 
-// PullResponse downloads a branch tip and its reachable objects.
+// PullResponse is the deprecated whole-closure download body.
 type PullResponse struct {
 	Tip     string       `json:"tip"`
 	Objects []WireObject `json:"objects"`
-}
-
-// ErrorResponse is the JSON error body.
-type ErrorResponse struct {
-	Error string `json:"error"`
 }
 
 // ---- helpers ----
@@ -168,31 +214,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// errStatus maps an error to its HTTP status and stable wire code.
+func errStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrUnauthorized):
-		status = http.StatusUnauthorized
+		return http.StatusUnauthorized, CodeUnauthorized
 	case errors.Is(err, ErrForbidden):
-		status = http.StatusForbidden
-	case errors.Is(err, ErrNotFound), errors.Is(err, vcs.ErrNoCommits), errors.Is(err, refs.ErrNotFound), errors.Is(err, core.ErrNoEntry):
-		status = http.StatusNotFound
+		return http.StatusForbidden, CodeForbidden
+	case errors.Is(err, ErrAmbiguousRev):
+		return http.StatusConflict, CodeAmbiguousRef
+	case errors.Is(err, ErrNotFound), errors.Is(err, vcs.ErrNoCommits), errors.Is(err, refs.ErrNotFound),
+		errors.Is(err, core.ErrNoEntry), errors.Is(err, store.ErrNotFound),
+		errors.Is(err, gitcite.ErrNotCitationEnabled):
+		return http.StatusNotFound, CodeNotFound
 	case errors.Is(err, ErrConflict), errors.Is(err, core.ErrEntryExists):
-		status = http.StatusConflict
+		return http.StatusConflict, CodeConflict
 	case errors.Is(err, vcs.ErrBadPath), errors.Is(err, core.ErrPathNotInTree),
 		errors.Is(err, core.ErrEmptyCitation), errors.Is(err, core.ErrIncompleteCitation),
 		errors.Is(err, core.ErrRootRequired), errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest, CodeBadRequest
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	return http.StatusInternalServerError, CodeInternal
 }
 
-func token(r *http.Request) string {
-	h := r.Header.Get("Authorization")
-	if t, ok := strings.CutPrefix(h, "Bearer "); ok {
-		return t
-	}
-	return ""
+func writeErr(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	writeJSON(w, status, ErrorResponse{Code: code, Error: err.Error()})
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -204,7 +251,22 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
-// resolveRev maps a branch name or full commit hex to a commit ID.
+// isHexPrefix reports whether rev could abbreviate a commit ID.
+func isHexPrefix(rev string) bool {
+	if len(rev) < 4 || len(rev) >= object.IDSize*2 {
+		return false
+	}
+	for _, c := range rev {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveRev maps a branch name, full commit hex, or unambiguous commit-ID
+// prefix (≥ 4 hex chars) to a commit ID. Branches shadow prefixes; an
+// ambiguous prefix reports ErrAmbiguousRev.
 func resolveRev(repo *gitcite.Repo, rev string) (object.ID, error) {
 	if id, err := object.ParseID(rev); err == nil {
 		if _, err := repo.VCS.Commit(id); err != nil {
@@ -212,14 +274,96 @@ func resolveRev(repo *gitcite.Repo, rev string) (object.ID, error) {
 		}
 		return id, nil
 	}
-	id, err := repo.VCS.BranchTip(rev)
-	if err != nil {
-		return object.ZeroID, fmt.Errorf("%w: branch %q", ErrNotFound, rev)
+	if id, err := repo.VCS.BranchTip(rev); err == nil {
+		return id, nil
 	}
-	return id, nil
+	if isHexPrefix(rev) {
+		prefix := strings.ToLower(rev)
+		ids, err := repo.VCS.Objects.IDs()
+		if err != nil {
+			return object.ZeroID, err
+		}
+		var match object.ID
+		found := 0
+		for _, id := range ids {
+			if !strings.HasPrefix(id.String(), prefix) {
+				continue
+			}
+			if _, err := repo.VCS.Commit(id); err != nil {
+				continue // a blob or tree may share the prefix; only commits count
+			}
+			match = id
+			if found++; found > 1 {
+				return object.ZeroID, fmt.Errorf("%w: %q matches %d or more commits", ErrAmbiguousRev, rev, found)
+			}
+		}
+		if found == 1 {
+			return match, nil
+		}
+	}
+	return object.ZeroID, fmt.Errorf("%w: revision %q", ErrNotFound, rev)
 }
 
-// ---- handlers ----
+// ---- immutable-read caching ----
+
+func etagFor(id object.ID) string { return `"` + id.String() + `"` }
+
+// etagMatch implements If-None-Match against a strong ETag (weak
+// comparison: a W/ prefix on the candidate still matches).
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// revAddressesCommit reports whether the request named the commit by (a
+// prefix of) its content hash — an immutable address, cacheable forever —
+// rather than by a movable branch name.
+func revAddressesCommit(rev string, commit object.ID) bool {
+	return len(rev) >= 4 && strings.HasPrefix(commit.String(), strings.ToLower(rev))
+}
+
+// beginCommitRead resolves {owner}/{name}/{rev}, stamps the caching headers
+// (ETag = the commit's content hash; immutable Cache-Control when the rev
+// itself was commit-addressed) and short-circuits If-None-Match
+// revalidations with a 304 before any citation-resolution work happens.
+// When it returns ok=false the response has already been written.
+func (s *Server) beginCommitRead(w http.ResponseWriter, r *http.Request) (*gitcite.Repo, object.ID, bool) {
+	repo, err := s.platform.Repo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return nil, object.ZeroID, false
+	}
+	rev := r.PathValue("rev")
+	commit, err := resolveRev(repo, rev)
+	if err != nil {
+		writeErr(w, err)
+		return nil, object.ZeroID, false
+	}
+	et := etagFor(commit)
+	h := w.Header()
+	h.Set("ETag", et)
+	if revAddressesCommit(rev, commit) {
+		// Commit IDs are content hashes: the representation can never
+		// change, so clients and shared caches may keep it forever.
+		h.Set("Cache-Control", "public, max-age=31536000, immutable")
+	} else {
+		// Branch-addressed: revalidate each time (the 304 below is cheap).
+		h.Set("Cache-Control", "no-cache")
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, et) {
+		w.WriteHeader(http.StatusNotModified)
+		return nil, object.ZeroID, false
+	}
+	return repo, commit, true
+}
+
+// ---- account / repository handlers ----
 
 func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
 	var req UserRequest
@@ -227,7 +371,7 @@ func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	u, err := s.platform.CreateUser(req.Name)
+	u, err := s.platform.CreateUser(r.Context(), req.Name)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -241,7 +385,7 @@ func (s *Server) handleCreateRepo(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	repo, err := s.platform.CreateRepo(token(r), req.Name, req.URL, req.License)
+	repo, err := s.platform.CreateRepoAs(r.Context(), userFrom(r.Context()), req.Name, req.URL, req.License)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -252,24 +396,41 @@ func (s *Server) handleCreateRepo(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleGetRepo(w http.ResponseWriter, r *http.Request) {
-	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
+// repoResponse assembles repository metadata with branch tips.
+func repoResponse(repo *gitcite.Repo) (RepoResponse, error) {
 	branches, err := repo.VCS.Branches()
 	if err != nil {
-		writeErr(w, err)
-		return
+		return RepoResponse{}, err
 	}
 	if branches == nil {
 		branches = []string{}
 	}
-	writeJSON(w, http.StatusOK, RepoResponse{
+	tips := make(map[string]string, len(branches))
+	for _, b := range branches {
+		tip, err := repo.VCS.BranchTip(b)
+		if err != nil {
+			return RepoResponse{}, err
+		}
+		tips[b] = tip.String()
+	}
+	return RepoResponse{
 		Owner: repo.Meta.Owner, Name: repo.Meta.Name, URL: repo.Meta.URL,
-		License: repo.Meta.License, Branches: branches,
-	})
+		License: repo.Meta.License, Branches: branches, Tips: tips,
+	}, nil
+}
+
+func (s *Server) handleGetRepo(w http.ResponseWriter, r *http.Request) {
+	repo, err := s.platform.Repo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := repoResponse(repo)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAddMember(w http.ResponseWriter, r *http.Request) {
@@ -278,62 +439,112 @@ func (s *Server) handleAddMember(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if err := s.platform.AddMember(token(r), r.PathValue("owner"), r.PathValue("name"), req.Member); err != nil {
+	err := s.platform.AddMemberAs(r.Context(), userFrom(r.Context()), r.PathValue("owner"), r.PathValue("name"), req.Member)
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
-func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
-	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	commit, err := resolveRev(repo, r.PathValue("rev"))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
+// ---- tree listing ----
+
+// treeEntries lists the commit's paths with citation flags, skipping offset
+// rows and stopping after limit (limit <= 0 lists everything). The walk
+// terminates as soon as the page is full, so deep pages do not pay for the
+// tail of the tree.
+func treeEntries(repo *gitcite.Repo, commit object.ID, offset, limit int) (entries []TreeEntryResponse, more bool, err error) {
 	treeID, err := repo.VCS.TreeOf(commit)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return nil, false, err
 	}
 	fn, err := repo.ResolvedFunctionAt(commit)
 	if err != nil && !errors.Is(err, gitcite.ErrNotCitationEnabled) {
-		writeErr(w, err)
-		return
+		return nil, false, err
 	}
-	var out []TreeEntryResponse
+	errStop := errors.New("page full")
+	idx := 0
 	err = vcs.WalkTree(repo.VCS.Objects, treeID, func(p string, e object.TreeEntry) error {
 		if p == citefile.Path {
 			return nil
 		}
+		pos := idx
+		idx++
+		if pos < offset {
+			return nil
+		}
+		if limit > 0 && len(entries) == limit {
+			more = true
+			return errStop
+		}
 		cited := fn != nil && fn.Has(p)
-		out = append(out, TreeEntryResponse{Path: p, IsDir: e.IsDir(), Cited: cited})
+		entries = append(entries, TreeEntryResponse{Path: p, IsDir: e.IsDir(), Cited: cited})
 		return nil
 	})
-	if err != nil {
-		writeErr(w, err)
-		return
+	if err != nil && !errors.Is(err, errStop) {
+		return nil, false, err
 	}
-	if out == nil {
-		out = []TreeEntryResponse{}
+	if entries == nil {
+		entries = []TreeEntryResponse{}
 	}
-	writeJSON(w, http.StatusOK, out)
+	return entries, more, nil
 }
 
-func (s *Server) handleGenCite(w http.ResponseWriter, r *http.Request) {
-	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
+func (s *Server) handleTreeV1(w http.ResponseWriter, r *http.Request) {
+	repo, commit, ok := s.beginCommitRead(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, fmt.Errorf("%w: limit %q", ErrBadRequest, v))
+			return
+		}
+		limit = n
+	}
+	offset := 0
+	if v := q.Get("cursor"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, fmt.Errorf("%w: cursor %q", ErrBadRequest, v))
+			return
+		}
+		offset = n
+	}
+	entries, more, err := treeEntries(repo, commit, offset, limit)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	commit, err := resolveRev(repo, r.PathValue("rev"))
+	page := TreePage{Entries: entries}
+	if more {
+		page.NextCursor = strconv.Itoa(offset + len(entries))
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleTreeLegacy serves the deprecated unpaginated array form.
+func (s *Server) handleTreeLegacy(w http.ResponseWriter, r *http.Request) {
+	repo, commit, ok := s.beginCommitRead(w, r)
+	if !ok {
+		return
+	}
+	entries, _, err := treeEntries(repo, commit, 0, 0)
 	if err != nil {
 		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entries)
+}
+
+// ---- citation reads ----
+
+func (s *Server) handleGenCite(w http.ResponseWriter, r *http.Request) {
+	repo, commit, ok := s.beginCommitRead(w, r)
+	if !ok {
 		return
 	}
 	path := r.URL.Query().Get("path")
@@ -368,14 +579,8 @@ func (s *Server) handleGenCite(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleChain(w http.ResponseWriter, r *http.Request) {
-	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	commit, err := resolveRev(repo, r.PathValue("rev"))
-	if err != nil {
-		writeErr(w, err)
+	repo, commit, ok := s.beginCommitRead(w, r)
+	if !ok {
 		return
 	}
 	path := r.URL.Query().Get("path")
@@ -400,14 +605,8 @@ func (s *Server) handleChain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCiteFile(w http.ResponseWriter, r *http.Request) {
-	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	commit, err := resolveRev(repo, r.PathValue("rev"))
-	if err != nil {
-		writeErr(w, err)
+	repo, commit, ok := s.beginCommitRead(w, r)
+	if !ok {
 		return
 	}
 	data, err := repo.CiteFileBytes(commit)
@@ -446,14 +645,8 @@ type CreditEntry struct {
 // handleCredit serves the credit report for a revision (public read, like
 // citation generation).
 func (s *Server) handleCredit(w http.ResponseWriter, r *http.Request) {
-	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	commit, err := resolveRev(repo, r.PathValue("rev"))
-	if err != nil {
-		writeErr(w, err)
+	repo, commit, ok := s.beginCommitRead(w, r)
+	if !ok {
 		return
 	}
 	rep, err := report.Build(repo, commit)
@@ -475,22 +668,26 @@ func (s *Server) handleCredit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// ---- citation edits ----
+
 // handleEditCite implements the member-only Add/Modify/Delete buttons of the
 // extension popup: the platform applies the operation and commits the
 // updated citation.cite to the branch.
 func (s *Server) handleEditCite(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	var req EditCiteRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
 	owner, name := r.PathValue("owner"), r.PathValue("name")
-	repo, user, err := s.platform.AuthorizeWrite(token(r), owner, name)
+	user := userFrom(ctx)
+	repo, err := s.platform.AuthorizeWriteAs(ctx, user, owner, name)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	unlock, err := s.platform.LockForEdit(owner, name)
+	unlock, err := s.platform.LockForEdit(ctx, owner, name)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -555,105 +752,292 @@ func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	forked, err := s.platform.ForkRepo(token(r), r.PathValue("owner"), r.PathValue("name"), req.NewName)
+	forked, err := s.platform.ForkRepoAs(r.Context(), userFrom(r.Context()), r.PathValue("owner"), r.PathValue("name"), req.NewName)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	branches, err := forked.VCS.Branches()
+	resp, err := repoResponse(forked)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	if branches == nil {
-		branches = []string{}
-	}
-	writeJSON(w, http.StatusCreated, RepoResponse{
-		Owner: forked.Meta.Owner, Name: forked.Meta.Name, URL: forked.Meta.URL,
-		License: forked.Meta.License, Branches: branches,
-	})
+	writeJSON(w, http.StatusCreated, resp)
 }
 
-func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
-	var req PushRequest
+// ---- negotiated sync ----
+
+func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
+	repo, err := s.platform.Repo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req NegotiateRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
-	repo, _, err := s.platform.AuthorizeWrite(token(r), r.PathValue("owner"), r.PathValue("name"))
+	tip, err := resolveRev(repo, req.Want)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	tip, err := object.ParseID(req.Tip)
+	have := make([]object.ID, 0, len(req.Have))
+	for _, h := range req.Have {
+		if id, err := object.ParseID(h); err == nil {
+			have = append(have, id) // malformed haves are ignored, like unknown ones
+		}
+	}
+	missing, err := MissingObjects(repo.VCS.Objects, tip, have)
 	if err != nil {
-		writeErr(w, fmt.Errorf("hosting: bad tip: %w", err))
-		return
-	}
-	// Decode the whole payload first, then store it as one batch: the
-	// store-side locks are taken once per shard/fanout dir instead of once
-	// per pushed object.
-	objs := make([]object.Object, 0, len(req.Objects))
-	for _, wo := range req.Objects {
-		enc, err := base64.StdEncoding.DecodeString(wo.Data)
-		if err != nil {
-			writeErr(w, fmt.Errorf("hosting: bad object payload: %w", err))
-			return
-		}
-		o, err := object.Decode(enc)
-		if err != nil {
-			writeErr(w, fmt.Errorf("hosting: bad object: %w", err))
-			return
-		}
-		objs = append(objs, o)
-	}
-	if _, err := store.PutMany(repo.VCS.Objects, objs); err != nil {
 		writeErr(w, err)
 		return
 	}
-	stored := len(objs)
-	if _, err := repo.VCS.Commit(tip); err != nil {
-		writeErr(w, fmt.Errorf("hosting: push tip %s not among uploaded objects: %w", tip.Short(), err))
+	resp := NegotiateResponse{Tip: tip.String(), Missing: make([]string, len(missing))}
+	for i, id := range missing {
+		resp.Missing[i] = id.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFetchObjects streams the requested objects back as NDJSON, one per
+// line — the transfer half of a negotiate round trip. Presence is checked
+// up front so a missing object is still reportable as a clean 404.
+func (s *Server) handleFetchObjects(w http.ResponseWriter, r *http.Request) {
+	repo, err := s.platform.Repo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
-	// Fast-forward check.
-	ref := refs.BranchRef(req.Branch)
-	if cur, err := repo.VCS.Refs.Get(ref); err == nil {
-		ok, err := repo.VCS.IsAncestor(cur, tip)
+	var req FetchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ids := make([]object.ID, len(req.IDs))
+	for i, h := range req.IDs {
+		id, err := object.ParseID(h)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: object ID %q", ErrBadRequest, h))
+			return
+		}
+		ids[i] = id
+	}
+	have, err := store.HasMany(repo.VCS.Objects, ids)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	for i, ok := range have {
+		if !ok {
+			writeErr(w, fmt.Errorf("%w: object %s", ErrNotFound, ids[i].Short()))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", MediaTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	sw := NewObjectStreamWriter(w)
+	flusher, _ := w.(http.Flusher)
+	for i, id := range ids {
+		o, err := repo.VCS.Objects.Get(id)
+		if err != nil {
+			return // headers are gone; abort the stream mid-flight
+		}
+		if err := sw.WriteObject(o); err != nil {
+			return
+		}
+		if flusher != nil && i%512 == 511 {
+			_ = sw.Flush()
+			flusher.Flush()
+		}
+	}
+	_ = sw.Flush()
+}
+
+// ---- push ----
+
+// applyPush validates and applies one push: the tip must decode to a commit
+// whose whole closure is covered by the uploaded objects plus the current
+// store, and the branch update must fast-forward — both checked BEFORE the
+// batch is stored, so a garbage or rejected push cannot land orphan objects.
+// The repository edit lock serialises the check-then-update with concurrent
+// pushes and server-side citation edits; readers are never blocked.
+func (s *Server) applyPush(ctx context.Context, repo *gitcite.Repo, owner, name, branch string, tip object.ID, batch []store.Encoded, objs map[object.ID]object.Object) (int, error) {
+	if branch == "" {
+		return 0, fmt.Errorf("%w: missing branch", ErrBadRequest)
+	}
+	if err := VerifyConnectedClosure(repo.VCS.Objects, objs, tip); err != nil {
+		return 0, err
+	}
+	unlock, err := s.platform.LockForEdit(ctx, owner, name)
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	ref := refs.BranchRef(branch)
+	if cur, err := repo.VCS.Refs.Get(ref); err == nil && cur != tip {
+		ok, err := isAncestorOver(repo.VCS.Objects, objs, cur, tip)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("%w: non-fast-forward push to %s", ErrConflict, branch)
+		}
+	}
+	// Only now do uploaded objects touch the store: one raw batch write.
+	if err := store.PutManyEncoded(repo.VCS.Objects, batch); err != nil {
+		return 0, err
+	}
+	if err := repo.VCS.Refs.Set(ref, tip); err != nil {
+		return 0, err
+	}
+	return len(batch), nil
+}
+
+// handlePushV1 ingests a streaming push: a PushHeader line followed by one
+// object per line. Objects are decoded as they arrive (memory stays
+// proportional to the negotiated delta, not the repository).
+func (s *Server) handlePushV1(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	owner, name := r.PathValue("owner"), r.PathValue("name")
+	repo, err := s.platform.AuthorizeWriteAs(ctx, userFrom(ctx), owner, name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	sr := NewObjectStreamReader(r.Body)
+	var hdr PushHeader
+	if err := sr.ReadHeader(&hdr); err != nil {
+		writeErr(w, fmt.Errorf("%w: push header: %v", ErrBadRequest, err))
+		return
+	}
+	tip, err := object.ParseID(hdr.Tip)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: bad tip: %v", ErrBadRequest, err))
+		return
+	}
+	var batch []store.Encoded
+	objs := make(map[object.ID]object.Object)
+	for {
+		o, enc, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
-		if !ok {
-			writeErr(w, fmt.Errorf("%w: non-fast-forward push to %s", ErrConflict, req.Branch))
-			return
+		id := object.HashBytes(enc)
+		if _, dup := objs[id]; dup {
+			continue
 		}
+		objs[id] = o
+		batch = append(batch, store.Encoded{ID: id, Enc: enc})
 	}
-	if err := repo.VCS.Refs.Set(ref, tip); err != nil {
+	stored, err := s.applyPush(ctx, repo, owner, name, hdr.Branch, tip, batch, objs)
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, PushResponse{Stored: stored, Tip: tip.String()})
 }
 
-func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
-	repo, err := s.platform.Repo(r.PathValue("owner"), r.PathValue("name"))
+// handlePushLegacy adapts the deprecated whole-array JSON body onto the same
+// validated push core as v1.
+func (s *Server) handlePushLegacy(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	var req PushRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	owner, name := r.PathValue("owner"), r.PathValue("name")
+	repo, err := s.platform.AuthorizeWriteAs(ctx, userFrom(ctx), owner, name)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	commit, err := resolveRev(repo, r.PathValue("rev"))
+	tip, err := object.ParseID(req.Tip)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: bad tip: %v", ErrBadRequest, err))
+		return
+	}
+	batch := make([]store.Encoded, 0, len(req.Objects))
+	objs := make(map[object.ID]object.Object, len(req.Objects))
+	for _, wo := range req.Objects {
+		enc, err := base64.StdEncoding.DecodeString(wo.Data)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: bad object payload: %v", ErrBadRequest, err))
+			return
+		}
+		o, err := object.Decode(enc)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: bad object: %v", ErrBadRequest, err))
+			return
+		}
+		id := object.HashBytes(enc)
+		if _, dup := objs[id]; dup {
+			continue
+		}
+		objs[id] = o
+		batch = append(batch, store.Encoded{ID: id, Enc: enc})
+	}
+	stored, err := s.applyPush(ctx, repo, owner, name, req.Branch, tip, batch, objs)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	// Serialise the reachable closure straight out of the live store —
-	// objects are immutable and the store is concurrency-safe, so no
-	// platform-level lock is held (or needed) across the transfer, no
-	// scratch copy of the closure is staged, and each object is fetched
-	// exactly once.
+	writeJSON(w, http.StatusOK, PushResponse{Stored: stored, Tip: tip.String()})
+}
+
+// ---- pull ----
+
+// handlePullV1 streams a revision's full reachable closure: a PullHeader
+// line, then one object per line, serialised straight out of the live store
+// (objects are immutable and the store concurrency-safe — no lock is held
+// across the transfer and no closure copy is staged). Commit-addressed
+// requests get the same ETag/304 treatment as the citation reads; clients
+// with prior state should negotiate instead.
+func (s *Server) handlePullV1(w http.ResponseWriter, r *http.Request) {
+	repo, commit, ok := s.beginCommitRead(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", MediaTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	sw := NewObjectStreamWriter(w)
+	if err := sw.WriteValue(PullHeader{Tip: commit.String()}); err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	n := 0
+	err := store.WalkClosure(repo.VCS.Objects, func(_ object.ID, o object.Object) error {
+		if err := sw.WriteObject(o); err != nil {
+			return err
+		}
+		if n++; flusher != nil && n%512 == 0 {
+			if err := sw.Flush(); err != nil {
+				return err
+			}
+			flusher.Flush()
+		}
+		return nil
+	}, commit)
+	if err != nil {
+		return // mid-stream failure: abort the connection, client's decode fails
+	}
+	_ = sw.Flush()
+}
+
+// handlePullLegacy serves the deprecated whole-array JSON closure download.
+func (s *Server) handlePullLegacy(w http.ResponseWriter, r *http.Request) {
+	repo, commit, ok := s.beginCommitRead(w, r)
+	if !ok {
+		return
+	}
 	resp := PullResponse{Tip: commit.String()}
-	err = store.WalkClosure(repo.VCS.Objects, func(_ object.ID, o object.Object) error {
+	err := store.WalkClosure(repo.VCS.Objects, func(_ object.ID, o object.Object) error {
 		resp.Objects = append(resp.Objects, WireObject{Data: base64.StdEncoding.EncodeToString(object.Encode(o))})
 		return nil
 	}, commit)

@@ -1,7 +1,8 @@
 // Package hosting simulates the project-hosting platform GitCite's browser
 // extension talks to (GitHub in the paper): user accounts with API tokens,
-// hosted citation-enabled repositories with member lists, a REST API over
-// net/http, fork support and push/pull object transfer.
+// hosted citation-enabled repositories with member lists, a versioned REST
+// API over net/http with negotiated incremental sync, fork support and
+// streaming push/pull object transfer.
 //
 // The permission model is the one Figure 2 of the paper demonstrates:
 // anyone may read and generate citations; only the owner and project
@@ -10,6 +11,7 @@
 package hosting
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -28,6 +30,9 @@ var (
 	ErrNotFound     = errors.New("hosting: not found")
 	ErrConflict     = errors.New("hosting: already exists")
 	ErrBadRequest   = errors.New("hosting: bad request")
+	// ErrAmbiguousRev reports an abbreviated commit ID that matches more
+	// than one commit (surfaced as 409 with code "ambiguous_ref").
+	ErrAmbiguousRev = errors.New("hosting: ambiguous commit ID prefix")
 )
 
 // User is one platform account.
@@ -41,13 +46,26 @@ type hostedRepo struct {
 	repo    *gitcite.Repo
 	owner   string
 	members map[string]bool // user names with write access (owner included)
-	// editMu serialises server-side checkout→edit→commit sequences so
-	// concurrent citation edits on one repository cannot lose updates.
-	editMu sync.Mutex
+	// editSem (capacity 1) serialises checkout→edit→commit sequences and
+	// push ref updates on one repository so concurrent writers cannot lose
+	// updates; a channel rather than a mutex so acquisition can honour
+	// context cancellation.
+	editSem chan struct{}
+}
+
+func newHostedRepo(repo *gitcite.Repo, owner string) *hostedRepo {
+	return &hostedRepo{
+		repo:    repo,
+		owner:   owner,
+		members: map[string]bool{owner: true},
+		editSem: make(chan struct{}, 1),
+	}
 }
 
 // Platform is the in-process hosting service. Wrap it with NewServer for
-// the HTTP API. Safe for concurrent use.
+// the HTTP API. Safe for concurrent use. Every method takes a
+// context.Context threaded down from the HTTP request so cancelled requests
+// stop waiting (notably on per-repository edit locks).
 type Platform struct {
 	mu      sync.RWMutex
 	users   map[string]*User // by name
@@ -67,9 +85,12 @@ func NewPlatform() *Platform {
 func repoKey(owner, name string) string { return owner + "/" + name }
 
 // CreateUser registers an account and returns its API token.
-func (p *Platform) CreateUser(name string) (*User, error) {
+func (p *Platform) CreateUser(ctx context.Context, name string) (*User, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if name == "" || strings.ContainsAny(name, "/\n") {
-		return nil, fmt.Errorf("hosting: invalid user name %q", name)
+		return nil, fmt.Errorf("%w: invalid user name %q", ErrBadRequest, name)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -87,7 +108,10 @@ func (p *Platform) CreateUser(name string) (*User, error) {
 }
 
 // Authenticate resolves a token to its user.
-func (p *Platform) Authenticate(token string) (*User, error) {
+func (p *Platform) Authenticate(ctx context.Context, token string) (*User, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	u, ok := p.byToken[token]
@@ -97,12 +121,13 @@ func (p *Platform) Authenticate(token string) (*User, error) {
 	return u, nil
 }
 
-// CreateRepo creates a citation-enabled repository owned by the
-// authenticated user.
-func (p *Platform) CreateRepo(token, name, url, license string) (*gitcite.Repo, error) {
-	u, err := p.Authenticate(token)
-	if err != nil {
+// CreateRepoAs creates a citation-enabled repository owned by u.
+func (p *Platform) CreateRepoAs(ctx context.Context, u *User, name, url, license string) (*gitcite.Repo, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if u == nil {
+		return nil, ErrUnauthorized
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -114,19 +139,26 @@ func (p *Platform) CreateRepo(token, name, url, license string) (*gitcite.Repo, 
 	if err != nil {
 		return nil, err
 	}
-	p.repos[key] = &hostedRepo{
-		repo:    repo,
-		owner:   u.Name,
-		members: map[string]bool{u.Name: true},
-	}
+	p.repos[key] = newHostedRepo(repo, u.Name)
 	return repo, nil
 }
 
-// AddMember grants write access; only the owner may call it.
-func (p *Platform) AddMember(token, owner, name, member string) error {
-	u, err := p.Authenticate(token)
+// CreateRepo is CreateRepoAs after token authentication.
+func (p *Platform) CreateRepo(ctx context.Context, token, name, url, license string) (*gitcite.Repo, error) {
+	u, err := p.Authenticate(ctx, token)
 	if err != nil {
+		return nil, err
+	}
+	return p.CreateRepoAs(ctx, u, name, url, license)
+}
+
+// AddMemberAs grants write access; only the owner may call it.
+func (p *Platform) AddMemberAs(ctx context.Context, u *User, owner, name, member string) error {
+	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if u == nil {
+		return ErrUnauthorized
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -144,9 +176,21 @@ func (p *Platform) AddMember(token, owner, name, member string) error {
 	return nil
 }
 
+// AddMember is AddMemberAs after token authentication.
+func (p *Platform) AddMember(ctx context.Context, token, owner, name, member string) error {
+	u, err := p.Authenticate(ctx, token)
+	if err != nil {
+		return err
+	}
+	return p.AddMemberAs(ctx, u, owner, name, member)
+}
+
 // Repo returns the repository for read access (no authentication: public
 // read, like public GitHub repositories).
-func (p *Platform) Repo(owner, name string) (*gitcite.Repo, error) {
+func (p *Platform) Repo(ctx context.Context, owner, name string) (*gitcite.Repo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	hr, ok := p.repos[repoKey(owner, name)]
@@ -156,56 +200,81 @@ func (p *Platform) Repo(owner, name string) (*gitcite.Repo, error) {
 	return hr.repo, nil
 }
 
-// AuthorizeWrite returns the repository if (and only if) the token belongs
-// to a member.
-func (p *Platform) AuthorizeWrite(token, owner, name string) (*gitcite.Repo, *User, error) {
-	u, err := p.Authenticate(token)
-	if err != nil {
-		return nil, nil, err
+// AuthorizeWriteAs returns the repository if (and only if) u is a member.
+func (p *Platform) AuthorizeWriteAs(ctx context.Context, u *User, owner, name string) (*gitcite.Repo, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if u == nil {
+		return nil, ErrUnauthorized
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	hr, ok := p.repos[repoKey(owner, name)]
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: repository %s/%s", ErrNotFound, owner, name)
+		return nil, fmt.Errorf("%w: repository %s/%s", ErrNotFound, owner, name)
 	}
 	if !hr.members[u.Name] {
-		return nil, nil, fmt.Errorf("%w: %s is not a member of %s/%s", ErrForbidden, u.Name, owner, name)
+		return nil, fmt.Errorf("%w: %s is not a member of %s/%s", ErrForbidden, u.Name, owner, name)
 	}
-	return hr.repo, u, nil
+	return hr.repo, nil
+}
+
+// AuthorizeWrite is AuthorizeWriteAs after token authentication.
+func (p *Platform) AuthorizeWrite(ctx context.Context, token, owner, name string) (*gitcite.Repo, *User, error) {
+	u, err := p.Authenticate(ctx, token)
+	if err != nil {
+		return nil, nil, err
+	}
+	repo, err := p.AuthorizeWriteAs(ctx, u, owner, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return repo, u, nil
 }
 
 // LockForEdit takes the repository's edit lock, returning the unlock
 // function. Server-side citation edits hold it across their
-// checkout→modify→commit sequence.
-func (p *Platform) LockForEdit(owner, name string) (func(), error) {
+// checkout→modify→commit sequence, and pushes across their
+// fast-forward-check→store→ref-update sequence. Acquisition honours ctx
+// cancellation, so an abandoned request stops queueing for the lock.
+func (p *Platform) LockForEdit(ctx context.Context, owner, name string) (func(), error) {
 	p.mu.RLock()
 	hr, ok := p.repos[repoKey(owner, name)]
 	p.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: repository %s/%s", ErrNotFound, owner, name)
 	}
-	hr.editMu.Lock()
-	return hr.editMu.Unlock, nil
+	select {
+	case hr.editSem <- struct{}{}:
+		return func() { <-hr.editSem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // IsMember reports whether the user may write to the repository.
-func (p *Platform) IsMember(userName, owner, name string) bool {
+func (p *Platform) IsMember(ctx context.Context, userName, owner, name string) bool {
+	if ctx.Err() != nil {
+		return false
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	hr, ok := p.repos[repoKey(owner, name)]
 	return ok && hr.members[userName]
 }
 
-// ForkRepo implements the platform side of ForkCite: the authenticated user
-// gets a full-history copy under their account (paper §3: "Our way of
-// storing citations will naturally enable ForkCite through GitHub's Fork").
-func (p *Platform) ForkRepo(token, owner, name, newName string) (*gitcite.Repo, error) {
-	u, err := p.Authenticate(token)
-	if err != nil {
+// ForkRepoAs implements the platform side of ForkCite: u gets a
+// full-history copy under their account (paper §3: "Our way of storing
+// citations will naturally enable ForkCite through GitHub's Fork").
+func (p *Platform) ForkRepoAs(ctx context.Context, u *User, owner, name, newName string) (*gitcite.Repo, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	src, err := p.Repo(owner, name)
+	if u == nil {
+		return nil, ErrUnauthorized
+	}
+	src, err := p.Repo(ctx, owner, name)
 	if err != nil {
 		return nil, err
 	}
@@ -226,12 +295,24 @@ func (p *Platform) ForkRepo(token, owner, name, newName string) (*gitcite.Repo, 
 	if _, ok := p.repos[key]; ok {
 		return nil, fmt.Errorf("%w: repository %q", ErrConflict, key)
 	}
-	p.repos[key] = &hostedRepo{repo: forked, owner: u.Name, members: map[string]bool{u.Name: true}}
+	p.repos[key] = newHostedRepo(forked, u.Name)
 	return forked, nil
 }
 
+// ForkRepo is ForkRepoAs after token authentication.
+func (p *Platform) ForkRepo(ctx context.Context, token, owner, name, newName string) (*gitcite.Repo, error) {
+	u, err := p.Authenticate(ctx, token)
+	if err != nil {
+		return nil, err
+	}
+	return p.ForkRepoAs(ctx, u, owner, name, newName)
+}
+
 // ListRepos returns "owner/name" keys in sorted order.
-func (p *Platform) ListRepos() []string {
+func (p *Platform) ListRepos(ctx context.Context) []string {
+	if ctx.Err() != nil {
+		return nil
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	keys := make([]string, 0, len(p.repos))

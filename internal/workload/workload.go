@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"github.com/gitcite/gitcite/internal/core"
+	"github.com/gitcite/gitcite/internal/gitcite"
 	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
 )
 
 // Config parameterises a synthetic project.
@@ -233,6 +235,65 @@ func (c Config) EditScript(n int) []Edit {
 		}
 	}
 	return out
+}
+
+// BuildHistory materialises the synthetic project as a citation-enabled
+// in-memory repository: one seed commit holding the config's whole tree on
+// "main", followed by `commits` further commits each applying one step of
+// the config's deterministic edit script. It returns the repository and
+// every commit ID in order (seed first) — the fixture for sync protocol
+// tests and benchmarks that need real multi-version histories.
+func BuildHistory(cfg Config, commits int) (*gitcite.Repo, []object.ID, error) {
+	repo, err := gitcite.NewMemoryRepo(gitcite.Meta{
+		Owner: "workload",
+		Name:  fmt.Sprintf("synthetic-%d", cfg.Seed),
+		URL:   fmt.Sprintf("https://git.example/workload/synthetic-%d", cfg.Seed),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	wt, err := repo.Checkout("main")
+	if err != nil {
+		return nil, nil, err
+	}
+	for p, f := range cfg.Files() {
+		if err := wt.WriteFile(p, f.Data); err != nil {
+			return nil, nil, err
+		}
+	}
+	when := time.Unix(1_535_942_120, 0).UTC()
+	commitOpts := func(i int, msg string) vcs.CommitOptions {
+		return vcs.CommitOptions{
+			Author:  vcs.Sig("Workload Generator", "workload@git.example", when.Add(time.Duration(i)*time.Minute)),
+			Message: msg,
+		}
+	}
+	tip, err := wt.Commit(commitOpts(0, "seed"))
+	if err != nil {
+		return nil, nil, err
+	}
+	tips := []object.ID{tip}
+	for i, e := range cfg.EditScript(commits) {
+		switch e.Op {
+		case "write":
+			err = wt.WriteFile(e.Path, e.Data)
+		case "remove":
+			err = wt.RemoveFile(e.Path)
+		case "move":
+			err = wt.Move(e.Path, e.To)
+		default:
+			err = fmt.Errorf("workload: unknown edit op %q", e.Op)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		tip, err = wt.Commit(commitOpts(i+1, fmt.Sprintf("%s %s", e.Op, e.Path)))
+		if err != nil {
+			return nil, nil, err
+		}
+		tips = append(tips, tip)
+	}
+	return repo, tips, nil
 }
 
 // sourceLike produces n-ish bytes of line-structured pseudo-code, so rename

@@ -6,6 +6,7 @@
 package gitcite_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -873,6 +874,65 @@ func BenchmarkForkCite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := gitcite.Fork(repo, newMeta); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdCloneNegotiate contrasts the two negotiate shapes on a cold
+// clone of the 1000-file repository: the plain mode's response carries one
+// hex ID per missing object (~65 B × ~2100 objects), the want-all mode's
+// carries just {tip, all, count} — the negotiate body no longer scales
+// with repository size. Both byte sizes are reported as metrics; the
+// want-all bound is asserted every iteration.
+func BenchmarkColdCloneNegotiate(b *testing.B) {
+	_, _, _, _, baseURL, closeFn := newSyncBench(b)
+	defer closeFn()
+	negotiate := func(mode string) int {
+		body, err := json.Marshal(hosting.NegotiateRequest{Want: "main", Mode: mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(baseURL+"/api/v1/repos/bench/repo/negotiate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("negotiate: status %d, err %v", resp.StatusCode, err)
+		}
+		return len(data)
+	}
+	var plainBytes, allBytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plainBytes = negotiate("")
+		allBytes = negotiate(hosting.NegotiateModeWantAll)
+		if allBytes > 256 {
+			b.Fatalf("want-all negotiate body = %d bytes, want <= 256", allBytes)
+		}
+	}
+	b.ReportMetric(float64(plainBytes), "plainB/op")
+	b.ReportMetric(float64(allBytes), "wantallB/op")
+}
+
+// BenchmarkColdCloneFetch measures a full cold clone (negotiate + object
+// transfer into a fresh in-memory repository) through the want-all path.
+func BenchmarkColdCloneFetch(b *testing.B) {
+	owner, local, _, _, _, closeFn := newSyncBench(b)
+	defer closeFn()
+	want, err := local.VCS.Objects.Len()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clone, err := owner.Clone("bench", "repo", "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n, _ := clone.VCS.Objects.Len(); n != want {
+			b.Fatalf("clone has %d objects, want %d", n, want)
 		}
 	}
 }

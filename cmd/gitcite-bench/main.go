@@ -14,9 +14,14 @@
 //	                                     path (-files N -commits M)
 //	gitcite-bench -experiment sync       v1 negotiated incremental sync +
 //	                                     ETag/304 reads (-files N -commits M)
+//	gitcite-bench -experiment counters   deterministic efficiency counters
+//	                                     (machine-readable; CI regression gate)
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,7 +52,7 @@ var (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, figure1, architecture, figure2, listing1, demo, concurrent, commit, sync")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, figure1, architecture, figure2, listing1, demo, concurrent, commit, sync, counters")
 	flag.Parse()
 
 	runners := map[string]func() error{
@@ -59,8 +64,9 @@ func main() {
 		"concurrent":   runConcurrent,
 		"commit":       runCommit,
 		"sync":         runSync,
+		"counters":     runCounters,
 	}
-	order := []string{"figure1", "architecture", "figure2", "listing1", "demo", "concurrent", "commit", "sync"}
+	order := []string{"figure1", "architecture", "figure2", "listing1", "demo", "concurrent", "commit", "sync", "counters"}
 
 	if *experiment != "all" {
 		run, ok := runners[*experiment]
@@ -534,5 +540,178 @@ func runDemo() error {
 		}
 		fmt.Printf("  Cite(%s)  [from %s]\n    %s", path, from, rendered)
 	}
+	return nil
+}
+
+// scanCountingStore counts full-store IDs() enumerations while forwarding
+// ordered prefix lookups, so the counters can prove the abbreviated-rev
+// read path never falls back to the O(n) scan.
+type scanCountingStore struct {
+	store.Store
+	scans atomic.Int64
+}
+
+func (s *scanCountingStore) IDs() ([]object.ID, error) {
+	s.scans.Add(1)
+	return s.Store.IDs()
+}
+
+func (s *scanCountingStore) IDsByPrefix(prefix string, limit int) ([]object.ID, error) {
+	return store.IDsByPrefix(s.Store, prefix, limit)
+}
+
+// runCounters emits the pinned deterministic efficiency counters CI's
+// bench-regression job compares between a PR's base and head: pure object
+// counts (store writes per commit, wire objects per sync, negotiate body
+// IDs, full-store scans per abbreviated resolve), no wall-clock noise.
+// Output lines have the stable form "counter <name> = <integer>".
+func runCounters() error {
+	fmt.Println("Deterministic efficiency counters (CI regression gate)")
+	fmt.Println("------------------------------------------------------")
+	emit := func(name string, value int64) {
+		fmt.Printf("counter %s = %d\n", name, value)
+	}
+
+	// --- store Puts per one-file commit (1000-file repo, 20 commits) ---
+	const cFiles, cCommits = 1000, 20
+	fileMap := make(map[string]vcs.FileContent, cFiles)
+	for i := 0; i < cFiles; i++ {
+		fileMap[fmt.Sprintf("/d%d/s%d/f%d.txt", i%10, (i/10)%10, i)] = vcs.File(fmt.Sprintf("seed %d", i))
+	}
+	opts := vcs.CommitOptions{Author: vcs.Sig("bench", "bench@x", time.Unix(1, 0)), Message: "bench"}
+	counting := &countingStore{Store: store.NewMemoryStore()}
+	repo := &vcs.Repository{Objects: counting, Refs: refs.NewMemoryStore()}
+	tip, err := repo.CommitFiles("main", fileMap, opts)
+	if err != nil {
+		return err
+	}
+	base, err := repo.TreeOf(tip)
+	if err != nil {
+		return err
+	}
+	counting.puts.Store(0)
+	for i := 0; i < cCommits; i++ {
+		edits := map[string]vcs.TreeEdit{"/d3/s4/f430.txt": {Data: []byte(fmt.Sprintf("edit %d", i))}}
+		if tip, err = repo.CommitDelta("main", base, edits, nil, opts); err != nil {
+			return err
+		}
+		if base, err = repo.TreeOf(tip); err != nil {
+			return err
+		}
+	}
+	totalPuts := counting.puts.Load()
+	if totalPuts%cCommits != 0 {
+		return fmt.Errorf("puts per commit not integral: %d over %d commits", totalPuts, cCommits)
+	}
+	emit("store_puts_per_one_file_commit", totalPuts/cCommits)
+
+	// --- wire objects per one-commit sync (HTTP, both directions) ---
+	local, err := gitcite.NewMemoryRepo(gitcite.Meta{Owner: "bench", Name: "repo", URL: "https://x/repo"})
+	if err != nil {
+		return err
+	}
+	wt, err := local.Checkout("main")
+	if err != nil {
+		return err
+	}
+	const sFiles, sCommits = 500, 10
+	for i := 0; i < sFiles; i++ {
+		if err := wt.WriteFile(fmt.Sprintf("/d%d/s%d/f%d.txt", i%10, (i/10)%10, i), []byte(fmt.Sprintf("seed %d", i))); err != nil {
+			return err
+		}
+	}
+	if _, err := wt.Commit(opts); err != nil {
+		return err
+	}
+	platform := hosting.NewPlatform()
+	ts := httptest.NewServer(hosting.NewServer(platform))
+	defer ts.Close()
+	anon := extension.New(ts.URL, "")
+	tok, err := anon.CreateUser("bench")
+	if err != nil {
+		return err
+	}
+	owner := anon.WithToken(tok)
+	if err := owner.CreateRepo("repo", "https://x/repo", ""); err != nil {
+		return err
+	}
+	if _, err := owner.Sync(local, "bench", "repo", "main"); err != nil {
+		return err
+	}
+	puller, err := owner.Clone("bench", "repo", "main")
+	if err != nil {
+		return err
+	}
+	var pushObjs, fetchObjs int
+	for i := 0; i < sCommits; i++ {
+		if err := wt.WriteFile("/d3/s4/f430.txt", []byte(fmt.Sprintf("edit %d", i))); err != nil {
+			return err
+		}
+		if _, err := wt.Commit(opts); err != nil {
+			return err
+		}
+		n, err := owner.Sync(local, "bench", "repo", "main")
+		if err != nil {
+			return err
+		}
+		pushObjs += n
+		if _, n, err = owner.Fetch(puller, "bench", "repo", "main", "main"); err != nil {
+			return err
+		}
+		fetchObjs += n
+	}
+	if pushObjs%sCommits != 0 || fetchObjs%sCommits != 0 {
+		return fmt.Errorf("wire objects per commit not integral: push %d, fetch %d over %d commits", pushObjs, fetchObjs, sCommits)
+	}
+	emit("wire_objects_per_one_commit_push", int64(pushObjs/sCommits))
+	emit("wire_objects_per_one_commit_fetch", int64(fetchObjs/sCommits))
+
+	// --- IDs listed in a cold-clone negotiate response (want-all mode) ---
+	negBody, err := json.Marshal(hosting.NegotiateRequest{Want: "main", Mode: hosting.NegotiateModeWantAll})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/repos/bench/repo/negotiate", "application/json", bytes.NewReader(negBody))
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cold negotiate: status %d, err %v", resp.StatusCode, err)
+	}
+	var neg hosting.NegotiateResponse
+	if err := json.Unmarshal(data, &neg); err != nil {
+		return err
+	}
+	emit("cold_clone_negotiate_missing_ids", int64(len(neg.Missing)))
+
+	// --- full-store scans per abbreviated-revision resolve ---
+	hosted, err := platform.Repo(context.Background(), "bench", "repo")
+	if err != nil {
+		return err
+	}
+	sc := &scanCountingStore{Store: hosted.VCS.Objects}
+	hosted.VCS.Objects = sc
+	hostedTip, err := hosted.VCS.BranchTip("main")
+	if err != nil {
+		return err
+	}
+	const resolves = 5
+	for i := 0; i < resolves; i++ {
+		r, err := http.Get(fmt.Sprintf("%s/api/v1/repos/bench/repo/citefile/%s", ts.URL, hostedTip.String()[:8]))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			return fmt.Errorf("abbreviated resolve: status %d", r.StatusCode)
+		}
+	}
+	if sc.scans.Load()%resolves != 0 {
+		return fmt.Errorf("scan count not integral: %d over %d resolves", sc.scans.Load(), resolves)
+	}
+	emit("full_store_scans_per_prefix_resolve", sc.scans.Load()/resolves)
 	return nil
 }

@@ -3,11 +3,15 @@
 // citation-enabled repositories, and the versioned REST API (/api/v1) the
 // browser-extension client talks to.
 //
-//	gitcite-server -addr :8080 [-seed] [-cors-origin ORIGIN] [-rate-limit RPS -rate-burst N] [-log]
+//	gitcite-server -addr :8080 [-seed] [-pack DIR] [-cors-origin ORIGIN] [-rate-limit RPS -rate-burst N] [-log]
 //
 // With -seed, the server starts pre-populated with the paper's §4
 // demonstration repositories (Data_citation_demo and alu01-corecover) under
 // a "demo" account whose API token is printed on startup.
+//
+// With -pack DIR, hosted repositories persist under DIR/<owner>/<name> with
+// pack-based object storage (append-only pack files plus a sorted fan-out
+// ID index) instead of living only in memory.
 package main
 
 import (
@@ -18,8 +22,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 
 	"github.com/gitcite/gitcite/internal/extension"
+	"github.com/gitcite/gitcite/internal/gitcite"
 	"github.com/gitcite/gitcite/internal/hosting"
 	"github.com/gitcite/gitcite/internal/scenario"
 )
@@ -27,6 +33,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Bool("seed", false, "pre-populate with the paper's demonstration repositories")
+	packDir := flag.String("pack", "", "persist hosted repositories under this directory with pack-based object storage (empty keeps them in memory)")
 	corsOrigin := flag.String("cors-origin", "*", "CORS allowed origin for the browser extension (empty disables CORS)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-token request rate limit in req/s (0 disables)")
 	rateBurst := flag.Int("rate-burst", 30, "rate-limit burst capacity")
@@ -42,7 +49,16 @@ func main() {
 		opts = append(opts, hosting.WithRequestLogger(log.New(os.Stderr, "http: ", log.LstdFlags)))
 	}
 
-	platform := hosting.NewPlatform()
+	var popts []hosting.PlatformOption
+	if *packDir != "" {
+		root := *packDir
+		popts = append(popts, hosting.WithRepoFactory(func(meta gitcite.Meta) (*gitcite.Repo, error) {
+			return gitcite.OpenPackedFileRepo(filepath.Join(root, meta.Owner, meta.Name), meta)
+		}))
+		log.Printf("gitcite-server storing repositories under %s (pack-based)", root)
+	}
+
+	platform := hosting.NewPlatform(popts...)
 	server := hosting.NewServer(platform, opts...)
 
 	if *seed {

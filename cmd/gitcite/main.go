@@ -4,14 +4,15 @@
 //
 // Usage:
 //
-//	gitcite init -owner O -name N [-url U] [-license L]
+//	gitcite init -owner O -name N [-url U] [-license L] [-pack]
 //	gitcite commit -author NAME [-email E] -m MSG
 //	gitcite log | branches | branch NAME | switch NAME
 //	gitcite add-cite -path P -owner O -repo R [-url U] [-version V] [-authors "A,B"]
 //	gitcite modify-cite -path P … | del-cite -path P
-//	gitcite cite -path P [-format text|bibtex|cff|json]   (GenCite)
-//	gitcite chain -path P                                  (whole-path semantics)
-//	gitcite citefile                                       (print citation.cite)
+//	gitcite cite -path P [-rev R] [-format text|bibtex|cff|json]   (GenCite)
+//	gitcite chain -path P [-rev R]                         (whole-path semantics)
+//	gitcite citefile [-rev R]                              (print citation.cite)
+//	gitcite repack                                         (fold loose objects into packs)
 //	gitcite merge -from BRANCH -author NAME [-strategy ours|theirs|newest|three-way]
 //	gitcite copy -src-dir DIR -src-path P -dst-path Q -author NAME  (CopyCite)
 //	gitcite mv OLD NEW | rm PATH                           (then commit)
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -70,7 +72,7 @@ func run(args []string) error {
 	case "chain":
 		return cmdChain(rest)
 	case "citefile":
-		return cmdCiteFile()
+		return cmdCiteFile(rest)
 	case "merge":
 		return cmdMerge(rest)
 	case "copy":
@@ -81,6 +83,8 @@ func run(args []string) error {
 		return cmdRemove(rest)
 	case "push", "pull":
 		return cmdSync(cmd, rest)
+	case "repack":
+		return cmdRepack()
 	case "credit":
 		return cmdCredit()
 	case "retro-enable":
@@ -94,27 +98,38 @@ func run(args []string) error {
 
 const stateDir = ".gitcite"
 
+// storagePack marks a repository whose .gitcite/objects uses pack-based
+// storage (gitcite init -pack, or a completed gitcite repack migration).
+const storagePack = "pack"
+
 func openRepo() (*gitcite.Repo, error) {
-	meta, err := loadMeta()
+	meta, storage, err := loadMeta()
 	if err != nil {
 		return nil, err
+	}
+	if storage == storagePack {
+		return gitcite.OpenPackedFileRepo(stateDir, meta)
 	}
 	return gitcite.OpenFileRepo(stateDir, meta)
 }
 
 func metaPath() string { return stateDir + "/meta" }
 
-func saveMeta(m gitcite.Meta) error {
+func saveMeta(m gitcite.Meta, storage string) error {
 	content := fmt.Sprintf("owner=%s\nname=%s\nurl=%s\nlicense=%s\n", m.Owner, m.Name, m.URL, m.License)
+	if storage != "" {
+		content += fmt.Sprintf("storage=%s\n", storage)
+	}
 	return os.WriteFile(metaPath(), []byte(content), 0o644)
 }
 
-func loadMeta() (gitcite.Meta, error) {
+func loadMeta() (gitcite.Meta, string, error) {
 	data, err := os.ReadFile(metaPath())
 	if err != nil {
-		return gitcite.Meta{}, fmt.Errorf("not a gitcite repository (run 'gitcite init'): %w", err)
+		return gitcite.Meta{}, "", fmt.Errorf("not a gitcite repository (run 'gitcite init'): %w", err)
 	}
 	m := gitcite.Meta{}
+	storage := ""
 	for _, line := range strings.Split(string(data), "\n") {
 		key, val, ok := strings.Cut(line, "=")
 		if !ok {
@@ -129,9 +144,37 @@ func loadMeta() (gitcite.Meta, error) {
 			m.URL = val
 		case "license":
 			m.License = val
+		case "storage":
+			storage = val
 		}
 	}
-	return m, m.Validate()
+	return m, storage, m.Validate()
+}
+
+// resolveRev maps an empty rev to HEAD and otherwise resolves a branch
+// name, full commit hex, or unambiguous abbreviated commit-ID prefix (≥ 4
+// hex chars) through the object store's ordered ID index.
+func resolveRev(repo *gitcite.Repo, rev string) (object.ID, error) {
+	if rev == "" {
+		return repo.VCS.Head()
+	}
+	if id, err := object.ParseID(rev); err == nil {
+		if _, err := repo.VCS.Commit(id); err != nil {
+			return object.ID{}, fmt.Errorf("unknown commit %s", rev)
+		}
+		return id, nil
+	}
+	if id, err := repo.VCS.BranchTip(rev); err == nil {
+		return id, nil
+	}
+	if len(rev) >= 4 {
+		if id, err := repo.VCS.ResolveCommitPrefix(rev); err == nil {
+			return id, nil
+		} else if errors.Is(err, vcs.ErrAmbiguousPrefix) {
+			return object.ID{}, err
+		}
+	}
+	return object.ID{}, fmt.Errorf("unknown revision %q (want a branch, commit ID, or ≥4-char commit prefix)", rev)
 }
 
 func cmdInit(args []string) error {
@@ -140,6 +183,7 @@ func cmdInit(args []string) error {
 	name := fs.String("name", "", "repository name (required)")
 	url := fs.String("url", "", "repository URL")
 	license := fs.String("license", "", "license identifier")
+	pack := fs.Bool("pack", false, "use pack-based object storage (append-only pack files with a sorted ID index)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,13 +194,53 @@ func cmdInit(args []string) error {
 	if err := os.MkdirAll(stateDir, 0o755); err != nil {
 		return err
 	}
-	if err := saveMeta(m); err != nil {
+	storage := ""
+	if *pack {
+		storage = storagePack
+	}
+	if err := saveMeta(m, storage); err != nil {
 		return err
 	}
-	if _, err := gitcite.OpenFileRepo(stateDir, m); err != nil {
+	open := gitcite.OpenFileRepo
+	if *pack {
+		open = gitcite.OpenPackedFileRepo
+	}
+	if _, err := open(stateDir, m); err != nil {
 		return err
 	}
-	fmt.Printf("initialised citation-enabled repository %s/%s in %s\n", m.Owner, m.Name, stateDir)
+	layout := "loose objects"
+	if *pack {
+		layout = "pack storage"
+	}
+	fmt.Printf("initialised citation-enabled repository %s/%s in %s (%s)\n", m.Owner, m.Name, stateDir, layout)
+	return nil
+}
+
+// cmdRepack migrates a loose-object repository to pack storage (or folds a
+// packed repository's strays and consolidates its packs): every loose
+// object is absorbed into a single pack and the meta file records the pack
+// layout so later commands open the store packed.
+func cmdRepack() error {
+	meta, _, err := loadMeta()
+	if err != nil {
+		return err
+	}
+	repo, err := gitcite.OpenPackedFileRepo(stateDir, meta)
+	if err != nil {
+		return err
+	}
+	// Record the pack layout BEFORE the destructive fold: a packed open
+	// still reads loose objects, so either crash order leaves a readable
+	// repository — the reverse order would delete the loose files while
+	// the meta still told every later command to open loose-only.
+	if err := saveMeta(meta, storagePack); err != nil {
+		return err
+	}
+	folded, err := repo.VCS.Repack()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repacked: %d loose objects folded into pack storage\n", folded)
 	return nil
 }
 
@@ -482,6 +566,7 @@ func cmdCite(args []string) error {
 	fs := flag.NewFlagSet("cite", flag.ContinueOnError)
 	path := fs.String("path", "/", "tree path")
 	formatName := fs.String("format", "text", "output format: text, bibtex, cff, json")
+	rev := fs.String("rev", "", "revision to cite: branch, commit ID, or ≥4-char commit prefix (default HEAD)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -493,7 +578,7 @@ func cmdCite(args []string) error {
 	if err != nil {
 		return err
 	}
-	head, err := repo.VCS.Head()
+	head, err := resolveRev(repo, *rev)
 	if err != nil {
 		return err
 	}
@@ -513,6 +598,7 @@ func cmdCite(args []string) error {
 func cmdChain(args []string) error {
 	fs := flag.NewFlagSet("chain", flag.ContinueOnError)
 	path := fs.String("path", "/", "tree path")
+	rev := fs.String("rev", "", "revision: branch, commit ID, or ≥4-char commit prefix (default HEAD)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -520,7 +606,7 @@ func cmdChain(args []string) error {
 	if err != nil {
 		return err
 	}
-	head, err := repo.VCS.Head()
+	head, err := resolveRev(repo, *rev)
 	if err != nil {
 		return err
 	}
@@ -532,12 +618,17 @@ func cmdChain(args []string) error {
 	return nil
 }
 
-func cmdCiteFile() error {
+func cmdCiteFile(args []string) error {
+	fs := flag.NewFlagSet("citefile", flag.ContinueOnError)
+	rev := fs.String("rev", "", "revision: branch, commit ID, or ≥4-char commit prefix (default HEAD)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	repo, err := openRepo()
 	if err != nil {
 		return err
 	}
-	head, err := repo.VCS.Head()
+	head, err := resolveRev(repo, *rev)
 	if err != nil {
 		return err
 	}

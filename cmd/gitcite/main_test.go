@@ -69,6 +69,80 @@ func TestCLILifecycle(t *testing.T) {
 	})
 }
 
+// TestCLIPackStorageLifecycle drives the same lifecycle against a
+// pack-initialised repository (init -pack): commits land in pack files,
+// reads resolve through the pack's ordered index, and repack consolidates.
+func TestCLIPackStorageLifecycle(t *testing.T) {
+	inTempRepo(t, func(string) {
+		mustRun(t, "init", "-owner", "alice", "-name", "packed", "-pack")
+		write(t, "main.go", "package main\n")
+		write(t, "lib/code.go", "package lib\n")
+		mustRun(t, "commit", "-author", "alice", "-m", "initial")
+		mustRun(t, "add-cite", "-path", "/lib", "-owner", "bob", "-repo", "blib", "-url", "https://x/blib", "-version", "1")
+		mustRun(t, "commit", "-author", "alice", "-m", "cite lib")
+		mustRun(t, "cite", "-path", "/lib/code.go")
+		mustRun(t, "citefile")
+		mustRun(t, "repack")
+		mustRun(t, "cite", "-path", "/lib/code.go")
+		// Pack files exist; no loose fanout dirs remain.
+		packs, err := filepath.Glob(".gitcite/objects/pack/*.pack")
+		if err != nil || len(packs) == 0 {
+			t.Fatalf("no pack files after repack (err=%v)", err)
+		}
+	})
+}
+
+// TestCLIRepackMigratesLooseRepo initialises a loose repository, repacks
+// it, and checks later commands open it packed and still read history.
+func TestCLIRepackMigratesLooseRepo(t *testing.T) {
+	inTempRepo(t, func(string) {
+		mustRun(t, "init", "-owner", "alice", "-name", "migrate")
+		write(t, "a.txt", "one\n")
+		mustRun(t, "commit", "-author", "alice", "-m", "first")
+		mustRun(t, "repack")
+		meta, err := os.ReadFile(".gitcite/meta")
+		if err != nil || !strings.Contains(string(meta), "storage=pack") {
+			t.Fatalf("meta not migrated to pack storage: %q, %v", meta, err)
+		}
+		write(t, "b.txt", "two\n")
+		mustRun(t, "commit", "-author", "alice", "-m", "second")
+		mustRun(t, "cite", "-path", "/b.txt")
+		mustRun(t, "log")
+	})
+}
+
+// TestCLICiteByRev covers -rev resolution: branch, full commit ID, and an
+// abbreviated prefix, all resolved through the ordered ID index.
+func TestCLICiteByRev(t *testing.T) {
+	inTempRepo(t, func(string) {
+		mustRun(t, "init", "-owner", "alice", "-name", "revs")
+		write(t, "a.txt", "one\n")
+		mustRun(t, "commit", "-author", "alice", "-m", "first")
+		repo, err := openRepo()
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := repo.VCS.Head()
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, "a.txt", "two\n")
+		mustRun(t, "commit", "-author", "alice", "-m", "second")
+
+		mustRun(t, "cite", "-path", "/a.txt", "-rev", "main")
+		mustRun(t, "cite", "-path", "/a.txt", "-rev", first.String())
+		mustRun(t, "cite", "-path", "/a.txt", "-rev", first.String()[:8])
+		mustRun(t, "chain", "-path", "/a.txt", "-rev", first.String()[:8])
+		mustRun(t, "citefile", "-rev", first.String()[:8])
+		if err := run([]string{"cite", "-path", "/a.txt", "-rev", "ffffffff"}); err == nil {
+			t.Error("unknown revision prefix did not error")
+		}
+		if err := run([]string{"cite", "-path", "/a.txt", "-rev", first.String()[:3]}); err == nil {
+			t.Error("3-char prefix did not error")
+		}
+	})
+}
+
 func TestCLIBranchAndMerge(t *testing.T) {
 	inTempRepo(t, func(string) {
 		mustRun(t, "init", "-owner", "alice", "-name", "demo")

@@ -125,10 +125,27 @@ func Sig(name, email string, when time.Time) Signature { return vcs.Sig(name, em
 func NewRepository(meta Meta) (*Repository, error) { return impl.NewMemoryRepo(meta) }
 
 // OpenRepository opens (creating if needed) a repository persisted under
-// dir (objects, refs and HEAD live below it).
+// dir (objects, refs and HEAD live below it), with loose one-file-per-object
+// storage.
 func OpenRepository(dir string, meta Meta) (*Repository, error) {
 	return impl.OpenFileRepo(dir, meta)
 }
+
+// OpenPackedRepository opens (creating if needed) a repository persisted
+// under dir with pack-based object storage: objects append to pack files
+// with a sorted fan-out ID index instead of one loose file each, so cold
+// opens and abbreviated-ID lookups stay cheap as history grows. Loose
+// objects from an earlier OpenRepository layout remain readable; Repack
+// folds them in.
+func OpenPackedRepository(dir string, meta Meta) (*Repository, error) {
+	return impl.OpenPackedFileRepo(dir, meta)
+}
+
+// Repack folds a packed repository's loose objects into its pack storage
+// and consolidates its packs into one, reporting how many loose objects
+// were folded. It errors when the repository was not opened with
+// OpenPackedRepository.
+func Repack(r *Repository) (int, error) { return r.VCS.Repack() }
 
 // Fork implements ForkCite: a full-history copy under new metadata,
 // citations included, commit IDs preserved.
@@ -197,8 +214,18 @@ type Client = extension.Client
 // "rate_limited", …).
 type APIError = extension.APIError
 
+// PlatformOption configures platform construction (repository storage).
+type PlatformOption = hosting.PlatformOption
+
+// WithRepoFactory makes the platform create hosted repositories through the
+// given factory — e.g. pack-backed persistent storage — instead of in
+// memory.
+func WithRepoFactory(f func(meta Meta) (*Repository, error)) PlatformOption {
+	return hosting.WithRepoFactory(f)
+}
+
 // NewPlatform creates an empty hosting platform.
-func NewPlatform() *Platform { return hosting.NewPlatform() }
+func NewPlatform(opts ...PlatformOption) *Platform { return hosting.NewPlatform(opts...) }
 
 // NewServer wraps a platform with the REST API; mount it on any net/http
 // server.

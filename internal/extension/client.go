@@ -34,6 +34,11 @@ const apiPrefix = hosting.APIv1Prefix
 // flushed to the local store in one raw batch write.
 const fetchBatchSize = 512
 
+// fetchChunkSize bounds how many object IDs one fetch request names. Large
+// negotiated deltas are split into several /objects requests, so no single
+// request body carries an entire closure's ID list.
+const fetchChunkSize = 2048
+
 // Client talks to a hosting server. The zero value is not usable; call New.
 type Client struct {
 	baseURL string
@@ -83,6 +88,13 @@ func IsPermissionDenied(err error) bool {
 		return apiErr.Status == http.StatusUnauthorized || apiErr.Status == http.StatusForbidden
 	}
 	return false
+}
+
+// isBadRequest reports whether err is the platform rejecting the request
+// body (HTTP 400) — how an older server reacts to wire fields it predates.
+func isBadRequest(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusBadRequest
 }
 
 // newRequest builds an authenticated request against the server.
@@ -456,20 +468,112 @@ func (c *Client) Sync(local *gitcite.Repo, owner, repo, branch string) (int, err
 	return pushResp.Stored, nil
 }
 
+// storeStreamedObjects drains an NDJSON object stream into the local
+// store in raw batches and returns how many objects arrived. The ID of
+// every object is recomputed locally from the received bytes, so the
+// raw-batch trust contract holds regardless of what the server claims to
+// have sent.
+func storeStreamedObjects(local *gitcite.Repo, sr *hosting.ObjectStreamReader) (int, error) {
+	n := 0
+	batch := make([]store.Encoded, 0, fetchBatchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := store.PutManyEncoded(local.VCS.Objects, batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		_, enc, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		batch = append(batch, store.Encoded{ID: object.HashBytes(enc), Enc: enc})
+		n++
+		if len(batch) == fetchBatchSize {
+			if err := flush(); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, flush()
+}
+
+// fetchObjectChunk downloads one chunk of negotiated object IDs into the
+// local store.
+func (c *Client) fetchObjectChunk(local *gitcite.Repo, owner, repo string, ids []string) (int, error) {
+	body, err := c.doStream("POST", fmt.Sprintf("%s/repos/%s/%s/objects", apiPrefix, owner, repo),
+		hosting.FetchRequest{IDs: ids})
+	if err != nil {
+		return 0, err
+	}
+	defer body.Close()
+	n, err := storeStreamedObjects(local, hosting.NewObjectStreamReader(body))
+	if err != nil {
+		return n, err
+	}
+	if n != len(ids) {
+		return n, fmt.Errorf("extension: server sent %d of %d requested objects", n, len(ids))
+	}
+	return n, nil
+}
+
+// fetchAll streams a revision's full closure from the pull endpoint into
+// the local store — the transfer half of a want-all negotiate, used when
+// the client has nothing: no per-object ID list travels in either
+// direction.
+func (c *Client) fetchAll(local *gitcite.Repo, owner, repo string, tip object.ID) (int, error) {
+	body, err := c.doStream("GET", fmt.Sprintf("%s/repos/%s/%s/pull/%s", apiPrefix, owner, repo, tip.String()), nil)
+	if err != nil {
+		return 0, err
+	}
+	defer body.Close()
+	sr := hosting.NewObjectStreamReader(body)
+	var hdr hosting.PullHeader
+	if err := sr.ReadHeader(&hdr); err != nil {
+		return 0, err
+	}
+	if hdr.Tip != tip.String() {
+		return 0, fmt.Errorf("extension: pull stream tip %s, want %s", hdr.Tip, tip.Short())
+	}
+	return storeStreamedObjects(local, sr)
+}
+
 // Fetch downloads a remote revision incrementally into the local
 // repository: it negotiates with the local branch tips as the have-set,
 // streams exactly the missing objects, stores them in raw batches, and
 // points localBranch (if non-empty) at the tip. It returns the tip and the
 // number of objects transferred — proportional to the delta, not the
 // repository.
+//
+// A client with no local tips (a cold clone) negotiates in want-all mode
+// and streams the closure from the pull endpoint, so no per-object ID list
+// travels in either direction; incremental deltas larger than
+// fetchChunkSize are fetched in several chunked requests.
 func (c *Client) Fetch(local *gitcite.Repo, owner, repo, rev, localBranch string) (object.ID, int, error) {
 	haveHex, err := localTips(local)
 	if err != nil {
 		return object.ZeroID, 0, err
 	}
+	mode := ""
+	if len(haveHex) == 0 {
+		mode = hosting.NegotiateModeWantAll
+	}
+	negotiatePath := fmt.Sprintf("%s/repos/%s/%s/negotiate", apiPrefix, owner, repo)
 	var neg hosting.NegotiateResponse
-	err = c.do("POST", fmt.Sprintf("%s/repos/%s/%s/negotiate", apiPrefix, owner, repo),
-		hosting.NegotiateRequest{Want: rev, Have: haveHex}, &neg)
+	err = c.do("POST", negotiatePath, hosting.NegotiateRequest{Want: rev, Have: haveHex, Mode: mode}, &neg)
+	if mode != "" && isBadRequest(err) {
+		// A server predating the want-all mode rejects the unknown "mode"
+		// field (strict body decoding). Fall back to a plain negotiate so
+		// cold clones keep working across the version skew.
+		err = c.do("POST", negotiatePath, hosting.NegotiateRequest{Want: rev, Have: haveHex}, &neg)
+	}
 	if err != nil {
 		return object.ZeroID, 0, err
 	}
@@ -478,49 +582,22 @@ func (c *Client) Fetch(local *gitcite.Repo, owner, repo, rev, localBranch string
 		return object.ZeroID, 0, fmt.Errorf("extension: bad negotiate tip: %w", err)
 	}
 	n := 0
-	if len(neg.Missing) > 0 {
-		body, err := c.doStream("POST", fmt.Sprintf("%s/repos/%s/%s/objects", apiPrefix, owner, repo),
-			hosting.FetchRequest{IDs: neg.Missing})
-		if err != nil {
+	switch {
+	case neg.All && neg.Count > 0:
+		if n, err = c.fetchAll(local, owner, repo, tip); err != nil {
 			return object.ZeroID, 0, err
 		}
-		defer body.Close()
-		sr := hosting.NewObjectStreamReader(body)
-		batch := make([]store.Encoded, 0, fetchBatchSize)
-		flush := func() error {
-			if len(batch) == 0 {
-				return nil
-			}
-			if err := store.PutManyEncoded(local.VCS.Objects, batch); err != nil {
-				return err
-			}
-			batch = batch[:0]
-			return nil
+		if n < neg.Count {
+			return object.ZeroID, 0, fmt.Errorf("extension: server sent %d of %d negotiated objects", n, neg.Count)
 		}
-		for {
-			_, enc, err := sr.Next()
-			if err == io.EOF {
-				break
-			}
+	case len(neg.Missing) > 0:
+		for start := 0; start < len(neg.Missing); start += fetchChunkSize {
+			chunk := neg.Missing[start:min(start+fetchChunkSize, len(neg.Missing))]
+			got, err := c.fetchObjectChunk(local, owner, repo, chunk)
 			if err != nil {
 				return object.ZeroID, 0, err
 			}
-			// The ID is recomputed locally from the received bytes, so the
-			// raw-batch trust contract holds regardless of what the server
-			// claims to have sent.
-			batch = append(batch, store.Encoded{ID: object.HashBytes(enc), Enc: enc})
-			n++
-			if len(batch) == fetchBatchSize {
-				if err := flush(); err != nil {
-					return object.ZeroID, 0, err
-				}
-			}
-		}
-		if err := flush(); err != nil {
-			return object.ZeroID, 0, err
-		}
-		if n != len(neg.Missing) {
-			return object.ZeroID, 0, fmt.Errorf("extension: server sent %d of %d negotiated objects", n, len(neg.Missing))
+			n += got
 		}
 	}
 	if localBranch != "" {

@@ -1,0 +1,81 @@
+package gitcite
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// TestFunctionCacheLRU pins the per-commit function cache's least-recently-
+// used eviction: at capacity the coldest version leaves, and touching an
+// entry protects it from the next eviction — behaviour the previous
+// arbitrary-entry eviction could not guarantee.
+func TestFunctionCacheLRU(t *testing.T) {
+	repo, err := NewMemoryRepo(Meta{Owner: "o", Name: "r", URL: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := repo.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := fnCacheCap + 10
+	commits := make([]object.ID, 0, total)
+	for i := 0; i < total; i++ {
+		if err := wt.WriteFile("/f.txt", []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+		id, err := wt.Commit(vcs.CommitOptions{Author: vcs.Sig("o", "o@x", time.Unix(int64(i+1), 0)), Message: fmt.Sprint(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits = append(commits, id)
+	}
+	cached := func(id object.ID) bool {
+		repo.fnMu.Lock()
+		defer repo.fnMu.Unlock()
+		_, ok := repo.fnCache[id]
+		return ok
+	}
+	// Every commit seeded the cache in order, so the 10 oldest are gone and
+	// the cache sits exactly at capacity.
+	repo.fnMu.Lock()
+	size := len(repo.fnCache)
+	repo.fnMu.Unlock()
+	if size != fnCacheCap {
+		t.Fatalf("cache size = %d, want %d", size, fnCacheCap)
+	}
+	for i := 0; i < 10; i++ {
+		if cached(commits[i]) {
+			t.Fatalf("commit %d still cached; LRU should have evicted the oldest", i)
+		}
+	}
+	oldest, next := commits[10], commits[11]
+	if !cached(oldest) || !cached(next) {
+		t.Fatal("expected commits 10 and 11 resident before the recency check")
+	}
+	// Touch the coldest entry, then force one eviction: the touched entry
+	// must survive and the untouched next-coldest must be the victim.
+	if _, err := repo.ResolvedFunctionAt(oldest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.ResolvedFunctionAt(commits[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !cached(oldest) {
+		t.Error("recently touched entry was evicted; cache is not LRU")
+	}
+	if cached(next) {
+		t.Error("least-recently-used entry survived the eviction")
+	}
+	// Victims reload on demand and re-enter the cache.
+	if _, err := repo.ResolvedFunctionAt(next); err != nil {
+		t.Fatal(err)
+	}
+	if !cached(next) {
+		t.Error("reloaded entry not cached")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gitcite/gitcite/internal/citefile"
@@ -50,6 +51,14 @@ func (m Meta) Validate() error {
 // functions never go stale; the cap is purely a memory bound.
 const fnCacheCap = 512
 
+// fnCacheEntry is one slot of the per-commit function cache. used carries
+// the entry's last-touched tick: hits bump it with one atomic store, so
+// recency tracking costs readers no exclusive lock.
+type fnCacheEntry struct {
+	fn   *core.Function
+	used atomic.Int64
+}
+
 // Repo is a citation-enabled repository: a vcs repository whose versions
 // each carry a citation.cite file. It is safe for concurrent use: read
 // operations (Generate, GenerateChain, ResolvedFunctionAt, TreeAt) may run
@@ -58,11 +67,18 @@ type Repo struct {
 	VCS  *vcs.Repository
 	Meta Meta
 
-	// fnCache holds the decoded citation function of committed versions,
-	// keyed by commit ID. Every reader of the same version shares one
-	// Function — and therefore one warm resolution index.
+	// The per-commit function cache is a true LRU: every reader of the
+	// same version shares one Function — and therefore one warm resolution
+	// index — and at capacity the least-recently-used version is evicted,
+	// so a long-history hosted repository keeps its hot tips resident
+	// instead of losing an arbitrary entry. Recency lives in per-entry
+	// atomic ticks rather than a linked list, keeping the hit path under
+	// the shared read lock (the concurrent-scale property the read-path
+	// work established); the O(cap) victim scan runs only on the rare
+	// at-capacity insert.
 	fnMu    sync.RWMutex
-	fnCache map[object.ID]*core.Function
+	fnTick  atomic.Int64
+	fnCache map[object.ID]*fnCacheEntry
 }
 
 // NewMemoryRepo creates an empty citation-enabled repository in memory.
@@ -79,6 +95,21 @@ func OpenFileRepo(dir string, meta Meta) (*Repo, error) {
 		return nil, err
 	}
 	r, err := vcs.OpenFileRepository(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Repo{VCS: r, Meta: meta}, nil
+}
+
+// OpenPackedFileRepo opens (creating if needed) a repository persisted
+// under dir with pack-based object storage (append-only pack files plus a
+// sorted fan-out ID index; see store.PackStore). Loose objects from a
+// previous loose-layout open stay readable; VCS.Repack folds them in.
+func OpenPackedFileRepo(dir string, meta Meta) (*Repo, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	r, err := vcs.OpenPackedFileRepository(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -169,10 +200,11 @@ func (r *Repo) FunctionAt(commitID object.ID) (*core.Function, error) {
 // use FunctionAt for a mutable snapshot.
 func (r *Repo) ResolvedFunctionAt(commitID object.ID) (*core.Function, error) {
 	r.fnMu.RLock()
-	fn := r.fnCache[commitID]
+	e := r.fnCache[commitID]
 	r.fnMu.RUnlock()
-	if fn != nil {
-		return fn, nil
+	if e != nil {
+		e.used.Store(r.fnTick.Add(1))
+		return e.fn, nil
 	}
 	fn, err := r.loadFunction(commitID)
 	if err != nil {
@@ -181,7 +213,8 @@ func (r *Repo) ResolvedFunctionAt(commitID object.ID) (*core.Function, error) {
 	r.fnMu.Lock()
 	if cur, ok := r.fnCache[commitID]; ok {
 		// A concurrent loader won; share its instance (and its index).
-		fn = cur
+		cur.used.Store(r.fnTick.Add(1))
+		fn = cur.fn
 	} else {
 		r.putFunctionLocked(commitID, fn)
 	}
@@ -189,20 +222,26 @@ func (r *Repo) ResolvedFunctionAt(commitID object.ID) (*core.Function, error) {
 	return fn, nil
 }
 
-// putFunctionLocked inserts into the per-commit cache, evicting one
-// arbitrary entry at capacity (victims reload on demand). Caller holds
-// fnMu.
+// putFunctionLocked inserts into the per-commit cache, evicting the entry
+// with the oldest recency tick at capacity (victims reload on demand).
+// Caller holds fnMu exclusively.
 func (r *Repo) putFunctionLocked(commitID object.ID, fn *core.Function) {
 	if r.fnCache == nil {
-		r.fnCache = make(map[object.ID]*core.Function, fnCacheCap)
+		r.fnCache = make(map[object.ID]*fnCacheEntry, fnCacheCap)
 	}
 	if len(r.fnCache) >= fnCacheCap {
-		for k := range r.fnCache {
-			delete(r.fnCache, k)
-			break
+		var victim object.ID
+		oldest := int64(1<<63 - 1)
+		for id, e := range r.fnCache {
+			if u := e.used.Load(); u < oldest {
+				oldest, victim = u, id
+			}
 		}
+		delete(r.fnCache, victim)
 	}
-	r.fnCache[commitID] = fn
+	e := &fnCacheEntry{fn: fn}
+	e.used.Store(r.fnTick.Add(1))
+	r.fnCache[commitID] = e
 }
 
 // cacheFunction seeds the per-commit cache with the function a worktree
@@ -211,7 +250,8 @@ func (r *Repo) putFunctionLocked(commitID object.ID, fn *core.Function) {
 func (r *Repo) cacheFunction(commitID object.ID, fn *core.Function) {
 	r.fnMu.Lock()
 	defer r.fnMu.Unlock()
-	if _, ok := r.fnCache[commitID]; ok {
+	if e, ok := r.fnCache[commitID]; ok {
+		e.used.Store(r.fnTick.Add(1))
 		return
 	}
 	r.putFunctionLocked(commitID, fn)
@@ -303,4 +343,11 @@ func Fork(src *Repo, newMeta Meta) (*Repo, error) {
 		return nil, err
 	}
 	return &Repo{VCS: forked, Meta: newMeta}, nil
+}
+
+// ForkInto is Fork with the destination's backing storage chosen by the
+// caller: src's refs, HEAD and full object closure are copied into the
+// (typically freshly created) dst repository. dst keeps its own Meta.
+func ForkInto(dst, src *Repo) error {
+	return vcs.ForkInto(dst.VCS, src.VCS)
 }

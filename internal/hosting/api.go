@@ -266,7 +266,9 @@ func isHexPrefix(rev string) bool {
 
 // resolveRev maps a branch name, full commit hex, or unambiguous commit-ID
 // prefix (≥ 4 hex chars) to a commit ID. Branches shadow prefixes; an
-// ambiguous prefix reports ErrAmbiguousRev.
+// ambiguous prefix reports ErrAmbiguousRev. Prefixes resolve through the
+// store's ordered ID index (vcs.ResolveCommitPrefix) — O(log n) per
+// lookup, never a full IDs() enumeration.
 func resolveRev(repo *gitcite.Repo, rev string) (object.ID, error) {
 	if id, err := object.ParseID(rev); err == nil {
 		if _, err := repo.VCS.Commit(id); err != nil {
@@ -278,27 +280,15 @@ func resolveRev(repo *gitcite.Repo, rev string) (object.ID, error) {
 		return id, nil
 	}
 	if isHexPrefix(rev) {
-		prefix := strings.ToLower(rev)
-		ids, err := repo.VCS.Objects.IDs()
-		if err != nil {
+		id, err := repo.VCS.ResolveCommitPrefix(rev)
+		if err == nil {
+			return id, nil
+		}
+		if errors.Is(err, vcs.ErrAmbiguousPrefix) {
+			return object.ZeroID, fmt.Errorf("%w: %v", ErrAmbiguousRev, err)
+		}
+		if !errors.Is(err, store.ErrNotFound) {
 			return object.ZeroID, err
-		}
-		var match object.ID
-		found := 0
-		for _, id := range ids {
-			if !strings.HasPrefix(id.String(), prefix) {
-				continue
-			}
-			if _, err := repo.VCS.Commit(id); err != nil {
-				continue // a blob or tree may share the prefix; only commits count
-			}
-			match = id
-			if found++; found > 1 {
-				return object.ZeroID, fmt.Errorf("%w: %q matches %d or more commits", ErrAmbiguousRev, rev, found)
-			}
-		}
-		if found == 1 {
-			return match, nil
 		}
 	}
 	return object.ZeroID, fmt.Errorf("%w: revision %q", ErrNotFound, rev)
@@ -783,11 +773,27 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if req.Mode != "" && req.Mode != NegotiateModeWantAll {
+		writeErr(w, fmt.Errorf("%w: negotiate mode %q", ErrBadRequest, req.Mode))
+		return
+	}
 	have := make([]object.ID, 0, len(req.Have))
 	for _, h := range req.Have {
 		if id, err := object.ParseID(h); err == nil {
 			have = append(have, id) // malformed haves are ignored, like unknown ones
 		}
+	}
+	if req.Mode == NegotiateModeWantAll {
+		// The client will stream the closure from the pull endpoint; the
+		// response body stays O(1) instead of one ID per missing object,
+		// and the count-only walk never materialises the ID list either.
+		count, err := CountMissingObjects(repo.VCS.Objects, tip, have)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, NegotiateResponse{Tip: tip.String(), All: true, Count: count})
+		return
 	}
 	missing, err := MissingObjects(repo.VCS.Objects, tip, have)
 	if err != nil {

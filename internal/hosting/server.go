@@ -71,15 +71,40 @@ type Platform struct {
 	users   map[string]*User // by name
 	byToken map[string]*User
 	repos   map[string]*hostedRepo // by "owner/name"
+	// pending reserves "owner/name" keys for in-flight forks, so the
+	// O(closure) history copy can run outside the platform lock without a
+	// concurrent create or fork claiming the same name.
+	pending map[string]bool
+
+	// newRepo creates the backing repository for a hosted (or forked)
+	// repository; defaults to in-memory storage.
+	newRepo func(meta gitcite.Meta) (*gitcite.Repo, error)
+}
+
+// PlatformOption configures a Platform at construction.
+type PlatformOption func(*Platform)
+
+// WithRepoFactory makes the platform create hosted repositories through f
+// instead of in memory — e.g. pack-backed persistent storage under a data
+// directory (gitcite-server's -pack flag). Forks go through the same
+// factory, with the fork's history copied in afterwards.
+func WithRepoFactory(f func(meta gitcite.Meta) (*gitcite.Repo, error)) PlatformOption {
+	return func(p *Platform) { p.newRepo = f }
 }
 
 // NewPlatform creates an empty platform.
-func NewPlatform() *Platform {
-	return &Platform{
+func NewPlatform(opts ...PlatformOption) *Platform {
+	p := &Platform{
 		users:   map[string]*User{},
 		byToken: map[string]*User{},
 		repos:   map[string]*hostedRepo{},
+		pending: map[string]bool{},
+		newRepo: gitcite.NewMemoryRepo,
 	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
 }
 
 func repoKey(owner, name string) string { return owner + "/" + name }
@@ -132,10 +157,10 @@ func (p *Platform) CreateRepoAs(ctx context.Context, u *User, name, url, license
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	key := repoKey(u.Name, name)
-	if _, ok := p.repos[key]; ok {
+	if _, ok := p.repos[key]; ok || p.pending[key] {
 		return nil, fmt.Errorf("%w: repository %q", ErrConflict, key)
 	}
-	repo, err := gitcite.NewMemoryRepo(gitcite.Meta{Owner: u.Name, Name: name, URL: url, License: license})
+	repo, err := p.newRepo(gitcite.Meta{Owner: u.Name, Name: name, URL: url, License: license})
 	if err != nil {
 		return nil, err
 	}
@@ -281,19 +306,41 @@ func (p *Platform) ForkRepoAs(ctx context.Context, u *User, owner, name, newName
 	if newName == "" {
 		newName = name
 	}
-	forked, err := gitcite.Fork(src, gitcite.Meta{
+	meta := gitcite.Meta{
 		Owner: u.Name, Name: newName,
 		URL:     "https://git.example/" + u.Name + "/" + newName,
 		License: src.Meta.License,
-	})
-	if err != nil {
+	}
+	if err := meta.Validate(); err != nil {
 		return nil, err
 	}
+	// The name-conflict check MUST precede the factory call: a persistent
+	// factory (gitcite-server -pack) opens the repository's directory, so
+	// creating the fork first would open — and ForkInto would overwrite —
+	// an existing repository's on-disk refs before the conflict surfaced.
+	// The key is reserved under the lock and the O(closure) history copy
+	// runs outside it, so a large fork does not stall every other platform
+	// operation; a failed fork releases the reservation (with a persistent
+	// factory, partial on-disk state may remain — see ROADMAP).
+	key := repoKey(u.Name, newName)
+	p.mu.Lock()
+	if _, ok := p.repos[key]; ok || p.pending[key] {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: repository %q", ErrConflict, key)
+	}
+	p.pending[key] = true
+	p.mu.Unlock()
+
+	forked, err := p.newRepo(meta)
+	if err == nil {
+		err = gitcite.ForkInto(forked, src)
+	}
+
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	key := repoKey(u.Name, newName)
-	if _, ok := p.repos[key]; ok {
-		return nil, fmt.Errorf("%w: repository %q", ErrConflict, key)
+	delete(p.pending, key)
+	if err != nil {
+		return nil, err
 	}
 	p.repos[key] = newHostedRepo(forked, u.Name)
 	return forked, nil

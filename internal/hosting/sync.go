@@ -28,12 +28,38 @@ import (
 // (object Puts are idempotent). The returned IDs are ordered so that a
 // commit's tree and blobs precede it and parents precede children.
 func MissingObjects(s store.Store, want object.ID, have []object.ID) ([]object.ID, error) {
+	var missing []object.ID
+	err := walkMissingObjects(s, want, have, func(id object.ID) {
+		missing = append(missing, id)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return missing, nil
+}
+
+// CountMissingObjects is MissingObjects without materialising the ID list —
+// the want-all negotiate answers with a count only, so the per-object slice
+// would be allocated just to measure its length.
+func CountMissingObjects(s store.Store, want object.ID, have []object.ID) (int, error) {
+	n := 0
+	err := walkMissingObjects(s, want, have, func(object.ID) { n++ })
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// walkMissingObjects runs the negotiate walk, calling visit once per
+// missing object in transfer order (a commit's tree and blobs precede it,
+// parents precede children).
+func walkMissingObjects(s store.Store, want object.ID, have []object.ID, visit func(object.ID)) error {
 	haveSet := make(map[object.ID]bool, len(have))
 	for _, id := range have {
 		haveSet[id] = true
 	}
 	if haveSet[want] || want.IsZero() {
-		return nil, nil
+		return nil
 	}
 
 	// Phase 1: discover the new commits, parents-first (iterative DFS
@@ -69,7 +95,7 @@ func MissingObjects(s store.Store, want object.ID, have []object.ID) ([]object.I
 		stack[i].expanded = true
 		c, err := store.GetCommit(s, f.id)
 		if err != nil {
-			return nil, fmt.Errorf("hosting: negotiate walk %s: %w", f.id.Short(), err)
+			return fmt.Errorf("hosting: negotiate walk %s: %w", f.id.Short(), err)
 		}
 		commits[f.id] = c
 		for _, p := range c.Parents {
@@ -84,11 +110,10 @@ func MissingObjects(s store.Store, want object.ID, have []object.ID) ([]object.I
 	// trees. Parents are either known to the peer (have side) or earlier in
 	// `order` — in both cases their subtrees need not travel again.
 	emitted := make(map[object.ID]bool)
-	var missing []object.ID
 	emit := func(id object.ID) {
 		if !emitted[id] {
 			emitted[id] = true
-			missing = append(missing, id)
+			visit(id)
 		}
 	}
 	var diffTree func(tid object.ID, bases []object.ID) error
@@ -152,16 +177,16 @@ func MissingObjects(s store.Store, want object.ID, have []object.ID) ([]object.I
 			}
 			pc, err := store.GetCommit(s, p)
 			if err != nil {
-				return nil, fmt.Errorf("hosting: negotiate base %s: %w", p.Short(), err)
+				return fmt.Errorf("hosting: negotiate base %s: %w", p.Short(), err)
 			}
 			bases = append(bases, pc.TreeID)
 		}
 		if err := diffTree(c.TreeID, bases); err != nil {
-			return nil, err
+			return err
 		}
 		emit(cid)
 	}
-	return missing, nil
+	return nil
 }
 
 // VerifyConnectedClosure checks — before anything is stored — that tip is a

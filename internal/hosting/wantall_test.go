@@ -1,0 +1,386 @@
+// Tests for the pack-era sync additions: want-all negotiate (cold-clone
+// negotiate bodies stay O(1) instead of one ID per object), chunked fetch
+// requests, ordered-index abbreviated-revision resolution (no full-store
+// scan), and the pack-backed hosting storage factory.
+package hosting_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/extension"
+	"github.com/gitcite/gitcite/internal/gitcite"
+	"github.com/gitcite/gitcite/internal/hosting"
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// negotiateRaw POSTs a negotiate body and returns the response and its raw
+// byte size.
+func negotiateRaw(t *testing.T, serverURL, owner, repo string, req hosting.NegotiateRequest) (hosting.NegotiateResponse, int, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(fmt.Sprintf("%s/api/v1/repos/%s/%s/negotiate", serverURL, owner, repo),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var neg hosting.NegotiateResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &neg); err != nil {
+			t.Fatalf("negotiate body: %v", err)
+		}
+	}
+	return neg, buf.Len(), resp.StatusCode
+}
+
+// TestNegotiateWantAllBodyBound pins the cold-clone negotiate bound: a
+// 1000-file repository's plain negotiate answers with one ID per object
+// (~65 KB), while want-all answers in O(1) bytes — no per-object ID list in
+// the response, however large the closure.
+func TestNegotiateWantAllBodyBound(t *testing.T) {
+	fx := newFixture(t)
+	local, _ := buildNFileRepo(t, 1000)
+	if err := fx.owner.CreateRepo("big", "https://x/big", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.owner.Sync(local, "leshang", "big", "main"); err != nil {
+		t.Fatal(err)
+	}
+	tip, err := local.VCS.BranchTip("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	closure := closureSet(t, local.VCS.Objects, tip)
+
+	plain, plainBytes, status := negotiateRaw(t, fx.server.URL, "leshang", "big", hosting.NegotiateRequest{Want: "main"})
+	if status != http.StatusOK {
+		t.Fatalf("plain negotiate status %d", status)
+	}
+	if len(plain.Missing) != len(closure) {
+		t.Fatalf("plain negotiate listed %d IDs, closure has %d", len(plain.Missing), len(closure))
+	}
+
+	all, allBytes, status := negotiateRaw(t, fx.server.URL, "leshang", "big", hosting.NegotiateRequest{Want: "main", Mode: hosting.NegotiateModeWantAll})
+	if status != http.StatusOK {
+		t.Fatalf("want-all negotiate status %d", status)
+	}
+	if !all.All || len(all.Missing) != 0 {
+		t.Errorf("want-all response: All=%v, %d Missing IDs (want true, 0)", all.All, len(all.Missing))
+	}
+	if all.Count != len(closure) {
+		t.Errorf("want-all Count = %d, want %d", all.Count, len(closure))
+	}
+	// The bound: a want-all body must not scale with the object count. 256
+	// bytes comfortably holds {tip, all, count} and nothing per-object.
+	if allBytes > 256 {
+		t.Errorf("want-all negotiate body = %d bytes, want <= 256 (plain body was %d)", allBytes, plainBytes)
+	}
+	if allBytes*10 > plainBytes {
+		t.Errorf("want-all body (%d B) not an order of magnitude under plain (%d B)", allBytes, plainBytes)
+	}
+}
+
+func TestNegotiateRejectsUnknownMode(t *testing.T) {
+	fx := newFixture(t)
+	_, _, status := negotiateRaw(t, fx.server.URL, "leshang", "P1", hosting.NegotiateRequest{Want: "main", Mode: "want-some"})
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown negotiate mode: status %d, want 400", status)
+	}
+}
+
+// TestColdCloneFetchWantAll checks the client side: a clone with no local
+// state fetches through want-all + the streaming pull endpoint and ends
+// bit-identical to the server.
+func TestColdCloneFetchWantAll(t *testing.T) {
+	fx := newFixture(t)
+	local, _ := buildNFileRepo(t, 300)
+	if err := fx.owner.CreateRepo("cold", "https://x/cold", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.owner.Sync(local, "leshang", "cold", "main"); err != nil {
+		t.Fatal(err)
+	}
+	tip, err := local.VCS.BranchTip("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := closureSet(t, local.VCS.Objects, tip)
+
+	clone, err := fx.owner.Clone("leshang", "cold", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := closureSet(t, clone.VCS.Objects, tip)
+	if len(got) != len(want) {
+		t.Fatalf("clone closure has %d objects, want %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("clone closure missing %s", id.Short())
+		}
+	}
+}
+
+// TestFetchChunksLargeDelta gives a warm clone a delta larger than the
+// client's fetch chunk size (2048) and checks the chunked fetch still
+// transfers exactly the delta.
+func TestFetchChunksLargeDelta(t *testing.T) {
+	fx := newFixture(t)
+	local, wt := buildNFileRepo(t, 10)
+	if err := fx.owner.CreateRepo("wide", "https://x/wide", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.owner.Sync(local, "leshang", "wide", "main"); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := fx.owner.Clone("leshang", "wide", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One commit adding ~2500 blobs pushes the delta past one chunk.
+	for i := 0; i < 2500; i++ {
+		p := fmt.Sprintf("/wide/w%d/f%d.txt", i%50, i)
+		if err := wt.WriteFile(p, []byte(fmt.Sprintf("wide %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tip, err := wt.Commit(vcs.CommitOptions{Author: vcs.Sig("o", "o@x", time.Unix(9, 0)), Message: "wide"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.owner.Sync(local, "leshang", "wide", "main"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, n, err := fx.owner.Fetch(clone, "leshang", "wide", "main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 2500 {
+		t.Fatalf("chunked fetch transferred %d objects, want > 2500", n)
+	}
+	want := closureSet(t, local.VCS.Objects, tip)
+	got := closureSet(t, clone.VCS.Objects, tip)
+	if len(got) != len(want) {
+		t.Fatalf("clone closure has %d objects, want %d", len(got), len(want))
+	}
+}
+
+// TestColdCloneFallsBackOnLegacyServer wraps a real server with a shim
+// that rejects negotiate bodies carrying the "mode" field — exactly how a
+// pre-want-all server's strict body decoding reacts — and checks a cold
+// clone still succeeds through the client's plain-negotiate fallback.
+func TestColdCloneFallsBackOnLegacyServer(t *testing.T) {
+	platform := hosting.NewPlatform()
+	real := hosting.NewServer(platform)
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/negotiate") {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			if bytes.Contains(body, []byte(`"mode"`)) {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				_, _ = w.Write([]byte(`{"code":"bad_request","error":"body: json: unknown field \"mode\""}`))
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(legacy.Close)
+
+	anon := extension.New(legacy.URL, "")
+	tok, err := anon.CreateUser("older")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := anon.WithToken(tok)
+	if err := owner.CreateRepo("lg", "https://x/lg", ""); err != nil {
+		t.Fatal(err)
+	}
+	local, _ := buildNFileRepo(t, 60)
+	if _, err := owner.Sync(local, "older", "lg", "main"); err != nil {
+		t.Fatal(err)
+	}
+	tip, err := local.VCS.BranchTip("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := owner.Clone("older", "lg", "main")
+	if err != nil {
+		t.Fatalf("cold clone against legacy server: %v", err)
+	}
+	want := closureSet(t, local.VCS.Objects, tip)
+	got := closureSet(t, clone.VCS.Objects, tip)
+	if len(got) != len(want) {
+		t.Fatalf("fallback clone closure %d objects, want %d", len(got), len(want))
+	}
+}
+
+// noScanStore forbids full-store ID enumeration while forwarding ordered
+// prefix lookups — resolving an abbreviated revision through it proves the
+// read path never falls back to the O(n) IDs() scan.
+type noScanStore struct {
+	store.Store
+	t *testing.T
+}
+
+func (s *noScanStore) IDs() ([]object.ID, error) {
+	s.t.Error("store.IDs() called during abbreviated-revision resolution (full-store scan)")
+	return s.Store.IDs()
+}
+
+func (s *noScanStore) IDsByPrefix(prefix string, limit int) ([]object.ID, error) {
+	return store.IDsByPrefix(s.Store, prefix, limit)
+}
+
+// TestResolveRevPrefixNoFullScan resolves abbreviated revisions over HTTP
+// against a store that fails the test if IDs() is ever consulted: a prefix
+// hit, a 409 ambiguity and a 404 miss must all come from the ordered index.
+func TestResolveRevPrefixNoFullScan(t *testing.T) {
+	fx := newFixture(t)
+	local, _ := buildNFileRepo(t, 200)
+	if err := fx.owner.CreateRepo("abbrev", "https://x/abbrev", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.owner.Sync(local, "leshang", "abbrev", "main"); err != nil {
+		t.Fatal(err)
+	}
+	tip, err := local.VCS.BranchTip("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forbid IDs() on the hosted repository's store from here on.
+	hosted, err := fx.platform.Repo(context.Background(), "leshang", "abbrev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosted.VCS.Objects = &noScanStore{Store: hosted.VCS.Objects, t: t}
+
+	get := func(rev string) int {
+		resp, err := http.Get(fmt.Sprintf("%s/api/v1/repos/leshang/abbrev/cite/%s?path=/", fx.server.URL, rev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if status := get(tip.String()[:8]); status != http.StatusOK {
+		t.Errorf("prefix hit: status %d, want 200", status)
+	}
+	if status := get("ffffffff"); status != http.StatusNotFound {
+		t.Errorf("prefix miss: status %d, want 404", status)
+	}
+}
+
+// TestPackBackedPlatform runs a full push → abbreviated-prefix read → edit
+// → fetch round trip against a platform whose repositories persist in pack
+// storage (the gitcite-server -pack configuration), then survives a
+// process "restart" (fresh platform over the same directory is out of
+// scope — the hosted map is in-memory — but the repack + prefix paths run
+// against real pack files).
+func TestPackBackedPlatform(t *testing.T) {
+	dir := t.TempDir()
+	p := hosting.NewPlatform(hosting.WithRepoFactory(func(meta gitcite.Meta) (*gitcite.Repo, error) {
+		return gitcite.OpenPackedFileRepo(fmt.Sprintf("%s/%s/%s", dir, meta.Owner, meta.Name), meta)
+	}))
+	ts := httptest.NewServer(hosting.NewServer(p))
+	t.Cleanup(ts.Close)
+	anon := extension.New(ts.URL, "")
+	tok, err := anon.CreateUser("packer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := anon.WithToken(tok)
+	if err := owner.CreateRepo("pk", "https://x/pk", ""); err != nil {
+		t.Fatal(err)
+	}
+	local, _ := buildNFileRepo(t, 120)
+	if _, err := owner.Sync(local, "packer", "pk", "main"); err != nil {
+		t.Fatal(err)
+	}
+	tip, err := local.VCS.BranchTip("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Abbreviated-prefix read resolves through the pack's sorted index.
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/repos/packer/pk/cite/%s?path=/", ts.URL, tip.String()[:10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prefix read against pack store: status %d", resp.StatusCode)
+	}
+
+	// Fork goes through the same pack-backed factory.
+	forked, err := owner.Fork("packer", "pk", "pk2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forked.Tips["main"] != tip.String() {
+		t.Errorf("fork tip = %s, want %s", forked.Tips["main"], tip)
+	}
+
+	// A cold clone off the pack-backed repo is bit-identical.
+	clone, err := owner.Clone("packer", "pk", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := closureSet(t, local.VCS.Objects, tip)
+	got := closureSet(t, clone.VCS.Objects, tip)
+	if len(got) != len(want) {
+		t.Fatalf("clone closure %d objects, want %d", len(got), len(want))
+	}
+
+	// A conflicting fork name must 409 WITHOUT touching the existing
+	// repository's persistent state: the conflict check runs before the
+	// storage factory opens (and ForkInto would overwrite) the directory.
+	other, _ := buildNFileRepo(t, 5)
+	if err := owner.CreateRepo("other", "https://x/other", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Sync(other, "packer", "other", "main"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Fork("packer", "other", "pk"); !isAPIStatus(err, http.StatusConflict) {
+		t.Fatalf("conflicting fork error = %v, want 409", err)
+	}
+	afterMeta, err := owner.GetRepo("packer", "pk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterMeta.Tips["main"] != tip.String() {
+		t.Errorf("victim repo tip changed by rejected fork: %s, want %s", afterMeta.Tips["main"], tip)
+	}
+	reclone, err := owner.Clone("packer", "pk", "main")
+	if err != nil {
+		t.Fatalf("victim unreadable after rejected fork: %v", err)
+	}
+	if got := closureSet(t, reclone.VCS.Objects, tip); len(got) != len(want) {
+		t.Errorf("victim closure changed by rejected fork: %d objects, want %d", len(got), len(want))
+	}
+}

@@ -42,25 +42,42 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// NegotiateModeWantAll asks the server to skip the per-object Missing list
+// and answer with just the resolved tip and an object count. A client with
+// no prior state (a cold clone) sets it and then streams the closure from
+// the pull endpoint, so neither negotiate body scales with repository size
+// — without it, a cold clone's negotiate response carries one ID per
+// object.
+const NegotiateModeWantAll = "want-all"
+
 // NegotiateRequest opens an incremental sync: the client names the revision
 // it wants and the commit tips it already has (with, by the store closure
 // invariant, their full reachable object graphs). Unknown or malformed have
-// entries are ignored — claiming too little only costs bandwidth.
+// entries are ignored — claiming too little only costs bandwidth. Mode is
+// empty (list the missing IDs) or NegotiateModeWantAll.
 type NegotiateRequest struct {
 	Want string   `json:"want"`
 	Have []string `json:"have,omitempty"`
+	Mode string   `json:"mode,omitempty"`
 }
 
 // NegotiateResponse answers with the resolved tip and exactly the object IDs
 // the client is missing, computed by a frontier walk that stops at known
-// commits — O(delta), not O(closure), for an up-to-date client.
+// commits — O(delta), not O(closure), for an up-to-date client. Under
+// NegotiateModeWantAll the ID list is suppressed: All is true, Count
+// reports how many objects the client lacks, and the body stays O(1)
+// however large the repository is.
 type NegotiateResponse struct {
 	Tip     string   `json:"tip"`
-	Missing []string `json:"missing"`
+	Missing []string `json:"missing,omitempty"`
+	All     bool     `json:"all,omitempty"`
+	Count   int      `json:"count,omitempty"`
 }
 
-// FetchRequest asks for the listed objects as an NDJSON stream (normally the
-// Missing list of a preceding negotiate).
+// FetchRequest asks for the listed objects as an NDJSON stream — one chunk
+// of the Missing list of a preceding negotiate. Clients cap the IDs per
+// request (extension.Client splits large deltas into several fetches), so
+// no single request body has to carry an entire closure's ID list.
 type FetchRequest struct {
 	IDs []string `json:"ids"`
 }

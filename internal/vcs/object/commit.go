@@ -1,7 +1,6 @@
 package object
 
 import (
-	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
@@ -101,11 +100,18 @@ func decodeCommit(payload []byte) (*Commit, error) {
 	header, message := payload[:sep], payload[sep+2:]
 	c.Message = string(message) // verbatim, so Encode∘Decode is the identity
 
-	sc := bufio.NewScanner(bytes.NewReader(header))
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	// Headers are iterated in place — a bufio.Scanner here cost a fresh
+	// 64 KB buffer per decode, which dominated every cache-missing commit
+	// read (abbreviated-rev resolution, history walks) at scale.
 	sawTree, sawAuthor, sawCommitter := false, false, false
-	for sc.Scan() {
-		line := sc.Text()
+	for len(header) > 0 {
+		var lineBytes []byte
+		if i := bytes.IndexByte(header, '\n'); i >= 0 {
+			lineBytes, header = header[:i], header[i+1:]
+		} else {
+			lineBytes, header = header, nil
+		}
+		line := string(lineBytes)
 		key, val, ok := strings.Cut(line, " ")
 		if !ok {
 			return nil, fmt.Errorf("object: commit header %q missing value", line)
@@ -141,9 +147,6 @@ func decodeCommit(payload []byte) (*Commit, error) {
 		default:
 			return nil, fmt.Errorf("object: unknown commit header %q", key)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	if !sawTree || !sawAuthor || !sawCommitter {
 		return nil, errors.New("object: commit missing required header")

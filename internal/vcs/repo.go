@@ -55,6 +55,73 @@ func OpenFileRepository(dir string) (*Repository, error) {
 	return &Repository{Objects: store.NewCachedStore(objs, objectCacheCap), Refs: rs}, nil
 }
 
+// OpenPackedFileRepository opens (creating if needed) a repository persisted
+// under dir with pack-based object storage: objects live in append-only pack
+// files under dir/objects/pack with a sorted fan-out ID index per pack, and
+// any loose objects already under dir/objects stay readable until Repack
+// folds them in. Reads go through the same decoded-object cache as the
+// loose-object layout.
+func OpenPackedFileRepository(dir string) (*Repository, error) {
+	objs, err := store.NewPackStore(dir + "/objects")
+	if err != nil {
+		return nil, err
+	}
+	rs, err := refs.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{Objects: store.NewCachedStore(objs, objectCacheCap), Refs: rs}, nil
+}
+
+// Repack folds the repository's loose objects into its pack storage and
+// consolidates its packs (store.PackStore.Repack). It reports how many
+// loose objects were folded in, and errors when the repository's object
+// store is not pack-based.
+func (r *Repository) Repack() (int, error) {
+	objs := r.Objects
+	if cs, ok := objs.(*store.CachedStore); ok {
+		objs = cs.Backend()
+	}
+	ps, ok := objs.(*store.PackStore)
+	if !ok {
+		return 0, fmt.Errorf("vcs: repository object store is %T, not pack-based", objs)
+	}
+	return ps.Repack()
+}
+
+// ErrAmbiguousPrefix reports an abbreviated commit ID matching more than
+// one commit.
+var ErrAmbiguousPrefix = errors.New("vcs: ambiguous commit ID prefix")
+
+// ResolveCommitPrefix resolves an abbreviated (lower- or upper-case) hex
+// commit-ID prefix to the single commit it names. Non-commit objects
+// sharing the prefix are ignored; more than one matching commit reports
+// ErrAmbiguousPrefix, none reports store.ErrNotFound. The candidate set
+// comes from the store's ordered ID index (store.IDsByPrefix), so a lookup
+// is O(log n) — never a full IDs() enumeration — on stores with native
+// prefix support.
+func (r *Repository) ResolveCommitPrefix(prefix string) (object.ID, error) {
+	ids, err := store.IDsByPrefix(r.Objects, prefix, 0)
+	if err != nil {
+		return object.ZeroID, err
+	}
+	var match object.ID
+	found := 0
+	for _, id := range ids {
+		if _, err := r.Commit(id); err != nil {
+			continue // a blob or tree may share the prefix; only commits count
+		}
+		match = id
+		if found++; found > 1 {
+			return object.ZeroID, fmt.Errorf("%w: %q matches %d or more commits", ErrAmbiguousPrefix, prefix, found)
+		}
+	}
+	if found == 0 {
+		return object.ZeroID, fmt.Errorf("commit prefix %q: %w", prefix, store.ErrNotFound)
+	}
+	return match, nil
+}
+
 // CommitOptions carries the metadata for a new commit.
 type CommitOptions struct {
 	Author  object.Signature
@@ -404,28 +471,36 @@ func (r *Repository) reachableDepths(start object.ID) (map[object.ID]int, error)
 // current branch.
 func Fork(src *Repository) (*Repository, error) {
 	dst := NewMemoryRepository()
+	if err := ForkInto(dst, src); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ForkInto copies every ref (with its full object closure) and HEAD from
+// src into dst — the storage-agnostic core of Fork, used when the fork's
+// backing store is chosen by the caller (e.g. a hosting platform persisting
+// forks into pack storage).
+func ForkInto(dst, src *Repository) error {
 	names, err := src.Refs.List()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for _, name := range names {
 		id, err := src.Refs.Get(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := store.CopyClosure(dst.Objects, src.Objects, id); err != nil {
-			return nil, err
+			return err
 		}
 		if err := dst.Refs.Set(name, id); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	h, err := src.Refs.GetHEAD()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if err := dst.Refs.SetHEAD(h); err != nil {
-		return nil, err
-	}
-	return dst, nil
+	return dst.Refs.SetHEAD(h)
 }

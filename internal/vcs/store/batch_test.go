@@ -27,10 +27,16 @@ func batchStores(t *testing.T) map[string]Store {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ps, err := NewPackStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ps.Close() })
 	return map[string]Store{
 		"memory":   NewMemoryStore(),
 		"file":     fs,
 		"cached":   NewCachedStore(NewMemoryStore(), 64),
+		"pack":     ps,
 		"fallback": plainStore{s: NewMemoryStore()},
 	}
 }

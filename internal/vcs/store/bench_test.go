@@ -139,3 +139,112 @@ func BenchmarkCachedStoreOverFileParallel(b *testing.B) {
 		}
 	})
 }
+
+// ---- pack store ----
+
+func newBenchPackStore(b *testing.B) *PackStore {
+	b.Helper()
+	ps, err := NewPackStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ps.Close() })
+	return ps
+}
+
+// BenchmarkPackStorePutBatch appends one raw batch per iteration — the
+// shape every commit and push takes through the batch API: one file append
+// plus one index persist per batch, not per object.
+func BenchmarkPackStorePutBatch(b *testing.B) {
+	for _, size := range []int{1, 64} {
+		b.Run(fmt.Sprintf("objs=%d", size), func(b *testing.B) {
+			ps := newBenchPackStore(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch := make([]Encoded, size)
+				for j := range batch {
+					enc := object.Encode(object.NewBlobString(fmt.Sprintf("pack put %d/%d", i, j)))
+					batch[j] = Encoded{ID: object.HashBytes(enc), Enc: enc}
+				}
+				if err := ps.PutManyEncoded(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPackStoreGet(b *testing.B) {
+	ps := newBenchPackStore(b)
+	ids := benchBlobs(b, ps, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ps.Get(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackStoreGetParallel(b *testing.B) {
+	ps := newBenchPackStore(b)
+	ids := benchBlobs(b, ps, 1024)
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := ctr.Add(1)
+			if _, err := ps.Get(ids[int(n)%len(ids)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreColdOpen contrasts what a cold process pays to open each
+// persistent layout: the pack store loads its sorted indexes (no object
+// I/O); the loose layout defers the cost to later directory scans but then
+// pays it per IDs()-style operation.
+func BenchmarkStoreColdOpen(b *testing.B) {
+	const objs = 2048
+	b.Run("pack", func(b *testing.B) {
+		dir := b.TempDir()
+		seed, err := NewPackStore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchBlobs(b, seed, objs)
+		if _, err := seed.Repack(); err != nil {
+			b.Fatal(err)
+		}
+		seed.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ps, err := NewPackStore(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n, _ := ps.Len(); n != objs {
+				b.Fatalf("Len = %d, want %d", n, objs)
+			}
+			ps.Close()
+		}
+	})
+	b.Run("loose", func(b *testing.B) {
+		dir := b.TempDir()
+		seed, err := NewFileStore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchBlobs(b, seed, objs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fs, err := NewFileStore(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n, _ := fs.Len(); n != objs {
+				b.Fatalf("Len = %d, want %d", n, objs)
+			}
+		}
+	})
+}

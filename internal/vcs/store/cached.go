@@ -77,6 +77,11 @@ func (s *CachedStore) shard(id object.ID) *cacheShard {
 	return &s.shards[int(id[0])%len(s.shards)]
 }
 
+// Backend returns the store the cache reads through — callers that need a
+// backend-specific operation (PackStore.Repack, FileStore.Root) unwrap
+// through it.
+func (s *CachedStore) Backend() Store { return s.backend }
+
 // Stats returns the cumulative hit and miss counts. Every Get or Has that
 // is answered from the cache counts as a hit; every one that has to
 // consult the backend (including singleflight waiters that piggyback on
@@ -227,6 +232,12 @@ func (s *CachedStore) Has(id object.ID) (bool, error) {
 
 // IDs implements Store.
 func (s *CachedStore) IDs() ([]object.ID, error) { return s.backend.IDs() }
+
+// IDsByPrefix implements PrefixSearcher by delegating to the backend's
+// ordered index (or the package-level fallback when it has none).
+func (s *CachedStore) IDsByPrefix(prefix string, limit int) ([]object.ID, error) {
+	return IDsByPrefix(s.backend, prefix, limit)
+}
 
 // Len implements Store.
 func (s *CachedStore) Len() (int, error) { return s.backend.Len() }

@@ -384,22 +384,69 @@ func (s *FileStore) IDs() ([]object.ID, error) {
 		if !fan.IsDir() || len(fan.Name()) != 2 {
 			continue
 		}
-		files, err := os.ReadDir(filepath.Join(s.root, fan.Name()))
+		ids, err = s.appendFanoutIDs(ids, fan.Name())
 		if err != nil {
 			return nil, err
 		}
-		for _, f := range files {
-			if strings.HasPrefix(f.Name(), ".tmp-") {
-				continue
-			}
-			id, err := object.ParseID(fan.Name() + f.Name())
-			if err != nil {
-				continue // foreign file; ignore
-			}
-			ids = append(ids, id)
-		}
 	}
 	return ids, nil
+}
+
+// appendFanoutIDs appends every object ID stored in one fanout dir.
+func (s *FileStore) appendFanoutIDs(ids []object.ID, fan string) ([]object.ID, error) {
+	files, err := os.ReadDir(filepath.Join(s.root, fan))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ids, nil
+		}
+		return nil, err
+	}
+	for _, f := range files {
+		if strings.HasPrefix(f.Name(), ".tmp-") {
+			continue
+		}
+		id, err := object.ParseID(fan + f.Name())
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// IDsByPrefix implements PrefixSearcher. The fanout layout IS the ordered
+// index: a prefix of two or more hex characters names exactly one fanout
+// directory, so the scan reads one directory instead of the whole store
+// (a one-character prefix reads its 16 candidate directories).
+func (s *FileStore) IDsByPrefix(prefix string, limit int) ([]object.ID, error) {
+	if _, _, err := prefixBounds(prefix); err != nil {
+		return nil, err
+	}
+	prefix = strings.ToLower(prefix)
+	fans := []string{prefix[:min(2, len(prefix))]}
+	if len(prefix) == 1 {
+		fans = fans[:0]
+		for _, c := range "0123456789abcdef" {
+			fans = append(fans, prefix+string(c))
+		}
+	}
+	var out []object.ID
+	for _, fan := range fans {
+		ids, err := s.appendFanoutIDs(nil, fan)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			if !strings.HasPrefix(id.String(), prefix) {
+				continue
+			}
+			out = append(out, id)
+			if limit > 0 && len(out) == limit {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
 }
 
 // Len implements Store.

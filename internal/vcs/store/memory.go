@@ -8,9 +8,17 @@ import (
 
 // MemoryStore is an in-memory Store. The zero value is not usable; call
 // NewMemoryStore. It is safe for concurrent use.
+//
+// Prefix lookups go through a lazily-built ordered IDIndex: the first
+// IDsByPrefix after a mutation sorts the key set once, and every later
+// lookup is O(log n). The generation counter invalidates the index exactly
+// when a new object actually lands (idempotent re-Puts keep it warm).
 type MemoryStore struct {
 	mu      sync.RWMutex
 	objects map[object.ID][]byte
+
+	gen  uint64 // bumped on every insert of a new object
+	lazy lazyIDIndex
 }
 
 // NewMemoryStore creates an empty in-memory store.
@@ -26,6 +34,7 @@ func (s *MemoryStore) Put(o object.Object) (object.ID, error) {
 	defer s.mu.Unlock()
 	if _, ok := s.objects[id]; !ok {
 		s.objects[id] = enc
+		s.gen++
 	}
 	return id, nil
 }
@@ -55,6 +64,7 @@ func (s *MemoryStore) PutMany(objs []object.Object) ([]object.ID, error) {
 	for i, id := range ids {
 		if _, ok := s.objects[id]; !ok {
 			s.objects[id] = encs[i]
+			s.gen++
 		}
 	}
 	return ids, nil
@@ -69,6 +79,7 @@ func (s *MemoryStore) PutManyEncoded(batch []Encoded) error {
 	for _, e := range batch {
 		if _, ok := s.objects[e.ID]; !ok {
 			s.objects[e.ID] = e.Enc
+			s.gen++
 		}
 	}
 	return nil
@@ -109,4 +120,16 @@ func (s *MemoryStore) Len() (int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.objects), nil
+}
+
+// IDsByPrefix implements PrefixSearcher over a lazily-built sorted index.
+func (s *MemoryStore) IDsByPrefix(prefix string, limit int) ([]object.ID, error) {
+	idx := s.lazy.get(&s.mu, func() uint64 { return s.gen }, func() []object.ID {
+		ids := make([]object.ID, 0, len(s.objects))
+		for id := range s.objects {
+			ids = append(ids, id)
+		}
+		return ids
+	})
+	return idx.ByPrefix(prefix, limit)
 }

@@ -1,0 +1,846 @@
+// pack.go implements pack-based object storage: instead of one loose file
+// per object, objects are appended to a small number of pack files as
+// zlib-compressed, length-prefixed records, with a sorted fan-out ID index
+// (IDIndex) persisted alongside each pack. Cold opens load the indexes, not
+// the objects; lookups are an O(1) map hit backed by one pread; abbreviated
+// IDs resolve through the ordered index in O(log n).
+//
+// On-disk layout (sharing the root of a loose FileStore, like Git):
+//
+//	root/ab/cdef…        loose objects (legacy; read fallback, Repack input)
+//	root/pack/pack-000001.pack
+//	root/pack/pack-000001.idx
+//
+// Pack file: an 8-byte magic header followed by records of
+// `id[32] | clen uint32 BE | clen bytes of zlib(canonical encoding)`.
+// Records are append-only and never rewritten. Index file: magic, the pack
+// byte-size it covers, entry count, a 256-way fanout table and the sorted
+// `id[32] | offset uint64 | clen uint32` entries. A missing or corrupt
+// index is rebuilt by scanning the pack's records; an index covering only
+// a prefix of the pack is valid (the tail is dead bytes from a torn
+// append whose write was never acknowledged); later writes go to a fresh
+// pack, so partial bytes are never extended.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+const (
+	packDirName  = "pack"
+	packMagic    = "GCPK\x00\x00\x00\x01"
+	packIdxMagic = "GCIX\x00\x00\x00\x01"
+	// packRecHeader is the fixed per-record overhead: the object ID plus the
+	// big-endian uint32 length of the compressed payload.
+	packRecHeader = object.IDSize + 4
+	// packRollEntries caps how many objects the current pack accepts before
+	// appends roll over to a fresh pack. The index is re-persisted whole
+	// once per mutation batch, so without a cap a long-lived writer's
+	// cumulative index I/O would grow quadratically with one ever-growing
+	// pack; rolling bounds each rewrite, and Repack consolidates later.
+	packRollEntries = 8192
+)
+
+// packRef locates one object inside one pack.
+type packRef struct {
+	pack *packFile
+	off  int64 // offset of the compressed payload
+	clen uint32
+}
+
+// packEntry is one object of one pack, as persisted in the .idx file.
+type packEntry struct {
+	id   object.ID
+	off  int64
+	clen uint32
+}
+
+// packFile is one on-disk pack: a read handle plus the byte size its loaded
+// entries cover.
+type packFile struct {
+	path string
+	f    *os.File
+	size int64 // bytes covered by complete records (header included)
+}
+
+// PackStore stores objects in append-only pack files with sorted indexes,
+// reading through to a loose FileStore at the same root for objects that
+// predate packing. It implements Store, BatchStore, RawBatchStore and
+// PrefixSearcher and is safe for concurrent use: reads share an RLock and
+// one pread; writes serialise on the mutex, appending to the store's
+// current pack and re-persisting its index.
+type PackStore struct {
+	root  string
+	loose *FileStore
+
+	mu    sync.RWMutex
+	packs []*packFile
+	refs  map[object.ID]packRef
+	// cur is the pack this store instance appends to (created on first
+	// write; packs from earlier opens are never extended, so a torn tail
+	// left by a crash can simply be ignored).
+	cur        *packFile
+	curEntries []packEntry
+
+	gen  uint64 // bumped per newly packed object; invalidates the index
+	lazy lazyIDIndex
+}
+
+// NewPackStore opens (creating if necessary) a pack store rooted at dir.
+// Loose objects already under dir remain readable; Repack folds them into
+// a pack.
+func NewPackStore(dir string) (*PackStore, error) {
+	loose, err := NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(dir, packDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("store: create pack dir: %w", err)
+	}
+	s := &PackStore{root: dir, loose: loose, refs: make(map[object.ID]packRef)}
+	if err := s.loadPacks(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Root returns the directory the store persists into.
+func (s *PackStore) Root() string { return s.root }
+
+// Close releases the pack file handles. The store must not be used after.
+func (s *PackStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, p := range s.packs {
+		if err := p.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.packs = nil
+	s.cur = nil
+	return first
+}
+
+// loadPacks opens every pack under root/pack, loading (or rebuilding) its
+// index.
+func (s *PackStore) loadPacks() error {
+	dir := filepath.Join(s.root, packDirName)
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range names {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "pack-") || !strings.HasSuffix(e.Name(), ".pack") {
+			continue
+		}
+		if err := s.openPack(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openPack opens one pack file, loads its persisted index (rebuilding it
+// from the pack's records when missing or corrupt) and registers its
+// entries.
+func (s *PackStore) openPack(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: open pack: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if st.Size() < int64(len(packMagic)) {
+		// A crash between creating a pack file and its header landing can
+		// leave a sub-magic (typically empty) file. No record can have
+		// landed in it, so skip it like a torn record tail — a hard error
+		// here would make the whole store unopenable. (A full-length but
+		// wrong magic still errors below: that is corruption, not a torn
+		// creation.)
+		f.Close()
+		return nil
+	}
+	p := &packFile{path: path, f: f}
+	entries, covered, err := loadPackIndex(idxPathFor(path), st.Size())
+	if err != nil {
+		// Missing or corrupt index: recover it from the pack itself. The
+		// scan stops at the first record that does not fit the file — a
+		// crash-torn tail, or a mid-pack corrupt length field — and the
+		// rebuilt index covers the readable prefix. Nothing is truncated:
+		// an index covering a prefix of the pack is valid (see
+		// loadPackIndex), the dead bytes are unreachable but preserved
+		// for salvage, and loaded packs never receive appends.
+		entries, covered, err = scanPackRecords(f, st.Size())
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("store: pack %s unreadable: %w", filepath.Base(path), err)
+		}
+		if werr := writePackIndex(idxPathFor(path), entries, covered); werr != nil {
+			f.Close()
+			return werr
+		}
+	}
+	p.size = covered
+	s.packs = append(s.packs, p)
+	for _, e := range entries {
+		if _, dup := s.refs[e.id]; !dup {
+			s.refs[e.id] = packRef{pack: p, off: e.off, clen: e.clen}
+			s.gen++
+		}
+	}
+	return nil
+}
+
+func idxPathFor(packPath string) string {
+	return strings.TrimSuffix(packPath, ".pack") + ".idx"
+}
+
+// scanPackRecords walks a pack file's records sequentially, returning the
+// entries of every complete record and the byte size they cover. A torn
+// final record (crash mid-append) is ignored.
+func scanPackRecords(f *os.File, size int64) ([]packEntry, int64, error) {
+	hdr := make([]byte, len(packMagic))
+	if _, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != packMagic {
+		return nil, 0, fmt.Errorf("bad pack magic")
+	}
+	var entries []packEntry
+	off := int64(len(packMagic))
+	rec := make([]byte, packRecHeader)
+	for off+packRecHeader <= size {
+		if _, err := f.ReadAt(rec, off); err != nil {
+			return nil, 0, err
+		}
+		var id object.ID
+		copy(id[:], rec[:object.IDSize])
+		clen := binary.BigEndian.Uint32(rec[object.IDSize:])
+		if off+packRecHeader+int64(clen) > size {
+			break // torn tail: the payload never finished landing
+		}
+		entries = append(entries, packEntry{id: id, off: off + packRecHeader, clen: clen})
+		off += packRecHeader + int64(clen)
+	}
+	return entries, off, nil
+}
+
+// loadPackIndex reads a persisted .idx, validating it against the pack's
+// current byte size. An index covering MORE bytes than exist is corrupt.
+// An index covering FEWER is accepted: the tail beyond covered is dead —
+// either a crash-torn append whose Put was never acknowledged (record
+// bytes landed but the index persist did not complete, so the write
+// reported failure), or garbage a recovery scan already skipped — and
+// loaded packs never receive further appends, so the gap cannot grow.
+func loadPackIndex(path string, packSize int64) ([]packEntry, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	const fixed = 8 + 8 + 4 + 256*4
+	if len(data) < len(packIdxMagic)+fixed-8 || string(data[:len(packIdxMagic)]) != packIdxMagic {
+		return nil, 0, fmt.Errorf("store: bad pack index %s", filepath.Base(path))
+	}
+	b := data[len(packIdxMagic):]
+	covered := int64(binary.BigEndian.Uint64(b))
+	count := binary.BigEndian.Uint32(b[8:])
+	if covered > packSize {
+		return nil, 0, fmt.Errorf("store: pack index %s covers %d bytes, pack has %d", filepath.Base(path), covered, packSize)
+	}
+	b = b[8+4+256*4:] // fanout is redundant with the sorted entries; skip
+	const entSize = object.IDSize + 8 + 4
+	if len(b) != int(count)*entSize {
+		return nil, 0, fmt.Errorf("store: pack index %s truncated", filepath.Base(path))
+	}
+	entries := make([]packEntry, count)
+	for i := range entries {
+		e := b[i*entSize:]
+		copy(entries[i].id[:], e[:object.IDSize])
+		entries[i].off = int64(binary.BigEndian.Uint64(e[object.IDSize:]))
+		entries[i].clen = binary.BigEndian.Uint32(e[object.IDSize+8:])
+		if entries[i].off+int64(entries[i].clen) > covered {
+			return nil, 0, fmt.Errorf("store: pack index %s entry out of range", filepath.Base(path))
+		}
+	}
+	return entries, covered, nil
+}
+
+// writePackIndex persists the sorted fanout index next to its pack with
+// write-then-rename, so readers never observe a partial index.
+func writePackIndex(path string, entries []packEntry, covered int64) error {
+	sorted := append([]packEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return idLess(sorted[i].id, sorted[j].id) })
+	var buf bytes.Buffer
+	buf.WriteString(packIdxMagic)
+	var u64 [8]byte
+	var u32 [4]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(covered))
+	buf.Write(u64[:])
+	binary.BigEndian.PutUint32(u32[:], uint32(len(sorted)))
+	buf.Write(u32[:])
+	var fanout [256]uint32
+	for _, e := range sorted {
+		fanout[e.id[0]]++
+	}
+	var cum uint32
+	for b := 0; b < 256; b++ {
+		cum += fanout[b]
+		binary.BigEndian.PutUint32(u32[:], cum)
+		buf.Write(u32[:])
+	}
+	for _, e := range sorted {
+		buf.Write(e.id[:])
+		binary.BigEndian.PutUint64(u64[:], uint64(e.off))
+		buf.Write(u64[:])
+		binary.BigEndian.PutUint32(u32[:], e.clen)
+		buf.Write(u32[:])
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-idx-*")
+	if err != nil {
+		return fmt.Errorf("store: pack index temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf.Bytes()); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: write pack index: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename pack index: %w", err)
+	}
+	return nil
+}
+
+// syncPath fsyncs a file or directory by path.
+func syncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: sync %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// nextPackPath picks the first unused pack number under root/pack. Caller
+// holds the write lock.
+func (s *PackStore) nextPackPath() (string, error) {
+	dir := filepath.Join(s.root, packDirName)
+	for n := 1; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("pack-%06d.pack", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}
+
+// createPack starts a new writable pack file. Caller holds the write lock.
+func createPack(path string) (*packFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: create pack: %w", err)
+	}
+	if _, err := f.Write([]byte(packMagic)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: write pack header: %w", err)
+	}
+	return &packFile{path: path, f: f, size: int64(len(packMagic))}, nil
+}
+
+// appendLocked appends pre-compressed records for objects the store lacks
+// and re-persists the current pack's index once per batch. Caller holds the
+// write lock and has already filtered out present IDs (a racing duplicate
+// is still re-checked here).
+func (s *PackStore) appendLocked(ids []object.ID, compressed [][]byte) error {
+	if s.cur != nil && len(s.curEntries) >= packRollEntries {
+		// Roll over: the full pack keeps serving reads through its final
+		// index; only new appends move to a fresh pack.
+		s.cur = nil
+		s.curEntries = nil
+	}
+	if s.cur == nil {
+		path, err := s.nextPackPath()
+		if err != nil {
+			return err
+		}
+		p, err := createPack(path)
+		if err != nil {
+			return err
+		}
+		s.cur = p
+		s.packs = append(s.packs, p)
+	}
+	var buf bytes.Buffer
+	start := s.cur.size
+	newEntries := s.curEntries
+	var lenb [4]byte
+	for i, id := range ids {
+		if _, dup := s.refs[id]; dup {
+			continue
+		}
+		off := start + int64(buf.Len())
+		buf.Write(id[:])
+		binary.BigEndian.PutUint32(lenb[:], uint32(len(compressed[i])))
+		buf.Write(lenb[:])
+		buf.Write(compressed[i])
+		newEntries = append(newEntries, packEntry{id: id, off: off + packRecHeader, clen: uint32(len(compressed[i]))})
+	}
+	if buf.Len() == 0 {
+		return nil
+	}
+	if _, err := s.cur.f.WriteAt(buf.Bytes(), start); err != nil {
+		return fmt.Errorf("store: pack append: %w", err)
+	}
+	// Persist the index BEFORE registering anything in memory: if the
+	// index write fails, the batch reports failure with no state change —
+	// a retry re-appends at the same offset over the orphaned bytes.
+	// Registering first would let a retried Put dedupe against entries
+	// whose index never landed, acknowledging objects a restart loses.
+	if err := writePackIndex(idxPathFor(s.cur.path), newEntries, start+int64(buf.Len())); err != nil {
+		return err
+	}
+	s.cur.size = start + int64(buf.Len())
+	for _, e := range newEntries[len(s.curEntries):] {
+		s.refs[e.id] = packRef{pack: s.cur, off: e.off, clen: e.clen}
+		s.gen++
+	}
+	s.curEntries = newEntries
+	return nil
+}
+
+// Put implements Store.
+func (s *PackStore) Put(o object.Object) (object.ID, error) {
+	enc := object.Encode(o)
+	id := object.HashBytes(enc)
+	if err := s.PutManyEncoded([]Encoded{{ID: id, Enc: enc}}); err != nil {
+		return object.ZeroID, err
+	}
+	return id, nil
+}
+
+// PutMany implements BatchStore: the batch is encoded and hashed up front,
+// compressed outside the lock, and appended to the current pack as one
+// write with one index persist.
+func (s *PackStore) PutMany(objs []object.Object) ([]object.ID, error) {
+	ids := make([]object.ID, len(objs))
+	batch := make([]Encoded, len(objs))
+	for i, o := range objs {
+		batch[i].Enc = object.Encode(o)
+		batch[i].ID = object.HashBytes(batch[i].Enc)
+		ids[i] = batch[i].ID
+	}
+	if err := s.PutManyEncoded(batch); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// PutManyEncoded implements RawBatchStore: canonical encodings are
+// compressed with the pooled compressors and land in the pack with no
+// re-encode/re-hash, one file write and one index persist per batch.
+func (s *PackStore) PutManyEncoded(batch []Encoded) error {
+	// Filter already-present objects under the read lock, then compress
+	// outside any lock; the write lock re-checks for racing duplicates.
+	missing := batch[:0:0]
+	s.mu.RLock()
+	for _, e := range batch {
+		if _, ok := s.refs[e.ID]; !ok {
+			missing = append(missing, e)
+		}
+	}
+	s.mu.RUnlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	// Drop batch-internal duplicates and objects already stored loose (one
+	// batched presence query), so nothing lands in a pack twice.
+	uniq := missing[:0:0]
+	seen := make(map[object.ID]bool, len(missing))
+	for _, e := range missing {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			uniq = append(uniq, e)
+		}
+	}
+	candidateIDs := make([]object.ID, len(uniq))
+	for i, e := range uniq {
+		candidateIDs[i] = e.ID
+	}
+	looseHave, err := s.loose.HasMany(candidateIDs)
+	if err != nil {
+		return err
+	}
+	ids := make([]object.ID, 0, len(uniq))
+	compressed := make([][]byte, 0, len(uniq))
+	var bufs []*bytes.Buffer
+	defer func() {
+		for _, b := range bufs {
+			compressBufPool.Put(b)
+		}
+	}()
+	for i, e := range uniq {
+		if looseHave[i] {
+			continue
+		}
+		buf, err := compress(e.Enc)
+		if err != nil {
+			return err
+		}
+		bufs = append(bufs, buf)
+		ids = append(ids, e.ID)
+		compressed = append(compressed, buf.Bytes())
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(ids, compressed)
+}
+
+// readPacked fetches one packed object's compressed payload. The pread
+// happens under the read lock so a concurrent Repack cannot close the
+// owning pack file mid-read (Repack holds the write lock for its swap);
+// decompression and verification run outside. found=false means the ID is
+// not packed.
+func (s *PackStore) readPacked(id object.ID) (compressed []byte, found bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ref, ok := s.refs[id]
+	if !ok {
+		return nil, false, nil
+	}
+	compressed = make([]byte, ref.clen)
+	if _, err := ref.pack.f.ReadAt(compressed, ref.off); err != nil {
+		return nil, true, fmt.Errorf("store: pack read %s: %w", id.Short(), err)
+	}
+	return compressed, true, nil
+}
+
+// Get implements Store: one map hit and one pread from the owning pack,
+// with decompression and hash verification outside the lock; loose objects
+// read through the FileStore fallback. A loose miss re-checks the packs
+// once — a concurrent Repack may have folded the object between the two
+// lookups, and that move is the only way a stored object relocates.
+func (s *PackStore) Get(id object.ID) (object.Object, error) {
+	compressed, found, err := s.readPacked(id)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		o, err := s.loose.Get(id)
+		if !errors.Is(err, ErrNotFound) {
+			return o, err
+		}
+		if compressed, found, err = s.readPacked(id); err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, ErrNotFound
+		}
+	}
+	enc, err := decompress(compressed)
+	if err != nil {
+		return nil, fmt.Errorf("store: packed object %s corrupt: %w", id.Short(), err)
+	}
+	if object.HashBytes(enc) != id {
+		return nil, fmt.Errorf("store: packed object %s fails hash verification", id.Short())
+	}
+	return object.Decode(enc)
+}
+
+// Has implements Store. Like Get, a loose miss re-checks the packs so a
+// concurrent Repack's loose→pack move cannot produce a false negative.
+func (s *PackStore) Has(id object.ID) (bool, error) {
+	s.mu.RLock()
+	_, ok := s.refs[id]
+	s.mu.RUnlock()
+	if ok {
+		return true, nil
+	}
+	ok, err := s.loose.Has(id)
+	if err != nil || ok {
+		return ok, err
+	}
+	s.mu.RLock()
+	_, ok = s.refs[id]
+	s.mu.RUnlock()
+	return ok, nil
+}
+
+// HasMany implements BatchStore: packed IDs answer from the in-memory map
+// under one lock acquisition; only the residue consults the loose store.
+func (s *PackStore) HasMany(ids []object.ID) ([]bool, error) {
+	have := make([]bool, len(ids))
+	var missIdx []int
+	s.mu.RLock()
+	for i, id := range ids {
+		if _, ok := s.refs[id]; ok {
+			have[i] = true
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	s.mu.RUnlock()
+	if len(missIdx) == 0 {
+		return have, nil
+	}
+	missIDs := make([]object.ID, len(missIdx))
+	for j, i := range missIdx {
+		missIDs[j] = ids[i]
+	}
+	looseHave, err := s.loose.HasMany(missIDs)
+	if err != nil {
+		return nil, err
+	}
+	// Re-check the packs for loose misses under one lock: a concurrent
+	// Repack may have folded them between the two passes.
+	s.mu.RLock()
+	for j, i := range missIdx {
+		have[i] = looseHave[j]
+		if !have[i] {
+			_, have[i] = s.refs[ids[i]]
+		}
+	}
+	s.mu.RUnlock()
+	return have, nil
+}
+
+// IDs implements Store: packed IDs plus any loose objects not yet folded
+// into a pack.
+func (s *PackStore) IDs() ([]object.ID, error) {
+	looseIDs, err := s.loose.IDs()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]object.ID, 0, len(s.refs)+len(looseIDs))
+	for id := range s.refs {
+		ids = append(ids, id)
+	}
+	for _, id := range looseIDs {
+		if _, packed := s.refs[id]; !packed {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// Len implements Store.
+func (s *PackStore) Len() (int, error) {
+	ids, err := s.IDs()
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// IDsByPrefix implements PrefixSearcher: packed IDs answer from a
+// lazily-built IDIndex in O(log n); loose stragglers come from the fanout
+// directory named by the prefix. The loose store is queried BEFORE the
+// pack index is captured: a concurrent Repack moves objects loose→pack
+// (deleting loose files under the store lock after bumping the index
+// generation), so this order guarantees an object is visible on at least
+// one side — the reverse order could miss it on both.
+func (s *PackStore) IDsByPrefix(prefix string, limit int) ([]object.ID, error) {
+	loose, err := s.loose.IDsByPrefix(prefix, limit)
+	if err != nil {
+		return nil, err
+	}
+	idx := s.lazy.get(&s.mu, func() uint64 { return s.gen }, func() []object.ID {
+		ids := make([]object.ID, 0, len(s.refs))
+		for id := range s.refs {
+			ids = append(ids, id)
+		}
+		return ids
+	})
+	out, err := idx.ByPrefix(prefix, limit)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range loose {
+		if !idx.Contains(id) {
+			out = append(out, id)
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// Repack folds every loose object into pack storage and consolidates all
+// existing packs into a single new pack, deleting the old packs and the
+// loose object files it absorbed. Loose objects are moved byte-for-byte —
+// a loose file's zlib stream IS the record payload, so nothing is
+// recompressed — and packed records are copied verbatim. It returns how
+// many loose objects were folded in. Readers block for the duration (the
+// store mutex is held); the swap is crash-safe because the new pack and its
+// index land completely before any old file is removed.
+func (s *PackStore) Repack() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	looseIDs, err := s.loose.IDs()
+	if err != nil {
+		return 0, err
+	}
+	var fold []object.ID
+	for _, id := range looseIDs {
+		if _, packed := s.refs[id]; !packed {
+			fold = append(fold, id)
+		}
+	}
+	if len(fold) == 0 && len(s.packs) <= 1 {
+		return 0, nil // already one pack (or empty) and nothing loose
+	}
+
+	path, err := s.nextPackPath()
+	if err != nil {
+		return 0, err
+	}
+	np, err := createPack(path)
+	if err != nil {
+		return 0, err
+	}
+	fail := func(err error) (int, error) {
+		np.f.Close()
+		os.Remove(np.path)
+		return 0, err
+	}
+	newRefs := make(map[object.ID]packRef, len(s.refs)+len(fold))
+	var entries []packEntry
+	appendRecord := func(id object.ID, compressed []byte) error {
+		var hdr [packRecHeader]byte
+		copy(hdr[:], id[:])
+		binary.BigEndian.PutUint32(hdr[object.IDSize:], uint32(len(compressed)))
+		if _, err := np.f.WriteAt(append(hdr[:], compressed...), np.size); err != nil {
+			return fmt.Errorf("store: repack append: %w", err)
+		}
+		e := packEntry{id: id, off: np.size + packRecHeader, clen: uint32(len(compressed))}
+		np.size += packRecHeader + int64(len(compressed))
+		entries = append(entries, e)
+		newRefs[id] = packRef{pack: np, off: e.off, clen: e.clen}
+		return nil
+	}
+	// Copy every packed record (each pack read sequentially in record
+	// order), then fold the loose objects.
+	for _, p := range s.packs {
+		ents, _, err := scanPackRecords(p.f, p.size)
+		if err != nil {
+			return fail(err)
+		}
+		for _, e := range ents {
+			if _, dup := newRefs[e.id]; dup {
+				continue
+			}
+			if _, owner := s.refs[e.id]; !owner {
+				continue // shadowed duplicate from an older open; drop it
+			}
+			compressed := make([]byte, e.clen)
+			if _, err := p.f.ReadAt(compressed, e.off); err != nil {
+				return fail(err)
+			}
+			if err := appendRecord(e.id, compressed); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	folded := 0
+	for _, id := range fold {
+		compressed, err := os.ReadFile(s.loose.pathFor(id))
+		if err != nil {
+			return fail(fmt.Errorf("store: repack loose %s: %w", id.Short(), err))
+		}
+		if err := appendRecord(id, compressed); err != nil {
+			return fail(err)
+		}
+		folded++
+	}
+	if err := writePackIndex(idxPathFor(np.path), entries, np.size); err != nil {
+		return fail(err)
+	}
+	// The old packs and loose files are about to become the ONLY casualties
+	// of this operation — fsync the new pack, its index and the directory
+	// before any deletion, or a power loss could take both copies.
+	// (Ordinary appends skip fsync, like the loose store: a crash there
+	// loses only the newest writes, never the sole copy of anything.)
+	if err := np.f.Sync(); err != nil {
+		return fail(fmt.Errorf("store: sync repacked pack: %w", err))
+	}
+	if err := syncPath(idxPathFor(np.path)); err != nil {
+		return fail(err)
+	}
+	if err := syncPath(filepath.Dir(np.path)); err != nil {
+		return fail(err)
+	}
+
+	// The new pack is durable; swap it in and delete what it replaced.
+	old := s.packs
+	s.packs = []*packFile{np}
+	s.cur = nil // future appends start a fresh pack
+	s.curEntries = nil
+	s.refs = newRefs
+	s.gen++
+	for _, p := range old {
+		p.f.Close()
+		os.Remove(p.path)
+		os.Remove(idxPathFor(p.path))
+	}
+	for _, id := range fold {
+		os.Remove(s.loose.pathFor(id))
+	}
+	// Prune fanout directories the fold emptied (non-empty ones refuse).
+	seenFan := map[string]bool{}
+	for _, id := range fold {
+		fan := id.String()[:2]
+		if !seenFan[fan] {
+			seenFan[fan] = true
+			os.Remove(filepath.Join(s.root, fan))
+		}
+	}
+	return folded, nil
+}
+
+// PackCount reports how many pack files the store currently holds (loose
+// objects excluded) — observability for repack policies and tests.
+func (s *PackStore) PackCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.packs)
+}
+
+var _ interface {
+	Store
+	BatchStore
+	RawBatchStore
+	PrefixSearcher
+	io.Closer
+} = (*PackStore)(nil)

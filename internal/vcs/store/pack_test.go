@@ -1,0 +1,559 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// randomHistory writes a deterministic pseudo-random commit history
+// (blobs → nested trees → a commit chain) into s and returns the tip.
+// Everything is a pure function of seed.
+func randomHistory(t *testing.T, s Store, seed int64) object.ID {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var parent object.ID
+	var tip object.ID
+	nCommits := 5 + rng.Intn(6)
+	for c := 0; c < nCommits; c++ {
+		// A two-level tree with a random number of files per directory.
+		var rootEntries []object.TreeEntry
+		nDirs := 1 + rng.Intn(3)
+		for d := 0; d < nDirs; d++ {
+			var sub []object.TreeEntry
+			nFiles := 1 + rng.Intn(4)
+			for f := 0; f < nFiles; f++ {
+				data := fmt.Sprintf("seed=%d commit=%d dir=%d file=%d pad=%d", seed, c, d, f, rng.Intn(3))
+				id, err := s.Put(object.NewBlob([]byte(data)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sub = append(sub, object.TreeEntry{Name: fmt.Sprintf("f%d.txt", f), Mode: object.ModeFile, ID: id})
+			}
+			subTree, err := object.NewTree(sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			subID, err := s.Put(subTree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rootEntries = append(rootEntries, object.TreeEntry{Name: fmt.Sprintf("d%d", d), Mode: object.ModeDir, ID: subID})
+		}
+		root, err := object.NewTree(rootEntries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rootID, err := s.Put(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commit := &object.Commit{
+			TreeID:    rootID,
+			Author:    object.NewSignature("p", "p@x", time.Unix(int64(c)+1, 0)),
+			Committer: object.NewSignature("p", "p@x", time.Unix(int64(c)+1, 0)),
+			Message:   fmt.Sprintf("commit %d", c),
+		}
+		if !parent.IsZero() {
+			commit.Parents = []object.ID{parent}
+		}
+		cid, err := s.Put(commit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parent, tip = cid, cid
+	}
+	return tip
+}
+
+// closureFingerprint walks the closure of tip and hashes every canonical
+// encoding in sorted-ID order — equal fingerprints mean the two stores hold
+// bit-identical object closures.
+func closureFingerprint(t *testing.T, s Store, tip object.ID) [32]byte {
+	t.Helper()
+	encs := map[object.ID][]byte{}
+	err := WalkClosure(s, func(id object.ID, o object.Object) error {
+		enc := object.Encode(o)
+		if object.HashBytes(enc) != id {
+			t.Fatalf("object %s re-encodes to a different hash", id.Short())
+		}
+		encs[id] = enc
+		return nil
+	}, tip)
+	if err != nil {
+		t.Fatalf("closure walk: %v", err)
+	}
+	ids := make([]object.ID, 0, len(encs))
+	for id := range encs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return idLess(ids[i], ids[j]) })
+	h := sha256.New()
+	for _, id := range ids {
+		h.Write(id[:])
+		h.Write(encs[id])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func newTestPackStore(t *testing.T, dir string) *PackStore {
+	t.Helper()
+	ps, err := NewPackStore(dir)
+	if err != nil {
+		t.Fatalf("NewPackStore: %v", err)
+	}
+	t.Cleanup(func() { ps.Close() })
+	return ps
+}
+
+// TestClosureBitIdenticalAcrossStores is the cross-backend property suite:
+// the same random history transferred into Memory, File and Pack stores —
+// and through a Repack and a cold reopen of the pack — always yields
+// bit-identical object closures.
+func TestClosureBitIdenticalAcrossStores(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			mem := NewMemoryStore()
+			tip := randomHistory(t, mem, seed)
+			want := closureFingerprint(t, mem, tip)
+
+			fileDir := filepath.Join(t.TempDir(), "objects")
+			fs, err := NewFileStore(fileDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := CopyClosure(fs, mem, tip); err != nil {
+				t.Fatal(err)
+			}
+			if got := closureFingerprint(t, fs, tip); got != want {
+				t.Error("FileStore closure differs from MemoryStore")
+			}
+
+			packDir := filepath.Join(t.TempDir(), "objects")
+			ps := newTestPackStore(t, packDir)
+			if _, err := CopyClosure(ps, mem, tip); err != nil {
+				t.Fatal(err)
+			}
+			if got := closureFingerprint(t, ps, tip); got != want {
+				t.Error("PackStore closure differs from MemoryStore")
+			}
+
+			if _, err := ps.Repack(); err != nil {
+				t.Fatalf("Repack: %v", err)
+			}
+			if got := closureFingerprint(t, ps, tip); got != want {
+				t.Error("PackStore closure differs after Repack")
+			}
+			if ps.PackCount() != 1 {
+				t.Errorf("PackCount after Repack = %d, want 1", ps.PackCount())
+			}
+
+			if err := ps.Close(); err != nil {
+				t.Fatal(err)
+			}
+			reopened := newTestPackStore(t, packDir)
+			if got := closureFingerprint(t, reopened, tip); got != want {
+				t.Error("PackStore closure differs after reopen")
+			}
+		})
+	}
+}
+
+func TestPackStoreReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	ps := newTestPackStore(t, dir)
+	tip := randomHistory(t, ps, 7)
+	want := closureFingerprint(t, ps, tip)
+	n, err := ps.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	again := newTestPackStore(t, dir)
+	if got := closureFingerprint(t, again, tip); got != want {
+		t.Error("closure changed across reopen")
+	}
+	if n2, _ := again.Len(); n2 != n {
+		t.Errorf("Len after reopen = %d, want %d", n2, n)
+	}
+	// New writes after a reopen land in a fresh pack and coexist with the
+	// old one.
+	extra, err := again.Put(object.NewBlobString("post-reopen object"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := again.Has(extra); !ok {
+		t.Error("object written after reopen not found")
+	}
+}
+
+// TestPackStoreIndexRebuild deletes and corrupts the persisted .idx and
+// checks the store recovers it from the pack records.
+func TestPackStoreIndexRebuild(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	ps := newTestPackStore(t, dir)
+	tip := randomHistory(t, ps, 11)
+	want := closureFingerprint(t, ps, tip)
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idxs, err := filepath.Glob(filepath.Join(dir, packDirName, "*.idx"))
+	if err != nil || len(idxs) == 0 {
+		t.Fatalf("no idx files found (err=%v)", err)
+	}
+	for _, p := range idxs {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt := newTestPackStore(t, dir)
+	if got := closureFingerprint(t, rebuilt, tip); got != want {
+		t.Error("closure differs after idx rebuild")
+	}
+	if err := rebuilt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The rebuild must have re-persisted the index.
+	idxs, _ = filepath.Glob(filepath.Join(dir, packDirName, "*.idx"))
+	if len(idxs) == 0 {
+		t.Fatal("rebuild did not re-persist the idx")
+	}
+
+	// Corrupt (truncate) an idx: the open must fall back to the pack scan.
+	if err := os.WriteFile(idxs[0], []byte(packIdxMagic+"garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered := newTestPackStore(t, dir)
+	if got := closureFingerprint(t, recovered, tip); got != want {
+		t.Error("closure differs after corrupt-idx recovery")
+	}
+}
+
+// TestPackStoreTornTailIgnored simulates a crash mid-append: trailing
+// garbage after the last complete record must be ignored on open, stored
+// objects stay readable, and later writes go to a fresh pack.
+func TestPackStoreTornTailIgnored(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	ps := newTestPackStore(t, dir)
+	tip := randomHistory(t, ps, 13)
+	want := closureFingerprint(t, ps, tip)
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	packs, _ := filepath.Glob(filepath.Join(dir, packDirName, "*.pack"))
+	if len(packs) == 0 {
+		t.Fatal("no pack files")
+	}
+	// A torn record: a full ID, a length claiming more bytes than follow.
+	var torn []byte
+	var fakeID object.ID
+	fakeID[0] = 0xab
+	torn = append(torn, fakeID[:]...)
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], 1<<20)
+	torn = append(torn, lenb[:]...)
+	torn = append(torn, []byte("partial payload")...)
+	f, err := os.OpenFile(packs[0], os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// The persisted idx covers only a prefix of the file now; that prefix
+	// is authoritative and the torn bytes are dead.
+	survivor := newTestPackStore(t, dir)
+	if got := closureFingerprint(t, survivor, tip); got != want {
+		t.Error("closure differs after torn-tail recovery")
+	}
+	if ok, _ := survivor.Has(fakeID); ok {
+		t.Error("torn record's ID reported present")
+	}
+	if _, err := survivor.Put(object.NewBlobString("after torn tail")); err != nil {
+		t.Fatalf("Put after torn tail: %v", err)
+	}
+	if survivor.PackCount() < 2 {
+		t.Errorf("PackCount = %d; writes after a torn tail must start a fresh pack", survivor.PackCount())
+	}
+	if err := survivor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The prefix-covering idx must load cleanly (no rescan-forever), and
+	// the pack keeps its bytes — recovery never truncates, so a mid-pack
+	// corruption can not take later records with it.
+	st, err := os.Stat(packs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadPackIndex(idxPathFor(packs[0]), st.Size()); err != nil {
+		t.Errorf("prefix-covering idx judged unusable: %v", err)
+	}
+	// The same store also reopens through the idx-load path with the torn
+	// bytes still in place.
+	again := newTestPackStore(t, dir)
+	if got := closureFingerprint(t, again, tip); got != want {
+		t.Error("closure differs on second open after torn tail")
+	}
+}
+
+// TestPackStoreRollsOverLargePacks checks the current pack stops accepting
+// appends at packRollEntries and later batches open a fresh pack — the
+// bound that keeps per-batch index rewrites from growing with total store
+// size — while everything stays readable and Repack still consolidates.
+func TestPackStoreRollsOverLargePacks(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	ps := newTestPackStore(t, dir)
+	// Rollover triggers at the first batch that begins at or past the
+	// threshold, so overshoot by a couple of batches.
+	total := packRollEntries + 1100
+	var ids []object.ID
+	for start := 0; start < total; start += 500 {
+		n := min(500, total-start)
+		batch := make([]Encoded, n)
+		for j := 0; j < n; j++ {
+			enc := object.Encode(object.NewBlobString(fmt.Sprintf("roll %d", start+j)))
+			batch[j] = Encoded{ID: object.HashBytes(enc), Enc: enc}
+			ids = append(ids, batch[j].ID)
+		}
+		if err := ps.PutManyEncoded(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ps.PackCount() < 2 {
+		t.Errorf("PackCount = %d after %d objects, want >= 2 (rollover at %d)", ps.PackCount(), total, packRollEntries)
+	}
+	for _, i := range []int{0, packRollEntries - 1, packRollEntries, total - 1} {
+		if ok, _ := ps.Has(ids[i]); !ok {
+			t.Errorf("object %d missing after rollover", i)
+		}
+	}
+	if n, _ := ps.Len(); n != total {
+		t.Errorf("Len = %d, want %d", n, total)
+	}
+	if _, err := ps.Repack(); err != nil {
+		t.Fatal(err)
+	}
+	if ps.PackCount() != 1 {
+		t.Errorf("PackCount after Repack = %d, want 1", ps.PackCount())
+	}
+	if n, _ := ps.Len(); n != total {
+		t.Errorf("Len after Repack = %d, want %d", n, total)
+	}
+}
+
+// TestRepackFoldsLooseObjects opens a PackStore over an existing loose
+// FileStore layout and checks Repack absorbs every loose object
+// byte-for-byte and removes the loose files.
+func TestRepackFoldsLooseObjects(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	loose, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tip := randomHistory(t, loose, 17)
+	looseCount, _ := loose.Len()
+	want := closureFingerprint(t, loose, tip)
+
+	ps := newTestPackStore(t, dir)
+	// Loose objects are readable through the pack store before any repack.
+	if got := closureFingerprint(t, ps, tip); got != want {
+		t.Fatal("loose closure not readable through PackStore")
+	}
+	// Mix in some already-packed objects.
+	packedBlob, err := ps.Put(object.NewBlobString("already packed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	folded, err := ps.Repack()
+	if err != nil {
+		t.Fatalf("Repack: %v", err)
+	}
+	if folded != looseCount {
+		t.Errorf("Repack folded %d loose objects, want %d", folded, looseCount)
+	}
+	if got := closureFingerprint(t, ps, tip); got != want {
+		t.Error("closure differs after folding loose objects")
+	}
+	if ok, _ := ps.Has(packedBlob); !ok {
+		t.Error("previously packed object lost by Repack")
+	}
+	if ids, _ := loose.IDs(); len(ids) != 0 {
+		t.Errorf("%d loose objects remain after Repack, want 0", len(ids))
+	}
+	if ps.PackCount() != 1 {
+		t.Errorf("PackCount = %d, want 1", ps.PackCount())
+	}
+	// Emptied fanout directories are pruned.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && len(e.Name()) == 2 {
+			t.Errorf("fanout dir %s not pruned after Repack", e.Name())
+		}
+	}
+
+	// A second Repack with nothing loose and one pack is a no-op.
+	folded, err = ps.Repack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 0 {
+		t.Errorf("second Repack folded %d, want 0", folded)
+	}
+}
+
+// TestPackStoreConcurrentReadersDuringRepack hammers Get/Has/HasMany from
+// several goroutines while Repack folds loose objects and consolidates
+// packs (run with -race): readers must never see a transient miss or a
+// closed pack file while objects relocate.
+func TestPackStoreConcurrentReadersDuringRepack(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	loose, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looseTip := randomHistory(t, loose, 29)
+	looseIDs, err := ClosureIDs(loose, looseTip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := newTestPackStore(t, dir)
+	packedTip := randomHistory(t, ps, 31)
+	packedIDs, err := ClosureIDs(ps, packedTip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]object.ID(nil), looseIDs...), packedIDs...)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := all[(w*31+i)%len(all)]
+				if _, err := ps.Get(id); err != nil {
+					t.Errorf("Get(%s) during repack: %v", id.Short(), err)
+					return
+				}
+				if ok, err := ps.Has(id); err != nil || !ok {
+					t.Errorf("Has(%s) during repack = %v, %v", id.Short(), ok, err)
+					return
+				}
+				if have, err := ps.HasMany(all[:8]); err != nil {
+					t.Errorf("HasMany during repack: %v", err)
+					return
+				} else {
+					for j, ok := range have {
+						if !ok {
+							t.Errorf("HasMany missed %s during repack", all[j].Short())
+							return
+						}
+					}
+				}
+				if got, err := ps.IDsByPrefix(id.String()[:16], 0); err != nil || len(got) == 0 {
+					t.Errorf("IDsByPrefix(%s) during repack = %d ids, %v", id.Short(), len(got), err)
+					return
+				}
+			}
+		}(w)
+	}
+	if _, err := ps.Repack(); err != nil {
+		t.Errorf("Repack: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPackStoreToleratesTornPackHeader simulates a crash between pack
+// creation and the header landing: an empty (or sub-magic) pack file must
+// be skipped on open, not brick the store, while a full-length wrong magic
+// still reports corruption.
+func TestPackStoreToleratesTornPackHeader(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	ps := newTestPackStore(t, dir)
+	tip := randomHistory(t, ps, 37)
+	want := closureFingerprint(t, ps, tip)
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	packDir := filepath.Join(dir, packDirName)
+	if err := os.WriteFile(filepath.Join(packDir, "pack-000090.pack"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(packDir, "pack-000091.pack"), []byte("GCP"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	survivor := newTestPackStore(t, dir)
+	if got := closureFingerprint(t, survivor, tip); got != want {
+		t.Error("closure differs after ignoring torn pack headers")
+	}
+	if _, err := survivor.Put(object.NewBlobString("after torn header")); err != nil {
+		t.Fatalf("Put after torn header: %v", err)
+	}
+	if err := survivor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A full-length bogus magic is corruption, not a torn creation.
+	if err := os.WriteFile(filepath.Join(packDir, "pack-000092.pack"), []byte("XXXXXXXXgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if bad, err := NewPackStore(dir); err == nil {
+		bad.Close()
+		t.Error("open succeeded over a pack with corrupt magic")
+	}
+}
+
+// TestPackStoreRejectsCorruptRecord flips a payload byte and checks Get
+// reports the hash-verification failure instead of returning garbage.
+func TestPackStoreRejectsCorruptRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	ps := newTestPackStore(t, dir)
+	id, err := ps.Put(object.NewBlobString("to be corrupted in place"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	packs, _ := filepath.Glob(filepath.Join(dir, packDirName, "*.pack"))
+	data, err := os.ReadFile(packs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // corrupt the final payload byte
+	if err := os.WriteFile(packs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := newTestPackStore(t, dir)
+	if _, err := corrupted.Get(id); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("Get of corrupted record: err = %v, want corruption report", err)
+	}
+}

@@ -21,10 +21,16 @@ func stores(t *testing.T) map[string]Store {
 	if err != nil {
 		t.Fatalf("NewFileStore: %v", err)
 	}
+	ps, err := NewPackStore(filepath.Join(t.TempDir(), "objects-pack"))
+	if err != nil {
+		t.Fatalf("NewPackStore: %v", err)
+	}
+	t.Cleanup(func() { ps.Close() })
 	return map[string]Store{
 		"memory": NewMemoryStore(),
 		"file":   fs,
 		"cached": NewCachedStore(NewMemoryStore(), 16),
+		"pack":   ps,
 	}
 }
 

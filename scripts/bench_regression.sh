@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench_regression.sh BASE_COUNTERS HEAD_COUNTERS
+#
+# Compares the deterministic efficiency counters emitted by
+# `gitcite-bench -experiment counters` ("counter <name> = <integer>" lines)
+# between a PR's base and head. Any counter that GREW fails the gate —
+# these are pure object counts (store writes per commit, wire objects per
+# sync, negotiate IDs, full-store scans), so growth is a real efficiency
+# regression, not runner noise.
+#
+# Counters present only in head are reported as new (informational);
+# counters present only in base fail, so a regression cannot hide behind a
+# counter rename. A base run that produced no counters at all (e.g. the PR
+# that introduces the counters mode) skips the comparison.
+set -u
+
+base_file=${1:?usage: bench_regression.sh BASE_COUNTERS HEAD_COUNTERS}
+head_file=${2:?usage: bench_regression.sh BASE_COUNTERS HEAD_COUNTERS}
+
+get_counters() { # file -> "name value" lines
+  grep -E '^counter [a-z0-9_]+ = [0-9]+$' "$1" 2>/dev/null | awk '{print $2, $4}'
+}
+
+base_counters=$(get_counters "$base_file")
+head_counters=$(get_counters "$head_file")
+
+if [ -z "$head_counters" ]; then
+  echo "FAIL: head produced no counters (gitcite-bench -experiment counters broken?)"
+  exit 1
+fi
+if [ -z "$base_counters" ]; then
+  echo "NOTE: base produced no counters (predates the counters mode); nothing to compare."
+  echo "$head_counters" | while read -r name value; do
+    echo "  new counter $name = $value"
+  done
+  exit 0
+fi
+
+fail=0
+while read -r name base_value; do
+  head_value=$(echo "$head_counters" | awk -v n="$name" '$1 == n {print $2}')
+  if [ -z "$head_value" ]; then
+    echo "FAIL: counter $name (base $base_value) missing from head"
+    fail=1
+  elif [ "$head_value" -gt "$base_value" ]; then
+    echo "FAIL: counter $name grew: $base_value -> $head_value"
+    fail=1
+  elif [ "$head_value" -lt "$base_value" ]; then
+    echo "IMPROVED: counter $name: $base_value -> $head_value"
+  else
+    echo "OK: counter $name = $head_value"
+  fi
+done <<<"$base_counters"
+
+while read -r name value; do
+  if ! echo "$base_counters" | awk -v n="$name" '$1 == n {found=1} END {exit !found}'; then
+    echo "NEW: counter $name = $value"
+  fi
+done <<<"$head_counters"
+
+exit $fail

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# e2e_smoke.sh — boots a real gitcite-server and drives a full round trip
+# with the real gitcite CLI: init (pack storage) → commit → push → clone
+# into a second working copy via pull → generate citations locally and over
+# the server's REST API. Run from the repository root; needs only the Go
+# toolchain and curl.
+set -euo pipefail
+
+PORT=${E2E_PORT:-8471}
+WORK=$(mktemp -d)
+BIN="$WORK/bin"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "==> building binaries"
+mkdir -p "$BIN"
+go build -o "$BIN/gitcite" ./cmd/gitcite
+go build -o "$BIN/gitcite-server" ./cmd/gitcite-server
+
+echo "==> starting gitcite-server on :$PORT (pack-backed storage)"
+"$BIN/gitcite-server" -addr "127.0.0.1:$PORT" -pack "$WORK/server-data" &
+SERVER_PID=$!
+BASE="http://127.0.0.1:$PORT"
+
+echo "==> waiting for the server, creating user alice"
+TOKEN=""
+for _ in $(seq 1 50); do
+  body=$(curl -sf -X POST "$BASE/api/v1/users" \
+    -H 'Content-Type: application/json' -d '{"name":"alice"}' 2>/dev/null) && {
+    TOKEN=$(echo "$body" | sed -n 's/.*"token":"\([^"]*\)".*/\1/p')
+    break
+  }
+  sleep 0.2
+done
+[ -n "$TOKEN" ] || { echo "FAIL: server never came up / no token"; exit 1; }
+
+echo "==> creating hosted repository alice/demo"
+curl -sf -X POST "$BASE/api/v1/repos" \
+  -H "Authorization: Bearer $TOKEN" -H 'Content-Type: application/json' \
+  -d '{"name":"demo","url":"https://example.org/alice/demo","license":"MIT"}' > /dev/null
+
+echo "==> local repository: init -pack, commit, add-cite, push"
+SRC="$WORK/src"
+mkdir -p "$SRC" && cd "$SRC"
+"$BIN/gitcite" init -owner alice -name demo -url "https://example.org/alice/demo" -license MIT -pack
+mkdir -p lib
+printf 'hello, citation\n' > hello.txt
+printf 'package lib\n' > lib/code.go
+"$BIN/gitcite" commit -author alice -m "initial import"
+"$BIN/gitcite" add-cite -path /lib -owner bob -repo blib -url https://example.org/bob/blib -version 1
+"$BIN/gitcite" commit -author alice -m "cite lib"
+"$BIN/gitcite" push -server "$BASE" -token "$TOKEN" -owner alice -repo demo -branch main
+
+echo "==> second working copy: pull (cold clone) and cite"
+DST="$WORK/dst"
+mkdir -p "$DST" && cd "$DST"
+"$BIN/gitcite" init -owner alice -name demo -url "https://example.org/alice/demo" -pack
+"$BIN/gitcite" pull -server "$BASE" -token "$TOKEN" -owner alice -repo demo -branch main
+[ -f hello.txt ] || { echo "FAIL: pulled worktree missing hello.txt"; exit 1; }
+cite_out=$("$BIN/gitcite" cite -path /lib/code.go 2>/dev/null)
+echo "$cite_out" | grep -q "blib" || { echo "FAIL: local cite did not resolve to blib: $cite_out"; exit 1; }
+
+echo "==> abbreviated-revision cite through the local pack index"
+TIP=$(curl -sf "$BASE/api/v1/repos/alice/demo" | sed -n 's/.*"main":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$TIP" ] || { echo "FAIL: no main tip in repo metadata"; exit 1; }
+"$BIN/gitcite" cite -path /lib/code.go -rev "${TIP:0:8}" > /dev/null
+
+echo "==> server-side GenCite over REST (full ID and abbreviated prefix)"
+srv_cite=$(curl -sf "$BASE/api/v1/repos/alice/demo/cite/main?path=/lib/code.go&format=text")
+echo "$srv_cite" | grep -q "blib" || { echo "FAIL: server cite did not resolve to blib: $srv_cite"; exit 1; }
+curl -sf "$BASE/api/v1/repos/alice/demo/cite/${TIP:0:8}?path=/" > /dev/null
+
+echo "==> repack the source repository and cite again"
+cd "$SRC"
+"$BIN/gitcite" repack
+"$BIN/gitcite" cite -path /lib/code.go > /dev/null
+ls .gitcite/objects/pack/*.pack > /dev/null || { echo "FAIL: no pack files after repack"; exit 1; }
+
+echo "PASS: e2e smoke (server boot, push, cold-clone pull, cite, abbreviated rev, repack)"

@@ -713,5 +713,54 @@ func runCounters() error {
 		return fmt.Errorf("scan count not integral: %d over %d resolves", sc.scans.Load(), resolves)
 	}
 	emit("full_store_scans_per_prefix_resolve", sc.scans.Load()/resolves)
+
+	// --- index bytes per 64-object pack append batch ---
+	// The incremental index format journals one O(batch) segment per
+	// append batch, so this delta must be a constant — measured here at
+	// 0, 1k and 8k pre-existing objects, it may not vary with pack size.
+	const idxBatch = 64
+	idxDelta := int64(-1)
+	for _, preload := range []int{0, 1000, 8000} {
+		dir, err := os.MkdirTemp("", "gitcite-counters-pack-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		ps, err := store.NewPackStore(dir)
+		if err != nil {
+			return err
+		}
+		for start := 0; start < preload; start += 500 {
+			n := min(500, preload-start)
+			batch := make([]store.Encoded, n)
+			for j := 0; j < n; j++ {
+				enc := object.Encode(object.NewBlobString(fmt.Sprintf("pre %d", start+j)))
+				batch[j] = store.Encoded{ID: object.HashBytes(enc), Enc: enc}
+			}
+			if err := ps.PutManyEncoded(batch); err != nil {
+				return err
+			}
+		}
+		before := ps.IdxBytesWritten()
+		probe := make([]store.Encoded, idxBatch)
+		for j := range probe {
+			enc := object.Encode(object.NewBlobString(fmt.Sprintf("probe %d", j)))
+			probe[j] = store.Encoded{ID: object.HashBytes(enc), Enc: enc}
+		}
+		if err := ps.PutManyEncoded(probe); err != nil {
+			return err
+		}
+		delta := ps.IdxBytesWritten() - before
+		if err := ps.Close(); err != nil {
+			return err
+		}
+		if idxDelta == -1 {
+			idxDelta = delta
+		} else if delta != idxDelta {
+			return fmt.Errorf("idx bytes per append batch depend on pack size: %d at %d pre-existing objects, %d earlier",
+				delta, preload, idxDelta)
+		}
+	}
+	emit("idx_bytes_per_64_object_append_batch", idxDelta)
 	return nil
 }

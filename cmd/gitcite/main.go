@@ -219,7 +219,12 @@ func cmdInit(args []string) error {
 // cmdRepack migrates a loose-object repository to pack storage (or folds a
 // packed repository's strays and consolidates its packs): every loose
 // object is absorbed into a single pack and the meta file records the pack
-// layout so later commands open the store packed.
+// layout so later commands open the store packed. The fold is the
+// two-phase concurrent repack: other processes' readers of the same
+// .gitcite keep working for its whole duration, and within this process
+// the store is locked only for the final swap. A store already
+// consolidated to one pack with nothing loose returns immediately without
+// rewriting anything.
 func cmdRepack() error {
 	meta, _, err := loadMeta()
 	if err != nil {
@@ -236,11 +241,13 @@ func cmdRepack() error {
 	if err := saveMeta(meta, storagePack); err != nil {
 		return err
 	}
+	start := time.Now()
 	folded, err := repo.VCS.Repack()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("repacked: %d loose objects folded into pack storage\n", folded)
+	fmt.Printf("repacked in %s: %d loose objects folded into pack storage\n",
+		time.Since(start).Round(time.Millisecond), folded)
 	return nil
 }
 

@@ -144,7 +144,9 @@ func OpenPackedRepository(dir string, meta Meta) (*Repository, error) {
 // Repack folds a packed repository's loose objects into its pack storage
 // and consolidates its packs into one, reporting how many loose objects
 // were folded. It errors when the repository was not opened with
-// OpenPackedRepository.
+// OpenPackedRepository. The fold runs concurrently with reads and commits
+// (the store is locked only for the final swap); an already-consolidated
+// store returns immediately without rewriting anything.
 func Repack(r *Repository) (int, error) { return r.VCS.Repack() }
 
 // Fork implements ForkCite: a full-history copy under new metadata,

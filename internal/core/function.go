@@ -37,10 +37,13 @@ type Function struct {
 	// gen counts mutations; Resolve uses it to discard index inserts that
 	// raced with a writer.
 	gen uint64
-	// idx memoises Resolve results; chain memoises ResolveChain results.
-	// Both are nil until first use and dropped on every mutation. Values
-	// share AuthorList/Extra storage with entries — see Resolve.
+	// idx memoises Resolve results; kidx memoises ResolveKey results under
+	// interned-path keys (a pointer-keyed map, so a warm hit is O(1) in
+	// path length); chain memoises ResolveChain results. All are nil until
+	// first use and dropped on every mutation. Values share
+	// AuthorList/Extra storage with entries — see Resolve.
 	idx   map[string]resolved
+	kidx  map[*PathKey]resolved
 	chain map[string][]PathCitation
 }
 
@@ -130,6 +133,7 @@ func (f *Function) prepareWriteLocked() {
 	}
 	f.gen++
 	f.idx = nil
+	f.kidx = nil
 	f.chain = nil
 }
 
@@ -315,6 +319,49 @@ func (f *Function) Resolve(path string) (Citation, string, error) {
 			f.idx = make(map[string]resolved)
 		}
 		f.idx[clean] = hit
+	}
+	f.mu.Unlock()
+	return hit.cite, hit.from, nil
+}
+
+// ResolveKey is Resolve for an interned path (see PathTable): the same
+// semantics and the same sharing rules for the returned citation, but the
+// memo is keyed by the key's pointer, so a warm hit costs O(1) regardless
+// of the path's depth or length — a string-keyed warm Resolve must re-hash
+// the whole path. The cold walk follows the key's pre-linked ancestor
+// chain instead of re-slicing the path per level. Keys from any PathTable
+// work with any Function; a key must not be nil.
+func (f *Function) ResolveKey(k *PathKey) (Citation, string, error) {
+	f.mu.RLock()
+	if r, ok := f.kidx[k]; ok {
+		f.mu.RUnlock()
+		return r.cite, r.from, nil
+	}
+	gen := f.gen
+	var hit resolved
+	found := false
+	for a := k; a != nil; a = a.parent {
+		if c, ok := f.entries[a.clean]; ok {
+			hit = resolved{cite: c, from: a.clean}
+			found = true
+			break
+		}
+	}
+	f.mu.RUnlock()
+	if !found {
+		// Unreachable for well-formed functions (the chain ends at "/",
+		// which always has an entry); guard anyway.
+		return Citation{}, "", ErrRootRequired
+	}
+
+	f.mu.Lock()
+	// A writer may have slipped in between the two lock regions; only
+	// memoise answers computed against the current generation.
+	if f.gen == gen {
+		if f.kidx == nil {
+			f.kidx = make(map[*PathKey]resolved)
+		}
+		f.kidx[k] = hit
 	}
 	f.mu.Unlock()
 	return hit.cite, hit.from, nil

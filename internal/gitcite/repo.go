@@ -79,7 +79,18 @@ type Repo struct {
 	fnMu    sync.RWMutex
 	fnTick  atomic.Int64
 	fnCache map[object.ID]*fnCacheEntry
+
+	// paths interns this repository's tree paths (core.PathTable): readers
+	// that resolve the same paths across many versions — credit reports,
+	// chain renders — intern once and hit every version's pointer-keyed
+	// memo in O(1) regardless of path depth. Scoped to the repository so
+	// the table's population is bounded by its content.
+	paths core.PathTable
 }
+
+// Paths returns the repository's interned path table, for read paths that
+// resolve via core.Function.ResolveKey.
+func (r *Repo) Paths() *core.PathTable { return &r.paths }
 
 // NewMemoryRepo creates an empty citation-enabled repository in memory.
 func NewMemoryRepo(meta Meta) (*Repo, error) {

@@ -81,12 +81,21 @@ func Build(repo *gitcite.Repo, commit object.ID) (*Report, error) {
 	perEntryFiles := map[string]int{}
 	authorFiles := map[string]int{}
 
+	// Resolve through the repository's interned path table: repeated
+	// credit reports (and any other keyed reader of these versions) hit
+	// the function's pointer-keyed memo in O(1) per file, however deep the
+	// tree nests.
+	paths := repo.Paths()
 	for _, f := range files {
 		if f.Path == citefile.Path {
 			continue
 		}
 		rep.TotalFiles++
-		cite, from, err := fn.Resolve(f.Path)
+		key, err := paths.Intern(f.Path)
+		if err != nil {
+			return nil, err
+		}
+		cite, from, err := fn.ResolveKey(key)
 		if err != nil {
 			return nil, err
 		}

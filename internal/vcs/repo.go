@@ -76,7 +76,11 @@ func OpenPackedFileRepository(dir string) (*Repository, error) {
 // Repack folds the repository's loose objects into its pack storage and
 // consolidates its packs (store.PackStore.Repack). It reports how many
 // loose objects were folded in, and errors when the repository's object
-// store is not pack-based.
+// store is not pack-based. The fold is concurrent: it may run alongside
+// reads and commits, which keep succeeding for its whole duration — the
+// store lock is taken only to freeze the append target at the start and
+// for the brief fsync'd swap at the end. A store already consolidated to a
+// single pack with nothing loose returns without rewriting anything.
 func (r *Repository) Repack() (int, error) {
 	objs := r.Objects
 	if cs, ok := objs.(*store.CachedStore); ok {

@@ -1,7 +1,10 @@
 // idindex.go is the ordered ID index shared by the stores: a sorted array
 // of object IDs with a 256-way fanout table, answering exact and hex-prefix
-// lookups in O(log n). PackStore persists one per pack file; MemoryStore
-// builds one lazily over its key set; the abbreviated-revision resolvers in
+// lookups in O(log n). PackStore persists one per pack file as the sorted
+// base .idx — extended incrementally by the per-batch segment journal
+// (packseg.go) and re-snapshotted only when a pack is opened or rolls, so
+// persisting index state costs O(batch) per mutation; MemoryStore builds
+// one lazily over its key set; the abbreviated-revision resolvers in
 // internal/hosting and cmd/gitcite query it through the PrefixSearcher
 // interface instead of scanning Store.IDs() per lookup.
 package store

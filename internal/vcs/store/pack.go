@@ -10,16 +10,22 @@
 //	root/ab/cdef…        loose objects (legacy; read fallback, Repack input)
 //	root/pack/pack-000001.pack
 //	root/pack/pack-000001.idx
+//	root/pack/pack-000001.seg   (current pack only: per-batch index segments)
 //
 // Pack file: an 8-byte magic header followed by records of
 // `id[32] | clen uint32 BE | clen bytes of zlib(canonical encoding)`.
 // Records are append-only and never rewritten. Index file: magic, the pack
 // byte-size it covers, entry count, a 256-way fanout table and the sorted
-// `id[32] | offset uint64 | clen uint32` entries. A missing or corrupt
-// index is rebuilt by scanning the pack's records; an index covering only
-// a prefix of the pack is valid (the tail is dead bytes from a torn
-// append whose write was never acknowledged); later writes go to a fresh
-// pack, so partial bytes are never extended.
+// `id[32] | offset uint64 | clen uint32` entries. The index is written in
+// two tiers: the sorted base `.idx` (a snapshot covering a prefix of the
+// pack) and the append-only `.seg` segment journal (one O(batch) segment
+// per append batch — see packseg.go), merged into the base lazily when the
+// pack is opened or rolls, so a mutation batch never rewrites index state
+// proportional to the pack. A missing or corrupt index is recovered from
+// the journal, or failing that by scanning the pack's records; an index
+// covering only a prefix of the pack is valid (the tail is dead bytes from
+// a torn append whose write was never acknowledged); later writes go to a
+// fresh pack, so partial bytes are never extended.
 package store
 
 import (
@@ -33,6 +39,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gitcite/gitcite/internal/vcs/object"
 )
@@ -45,10 +52,9 @@ const (
 	// big-endian uint32 length of the compressed payload.
 	packRecHeader = object.IDSize + 4
 	// packRollEntries caps how many objects the current pack accepts before
-	// appends roll over to a fresh pack. The index is re-persisted whole
-	// once per mutation batch, so without a cap a long-lived writer's
-	// cumulative index I/O would grow quadratically with one ever-growing
-	// pack; rolling bounds each rewrite, and Repack consolidates later.
+	// appends roll over to a fresh pack. Rolling bounds pack file sizes and
+	// the cost of the one base-index merge a finished pack pays; Repack
+	// consolidates the rolled packs later.
 	packRollEntries = 8192
 )
 
@@ -79,7 +85,8 @@ type packFile struct {
 // predate packing. It implements Store, BatchStore, RawBatchStore and
 // PrefixSearcher and is safe for concurrent use: reads share an RLock and
 // one pread; writes serialise on the mutex, appending to the store's
-// current pack and re-persisting its index.
+// current pack and journaling the batch's index entries. Repack runs
+// concurrently with both — see Repack.
 type PackStore struct {
 	root  string
 	loose *FileStore
@@ -89,13 +96,29 @@ type PackStore struct {
 	refs  map[object.ID]packRef
 	// cur is the pack this store instance appends to (created on first
 	// write; packs from earlier opens are never extended, so a torn tail
-	// left by a crash can simply be ignored).
+	// left by a crash can simply be ignored). curSeg is its open segment
+	// journal and curSegSize the journal bytes acknowledged so far.
 	cur        *packFile
 	curEntries []packEntry
+	curSeg     *os.File
+	curSegSize int64
 
 	gen  uint64 // bumped per newly packed object; invalidates the index
 	lazy lazyIDIndex
+
+	// repackMu serialises whole-store maintenance (Repack, Close) without
+	// blocking readers or appenders, which only take mu.
+	repackMu sync.Mutex
+	// idxBytes counts index bytes persisted (segments and base-index
+	// writes; file magic headers excluded) — observability for the
+	// O(batch) append bound and its CI counter.
+	idxBytes atomic.Int64
 }
+
+// repackBuildHook, when set (tests only), is called during Repack's
+// unlocked build phase, after the consolidated pack is complete but before
+// the swap lock is taken.
+var repackBuildHook func()
 
 // NewPackStore opens (creating if necessary) a pack store rooted at dir.
 // Loose objects already under dir remain readable; Repack folds them into
@@ -119,8 +142,18 @@ func NewPackStore(dir string) (*PackStore, error) {
 // Root returns the directory the store persists into.
 func (s *PackStore) Root() string { return s.root }
 
+// IdxBytesWritten reports the cumulative index bytes this store instance
+// has persisted: one O(batch) journal segment per append batch, plus the
+// base-index snapshots written when a pack rolls, is opened with an
+// unmerged journal, or is repacked. The delta across one append batch is
+// the batch's index cost — independent of pack size (asserted in tests and
+// pinned by the idx_bytes_per_64_object_append_batch CI counter).
+func (s *PackStore) IdxBytesWritten() int64 { return s.idxBytes.Load() }
+
 // Close releases the pack file handles. The store must not be used after.
 func (s *PackStore) Close() error {
+	s.repackMu.Lock()
+	defer s.repackMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
@@ -129,8 +162,14 @@ func (s *PackStore) Close() error {
 			first = err
 		}
 	}
+	if s.curSeg != nil {
+		if err := s.curSeg.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	s.packs = nil
 	s.cur = nil
+	s.curSeg = nil
 	return first
 }
 
@@ -153,9 +192,13 @@ func (s *PackStore) loadPacks() error {
 	return nil
 }
 
-// openPack opens one pack file, loads its persisted index (rebuilding it
-// from the pack's records when missing or corrupt) and registers its
-// entries.
+// openPack opens one pack file, loads its persisted index — the sorted
+// base .idx extended by any journaled segments, which are merged into the
+// base here ("lazily, on open") and the journal deleted — and registers
+// its entries. A missing base index is an empty one (the pack's creator
+// crashed before its first merge; the journal alone carries the
+// acknowledged history). A corrupt base index, or a missing one with no
+// usable journal, is recovered by scanning the pack's records.
 func (s *PackStore) openPack(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -177,25 +220,38 @@ func (s *PackStore) openPack(path string) error {
 		return nil
 	}
 	p := &packFile{path: path, f: f}
-	entries, covered, err := loadPackIndex(idxPathFor(path), st.Size())
-	if err != nil {
-		// Missing or corrupt index: recover it from the pack itself. The
-		// scan stops at the first record that does not fit the file — a
-		// crash-torn tail, or a mid-pack corrupt length field — and the
-		// rebuilt index covers the readable prefix. Nothing is truncated:
-		// an index covering a prefix of the pack is valid (see
-		// loadPackIndex), the dead bytes are unreachable but preserved
-		// for salvage, and loaded packs never receive appends.
+	segPath := segPathFor(path)
+	entries, covered, idxErr := loadPackIndex(idxPathFor(path), st.Size())
+	if idxErr != nil {
+		entries, covered = nil, int64(len(packMagic))
+	}
+	segEntries, segCovered := loadSegments(segPath, covered, st.Size())
+	entries = append(entries, segEntries...)
+	covered = segCovered
+	if idxErr != nil && len(segEntries) == 0 {
+		// No base index and no journal to replay: recover by scanning the
+		// pack itself. The scan stops at the first record that does not
+		// fit the file — a crash-torn tail, or a mid-pack corrupt length
+		// field — and the rebuilt index covers the readable prefix.
+		// Nothing is truncated: an index covering a prefix of the pack is
+		// valid (see loadPackIndex), the dead bytes are unreachable but
+		// preserved for salvage, and loaded packs never receive appends.
 		entries, covered, err = scanPackRecords(f, st.Size())
 		if err != nil {
 			f.Close()
 			return fmt.Errorf("store: pack %s unreadable: %w", filepath.Base(path), err)
 		}
-		if werr := writePackIndex(idxPathFor(path), entries, covered); werr != nil {
+	}
+	if idxErr != nil || len(segEntries) > 0 {
+		if _, werr := s.writeIndex(idxPathFor(path), entries, covered); werr != nil {
 			f.Close()
 			return werr
 		}
 	}
+	// The journal (if any) is merged into the base index now; remove it.
+	// Crashing between the index write above and this removal is fine: the
+	// next open skips segments the base already covers.
+	os.Remove(segPath)
 	p.size = covered
 	s.packs = append(s.packs, p)
 	for _, e := range entries {
@@ -240,11 +296,11 @@ func scanPackRecords(f *os.File, size int64) ([]packEntry, int64, error) {
 
 // loadPackIndex reads a persisted .idx, validating it against the pack's
 // current byte size. An index covering MORE bytes than exist is corrupt.
-// An index covering FEWER is accepted: the tail beyond covered is dead —
-// either a crash-torn append whose Put was never acknowledged (record
-// bytes landed but the index persist did not complete, so the write
-// reported failure), or garbage a recovery scan already skipped — and
-// loaded packs never receive further appends, so the gap cannot grow.
+// An index covering FEWER is accepted: the tail beyond covered is either
+// batches journaled in the pack's .seg file but not yet merged, or dead
+// bytes — a crash-torn append whose Put was never acknowledged, or garbage
+// a recovery scan already skipped — and loaded packs never receive further
+// appends, so a dead gap cannot grow.
 func loadPackIndex(path string, packSize int64) ([]packEntry, int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -278,9 +334,20 @@ func loadPackIndex(path string, packSize int64) ([]packEntry, int64, error) {
 	return entries, covered, nil
 }
 
+// writeIndex persists a base index via writePackIndex, keeping the store's
+// index-byte accounting.
+func (s *PackStore) writeIndex(path string, entries []packEntry, covered int64) (int, error) {
+	n, err := writePackIndex(path, entries, covered)
+	if err == nil {
+		s.idxBytes.Add(int64(n))
+	}
+	return n, err
+}
+
 // writePackIndex persists the sorted fanout index next to its pack with
-// write-then-rename, so readers never observe a partial index.
-func writePackIndex(path string, entries []packEntry, covered int64) error {
+// write-then-rename, so readers never observe a partial index. It returns
+// the number of index bytes written.
+func writePackIndex(path string, entries []packEntry, covered int64) (int, error) {
 	sorted := append([]packEntry(nil), entries...)
 	sort.Slice(sorted, func(i, j int) bool { return idLess(sorted[i].id, sorted[j].id) })
 	var buf bytes.Buffer
@@ -310,7 +377,7 @@ func writePackIndex(path string, entries []packEntry, covered int64) error {
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-idx-*")
 	if err != nil {
-		return fmt.Errorf("store: pack index temp: %w", err)
+		return 0, fmt.Errorf("store: pack index temp: %w", err)
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(buf.Bytes()); err == nil {
@@ -320,13 +387,13 @@ func writePackIndex(path string, entries []packEntry, covered int64) error {
 	}
 	if err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("store: write pack index: %w", err)
+		return 0, fmt.Errorf("store: write pack index: %w", err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("store: rename pack index: %w", err)
+		return 0, fmt.Errorf("store: rename pack index: %w", err)
 	}
-	return nil
+	return buf.Len(), nil
 }
 
 // syncPath fsyncs a file or directory by path.
@@ -360,7 +427,16 @@ func (s *PackStore) nextPackPath() (string, error) {
 }
 
 // createPack starts a new writable pack file. Caller holds the write lock.
+// Any stale .idx left at this pack number by old crash debris (an orphan
+// index outlives its pack when a crash lands between the two deletions) is
+// removed first: the base index is only ever rewritten at roll/open now,
+// so a stale base would otherwise be accepted on the next open and make
+// journal replay — this pack's only index until then — break on the
+// coverage gap, silently discarding acknowledged objects.
 func createPack(path string) (*packFile, error) {
+	if err := os.Remove(idxPathFor(path)); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: clear stale pack index: %w", err)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: create pack: %w", err)
@@ -373,16 +449,48 @@ func createPack(path string) (*packFile, error) {
 	return &packFile{path: path, f: f, size: int64(len(packMagic))}, nil
 }
 
+// createSegJournal starts the segment journal for a new current pack. A
+// stale journal left at this path by old crash debris is truncated away.
+func createSegJournal(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: create pack journal: %w", err)
+	}
+	if _, err := f.WriteAt([]byte(packSegMagic), 0); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: write pack journal header: %w", err)
+	}
+	return f, nil
+}
+
+// rollCurLocked finishes the current pack: its journal is merged into a
+// final sorted base index and deleted, and the pack stops accepting
+// appends (it keeps serving reads through its registered entries). Caller
+// holds the write lock.
+func (s *PackStore) rollCurLocked() error {
+	if _, err := s.writeIndex(idxPathFor(s.cur.path), s.curEntries, s.cur.size); err != nil {
+		return err
+	}
+	s.curSeg.Close()
+	os.Remove(segPathFor(s.cur.path))
+	s.cur, s.curEntries, s.curSeg, s.curSegSize = nil, nil, nil, 0
+	return nil
+}
+
 // appendLocked appends pre-compressed records for objects the store lacks
-// and re-persists the current pack's index once per batch. Caller holds the
-// write lock and has already filtered out present IDs (a racing duplicate
-// is still re-checked here).
+// and journals the batch's index entries as one O(batch) segment — the
+// base index is only rewritten when the pack rolls or is next opened, so
+// per-batch index I/O never grows with the pack. Caller holds the write
+// lock and has already filtered out present IDs (a racing duplicate is
+// still re-checked here).
 func (s *PackStore) appendLocked(ids []object.ID, compressed [][]byte) error {
 	if s.cur != nil && len(s.curEntries) >= packRollEntries {
-		// Roll over: the full pack keeps serving reads through its final
-		// index; only new appends move to a fresh pack.
-		s.cur = nil
-		s.curEntries = nil
+		// Roll over: merge the full pack's journal into its final index;
+		// only new appends move to a fresh pack.
+		if err := s.rollCurLocked(); err != nil {
+			return err
+		}
 	}
 	if s.cur == nil {
 		path, err := s.nextPackPath()
@@ -393,7 +501,15 @@ func (s *PackStore) appendLocked(ids []object.ID, compressed [][]byte) error {
 		if err != nil {
 			return err
 		}
+		seg, err := createSegJournal(segPathFor(path))
+		if err != nil {
+			p.f.Close()
+			os.Remove(path)
+			return err
+		}
 		s.cur = p
+		s.curSeg = seg
+		s.curSegSize = int64(len(packSegMagic))
 		s.packs = append(s.packs, p)
 	}
 	var buf bytes.Buffer
@@ -417,14 +533,19 @@ func (s *PackStore) appendLocked(ids []object.ID, compressed [][]byte) error {
 	if _, err := s.cur.f.WriteAt(buf.Bytes(), start); err != nil {
 		return fmt.Errorf("store: pack append: %w", err)
 	}
-	// Persist the index BEFORE registering anything in memory: if the
-	// index write fails, the batch reports failure with no state change —
-	// a retry re-appends at the same offset over the orphaned bytes.
-	// Registering first would let a retried Put dedupe against entries
-	// whose index never landed, acknowledging objects a restart loses.
-	if err := writePackIndex(idxPathFor(s.cur.path), newEntries, start+int64(buf.Len())); err != nil {
-		return err
+	// Journal the batch BEFORE registering anything in memory: the segment
+	// is the acknowledgement, so if its write fails the batch reports
+	// failure with no state change — a retry re-appends at the same pack
+	// and journal offsets over the orphaned bytes (replay treats bytes
+	// past the last valid segment as a torn tail). Registering first would
+	// let a retried Put dedupe against entries whose acknowledgement never
+	// landed.
+	segBytes := encodeSegment(newEntries[len(s.curEntries):], start, start+int64(buf.Len()))
+	if _, err := s.curSeg.WriteAt(segBytes, s.curSegSize); err != nil {
+		return fmt.Errorf("store: pack journal append: %w", err)
 	}
+	s.idxBytes.Add(int64(len(segBytes)))
+	s.curSegSize += int64(len(segBytes))
 	s.cur.size = start + int64(buf.Len())
 	for _, e := range newEntries[len(s.curEntries):] {
 		s.refs[e.id] = packRef{pack: s.cur, off: e.off, clen: e.clen}
@@ -446,7 +567,7 @@ func (s *PackStore) Put(o object.Object) (object.ID, error) {
 
 // PutMany implements BatchStore: the batch is encoded and hashed up front,
 // compressed outside the lock, and appended to the current pack as one
-// write with one index persist.
+// write with one O(batch) index segment.
 func (s *PackStore) PutMany(objs []object.Object) ([]object.ID, error) {
 	ids := make([]object.ID, len(objs))
 	batch := make([]Encoded, len(objs))
@@ -463,7 +584,8 @@ func (s *PackStore) PutMany(objs []object.Object) ([]object.ID, error) {
 
 // PutManyEncoded implements RawBatchStore: canonical encodings are
 // compressed with the pooled compressors and land in the pack with no
-// re-encode/re-hash, one file write and one index persist per batch.
+// re-encode/re-hash, one file write and one journaled index segment per
+// batch.
 func (s *PackStore) PutManyEncoded(batch []Encoded) error {
 	// Filter already-present objects under the read lock, then compress
 	// outside any lock; the write lock re-checks for racing duplicates.
@@ -524,32 +646,58 @@ func (s *PackStore) PutManyEncoded(batch []Encoded) error {
 	return s.appendLocked(ids, compressed)
 }
 
-// readPacked fetches one packed object's compressed payload. The pread
-// happens under the read lock so a concurrent Repack cannot close the
-// owning pack file mid-read (Repack holds the write lock for its swap);
-// decompression and verification run outside. found=false means the ID is
-// not packed.
-func (s *PackStore) readPacked(id object.ID) (compressed []byte, found bool, err error) {
+// packReadBufPool recycles the pread scratch buffers packed Gets stage
+// compressed payloads in, so a hot read loop stops allocating one
+// payload-sized buffer per object (the decompressors themselves are the
+// same pooled zlib readers FileStore uses).
+var packReadBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+// putPackReadBuf returns a pread buffer to the pool unless an unusually
+// large object grew it past the retention cap.
+func putPackReadBuf(bufp *[]byte) {
+	if cap(*bufp) <= 4<<20 {
+		packReadBufPool.Put(bufp)
+	}
+}
+
+// readPacked fetches one packed object's compressed payload into *bufp
+// (growing it if needed), returning a slice aliasing that buffer. The
+// pread happens under the read lock so a concurrent Repack cannot close
+// the owning pack file mid-read (Repack holds the write lock for its
+// swap); decompression and verification run outside. found=false means the
+// ID is not packed.
+func (s *PackStore) readPacked(id object.ID, bufp *[]byte) (compressed []byte, found bool, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ref, ok := s.refs[id]
 	if !ok {
 		return nil, false, nil
 	}
-	compressed = make([]byte, ref.clen)
-	if _, err := ref.pack.f.ReadAt(compressed, ref.off); err != nil {
+	buf := *bufp
+	if int(ref.clen) > cap(buf) {
+		buf = make([]byte, ref.clen)
+		*bufp = buf
+	}
+	buf = buf[:ref.clen]
+	if _, err := ref.pack.f.ReadAt(buf, ref.off); err != nil {
 		return nil, true, fmt.Errorf("store: pack read %s: %w", id.Short(), err)
 	}
-	return compressed, true, nil
+	return buf, true, nil
 }
 
-// Get implements Store: one map hit and one pread from the owning pack,
-// with decompression and hash verification outside the lock; loose objects
-// read through the FileStore fallback. A loose miss re-checks the packs
-// once — a concurrent Repack may have folded the object between the two
-// lookups, and that move is the only way a stored object relocates.
+// Get implements Store: one map hit and one pread (into a pooled scratch
+// buffer) from the owning pack, with decompression and hash verification
+// outside the lock; loose objects read through the FileStore fallback. A
+// loose miss re-checks the packs once — a concurrent Repack may have
+// folded the object between the two lookups, and that move is the only way
+// a stored object relocates.
 func (s *PackStore) Get(id object.ID) (object.Object, error) {
-	compressed, found, err := s.readPacked(id)
+	bufp := packReadBufPool.Get().(*[]byte)
+	defer putPackReadBuf(bufp)
+	compressed, found, err := s.readPacked(id, bufp)
 	if err != nil {
 		return nil, err
 	}
@@ -558,7 +706,7 @@ func (s *PackStore) Get(id object.ID) (object.Object, error) {
 		if !errors.Is(err, ErrNotFound) {
 			return o, err
 		}
-		if compressed, found, err = s.readPacked(id); err != nil {
+		if compressed, found, err = s.readPacked(id, bufp); err != nil {
 			return nil, err
 		}
 		if !found {
@@ -666,9 +814,9 @@ func (s *PackStore) Len() (int, error) {
 // lazily-built IDIndex in O(log n); loose stragglers come from the fanout
 // directory named by the prefix. The loose store is queried BEFORE the
 // pack index is captured: a concurrent Repack moves objects loose→pack
-// (deleting loose files under the store lock after bumping the index
-// generation), so this order guarantees an object is visible on at least
-// one side — the reverse order could miss it on both.
+// (deleting loose files after its swap registers them as packed), so this
+// order guarantees an object is visible on at least one side — the reverse
+// order could miss it on both.
 func (s *PackStore) IDsByPrefix(prefix string, limit int) ([]object.ID, error) {
 	loose, err := s.loose.IDsByPrefix(prefix, limit)
 	if err != nil {
@@ -701,17 +849,31 @@ func (s *PackStore) IDsByPrefix(prefix string, limit int) ([]object.ID, error) {
 // loose object files it absorbed. Loose objects are moved byte-for-byte —
 // a loose file's zlib stream IS the record payload, so nothing is
 // recompressed — and packed records are copied verbatim. It returns how
-// many loose objects were folded in. Readers block for the duration (the
-// store mutex is held); the swap is crash-safe because the new pack and its
-// index land completely before any old file is removed.
+// many loose objects were folded in.
+//
+// Repack is a two-phase concurrent fold and does NOT block the store for
+// its duration. Phase one takes the store lock only long enough to freeze
+// the append target (the current pack rolls, so concurrent writers append
+// to fresh packs the fold ignores) and snapshot the pack list; the
+// consolidated pack and its index are then built entirely outside the
+// lock, with readers serving from the old packs and loose files and
+// writers appending throughout. Phase two re-takes the lock for a brief
+// in-memory swap — the new pack, its index and the directory are fsync'd
+// first, so the swap is crash-safe — and the replaced files are deleted
+// after the lock is released. When the store already holds exactly one
+// pack and no loose objects the fold would be byte-identical, so Repack
+// returns without writing anything.
 func (s *PackStore) Repack() (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.repackMu.Lock()
+	defer s.repackMu.Unlock()
 
 	looseIDs, err := s.loose.IDs()
 	if err != nil {
 		return 0, err
 	}
+
+	// Phase one: freeze and snapshot, briefly under the store lock.
+	s.mu.Lock()
 	var fold []object.ID
 	for _, id := range looseIDs {
 		if _, packed := s.refs[id]; !packed {
@@ -719,29 +881,52 @@ func (s *PackStore) Repack() (int, error) {
 		}
 	}
 	if len(fold) == 0 && len(s.packs) <= 1 {
-		return 0, nil // already one pack (or empty) and nothing loose
+		// Fast path: one pack (or none) and nothing loose — the fold
+		// would rewrite byte-identical output, so don't.
+		s.mu.Unlock()
+		return 0, nil
+	}
+	// Freeze the append target: the current pack (and its journal) stops
+	// receiving appends, so the snapshot covers a fixed byte range of
+	// every pack and concurrent writers land in fresh packs the fold
+	// leaves alone. The journal is merged implicitly — the fold reads the
+	// in-memory sizes — and its file is deleted with the pack after the
+	// swap.
+	frozenSeg := s.curSeg
+	s.cur, s.curEntries, s.curSeg, s.curSegSize = nil, nil, nil, 0
+	snapshot := append([]*packFile(nil), s.packs...)
+	refsLen := len(s.refs) // sizing hint, captured under the lock
+	s.mu.Unlock()
+	if frozenSeg != nil {
+		frozenSeg.Close()
 	}
 
-	path, err := s.nextPackPath()
-	if err != nil {
-		return 0, err
-	}
-	np, err := createPack(path)
+	// Build phase: construct the consolidated pack with no lock held.
+	// Readers pread the snapshot packs concurrently (ReadAt is safe) and
+	// nothing deletes them before the swap; Repack itself is serialised by
+	// repackMu.
+	np, err := s.allocatePack()
 	if err != nil {
 		return 0, err
 	}
 	fail := func(err error) (int, error) {
 		np.f.Close()
+		// Index first: an orphan .idx without its pack would poison a
+		// later pack that reuses the number (see createPack).
+		os.Remove(idxPathFor(np.path))
 		os.Remove(np.path)
 		return 0, err
 	}
-	newRefs := make(map[object.ID]packRef, len(s.refs)+len(fold))
+	newRefs := make(map[object.ID]packRef, refsLen+len(fold))
 	var entries []packEntry
+	var scratch []byte
 	appendRecord := func(id object.ID, compressed []byte) error {
 		var hdr [packRecHeader]byte
 		copy(hdr[:], id[:])
 		binary.BigEndian.PutUint32(hdr[object.IDSize:], uint32(len(compressed)))
-		if _, err := np.f.WriteAt(append(hdr[:], compressed...), np.size); err != nil {
+		rec := append(append(scratch[:0], hdr[:]...), compressed...)
+		scratch = rec[:0]
+		if _, err := np.f.WriteAt(rec, np.size); err != nil {
 			return fmt.Errorf("store: repack append: %w", err)
 		}
 		e := packEntry{id: id, off: np.size + packRecHeader, clen: uint32(len(compressed))}
@@ -750,25 +935,27 @@ func (s *PackStore) Repack() (int, error) {
 		newRefs[id] = packRef{pack: np, off: e.off, clen: e.clen}
 		return nil
 	}
-	// Copy every packed record (each pack read sequentially in record
-	// order), then fold the loose objects.
-	for _, p := range s.packs {
+	// Copy every packed record (each snapshot pack read sequentially in
+	// record order, first occurrence of an ID winning — the same priority
+	// the in-memory refs gave them), then fold the loose objects.
+	var payload []byte
+	for _, p := range snapshot {
 		ents, _, err := scanPackRecords(p.f, p.size)
 		if err != nil {
 			return fail(err)
 		}
 		for _, e := range ents {
 			if _, dup := newRefs[e.id]; dup {
-				continue
-			}
-			if _, owner := s.refs[e.id]; !owner {
 				continue // shadowed duplicate from an older open; drop it
 			}
-			compressed := make([]byte, e.clen)
-			if _, err := p.f.ReadAt(compressed, e.off); err != nil {
+			if int(e.clen) > cap(payload) {
+				payload = make([]byte, e.clen)
+			}
+			payload = payload[:e.clen]
+			if _, err := p.f.ReadAt(payload, e.off); err != nil {
 				return fail(err)
 			}
-			if err := appendRecord(e.id, compressed); err != nil {
+			if err := appendRecord(e.id, payload); err != nil {
 				return fail(err)
 			}
 		}
@@ -779,12 +966,15 @@ func (s *PackStore) Repack() (int, error) {
 		if err != nil {
 			return fail(fmt.Errorf("store: repack loose %s: %w", id.Short(), err))
 		}
+		if _, dup := newRefs[id]; dup {
+			continue
+		}
 		if err := appendRecord(id, compressed); err != nil {
 			return fail(err)
 		}
 		folded++
 	}
-	if err := writePackIndex(idxPathFor(np.path), entries, np.size); err != nil {
+	if _, err := s.writeIndex(idxPathFor(np.path), entries, np.size); err != nil {
 		return fail(err)
 	}
 	// The old packs and loose files are about to become the ONLY casualties
@@ -801,18 +991,43 @@ func (s *PackStore) Repack() (int, error) {
 	if err := syncPath(filepath.Dir(np.path)); err != nil {
 		return fail(err)
 	}
+	if repackBuildHook != nil {
+		repackBuildHook()
+	}
 
-	// The new pack is durable; swap it in and delete what it replaced.
-	old := s.packs
-	s.packs = []*packFile{np}
-	s.cur = nil // future appends start a fresh pack
-	s.curEntries = nil
-	s.refs = newRefs
+	// Phase two: the new pack is durable; swap it in under the lock. Only
+	// in-memory pointers move here — no I/O happens until the lock is
+	// released.
+	inSnapshot := make(map[*packFile]bool, len(snapshot))
+	for _, p := range snapshot {
+		inSnapshot[p] = true
+	}
+	s.mu.Lock()
+	survivors := []*packFile{np}
+	for _, p := range s.packs {
+		if !inSnapshot[p] {
+			survivors = append(survivors, p) // appended to during the build
+		}
+	}
+	s.packs = survivors
+	for id, ref := range newRefs {
+		s.refs[id] = ref
+	}
 	s.gen++
-	for _, p := range old {
+	s.mu.Unlock()
+
+	// Delete what the swap replaced. No reader can still be using these:
+	// preads hold the read lock for the map lookup and the read together,
+	// and the refs no longer point here.
+	for _, p := range snapshot {
 		p.f.Close()
-		os.Remove(p.path)
+		// Index and journal before the pack: a crash part-way through
+		// must not leave an orphan .idx that a later pack reusing this
+		// number would mistake for its base (see createPack, which also
+		// clears such debris defensively).
 		os.Remove(idxPathFor(p.path))
+		os.Remove(segPathFor(p.path))
+		os.Remove(p.path)
 	}
 	for _, id := range fold {
 		os.Remove(s.loose.pathFor(id))
@@ -827,6 +1042,21 @@ func (s *PackStore) Repack() (int, error) {
 		}
 	}
 	return folded, nil
+}
+
+// allocatePack picks the next unused pack number and creates the file. It
+// takes the store lock itself (unlike the -Locked methods, whose callers
+// hold it), so the pick-and-create cannot race a concurrent appender doing
+// the same. Used by Repack's build phase, which otherwise holds no lock;
+// the new pack is not registered in s.packs until the swap.
+func (s *PackStore) allocatePack() (*packFile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path, err := s.nextPackPath()
+	if err != nil {
+		return nil, err
+	}
+	return createPack(path)
 }
 
 // PackCount reports how many pack files the store currently holds (loose

@@ -167,7 +167,306 @@ func TestClosureBitIdenticalAcrossStores(t *testing.T) {
 			if got := closureFingerprint(t, reopened, tip); got != want {
 				t.Error("PackStore closure differs after reopen")
 			}
+
+			// Incremental-index crash orders: each simulated crash leaves a
+			// store that recovers to the bit-identical closure, never
+			// acknowledges the torn-off batch, and keeps accepting writes.
+			for _, order := range []string{"torn-segment-tail", "segment-present-base-idx-stale", "segment-written-pack-bytes-missing"} {
+				t.Run(order, func(t *testing.T) {
+					dir := filepath.Join(t.TempDir(), "objects")
+					ps := newTestPackStore(t, dir)
+					if _, err := CopyClosure(ps, mem, tip); err != nil {
+						t.Fatal(err)
+					}
+					// One junk batch outside the closure, so a crash that
+					// tears it off cannot touch closure bit-identity.
+					junk := make([]Encoded, 5)
+					junkIDs := make([]object.ID, len(junk))
+					for i := range junk {
+						enc := object.Encode(object.NewBlobString(fmt.Sprintf("junk seed=%d i=%d", seed, i)))
+						junk[i] = Encoded{ID: object.HashBytes(enc), Enc: enc}
+						junkIDs[i] = junk[i].ID
+					}
+					packPath := ps.cur.path
+					sizeBefore := ps.cur.size
+					segSizeBefore := ps.curSegSize
+					entriesBefore := append([]packEntry(nil), ps.curEntries...)
+					if err := ps.PutManyEncoded(junk); err != nil {
+						t.Fatal(err)
+					}
+					if err := ps.Close(); err != nil {
+						t.Fatal(err)
+					}
+
+					wantJunk := false
+					switch order {
+					case "torn-segment-tail":
+						// The junk batch's segment never finished landing:
+						// chop it mid-entry. The batch was never
+						// acknowledged, so recovery drops it.
+						if err := os.Truncate(segPathFor(packPath), segSizeBefore+segHeaderSize+3); err != nil {
+							t.Fatal(err)
+						}
+					case "segment-present-base-idx-stale":
+						// A base index merged up to the pre-junk prefix (as
+						// a roll or an interrupted open-merge would leave
+						// it), with the junk batch only in the journal:
+						// replay must skip the merged range and apply the
+						// tail.
+						if _, err := writePackIndex(idxPathFor(packPath), entriesBefore, sizeBefore); err != nil {
+							t.Fatal(err)
+						}
+						wantJunk = true
+					case "segment-written-pack-bytes-missing":
+						// Without fsync the journal can persist before the
+						// pack bytes; after the crash the segment claims
+						// records the pack never got. Replay must refuse it.
+						if err := os.Truncate(packPath, sizeBefore); err != nil {
+							t.Fatal(err)
+						}
+					}
+
+					survivor := newTestPackStore(t, dir)
+					if got := closureFingerprint(t, survivor, tip); got != want {
+						t.Errorf("closure differs after %s recovery", order)
+					}
+					for _, id := range junkIDs {
+						if ok, _ := survivor.Has(id); ok != wantJunk {
+							t.Errorf("junk object present=%v after %s, want %v", ok, order, wantJunk)
+						}
+					}
+					if segs, _ := filepath.Glob(filepath.Join(dir, packDirName, "*.seg")); len(segs) != 0 {
+						t.Errorf("%d journals remain after recovery, want 0 (merged)", len(segs))
+					}
+					if _, err := survivor.Put(object.NewBlobString("write after " + order)); err != nil {
+						t.Errorf("Put after %s: %v", order, err)
+					}
+					// The recovered state must itself survive another cold
+					// open bit-identically.
+					if err := survivor.Close(); err != nil {
+						t.Fatal(err)
+					}
+					again := newTestPackStore(t, dir)
+					if got := closureFingerprint(t, again, tip); got != want {
+						t.Errorf("closure differs on second open after %s", order)
+					}
+				})
+			}
 		})
+	}
+}
+
+// TestPackStoreAppendIdxBytesPerBatch pins the incremental-index bound the
+// PR 5 tentpole exists for: one append batch persists exactly one O(batch)
+// journal segment, independent of how many objects the pack already holds.
+func TestPackStoreAppendIdxBytesPerBatch(t *testing.T) {
+	const batchSize = 64
+	wantDelta := int64(segHeaderSize + batchSize*segEntrySize + segTrailerSize)
+	for _, preload := range []int{0, 1000, 8000} {
+		dir := filepath.Join(t.TempDir(), "objects")
+		ps := newTestPackStore(t, dir)
+		for start := 0; start < preload; start += 500 {
+			n := min(500, preload-start)
+			batch := make([]Encoded, n)
+			for j := 0; j < n; j++ {
+				enc := object.Encode(object.NewBlobString(fmt.Sprintf("pre %d", start+j)))
+				batch[j] = Encoded{ID: object.HashBytes(enc), Enc: enc}
+			}
+			if err := ps.PutManyEncoded(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := ps.IdxBytesWritten()
+		batch := make([]Encoded, batchSize)
+		for j := range batch {
+			enc := object.Encode(object.NewBlobString(fmt.Sprintf("probe %d", j)))
+			batch[j] = Encoded{ID: object.HashBytes(enc), Enc: enc}
+		}
+		if err := ps.PutManyEncoded(batch); err != nil {
+			t.Fatal(err)
+		}
+		delta := ps.IdxBytesWritten() - before
+		if delta != wantDelta {
+			t.Errorf("preload=%d: %d idx bytes for a %d-object batch, want %d (O(batch), not O(pack))",
+				preload, delta, batchSize, wantDelta)
+		}
+	}
+}
+
+// TestRepackBuildPhaseHoldsNoLock proves the two-phase Repack keeps the
+// store lock free while it builds the consolidated pack: with the build
+// phase suspended via the test hook, reads, prefix searches and writes all
+// complete. Were the lock held for the fold (the pre-PR-5 behaviour),
+// every probe below would block until the watchdog fails the test.
+func TestRepackBuildPhaseHoldsNoLock(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	loose, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looseTip := randomHistory(t, loose, 41)
+	looseCount, _ := loose.Len()
+	ps := newTestPackStore(t, dir)
+	packedTip := randomHistory(t, ps, 43)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	repackBuildHook = func() {
+		close(entered)
+		<-release
+	}
+	defer func() { repackBuildHook = nil }()
+
+	type result struct {
+		folded int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		folded, err := ps.Repack()
+		done <- result{folded, err}
+	}()
+	<-entered
+
+	probes := make(chan error, 1)
+	var probedID object.ID
+	go func() {
+		probes <- func() error {
+			if _, err := ps.Get(looseTip); err != nil {
+				return fmt.Errorf("Get(loose) during build: %w", err)
+			}
+			if _, err := ps.Get(packedTip); err != nil {
+				return fmt.Errorf("Get(packed) during build: %w", err)
+			}
+			if ok, err := ps.Has(packedTip); err != nil || !ok {
+				return fmt.Errorf("Has during build = %v, %v", ok, err)
+			}
+			if ids, err := ps.IDsByPrefix(packedTip.String()[:8], 0); err != nil || len(ids) == 0 {
+				return fmt.Errorf("IDsByPrefix during build = %d ids, %v", len(ids), err)
+			}
+			enc := object.Encode(object.NewBlobString("written mid-repack"))
+			probedID = object.HashBytes(enc)
+			if err := ps.PutManyEncoded([]Encoded{{ID: probedID, Enc: enc}}); err != nil {
+				return fmt.Errorf("PutManyEncoded during build: %w", err)
+			}
+			return nil
+		}()
+	}()
+	select {
+	case err := <-probes:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("store access blocked during Repack's build phase: the lock is not free")
+	}
+	close(release)
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("Repack: %v", res.err)
+	}
+	if res.folded != looseCount {
+		t.Errorf("Repack folded %d, want %d", res.folded, looseCount)
+	}
+	// Everything — both closures and the object written mid-build — must
+	// survive the swap; the mid-build write lives in a survivor pack.
+	for _, tip := range []object.ID{looseTip, packedTip} {
+		if _, err := ps.Get(tip); err != nil {
+			t.Errorf("Get(%s) after repack: %v", tip.Short(), err)
+		}
+	}
+	if ok, _ := ps.Has(probedID); !ok {
+		t.Error("object written during the build phase lost by the swap")
+	}
+	if got := ps.PackCount(); got != 2 {
+		t.Errorf("PackCount after repack = %d, want 2 (consolidated pack + mid-build survivor)", got)
+	}
+}
+
+// TestPackStoreIgnoresOrphanStaleIdx plants crash debris — an orphan .idx
+// whose pack no longer exists — at the number the next pack will take. The
+// new pack must not adopt it as its base index: with per-batch journaling,
+// a stale base would break replay on the coverage gap and silently discard
+// every acknowledged object (createPack clears such debris).
+func TestPackStoreIgnoresOrphanStaleIdx(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	if err := os.MkdirAll(filepath.Join(dir, packDirName), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A well-formed index claiming one bogus record, with no pack on disk.
+	var ghost object.ID
+	ghost[0] = 0x42
+	orphan := []packEntry{{id: ghost, off: int64(len(packMagic)) + packRecHeader, clen: 7}}
+	orphanPath := filepath.Join(dir, packDirName, "pack-000001.idx")
+	if _, err := writePackIndex(orphanPath, orphan, int64(len(packMagic))+packRecHeader+7); err != nil {
+		t.Fatal(err)
+	}
+
+	ps := newTestPackStore(t, dir)
+	tip := randomHistory(t, ps, 53)
+	want := closureFingerprint(t, ps, tip)
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := newTestPackStore(t, dir)
+	if got := closureFingerprint(t, reopened, tip); got != want {
+		t.Error("closure differs after reopening a pack created over an orphan stale idx")
+	}
+	if ok, _ := reopened.Has(ghost); ok {
+		t.Error("ghost entry from the orphan idx reported present")
+	}
+}
+
+// TestRepackFastPathRewritesNothing: a store already consolidated to one
+// pack with nothing loose must return from Repack without touching disk.
+func TestRepackFastPathRewritesNothing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "objects")
+	loose, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tip := randomHistory(t, loose, 47)
+	want := closureFingerprint(t, loose, tip)
+	ps := newTestPackStore(t, dir)
+	if _, err := ps.Repack(); err != nil {
+		t.Fatal(err)
+	}
+	if ps.PackCount() != 1 {
+		t.Fatalf("PackCount after consolidating repack = %d, want 1", ps.PackCount())
+	}
+	packs, _ := filepath.Glob(filepath.Join(dir, packDirName, "*.pack"))
+	if len(packs) != 1 {
+		t.Fatalf("%d pack files on disk, want 1", len(packs))
+	}
+	statBefore, err := os.Stat(packs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxBefore := ps.IdxBytesWritten()
+
+	folded, err := ps.Repack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 0 {
+		t.Errorf("fast-path Repack folded %d, want 0", folded)
+	}
+	if got := ps.IdxBytesWritten(); got != idxBefore {
+		t.Errorf("fast-path Repack wrote %d index bytes, want 0", got-idxBefore)
+	}
+	statAfter, err := os.Stat(packs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statAfter.Size() != statBefore.Size() || !statAfter.ModTime().Equal(statBefore.ModTime()) {
+		t.Error("fast-path Repack rewrote the only pack")
+	}
+	if again, _ := filepath.Glob(filepath.Join(dir, packDirName, "*.pack")); len(again) != 1 {
+		t.Errorf("%d pack files after fast-path Repack, want 1", len(again))
+	}
+	if got := closureFingerprint(t, ps, tip); got != want {
+		t.Error("closure differs after fast-path Repack")
 	}
 }
 
@@ -211,6 +510,16 @@ func TestPackStoreIndexRebuild(t *testing.T) {
 	want := closureFingerprint(t, ps, tip)
 	if err := ps.Close(); err != nil {
 		t.Fatal(err)
+	}
+	// A first reopen merges the segment journal into the base index and
+	// deletes the journal, so the pack records are now the only other copy
+	// of the index's information.
+	merged := newTestPackStore(t, dir)
+	if err := merged.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs, _ := filepath.Glob(filepath.Join(dir, packDirName, "*.seg")); len(segs) != 0 {
+		t.Fatalf("%d journals remain after the merging reopen, want 0", len(segs))
 	}
 
 	idxs, err := filepath.Glob(filepath.Join(dir, packDirName, "*.idx"))

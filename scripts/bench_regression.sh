@@ -4,9 +4,10 @@
 # Compares the deterministic efficiency counters emitted by
 # `gitcite-bench -experiment counters` ("counter <name> = <integer>" lines)
 # between a PR's base and head. Any counter that GREW fails the gate —
-# these are pure object counts (store writes per commit, wire objects per
-# sync, negotiate IDs, full-store scans), so growth is a real efficiency
-# regression, not runner noise.
+# these are pure deterministic counts (store writes per commit, wire
+# objects per sync, negotiate IDs, full-store scans, index bytes per pack
+# append batch), so growth is a real efficiency regression, not runner
+# noise.
 #
 # Counters present only in head are reported as new (informational);
 # counters present only in base fail, so a regression cannot hide behind a

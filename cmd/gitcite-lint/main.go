@@ -1,0 +1,84 @@
+// Command gitcite-lint runs gitcite's custom static analyzers — the
+// machine-checked performance and API invariants described in
+// CONTRIBUTING.md — against the module. It is a blocking CI gate alongside
+// go vet and staticcheck.
+//
+// Usage:
+//
+//	gitcite-lint [-only name,name] [packages]
+//
+// Packages default to ./... relative to the current directory. The exit
+// status is 1 if any diagnostic is reported, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/gitcite/gitcite/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gitcite-lint [-only name,name] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gitcite-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gitcite-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadPackages(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gitcite-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gitcite-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gitcite-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+package hosting
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+func writeFuzzSeed(t *testing.T, fuzzName, name string, data []byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateFuzzCorpus regenerates the committed seed corpus for the
+// NDJSON stream fuzzer. Env-gated; see the store package's generator for
+// usage.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("corpus generator; set GEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+
+	var stream bytes.Buffer
+	w := NewObjectStreamWriter(&stream)
+	if err := w.WriteValue(PushHeader{Branch: "main"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteObject(object.NewBlobString("seed blob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteObject(object.NewBlobString("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	writeFuzzSeed(t, "FuzzWireNDJSON", "header-and-blobs", stream.Bytes())
+	writeFuzzSeed(t, "FuzzWireNDJSON", "bad-base64", []byte(`{"d":"!!! not base64 !!!"}`+"\n"))
+	writeFuzzSeed(t, "FuzzWireNDJSON", "base64-not-object", []byte(`{"d":"aGVsbG8="}`+"\n"))
+	writeFuzzSeed(t, "FuzzWireNDJSON", "truncated-json", []byte(`{"d":`))
+	writeFuzzSeed(t, "FuzzWireNDJSON", "blank-lines", []byte("\n\n\n"))
+}

@@ -1,0 +1,75 @@
+package hosting
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+)
+
+// FuzzWireNDJSON feeds arbitrary bytes to the NDJSON object-stream reader
+// — the first parser every byte of a push request meets. The contract:
+// the reader never panics, and everything it accepts survives a writer
+// round-trip: re-emitting the accepted encodings through
+// ObjectStreamWriter and re-reading them yields the same objects,
+// byte-for-byte, ending in a clean EOF.
+func FuzzWireNDJSON(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewObjectStreamWriter(&seed)
+	if err := w.WriteValue(PushHeader{Branch: "main"}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteObject(object.NewBlobString("seed blob")); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteObject(object.NewBlobString("second")); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"d":"!!! not base64 !!!"}` + "\n"))
+	f.Add([]byte(`{"d":"aGVsbG8="}` + "\n")) // valid base64, not an object
+	f.Add([]byte(`{"d":`))                   // truncated JSON
+	f.Add([]byte("\n\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewObjectStreamReader(bytes.NewReader(data))
+		var accepted [][]byte
+		for {
+			_, enc, err := r.Next()
+			if err != nil {
+				break // EOF or a malformed line ends the stream; both fine
+			}
+			accepted = append(accepted, append([]byte(nil), enc...))
+		}
+		if r.Count() != len(accepted) {
+			t.Fatalf("reader counted %d objects, returned %d", r.Count(), len(accepted))
+		}
+
+		var out bytes.Buffer
+		w := NewObjectStreamWriter(&out)
+		for _, enc := range accepted {
+			if err := w.WriteEncoded(enc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r2 := NewObjectStreamReader(bytes.NewReader(out.Bytes()))
+		for i, enc := range accepted {
+			_, enc2, err := r2.Next()
+			if err != nil {
+				t.Fatalf("object %d lost in round-trip: %v", i, err)
+			}
+			if !bytes.Equal(enc2, enc) {
+				t.Fatalf("object %d changed in round-trip:\nhave %q\nwant %q", i, enc2, enc)
+			}
+		}
+		if _, _, err := r2.Next(); err != io.EOF {
+			t.Fatalf("round-tripped stream did not end cleanly: %v", err)
+		}
+	})
+}

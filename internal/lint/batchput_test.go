@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/lint"
+	"github.com/gitcite/gitcite/internal/lint/linttest"
+)
+
+func TestBatchPut(t *testing.T) {
+	linttest.Run(t, lint.BatchPut, "batchput")
+}

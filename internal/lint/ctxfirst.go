@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxPackages are the library packages whose context discipline CtxFirst
+// enforces: the hosted-platform core and its client. Both were rebuilt
+// around context propagation in PR 3 (ctx-aware edit-lock semaphore,
+// per-request cancellation end to end); a context.Background() in library
+// code severs that chain and makes a handler unkillable.
+var ctxPackages = []string{"internal/hosting", "internal/extension"}
+
+// CtxFirst enforces context.Context discipline in the hosting and
+// extension libraries: exported functions that take a context take it as
+// the first parameter, and library code never manufactures its own root
+// context with context.Background()/context.TODO() — callers own the
+// context. Binaries (package main) are exempt: a main function is where
+// root contexts legitimately come from.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter of exported hosting/extension functions; no context.Background/TODO in library code",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) error {
+	if pass.Pkg.Name() == "main" || !inAnyPackage(pass.Pkg.Path(), ctxPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxPosition(pass, n)
+			case *ast.CallExpr:
+				checkRootContext(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inAnyPackage(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pathHasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxPosition flags exported functions whose context.Context
+// parameter is not the first.
+func checkCtxPosition(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.TypesInfo.Types[field.Type].Type) && pos != 0 {
+			pass.Reportf(field.Pos(),
+				"exported %s takes context.Context as parameter %d; context must come first", fd.Name.Name, pos+1)
+		}
+		pos += n
+	}
+}
+
+// checkRootContext flags context.Background() and context.TODO() calls.
+func checkRootContext(pass *Pass, call *ast.CallExpr) {
+	obj := calleeMethod(pass.TypesInfo, call)
+	if obj == nil || !declaredIn(obj, "context") {
+		return
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		pass.Reportf(call.Pos(),
+			"library code must not call context.%s(); accept a context.Context from the caller", obj.Name())
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

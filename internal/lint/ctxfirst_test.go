@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/lint"
+	"github.com/gitcite/gitcite/internal/lint/linttest"
+)
+
+func TestCtxFirst(t *testing.T) {
+	linttest.Run(t, lint.CtxFirst,
+		"ctxfake/internal/hosting",
+		"ctxmain/internal/hosting", // package main on a hosting path: exempt
+	)
+}

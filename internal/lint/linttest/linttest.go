@@ -1,0 +1,256 @@
+// Package linttest runs lint analyzers against GOPATH-style fixture trees
+// and checks their diagnostics against `// want "regexp"` comments — a
+// standard-library re-implementation of the
+// golang.org/x/tools/go/analysis/analysistest workflow.
+//
+// Fixtures live under testdata/src/<import-path>/. Imports between fixture
+// packages resolve from the same tree (so a fixture can model the real
+// module's package shapes under short paths like
+// "fake/internal/vcs/store"); standard-library imports resolve through the
+// toolchain's export data via `go list -export`.
+//
+// A want comment asserts one diagnostic on its line:
+//
+//	s.IDs() // want `Store\.IDs\(\) scans`
+//
+// Both backquoted and double-quoted regexps are accepted, several per
+// comment. Every diagnostic must be wanted and every want must fire.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/lint"
+)
+
+// Run loads the fixture packages at the given import paths from
+// testdata/src, runs the analyzer over all of them, and compares
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := &loader{
+		srcDir: filepath.Join("testdata", "src"),
+		fset:   token.NewFileSet(),
+		info:   lint.NewTypesInfo(),
+		pkgs:   map[string]*fixturePkg{},
+	}
+	var pkgs []*lint.Package
+	for _, path := range pkgPaths {
+		fp, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, &lint.Package{
+			Path:      path,
+			Name:      fp.types.Name(),
+			Fset:      ld.fset,
+			Syntax:    fp.syntax,
+			Types:     fp.types,
+			TypesInfo: ld.info,
+		})
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	checkWants(t, ld, pkgs, diags)
+}
+
+// checkWants matches diagnostics against want comments, reporting both
+// unexpected diagnostics and unsatisfied wants.
+func checkWants(t *testing.T, ld *loader, pkgs []*lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*wantExpr{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, w := range parseWants(t, c.Text) {
+						pos := ld.fset.Position(c.Pos())
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], w)
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: want %q did not fire", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+type wantExpr struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantQuoted = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts the quoted regexps of a `// want ...` comment.
+func parseWants(t *testing.T, comment string) []*wantExpr {
+	t.Helper()
+	rest, ok := strings.CutPrefix(comment, "// want ")
+	if !ok {
+		return nil
+	}
+	var ws []*wantExpr
+	for _, q := range wantQuoted.FindAllString(rest, -1) {
+		expr := q[1 : len(q)-1]
+		if q[0] == '"' {
+			expr = strings.ReplaceAll(expr, `\"`, `"`)
+		}
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			t.Fatalf("bad want pattern %s: %v", q, err)
+		}
+		ws = append(ws, &wantExpr{re: re})
+	}
+	if len(ws) == 0 {
+		t.Fatalf("want comment with no quoted pattern: %s", comment)
+	}
+	return ws
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	syntax []*ast.File
+	types  *types.Package
+}
+
+// loader resolves fixture imports from testdata/src and everything else
+// from toolchain export data.
+type loader struct {
+	srcDir string
+	fset   *token.FileSet
+	info   *types.Info
+	pkgs   map[string]*fixturePkg
+	std    types.Importer
+}
+
+// Import implements types.Importer over the fixture tree with a stdlib
+// fallback, so fixture packages can import each other and the standard
+// library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if fp, err := ld.load(path); err == nil {
+		return fp.types, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if ld.std == nil {
+		ld.std = importer.ForCompiler(ld.fset, "gc", stdExportLookup)
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks one fixture package (memoised). A missing
+// fixture directory returns an os.IsNotExist error so Import can fall
+// back to the standard library.
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := ld.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(ld.srcDir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("linttest: fixture %s has no Go files", path)
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, ld.info)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: type-check %s: %w", path, err)
+	}
+	fp := &fixturePkg{syntax: files, types: tpkg}
+	ld.pkgs[path] = fp
+	return fp, nil
+}
+
+var (
+	stdExportMu    sync.Mutex
+	stdExportFiles = map[string]string{}
+)
+
+// stdExportLookup locates export data for a toolchain package, shelling
+// out to `go list -export -deps` once per missing root and caching the
+// whole dependency cone it reports.
+func stdExportLookup(path string) (io.ReadCloser, error) {
+	stdExportMu.Lock()
+	defer stdExportMu.Unlock()
+	if file, ok := stdExportFiles[path]; ok {
+		return os.Open(file)
+	}
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export", "--", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("linttest: go list %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			stdExportFiles[p.ImportPath] = p.Export
+		}
+	}
+	file, ok := stdExportFiles[path]
+	if !ok {
+		return nil, fmt.Errorf("linttest: no export data for %q", path)
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline enforces the store's write-lock I/O contract.
+//
+// PR 5 made Repack a two-phase concurrent fold precisely so that no
+// expensive I/O ever happens while an RWMutex write lock starves readers:
+// fsync, pack-record scans, whole-file reads and preads all run outside
+// the critical section (mid-repack reader p99 69.7 ms → 19.4 µs). Cheap
+// bounded writes — the O(batch) pack append, the journal segment — stay
+// under the lock by design, and writer-only serialisation locks
+// (plain sync.Mutex, e.g. repackMu) may wrap I/O freely because no reader
+// waits on them. The analyzer therefore rejects, inside a write-locked
+// RWMutex region in the store package, calls to:
+//
+//   - (*os.File).Sync — fsync under the store lock stalls every reader
+//     for a device flush
+//   - (*os.File).ReadAt — preads belong under the read lock (see
+//     PackStore.readPacked)
+//   - os.ReadFile / os.WriteFile — whole-file I/O is repack/open work
+//   - any same-package function that (transitively) performs one of the
+//     above, e.g. scanPackRecords, syncPath, loadPackIndex
+//
+// A write-locked region is: the statements between `x.Lock()` and
+// `x.Unlock()` on a sync.RWMutex, the rest of the function after
+// `x.Lock()` paired with `defer x.Unlock()`, or the whole body of a
+// function whose name ends in "Locked" (the package's caller-holds-lock
+// convention). Goroutines launched inside a region do not inherit it.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no fsync/pread/whole-file I/O while holding an RWMutex write lock in " + storePathSuffix,
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) error {
+	if !pathHasSuffix(pass.Pkg.Path(), storePathSuffix) {
+		return nil
+	}
+	tainted := buildIOTaint(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var spans []span
+			if n := fd.Name.Name; n != "Locked" && strings.HasSuffix(n, "Locked") {
+				spans = append(spans, span{fd.Body.Pos(), fd.Body.End()})
+			}
+			spans = append(spans, lockedSpans(pass, fd.Body, fd.Body.End())...)
+			if len(spans) == 0 {
+				continue
+			}
+			checkSpans(pass, fd, spans, tainted)
+		}
+	}
+	return nil
+}
+
+// span is a half-open source region [pos, end) in which a write lock is
+// held.
+type span struct{ pos, end token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.pos <= p && p < s.end }
+
+// lockedSpans finds write-locked regions in block and its nested blocks.
+// funcEnd is where defer-released locks are held until.
+func lockedSpans(pass *Pass, block *ast.BlockStmt, funcEnd token.Pos) []span {
+	var spans []span
+	stmts := block.List
+scan:
+	for i := 0; i < len(stmts); i++ {
+		mu, ok := rwMutexCallStmt(pass, stmts[i], "Lock")
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(stmts); j++ {
+			if isDeferUnlock(pass, stmts[j], mu) {
+				// Held until the function returns; everything after the
+				// Lock is locked, including statements beyond this block.
+				spans = append(spans, span{stmts[i].End(), funcEnd})
+				break scan
+			}
+			if mu2, ok := rwMutexCallStmt(pass, stmts[j], "Unlock"); ok && mu2 == mu {
+				spans = append(spans, span{stmts[i].End(), stmts[j].Pos()})
+				i = j
+				continue scan
+			}
+		}
+		// No release in this block: conservatively locked to block end.
+		spans = append(spans, span{stmts[i].End(), block.End()})
+		break
+	}
+	// Recurse into nested blocks for locks taken there.
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				spans = append(spans, lockedSpans(pass, b, funcEnd)...)
+				return false
+			}
+			_, isFn := n.(*ast.FuncLit)
+			return !isFn // function literals scope their own locks
+		})
+	}
+	return spans
+}
+
+// rwMutexCallStmt reports whether stmt is `expr.<method>()` on a
+// sync.RWMutex (or pointer to one), returning a canonical key for the
+// mutex expression.
+func rwMutexCallStmt(pass *Pass, stmt ast.Stmt, method string) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	return rwMutexCall(pass, es.X, method)
+}
+
+func rwMutexCall(pass *Pass, expr ast.Expr, method string) (string, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return "", false
+	}
+	recv := pass.TypesInfo.Types[sel.X].Type
+	if recv == nil || !isRWMutex(recv) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+func isDeferUnlock(pass *Pass, stmt ast.Stmt, mu string) bool {
+	ds, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	got, ok := rwMutexCall(pass, ds.Call, "Unlock")
+	return ok && got == mu
+}
+
+func isRWMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RWMutex" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// checkSpans walks a function's statements and reports forbidden I/O
+// calls positioned inside any write-locked span.
+func checkSpans(pass *Pass, fd *ast.FuncDecl, spans []span, tainted map[types.Object]string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // a goroutine does not hold the caller's lock
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		inSpan := false
+		for _, s := range spans {
+			if s.contains(call.Pos()) {
+				inSpan = true
+				break
+			}
+		}
+		if !inSpan {
+			return true
+		}
+		if reason := forbiddenIO(pass, call, tainted); reason != "" {
+			pass.Reportf(call.Pos(),
+				"%s while holding an RWMutex write lock; move the I/O outside the critical section (see Repack's build phase)", reason)
+		}
+		return true
+	})
+}
+
+// forbiddenIO classifies a call as write-lock-forbidden I/O, returning a
+// description or "".
+func forbiddenIO(pass *Pass, call *ast.CallExpr, tainted map[types.Object]string) string {
+	obj := calleeMethod(pass.TypesInfo, call)
+	if obj == nil {
+		return ""
+	}
+	if r := directForbiddenIO(obj); r != "" {
+		return "call to " + r
+	}
+	if r, ok := tainted[obj]; ok {
+		return fmt.Sprintf("call to %s, which %s", obj.Name(), r)
+	}
+	return ""
+}
+
+// directForbiddenIO reports whether obj is one of the forbidden I/O
+// primitives.
+func directForbiddenIO(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return ""
+	}
+	switch obj.Name() {
+	case "ReadFile", "WriteFile":
+		if fn.Type().(*types.Signature).Recv() == nil {
+			return "os." + obj.Name()
+		}
+	case "Sync", "ReadAt":
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return ""
+		}
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "File" {
+			return "(*os.File)." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// buildIOTaint computes which package-local functions transitively perform
+// forbidden I/O, so calling them under a write lock is as bad as the I/O
+// itself. The fixpoint is over the package's own call graph only.
+func buildIOTaint(pass *Pass) map[types.Object]string {
+	// calls maps each declared function to the local functions it calls.
+	calls := map[types.Object][]types.Object{}
+	tainted := map[types.Object]string{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnObj := pass.TypesInfo.Defs[fd.Name]
+			if fnObj == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeMethod(pass.TypesInfo, call)
+				if obj == nil {
+					return true
+				}
+				if r := directForbiddenIO(obj); r != "" {
+					if _, done := tainted[fnObj]; !done {
+						tainted[fnObj] = "calls " + r
+					}
+				} else if obj.Pkg() == pass.Pkg {
+					calls[fnObj] = append(calls[fnObj], obj)
+				}
+				return true
+			})
+		}
+	}
+	// Propagate to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if _, done := tainted[fn]; done {
+				continue
+			}
+			for _, c := range callees {
+				if _, bad := tainted[c]; bad {
+					tainted[fn] = fmt.Sprintf("%s (via %s)", tainted[c], c.Name())
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return tainted
+}

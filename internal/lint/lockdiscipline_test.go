@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/lint"
+	"github.com/gitcite/gitcite/internal/lint/linttest"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, lint.LockDiscipline, "lockdisc/internal/vcs/store")
+}

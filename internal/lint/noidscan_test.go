@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/lint"
+	"github.com/gitcite/gitcite/internal/lint/linttest"
+)
+
+func TestNoIDScan(t *testing.T) {
+	linttest.Run(t, lint.NoIDScan, "noidscan")
+}

@@ -1,0 +1,76 @@
+// Package batchput exercises the batchput analyzer.
+package batchput
+
+import "fake/internal/vcs/store"
+
+// importAll is the violation: one store write per object.
+func importAll(s store.Store, objects [][]byte) error {
+	for _, data := range objects {
+		if _, err := s.Put(data); err != nil { // want `store Put inside a loop`
+			return err
+		}
+	}
+	return nil
+}
+
+// importEncoded flags the raw-encoding variant too.
+func importEncoded(s store.Store, batch []store.Encoded) error {
+	for _, e := range batch {
+		if err := s.PutEncoded(e.ID, e.Enc); err != nil { // want `store PutEncoded inside a loop`
+			return err
+		}
+	}
+	return nil
+}
+
+// importBatched is the approved shape.
+func importBatched(s store.Store, objects [][]byte) error {
+	_, err := store.PutMany(s, objects)
+	return err
+}
+
+// single writes outside any loop are fine.
+func single(s store.Store, data []byte) (store.ID, error) {
+	return s.Put(data)
+}
+
+// deferredWrites builds closures in a loop; the closure bodies are not
+// loop bodies, so the Put inside them is legal.
+func deferredWrites(s store.Store, objects [][]byte) []func() error {
+	var fns []func() error
+	for _, data := range objects {
+		fns = append(fns, func() error {
+			_, err := s.Put(data)
+			return err
+		})
+	}
+	return fns
+}
+
+// retryStore forwards Put with a retry loop; the wrapper exemption keeps
+// interface implementations legal even when they loop.
+type retryStore struct {
+	inner store.Store
+}
+
+func (r *retryStore) Put(data []byte) (store.ID, error) {
+	for retry := 0; ; retry++ {
+		id, err := r.inner.Put(data)
+		if err == nil || retry == 2 {
+			return id, err
+		}
+	}
+}
+
+// migrate interleaves each write with a read of the previous state, so
+// batching would change observable order; it documents that with the
+// suppression directive.
+func migrate(s store.Store, objects [][]byte) error {
+	for _, data := range objects {
+		//lint:ignore batchput each write must land before the next read
+		if _, err := s.Put(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

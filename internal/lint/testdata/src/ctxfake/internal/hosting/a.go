@@ -1,0 +1,52 @@
+// Package hosting exercises the ctxfirst analyzer.
+package hosting
+
+import "context"
+
+// Server is a stand-in handler target.
+type Server struct{}
+
+// Resolve takes its context first — the approved shape.
+func (s *Server) Resolve(ctx context.Context, ref string) error {
+	_ = ctx
+	_ = ref
+	return nil
+}
+
+// Fetch buries the context behind another parameter.
+func (s *Server) Fetch(repo string, ctx context.Context) error { // want `exported Fetch takes context\.Context as parameter 2`
+	_ = repo
+	_ = ctx
+	return nil
+}
+
+// FetchAll manufactures its own root context, severing the caller's
+// cancellation chain.
+func FetchAll(repos []string) error {
+	ctx := context.Background() // want `library code must not call context\.Background\(\)`
+	for _, r := range repos {
+		if err := fetchOne(ctx, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fetchOne(ctx context.Context, repo string) error {
+	_ = ctx
+	_ = repo
+	return nil
+}
+
+// placeholder shows TODO is no better than Background.
+func placeholder() context.Context {
+	return context.TODO() // want `library code must not call context\.TODO\(\)`
+}
+
+// helper is unexported; the position rule covers the exported API surface
+// only.
+func helper(repo string, ctx context.Context) error {
+	_ = repo
+	_ = ctx
+	return nil
+}

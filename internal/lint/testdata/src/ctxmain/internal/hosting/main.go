@@ -1,0 +1,16 @@
+// This fixture sits on a hosting-suffixed import path but is package main,
+// which ctxfirst exempts: a main function is where root contexts
+// legitimately come from.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package store models the real object store's API surface
+// (github.com/gitcite/gitcite/internal/vcs/store) under a short import
+// path so analyzer fixtures can exercise the type-based matching without
+// depending on the module's packages.
+package store
+
+// ID is an object identifier.
+type ID string
+
+// Encoded pairs an object ID with its canonical encoding.
+type Encoded struct {
+	ID  ID
+	Enc []byte
+}
+
+// Store mirrors the analyzer-relevant methods of the real Store interface.
+type Store interface {
+	Put(data []byte) (ID, error)
+	PutEncoded(id ID, enc []byte) error
+	Has(id ID) (bool, error)
+	IDs() ([]ID, error)
+	IDsByPrefix(prefix string) ([]ID, error)
+}
+
+// PutMany writes a batch of objects in one store operation. The loop is
+// legal here: the store package's own fallback helpers are exempt from
+// batchput by design.
+func PutMany(s Store, batch [][]byte) ([]ID, error) {
+	ids := make([]ID, 0, len(batch))
+	for _, data := range batch {
+		id, err := s.Put(data)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// PutManyEncoded writes a batch of pre-encoded objects.
+func PutManyEncoded(s Store, batch []Encoded) error {
+	for _, e := range batch {
+		if err := s.PutEncoded(e.ID, e.Enc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package store exercises the lockdiscipline analyzer with the real
+// store's locking shapes.
+package store
+
+import (
+	"os"
+	"sync"
+)
+
+// packStore mirrors the real PackStore's locking fields.
+type packStore struct {
+	mu       sync.RWMutex
+	repackMu sync.Mutex
+	cur      *os.File
+	path     string
+}
+
+// badSync fsyncs while holding the write lock (defer-released region).
+func (p *packStore) badSync(data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.cur.Write(data); err != nil {
+		return err
+	}
+	return p.cur.Sync() // want `call to \(\*os\.File\)\.Sync while holding an RWMutex write lock`
+}
+
+// badReadInRegion preads inside an explicit Lock/Unlock region.
+func (p *packStore) badReadInRegion(buf []byte, off int64) (int, error) {
+	p.mu.Lock()
+	n, err := p.cur.ReadAt(buf, off) // want `call to \(\*os\.File\)\.ReadAt while holding an RWMutex write lock`
+	p.mu.Unlock()
+	return n, err
+}
+
+// goodReadAfterUnlock snapshots under the lock and preads after release.
+func (p *packStore) goodReadAfterUnlock(buf []byte, off int64) (int, error) {
+	p.mu.Lock()
+	f := p.cur
+	p.mu.Unlock()
+	return f.ReadAt(buf, off)
+}
+
+// goodReadShared preads under the read lock, like the real readPacked.
+func (p *packStore) goodReadShared(buf []byte, off int64) (int, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cur.ReadAt(buf, off)
+}
+
+// scanAll re-reads the whole pack — repack/open-time work.
+func (p *packStore) scanAll() ([]byte, error) {
+	return os.ReadFile(p.path)
+}
+
+// badTransitive reaches the forbidden I/O through a same-package helper;
+// the taint propagation catches it.
+func (p *packStore) badTransitive() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.scanAll() // want `call to scanAll, which calls os\.ReadFile`
+}
+
+// appendLocked is called with p.mu write-held: the naming convention makes
+// the whole body a locked region. The bounded WriteAt append is the
+// design; the whole-file read is not.
+func (p *packStore) appendLocked(data []byte, off int64) error {
+	if _, err := p.cur.WriteAt(data, off); err != nil {
+		return err
+	}
+	_, err := os.ReadFile(p.path) // want `call to os\.ReadFile while holding an RWMutex write lock`
+	return err
+}
+
+// repack serialises writers with a plain Mutex; I/O under it is fine
+// because no reader ever waits on repackMu.
+func (p *packStore) repack() error {
+	p.repackMu.Lock()
+	defer p.repackMu.Unlock()
+	if _, err := os.ReadFile(p.path); err != nil {
+		return err
+	}
+	return p.cur.Sync()
+}
+
+// spawn launches background I/O from inside the critical section; the
+// goroutine does not hold the caller's lock.
+func (p *packStore) spawn() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		_ = p.cur.Sync()
+	}()
+}

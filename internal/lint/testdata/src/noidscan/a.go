@@ -1,0 +1,39 @@
+// Package noidscan exercises the noidscan analyzer.
+package noidscan
+
+import "fake/internal/vcs/store"
+
+// resolvePrefix is the violation: enumerating every object to answer a
+// prefix query.
+func resolvePrefix(s store.Store) ([]store.ID, error) {
+	return s.IDs() // want `Store\.IDs\(\) scans every object`
+}
+
+// resolveFast is the approved path.
+func resolveFast(s store.Store) ([]store.ID, error) {
+	return s.IDsByPrefix("ab")
+}
+
+// checkPresence uses Has instead of scanning.
+func checkPresence(s store.Store, id store.ID) (bool, error) {
+	return s.Has(id)
+}
+
+// countingStore forwards IDs as part of implementing the interface; the
+// wrapper exemption keeps instrumentation stores legal.
+type countingStore struct {
+	inner store.Store
+	calls int
+}
+
+func (c *countingStore) IDs() ([]store.ID, error) {
+	c.calls++
+	return c.inner.IDs()
+}
+
+// verifyAll deliberately scans everything (an offline integrity pass) and
+// documents why with the suppression directive.
+func verifyAll(s store.Store) ([]store.ID, error) {
+	//lint:ignore noidscan offline integrity check must visit every object
+	return s.IDs()
+}

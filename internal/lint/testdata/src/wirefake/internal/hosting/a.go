@@ -1,0 +1,36 @@
+package hosting
+
+// codeLocal is not part of the registry: lower-case, declared outside
+// wire.go's Code* namespace.
+const codeLocal = "too_big"
+
+// notFound uses the registry correctly.
+func notFound() ErrorResponse {
+	return ErrorResponse{Code: CodeNotFound, Error: "no such repo"}
+}
+
+// conflictResponse keeps CodeConflict emitted.
+func conflictResponse() ErrorResponse {
+	return ErrorResponse{Code: CodeConflict, Error: "non-fast-forward"}
+}
+
+// retryAfter keeps CodeRateLimited emitted.
+func retryAfter() string {
+	return CodeRateLimited
+}
+
+// badInline invents an unregistered code at the call site.
+func badInline() ErrorResponse {
+	return ErrorResponse{Code: "repo_gone", Error: "gone"} // want `error code "repo_gone" is not registered in wire\.go`
+}
+
+// badDuplicate spells a registered code as a raw literal.
+func badDuplicate() ErrorResponse {
+	return ErrorResponse{Code: "conflict", Error: "ref moved"} // want `string literal duplicates registered wire code CodeConflict`
+}
+
+// badLocal routes an unregistered code through a local constant; constant
+// folding still catches it.
+func badLocal() ErrorResponse {
+	return ErrorResponse{Code: codeLocal, Error: "limit"} // want `error code "too_big" is not registered in wire\.go`
+}

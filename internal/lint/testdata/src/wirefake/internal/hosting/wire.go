@@ -1,0 +1,18 @@
+// Package hosting models the API error-code registry checked by the
+// wirecodes analyzer.
+package hosting
+
+// Registered wire codes. Clients switch on these values, never on the
+// free-text message.
+const (
+	CodeNotFound    = "not_found"
+	CodeConflict    = "conflict"
+	CodeRateLimited = "rate_limited"
+	CodeOrphan      = "orphan_code" // want `wire code CodeOrphan is registered but never used in hosting`
+)
+
+// ErrorResponse is the error envelope every handler writes.
+type ErrorResponse struct {
+	Code  string
+	Error string
+}

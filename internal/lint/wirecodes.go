@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hostingPathSuffix identifies the hosting package (see storePathSuffix).
+const hostingPathSuffix = "internal/hosting"
+
+// WireCodes enforces the stable-error-code registry both ways.
+//
+// API v1's error contract (PR 3) is that clients switch on the
+// machine-readable `code` field, never the free-text message, so every
+// code the server can emit must be one of the registered Code* constants
+// in wire.go — a handler inventing "repo_not_found" inline ships an
+// undocumented, unswitchable code. Symmetrically, a registered constant
+// the package never uses is a dead promise: clients handle a code the
+// server cannot produce. The analyzer therefore rejects (a) any constant
+// code expression in an ErrorResponse Code position that is not a
+// registered constant, (b) any string literal in the package that
+// duplicates a registered code's value, and (c) any registered Code*
+// constant with no use in the package.
+var WireCodes = &Analyzer{
+	Name: "wirecodes",
+	Doc:  "hosting error codes must be the registered wire.go Code* constants, and every registered code must be emitted",
+	Run:  runWireCodes,
+}
+
+func runWireCodes(pass *Pass) error {
+	if !pathHasSuffix(pass.Pkg.Path(), hostingPathSuffix) {
+		return nil
+	}
+
+	// Registry: package-level string constants named Code*.
+	registered := map[types.Object]bool{} // const object → registered
+	registeredVals := map[string]string{} // value → const name
+	var declRanges []declRange            // spans of the registering decls
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Code") || c.Val().Kind() != constant.String {
+			continue
+		}
+		registered[c] = true
+		registeredVals[constant.StringVal(c.Val())] = name
+	}
+	if len(registered) == 0 {
+		return nil // no registry in this package (e.g. a sub-helper package)
+	}
+	used := map[types.Object]bool{}
+
+	for _, f := range pass.Files {
+		// Record the registering declarations so their own literals and any
+		// cross-references between them are exempt below.
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, s := range gd.Specs {
+				vs := s.(*ast.ValueSpec)
+				for _, n := range vs.Names {
+					if registered[pass.TypesInfo.Defs[n]] {
+						declRanges = append(declRanges, declRange{vs.Pos(), vs.End()})
+						break
+					}
+				}
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[n]; registered[obj] {
+					used[obj] = true
+				}
+			case *ast.BasicLit:
+				if n.Kind != token.STRING || inRanges(declRanges, n.Pos()) {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n]; ok && tv.Value != nil {
+					if name, dup := registeredVals[constant.StringVal(tv.Value)]; dup {
+						pass.Reportf(n.Pos(),
+							"string literal duplicates registered wire code %s; use the constant", name)
+					}
+				}
+			case *ast.CompositeLit:
+				checkErrorResponseCode(pass, n, registered, registeredVals)
+			}
+			return true
+		})
+	}
+
+	for obj := range registered {
+		if !used[obj] {
+			pass.Reportf(obj.Pos(),
+				"wire code %s is registered but never used in %s; the server cannot emit it", obj.Name(), pass.Pkg.Name())
+		}
+	}
+	return nil
+}
+
+type declRange struct{ pos, end token.Pos }
+
+func inRanges(rs []declRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.pos <= p && p < r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// checkErrorResponseCode validates the Code field of ErrorResponse
+// composite literals: any compile-time-constant code must be a registered
+// constant's value. (Literals that duplicate a registered value are
+// reported by the package-wide literal sweep.)
+func checkErrorResponseCode(pass *Pass, lit *ast.CompositeLit, registered map[types.Object]bool, registeredVals map[string]string) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isErrorResponse(tv.Type) {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Code" {
+			continue
+		}
+		vtv, ok := pass.TypesInfo.Types[kv.Value]
+		if !ok || vtv.Value == nil || vtv.Value.Kind() != constant.String {
+			continue // non-constant: the value's producer is checked at its source
+		}
+		if _, ok := registeredVals[constant.StringVal(vtv.Value)]; !ok {
+			pass.Reportf(kv.Value.Pos(),
+				"error code %s is not registered in wire.go; add a Code* constant or use an existing one", vtv.Value.ExactString())
+		}
+	}
+}
+
+// isErrorResponse reports whether t is the hosting package's
+// ErrorResponse struct.
+func isErrorResponse(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ErrorResponse" && declaredIn(obj, hostingPathSuffix)
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/lint"
+	"github.com/gitcite/gitcite/internal/lint/linttest"
+)
+
+func TestWireCodes(t *testing.T) {
+	linttest.Run(t, lint.WireCodes, "wirefake/internal/hosting")
+}

@@ -23,6 +23,7 @@ import (
 	"github.com/gitcite/gitcite/internal/vcs/diff"
 	"github.com/gitcite/gitcite/internal/vcs/object"
 	"github.com/gitcite/gitcite/internal/vcs/refs"
+	"github.com/gitcite/gitcite/internal/vcs/store"
 )
 
 // Options configures Enable.
@@ -70,6 +71,13 @@ func Enable(repo *gitcite.Repo, branch, newBranch string, opts Options) (Report,
 	}
 
 	report := Report{Rewritten: make(map[object.ID]object.ID, len(order))}
+	// Citation blobs synthesised along the rewrite are batched into one
+	// store write. Nothing reads their content before the flush — the tree
+	// builder and attribution walk only reference them by content-derived
+	// ID — and the rewritten history is unreachable until the branch ref
+	// lands below, so a crash mid-rewrite leaves garbage, never a broken
+	// ref.
+	var pendingBlobs []store.Encoded
 	// authorsByPath accumulates, per commit, the authors attributed to each
 	// directory so far in history.
 	authorsAt := make(map[object.ID]map[string]map[string]bool, len(order))
@@ -125,10 +133,9 @@ func Enable(repo *gitcite.Repo, branch, newBranch string, opts Options) (Report,
 			if err != nil {
 				return Report{}, err
 			}
-			blobID, err := repo.VCS.Objects.Put(object.NewBlob(data))
-			if err != nil {
-				return Report{}, err
-			}
+			enc := object.Encode(object.NewBlob(data))
+			blobID := object.HashBytes(enc)
+			pendingBlobs = append(pendingBlobs, store.Encoded{ID: blobID, Enc: enc})
 			newTreeID, err = vcs.InsertSubtree(repo.VCS.Objects, c.TreeID, citefile.Path,
 				object.TreeEntry{Name: citefile.Filename, Mode: object.ModeFile, ID: blobID})
 			if err != nil {
@@ -154,6 +161,12 @@ func Enable(repo *gitcite.Repo, branch, newBranch string, opts Options) (Report,
 			return Report{}, err
 		}
 		report.Rewritten[id] = newID
+	}
+
+	// Land every synthesised citation blob in one batch write BEFORE the
+	// branch ref makes the rewritten history reachable.
+	if err := store.PutManyEncoded(repo.VCS.Objects, pendingBlobs); err != nil {
+		return Report{}, err
 	}
 
 	report.NewTip = report.Rewritten[tip]

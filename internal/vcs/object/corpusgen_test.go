@@ -1,0 +1,65 @@
+package object
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func writeFuzzSeed(t *testing.T, fuzzName, name string, data []byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateFuzzCorpus regenerates the committed seed corpora for the
+// decode fuzzers. Env-gated; see the store package's generator for usage.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("corpus generator; set GEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+
+	writeFuzzSeed(t, "FuzzDecodeCommit", "canonical-merge", fuzzSeedCommit().encode(nil))
+	writeFuzzSeed(t, "FuzzDecodeCommit", "no-parents", (&Commit{
+		TreeID:    HashBytes([]byte("root")),
+		Author:    NewSignature("a", "a@b", time.Unix(0, 0)),
+		Committer: NewSignature("a", "a@b", time.Unix(0, 0)),
+	}).encode(nil))
+	writeFuzzSeed(t, "FuzzDecodeCommit", "noncanonical-whitespace",
+		[]byte("tree "+HashBytes([]byte("t")).String()+"\n"+
+			"author  spaced name   <x@y>  7  \n"+
+			"committer z <z@w> 9\n\nmsg"))
+	writeFuzzSeed(t, "FuzzDecodeCommit", "bad-tree-id", []byte("tree zzzz\n"))
+	writeFuzzSeed(t, "FuzzDecodeCommit", "header-order", []byte("parent before tree\n"))
+
+	tr, err := NewTree([]TreeEntry{
+		{Name: "README.md", Mode: ModeFile, ID: HashBytes([]byte("readme"))},
+		{Name: "src", Mode: ModeDir, ID: HashBytes([]byte("src"))},
+		{Name: "tool", Mode: ModeExecutable, ID: HashBytes([]byte("tool"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFuzzSeed(t, "FuzzDecodeTree", "canonical", tr.encode(nil))
+	writeFuzzSeed(t, "FuzzDecodeTree", "empty", nil)
+	writeFuzzSeed(t, "FuzzDecodeTree", "truncated-id", []byte("100644 name\x00short"))
+	writeFuzzSeed(t, "FuzzDecodeTree", "bad-mode",
+		[]byte("777777 evil\x00"+string(make([]byte, IDSize))))
+	// Entries out of name order: canonicalisation must not accept-and-drift.
+	one := tr.encode(nil)
+	two, err := NewTree([]TreeEntry{
+		{Name: "zz", Mode: ModeFile, ID: HashBytes([]byte("zz"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFuzzSeed(t, "FuzzDecodeTree", "unsorted", append(two.encode(nil), one...))
+}

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// writeFuzzSeed writes one committed seed-corpus entry in the `go test fuzz v1`
+// file format. go test replays testdata/fuzz entries on every run, so the
+// committed corpus doubles as a crash-order regression suite.
+func writeFuzzSeed(t *testing.T, fuzzName, name string, data []byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateFuzzCorpus regenerates the committed seed corpora. It is
+// env-gated so a normal test run never rewrites checked-in files:
+//
+//	GEN_FUZZ_CORPUS=1 go test -run TestGenerateFuzzCorpus ./internal/vcs/store/
+//
+// The entries mirror the crash orders pack_test.go constructs by hand.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("corpus generator; set GEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+
+	whole := fuzzPackBytes([]byte("alpha"), []byte("beta-longer-payload"))
+	writeFuzzSeed(t, "FuzzPackRecordScan", "complete-pack", whole)
+	writeFuzzSeed(t, "FuzzPackRecordScan", "torn-payload", whole[:len(whole)-7])
+	writeFuzzSeed(t, "FuzzPackRecordScan", "torn-header", whole[:len(packMagic)+20])
+	writeFuzzSeed(t, "FuzzPackRecordScan", "bad-magic", []byte("NOTAPACK"))
+	writeFuzzSeed(t, "FuzzPackRecordScan", "empty-pack", []byte(packMagic))
+	// A record whose length field claims bytes that never landed: the scan
+	// must treat it as the torn tail, not read past the file.
+	huge := fuzzPackBytes([]byte("ok"))
+	huge = append(huge, fuzzPackBytes([]byte("claimed-but-truncated"))[len(packMagic):]...)
+	writeFuzzSeed(t, "FuzzPackRecordScan", "len-overclaims", huge[:len(huge)-10])
+
+	const baseCovered = int64(8)
+	const packSize = int64(4096)
+	seg1 := encodeSegment(fuzzSegEntries(2, baseCovered, 200), baseCovered, 200)
+	seg2 := encodeSegment(fuzzSegEntries(1, 200, 300), 200, 300)
+	valid := append(append([]byte(packSegMagic), seg1...), seg2...)
+	writeFuzzSeed(t, "FuzzSegmentReplay", "two-batches", valid)
+	writeFuzzSeed(t, "FuzzSegmentReplay", "torn-tail", valid[:len(valid)-5])
+	crcFail := append([]byte{}, valid...)
+	crcFail[len(crcFail)-1] ^= 0xFF
+	writeFuzzSeed(t, "FuzzSegmentReplay", "crc-fail", crcFail)
+	// The second batch's segment landed but the first's never did: replay
+	// must stop at the gap rather than acknowledge batch two.
+	writeFuzzSeed(t, "FuzzSegmentReplay", "coverage-gap", append([]byte(packSegMagic), seg2...))
+	// "Segment landed, pack bytes did not": the segment claims coverage
+	// beyond the pack's real size.
+	tooFar := encodeSegment(fuzzSegEntries(1, baseCovered, packSize+100), baseCovered, packSize+100)
+	writeFuzzSeed(t, "FuzzSegmentReplay", "seg-landed-pack-missing", append([]byte(packSegMagic), tooFar...))
+	// A segment wholly below base coverage: already merged by a crashed
+	// open; replay must skip it and keep going.
+	merged := encodeSegment(fuzzSegEntries(1, 0, baseCovered), 0, baseCovered)
+	writeFuzzSeed(t, "FuzzSegmentReplay", "already-merged", append(append([]byte(packSegMagic), merged...), seg1...))
+	// An entry pointing outside its batch's byte range: corrupt segment.
+	bad := fuzzSegEntries(1, baseCovered, 200)
+	bad[0].off = 1 // below start+packRecHeader
+	writeFuzzSeed(t, "FuzzSegmentReplay", "entry-out-of-range",
+		append([]byte(packSegMagic), encodeSegment(bad, baseCovered, 200)...))
+	writeFuzzSeed(t, "FuzzSegmentReplay", "bad-magic", []byte("NOTAJRNL"))
+}

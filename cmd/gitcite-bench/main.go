@@ -762,5 +762,57 @@ func runCounters() error {
 		}
 	}
 	emit("idx_bytes_per_64_object_append_batch", idxDelta)
+
+	// --- open repository handles after a 10k-request workload ---
+	// A persistent platform with a 32-repo catalogue and an 8-handle LRU
+	// serves 10k requests cycling every repository; the resident handle
+	// count afterwards must equal the cap, however many repositories were
+	// touched — the counter that keeps the hosted daemon's FD/memory
+	// footprint flat as catalogues grow.
+	const lruLimit, lruRepos, lruRequests = 8, 32, 10000
+	lruDir, err := os.MkdirTemp("", "gitcite-counters-lru-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(lruDir)
+	lruPlat, err := hosting.OpenPlatform(lruDir, hosting.WithOpenRepoLimit(lruLimit))
+	if err != nil {
+		return err
+	}
+	defer lruPlat.Close()
+	lruUser, err := lruPlat.CreateUser(context.Background(), "bench")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < lruRepos; i++ {
+		hostedRepo, err := lruPlat.CreateRepoAs(context.Background(), lruUser, fmt.Sprintf("r%d", i), "https://x/r", "MIT")
+		if err != nil {
+			return err
+		}
+		hwt, err := hostedRepo.Checkout("main")
+		if err != nil {
+			return err
+		}
+		if err := hwt.WriteFile("/data.txt", []byte(fmt.Sprintf("repo %d", i))); err != nil {
+			return err
+		}
+		if _, err := hwt.Commit(opts); err != nil {
+			return err
+		}
+	}
+	lruSrv := httptest.NewServer(hosting.NewServer(lruPlat))
+	defer lruSrv.Close()
+	for i := 0; i < lruRequests; i++ {
+		r, err := http.Get(fmt.Sprintf("%s/api/v1/repos/bench/r%d", lruSrv.URL, i%lruRepos))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			return fmt.Errorf("lru workload: status %d on request %d", r.StatusCode, i)
+		}
+	}
+	emit("open_repos_after_10k_requests", int64(lruPlat.OpenRepoCount()))
 	return nil
 }

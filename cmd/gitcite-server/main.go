@@ -3,29 +3,45 @@
 // citation-enabled repositories, and the versioned REST API (/api/v1) the
 // browser-extension client talks to.
 //
-//	gitcite-server -addr :8080 [-seed] [-pack DIR] [-cors-origin ORIGIN] [-rate-limit RPS -rate-burst N] [-log]
+//	gitcite-server -addr :8080 [-seed] [-pack DIR] [-open-repos N]
+//	    [-auto-repack-packs N] [-auto-repack-loose N] [-admin-token TOK]
+//	    [-shutdown-timeout D] [-cors-origin ORIGIN]
+//	    [-rate-limit RPS -rate-burst N] [-log]
 //
 // With -seed, the server starts pre-populated with the paper's §4
 // demonstration repositories (Data_citation_demo and alu01-corecover) under
 // a "demo" account whose API token is printed on startup.
 //
-// With -pack DIR, hosted repositories persist under DIR/<owner>/<name> with
-// pack-based object storage (append-only pack files plus a sorted fan-out
-// ID index) instead of living only in memory.
+// With -pack DIR, the server is a durable, restartable daemon: hosted
+// repositories persist under DIR/<owner>/<name> with pack-based object
+// storage, and accounts, tokens, memberships and fork intents replay from
+// the crash-safe DIR/manifest.log journal. Boot reconciles the journal
+// against the directory tree (partial forks aborted, orphan directories
+// GC'd), at most -open-repos repository handles stay open at once, and
+// pushes trigger background repacks past the -auto-repack-* thresholds.
+// SIGINT/SIGTERM drain in-flight requests (bounded by -shutdown-timeout)
+// before repositories close and the manifest is flushed.
+//
+// With -admin-token, the operator endpoints under /api/v1/admin (platform
+// status, per-repository storage stats, manual repack and GC) answer to
+// that bearer token.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"path/filepath"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"github.com/gitcite/gitcite/internal/extension"
-	"github.com/gitcite/gitcite/internal/gitcite"
 	"github.com/gitcite/gitcite/internal/hosting"
 	"github.com/gitcite/gitcite/internal/scenario"
 )
@@ -33,7 +49,12 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Bool("seed", false, "pre-populate with the paper's demonstration repositories")
-	packDir := flag.String("pack", "", "persist hosted repositories under this directory with pack-based object storage (empty keeps them in memory)")
+	packDir := flag.String("pack", "", "persist hosted repositories and the platform manifest under this directory (empty keeps everything in memory)")
+	openRepos := flag.Int("open-repos", 64, "max hosted repository handles kept open at once with -pack (0 = unbounded)")
+	autoRepackPacks := flag.Int("auto-repack-packs", 8, "repack a repository after a push leaves it with this many packs (0 disables)")
+	autoRepackLoose := flag.Int("auto-repack-loose", 512, "repack a repository after a push leaves it with this many loose objects (0 disables)")
+	adminToken := flag.String("admin-token", "", "bearer token enabling the /api/v1/admin endpoints (empty disables them)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain")
 	corsOrigin := flag.String("cors-origin", "*", "CORS allowed origin for the browser extension (empty disables CORS)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-token request rate limit in req/s (0 disables)")
 	rateBurst := flag.Int("rate-burst", 30, "rate-limit burst capacity")
@@ -48,17 +69,26 @@ func main() {
 	if *logReqs {
 		opts = append(opts, hosting.WithRequestLogger(log.New(os.Stderr, "http: ", log.LstdFlags)))
 	}
-
-	var popts []hosting.PlatformOption
-	if *packDir != "" {
-		root := *packDir
-		popts = append(popts, hosting.WithRepoFactory(func(meta gitcite.Meta) (*gitcite.Repo, error) {
-			return gitcite.OpenPackedFileRepo(filepath.Join(root, meta.Owner, meta.Name), meta)
-		}))
-		log.Printf("gitcite-server storing repositories under %s (pack-based)", root)
+	if *adminToken != "" {
+		opts = append(opts, hosting.WithAdminToken(*adminToken))
 	}
 
-	platform := hosting.NewPlatform(popts...)
+	var platform *hosting.Platform
+	if *packDir != "" {
+		var err error
+		platform, err = hosting.OpenPlatform(*packDir,
+			hosting.WithOpenRepoLimit(*openRepos),
+			hosting.WithAutoRepack(*autoRepackPacks, *autoRepackLoose),
+		)
+		if err != nil {
+			log.Fatalf("gitcite-server: open platform: %v", err)
+		}
+		st := platform.Status(context.Background())
+		log.Printf("gitcite-server storing repositories under %s (pack-based, %d repos, %d users recovered)",
+			*packDir, st.Repos, st.Users)
+	} else {
+		platform = hosting.NewPlatform()
+	}
 	server := hosting.NewServer(platform, opts...)
 
 	if *seed {
@@ -67,10 +97,33 @@ func main() {
 		}
 	}
 
+	// Graceful lifecycle: serve until SIGINT/SIGTERM, then drain in-flight
+	// requests before closing repositories and flushing the manifest — so a
+	// polite stop never tears a response, and an impolite kill -9 is exactly
+	// what boot reconciliation recovers from.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: server}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("gitcite-server listening on %s (API v1 under /api/v1)", *addr)
-	if err := http.ListenAndServe(*addr, server); err != nil {
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+	stop()
+	log.Printf("gitcite-server shutting down (draining up to %s)", *shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("gitcite-server: shutdown: %v", err)
+	}
+	if err := platform.Close(); err != nil {
+		log.Printf("gitcite-server: close platform: %v", err)
+	}
+	log.Printf("gitcite-server stopped")
 }
 
 // seedDemo recreates the Listing 1 repositories on the platform so the
@@ -81,6 +134,12 @@ func seedDemo(platform *hosting.Platform, server *hosting.Server, addr string) e
 		return err
 	}
 	user, err := platform.CreateUser(context.Background(), "demo")
+	if errors.Is(err, hosting.ErrConflict) {
+		// A persistent platform restarted with -seed: the demo account and
+		// its repositories were recovered from the manifest.
+		fmt.Fprintln(os.Stderr, "demo repositories already seeded (recovered from manifest)")
+		return nil
+	}
 	if err != nil {
 		return err
 	}
@@ -102,6 +161,10 @@ func seedDemo(platform *hosting.Platform, server *hosting.Server, addr string) e
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "seeded demo repositories; API token for user %q: %s\n", user.Name, user.Token)
-	fmt.Fprintf(os.Stderr, "try: curl 'http://localhost%s/api/v1/repos/demo/Data_citation_demo/cite/master?path=/CoreCover&format=text'\n", addr)
+	host := addr
+	if strings.HasPrefix(host, ":") {
+		host = "localhost" + host
+	}
+	fmt.Fprintf(os.Stderr, "try: curl 'http://%s/api/v1/repos/demo/Data_citation_demo/cite/master?path=/CoreCover&format=text'\n", host)
 	return nil
 }

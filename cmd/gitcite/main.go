@@ -234,6 +234,7 @@ func cmdRepack() error {
 	if err != nil {
 		return err
 	}
+	defer repo.Close()
 	// Record the pack layout BEFORE the destructive fold: a packed open
 	// still reads loose objects, so either crash order leaves a readable
 	// repository — the reverse order would delete the loose files while

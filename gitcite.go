@@ -136,7 +136,10 @@ func OpenRepository(dir string, meta Meta) (*Repository, error) {
 // with a sorted fan-out ID index instead of one loose file each, so cold
 // opens and abbreviated-ID lookups stay cheap as history grows. Loose
 // objects from an earlier OpenRepository layout remain readable; Repack
-// folds them in.
+// folds them in. Call Close when done with a pack-backed repository to
+// release its pack file handles (Repository.Close walks the
+// gitcite.Repo → vcs.Repository → store close chain; memory and loose
+// layouts make it a no-op).
 func OpenPackedRepository(dir string, meta Meta) (*Repository, error) {
 	return impl.OpenPackedFileRepo(dir, meta)
 }
@@ -226,8 +229,29 @@ func WithRepoFactory(f func(meta Meta) (*Repository, error)) PlatformOption {
 	return hosting.WithRepoFactory(f)
 }
 
+// WithOpenRepoLimit bounds the open hosted-repository handles on a
+// persistent platform: beyond the cap, the least-recently-used idle repo
+// is closed (never one mid-request) and transparently reopens on next
+// use.
+func WithOpenRepoLimit(n int) PlatformOption { return hosting.WithOpenRepoLimit(n) }
+
+// WithAutoRepack makes pushes trigger a background repack of the pushed
+// repository once its pack count exceeds packs or its loose-object count
+// exceeds loose (≤ 0 disables that threshold).
+func WithAutoRepack(packs, loose int) PlatformOption { return hosting.WithAutoRepack(packs, loose) }
+
 // NewPlatform creates an empty hosting platform.
 func NewPlatform(opts ...PlatformOption) *Platform { return hosting.NewPlatform(opts...) }
+
+// OpenPlatform opens (or creates) a durable platform rooted at dir:
+// every acknowledged mutation is journaled write-ahead to dir's
+// manifest, and opening replays the journal and reconciles it against
+// the directory tree — recovering hosted repositories, aborting forks
+// that died mid-copy and removing orphan directories. Close the
+// platform when done; a crash at any point is equivalent to a close.
+func OpenPlatform(dir string, opts ...PlatformOption) (*Platform, error) {
+	return hosting.OpenPlatform(dir, opts...)
+}
 
 // NewServer wraps a platform with the REST API; mount it on any net/http
 // server.
@@ -243,6 +267,11 @@ func WithRateLimit(rps float64, burst int) ServerOption { return hosting.WithRat
 
 // WithRequestLogger makes the server log one line per request.
 func WithRequestLogger(l *log.Logger) ServerOption { return hosting.WithRequestLogger(l) }
+
+// WithAdminToken enables the /api/v1/admin operator surface (status,
+// per-repo stats, manual repack, orphan GC), gated by the given bearer
+// token. Without it the admin routes answer 403.
+func WithAdminToken(token string) ServerOption { return hosting.WithAdminToken(token) }
 
 // NewClient creates an API client; token may be empty for anonymous use.
 func NewClient(baseURL, token string) *Client { return extension.New(baseURL, token) }

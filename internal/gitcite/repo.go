@@ -127,6 +127,19 @@ func OpenPackedFileRepo(dir string, meta Meta) (*Repo, error) {
 	return &Repo{VCS: r, Meta: meta}, nil
 }
 
+// Close releases the repository's backing storage (vcs.Repository.Close →
+// store close chain): pack file handles for pack-backed repositories,
+// nothing for memory or loose layouts. The Repo must not be used after
+// Close. Hosting platforms close evicted idle repositories through this so
+// file descriptors and memory stay bounded however many repositories they
+// host; the CLI closes after maintenance commands like repack.
+func (r *Repo) Close() error {
+	if r == nil || r.VCS == nil {
+		return nil
+	}
+	return r.VCS.Close()
+}
+
 // UnreleasedVersion marks the root citation of a working copy that has not
 // been committed yet; Commit replaces it with the version's real date.
 const UnreleasedVersion = "unreleased"

@@ -1,0 +1,102 @@
+// admin.go is the operator surface of the hosted platform: a /api/v1/admin
+// route group (platform status, per-repository storage stats, manual
+// repack and orphan-GC triggers) gated by a dedicated admin token that is
+// configured at server start and never stored in the platform manifest.
+package hosting
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+)
+
+// WithAdminToken enables the /api/v1/admin endpoints for callers bearing
+// this token. The admin group is disabled (every request 403s) when no
+// token is configured — there is no default credential.
+func WithAdminToken(token string) ServerOption {
+	return func(s *Server) { s.adminToken = token }
+}
+
+// registerAdminRoutes mounts the admin group. Routes exist regardless of
+// configuration so their status codes are stable; requireAdmin gates them.
+func (s *Server) registerAdminRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /api/v1/admin/status", s.adminOnly(s.handleAdminStatus))
+	mux.HandleFunc("GET /api/v1/admin/repos/{owner}/{name}/stats", s.adminOnly(s.handleAdminRepoStats))
+	mux.HandleFunc("POST /api/v1/admin/repos/{owner}/{name}/repack", s.adminOnly(s.handleAdminRepack))
+	mux.HandleFunc("POST /api/v1/admin/gc", s.adminOnly(s.handleAdminGC))
+}
+
+// adminOnly wraps an admin handler with the token gate: disabled group →
+// 403, missing or wrong token → 401. The comparison is constant-time.
+func (s *Server) adminOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.adminToken == "" {
+			writeErr(w, fmt.Errorf("%w: admin API disabled (no admin token configured)", ErrForbidden))
+			return
+		}
+		tok := bearerToken(r)
+		if subtle.ConstantTimeCompare([]byte(tok), []byte(s.adminToken)) != 1 {
+			writeErr(w, fmt.Errorf("%w: admin token required", ErrUnauthorized))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleAdminStatus reports platform-wide counters: users, repositories,
+// open repository handles against their limit, and the manifest journal.
+func (s *Server) handleAdminStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.platform.Status(r.Context()))
+}
+
+// handleAdminRepoStats reports one repository's membership and storage
+// shape (pack count, packed and loose objects).
+func (s *Server) handleAdminRepoStats(w http.ResponseWriter, r *http.Request) {
+	rs, err := s.platform.RepoStats(r.Context(), r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rs)
+}
+
+// AdminRepackResponse reports a manual repack: how many loose objects the
+// fold absorbed.
+type AdminRepackResponse struct {
+	Folded int `json:"folded"`
+}
+
+// handleAdminRepack synchronously folds and consolidates one repository's
+// object store — the manual counterpart of the push-piggybacked policy.
+func (s *Server) handleAdminRepack(w http.ResponseWriter, r *http.Request) {
+	folded, err := s.platform.RepackRepo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AdminRepackResponse{Folded: folded})
+}
+
+// AdminGCResponse lists the orphan directories a manual GC removed.
+type AdminGCResponse struct {
+	Removed []string `json:"removed"`
+}
+
+// handleAdminGC removes orphan repository directories under the data
+// directory (normally boot reconciliation's job; this is the on-demand
+// trigger). A no-op on in-memory platforms.
+func (s *Server) handleAdminGC(w http.ResponseWriter, r *http.Request) {
+	if err := r.Context().Err(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	removed, err := s.platform.GCOrphans()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if removed == nil {
+		removed = []string{}
+	}
+	writeJSON(w, http.StatusOK, AdminGCResponse{Removed: removed})
+}

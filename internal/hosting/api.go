@@ -40,6 +40,7 @@ type Server struct {
 	corsOrigin string
 	limiter    *rateLimiter
 	logger     interface{ Printf(string, ...any) }
+	adminToken string
 }
 
 // NewServer wraps a platform with the REST API. Options configure the
@@ -68,6 +69,8 @@ func NewServer(p *Platform, opts ...ServerOption) *Server {
 	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/objects", s.handleFetchObjects)
 	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/push", s.handlePushV1)
 	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/pull/{rev}", s.handlePullV1)
+	// ---- admin (token-gated; see admin.go) ----
+	s.registerAdminRoutes(mux)
 	// ---- deprecated unversioned aliases (pre-v1 wire protocol) ----
 	mux.HandleFunc("POST /api/users", s.handleCreateUser)
 	mux.HandleFunc("POST /api/repos", s.handleCreateRepo)
@@ -322,18 +325,21 @@ func revAddressesCommit(rev string, commit object.ID) bool {
 // (ETag = the commit's content hash; immutable Cache-Control when the rev
 // itself was commit-addressed) and short-circuits If-None-Match
 // revalidations with a 304 before any citation-resolution work happens.
-// When it returns ok=false the response has already been written.
-func (s *Server) beginCommitRead(w http.ResponseWriter, r *http.Request) (*gitcite.Repo, object.ID, bool) {
-	repo, err := s.platform.Repo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
+// The repository comes back pinned open: the handler must defer release so
+// LRU eviction cannot close it mid-response. When it returns ok=false the
+// response has already been written and there is nothing to release.
+func (s *Server) beginCommitRead(w http.ResponseWriter, r *http.Request) (*gitcite.Repo, object.ID, func(), bool) {
+	repo, release, err := s.platform.AcquireRepo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
-		return nil, object.ZeroID, false
+		return nil, object.ZeroID, nil, false
 	}
 	rev := r.PathValue("rev")
 	commit, err := resolveRev(repo, rev)
 	if err != nil {
+		release()
 		writeErr(w, err)
-		return nil, object.ZeroID, false
+		return nil, object.ZeroID, nil, false
 	}
 	et := etagFor(commit)
 	h := w.Header()
@@ -347,10 +353,11 @@ func (s *Server) beginCommitRead(w http.ResponseWriter, r *http.Request) (*gitci
 		h.Set("Cache-Control", "no-cache")
 	}
 	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, et) {
+		release()
 		w.WriteHeader(http.StatusNotModified)
-		return nil, object.ZeroID, false
+		return nil, object.ZeroID, nil, false
 	}
-	return repo, commit, true
+	return repo, commit, release, true
 }
 
 // ---- account / repository handlers ----
@@ -410,11 +417,12 @@ func repoResponse(repo *gitcite.Repo) (RepoResponse, error) {
 }
 
 func (s *Server) handleGetRepo(w http.ResponseWriter, r *http.Request) {
-	repo, err := s.platform.Repo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
+	repo, release, err := s.platform.AcquireRepo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	defer release()
 	resp, err := repoResponse(repo)
 	if err != nil {
 		writeErr(w, err)
@@ -481,10 +489,11 @@ func treeEntries(repo *gitcite.Repo, commit object.ID, offset, limit int) (entri
 }
 
 func (s *Server) handleTreeV1(w http.ResponseWriter, r *http.Request) {
-	repo, commit, ok := s.beginCommitRead(w, r)
+	repo, commit, release, ok := s.beginCommitRead(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	q := r.URL.Query()
 	limit := 0
 	if v := q.Get("limit"); v != "" {
@@ -518,10 +527,11 @@ func (s *Server) handleTreeV1(w http.ResponseWriter, r *http.Request) {
 
 // handleTreeLegacy serves the deprecated unpaginated array form.
 func (s *Server) handleTreeLegacy(w http.ResponseWriter, r *http.Request) {
-	repo, commit, ok := s.beginCommitRead(w, r)
+	repo, commit, release, ok := s.beginCommitRead(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	entries, _, err := treeEntries(repo, commit, 0, 0)
 	if err != nil {
 		writeErr(w, err)
@@ -533,10 +543,11 @@ func (s *Server) handleTreeLegacy(w http.ResponseWriter, r *http.Request) {
 // ---- citation reads ----
 
 func (s *Server) handleGenCite(w http.ResponseWriter, r *http.Request) {
-	repo, commit, ok := s.beginCommitRead(w, r)
+	repo, commit, release, ok := s.beginCommitRead(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	path := r.URL.Query().Get("path")
 	if path == "" {
 		path = "/"
@@ -569,10 +580,11 @@ func (s *Server) handleGenCite(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleChain(w http.ResponseWriter, r *http.Request) {
-	repo, commit, ok := s.beginCommitRead(w, r)
+	repo, commit, release, ok := s.beginCommitRead(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	path := r.URL.Query().Get("path")
 	if path == "" {
 		path = "/"
@@ -595,10 +607,11 @@ func (s *Server) handleChain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCiteFile(w http.ResponseWriter, r *http.Request) {
-	repo, commit, ok := s.beginCommitRead(w, r)
+	repo, commit, release, ok := s.beginCommitRead(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	data, err := repo.CiteFileBytes(commit)
 	if err != nil {
 		writeErr(w, fmt.Errorf("%w: citation.cite", ErrNotFound))
@@ -635,10 +648,11 @@ type CreditEntry struct {
 // handleCredit serves the credit report for a revision (public read, like
 // citation generation).
 func (s *Server) handleCredit(w http.ResponseWriter, r *http.Request) {
-	repo, commit, ok := s.beginCommitRead(w, r)
+	repo, commit, release, ok := s.beginCommitRead(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	rep, err := report.Build(repo, commit)
 	if err != nil {
 		writeErr(w, err)
@@ -672,11 +686,12 @@ func (s *Server) handleEditCite(w http.ResponseWriter, r *http.Request) {
 	}
 	owner, name := r.PathValue("owner"), r.PathValue("name")
 	user := userFrom(ctx)
-	repo, err := s.platform.AuthorizeWriteAs(ctx, user, owner, name)
+	repo, release, err := s.platform.AcquireForWrite(ctx, user, owner, name)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	defer release()
 	unlock, err := s.platform.LockForEdit(ctx, owner, name)
 	if err != nil {
 		writeErr(w, err)
@@ -758,11 +773,12 @@ func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 // ---- negotiated sync ----
 
 func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
-	repo, err := s.platform.Repo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
+	repo, release, err := s.platform.AcquireRepo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	defer release()
 	var req NegotiateRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)
@@ -811,11 +827,12 @@ func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
 // line — the transfer half of a negotiate round trip. Presence is checked
 // up front so a missing object is still reportable as a clean 404.
 func (s *Server) handleFetchObjects(w http.ResponseWriter, r *http.Request) {
-	repo, err := s.platform.Repo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
+	repo, release, err := s.platform.AcquireRepo(r.Context(), r.PathValue("owner"), r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	defer release()
 	var req FetchRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, err)
@@ -907,11 +924,12 @@ func (s *Server) applyPush(ctx context.Context, repo *gitcite.Repo, owner, name,
 func (s *Server) handlePushV1(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	owner, name := r.PathValue("owner"), r.PathValue("name")
-	repo, err := s.platform.AuthorizeWriteAs(ctx, userFrom(ctx), owner, name)
+	repo, release, err := s.platform.AcquireForWrite(ctx, userFrom(ctx), owner, name)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	defer release()
 	sr := NewObjectStreamReader(r.Body)
 	var hdr PushHeader
 	if err := sr.ReadHeader(&hdr); err != nil {
@@ -946,6 +964,7 @@ func (s *Server) handlePushV1(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.platform.maybeAutoRepack(owner, name)
 	writeJSON(w, http.StatusOK, PushResponse{Stored: stored, Tip: tip.String()})
 }
 
@@ -959,11 +978,12 @@ func (s *Server) handlePushLegacy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	owner, name := r.PathValue("owner"), r.PathValue("name")
-	repo, err := s.platform.AuthorizeWriteAs(ctx, userFrom(ctx), owner, name)
+	repo, release, err := s.platform.AcquireForWrite(ctx, userFrom(ctx), owner, name)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	defer release()
 	tip, err := object.ParseID(req.Tip)
 	if err != nil {
 		writeErr(w, fmt.Errorf("%w: bad tip: %v", ErrBadRequest, err))
@@ -994,6 +1014,7 @@ func (s *Server) handlePushLegacy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.platform.maybeAutoRepack(owner, name)
 	writeJSON(w, http.StatusOK, PushResponse{Stored: stored, Tip: tip.String()})
 }
 
@@ -1006,10 +1027,11 @@ func (s *Server) handlePushLegacy(w http.ResponseWriter, r *http.Request) {
 // requests get the same ETag/304 treatment as the citation reads; clients
 // with prior state should negotiate instead.
 func (s *Server) handlePullV1(w http.ResponseWriter, r *http.Request) {
-	repo, commit, ok := s.beginCommitRead(w, r)
+	repo, commit, release, ok := s.beginCommitRead(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	w.Header().Set("Content-Type", MediaTypeNDJSON)
 	w.WriteHeader(http.StatusOK)
 	sw := NewObjectStreamWriter(w)
@@ -1038,10 +1060,11 @@ func (s *Server) handlePullV1(w http.ResponseWriter, r *http.Request) {
 
 // handlePullLegacy serves the deprecated whole-array JSON closure download.
 func (s *Server) handlePullLegacy(w http.ResponseWriter, r *http.Request) {
-	repo, commit, ok := s.beginCommitRead(w, r)
+	repo, commit, release, ok := s.beginCommitRead(w, r)
 	if !ok {
 		return
 	}
+	defer release()
 	resp := PullResponse{Tip: commit.String()}
 	err := store.WalkClosure(repo.VCS.Objects, func(_ object.ID, o object.Object) error {
 		resp.Objects = append(resp.Objects, WireObject{Data: base64.StdEncoding.EncodeToString(object.Encode(o))})

@@ -49,4 +49,20 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 	writeFuzzSeed(t, "FuzzWireNDJSON", "base64-not-object", []byte(`{"d":"aGVsbG8="}`+"\n"))
 	writeFuzzSeed(t, "FuzzWireNDJSON", "truncated-json", []byte(`{"d":`))
 	writeFuzzSeed(t, "FuzzWireNDJSON", "blank-lines", []byte("\n\n\n"))
+
+	canon, err := encodeManifest(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFuzzSeed(t, "FuzzManifestReplay", "canonical", canon)
+	writeFuzzSeed(t, "FuzzManifestReplay", "torn-tail", canon[:len(canon)-7])
+	writeFuzzSeed(t, "FuzzManifestReplay", "bad-crc",
+		append(append([]byte{}, canon...), "00000000 {\"op\":\"user\",\"name\":\"x\",\"token\":\"t\"}\n"...))
+	unknown, err := encodeManifestLine(manifestRecord{Op: "quota", Name: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFuzzSeed(t, "FuzzManifestReplay", "unknown-op", append(append([]byte{}, canon...), unknown...))
+	writeFuzzSeed(t, "FuzzManifestReplay", "header-only", []byte(manifestHeader))
+	writeFuzzSeed(t, "FuzzManifestReplay", "foreign-file", []byte("not a manifest\n"))
 }

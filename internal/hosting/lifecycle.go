@@ -1,0 +1,444 @@
+// lifecycle.go is the durable half of the platform: OpenPlatform boots a
+// persistent, restartable service from a data directory (manifest replay,
+// fork-intent recovery, orphan GC, compaction), the bounded open-repo LRU
+// keeps resident repository handles at a fixed cap, the auto-repack policy
+// piggybacks store maintenance on pushes, and Close is the graceful half
+// of shutdown after the HTTP server has drained.
+package hosting
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/gitcite/gitcite/internal/gitcite"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// OpenPlatform opens (creating if needed) a persistent platform rooted at
+// dir. Hosted repositories live at dir/OWNER/NAME with pack-based object
+// storage; accounts, tokens, memberships and fork intents replay from the
+// dir/manifest.log journal. Boot reconciles journal against directory
+// tree:
+//
+//   - a fork-begin without its fork-commit (a crash mid-ForkInto) has its
+//     partial destination directory removed and the intent aborted;
+//   - directories no acknowledged record owns (a crash between directory
+//     creation and the create's journal append) are GC'd;
+//   - on very first boot (no manifest yet), existing OWNER/NAME directories
+//     from a pre-manifest deployment are adopted as hosted repositories —
+//     reads work immediately; accounts must be re-created since tokens
+//     were never persisted;
+//   - the journal is compacted to a canonical snapshot, so replay cost
+//     tracks live state rather than platform history.
+//
+// Repositories are registered closed and opened lazily on first use; with
+// WithOpenRepoLimit the least-recently-used idle handles are closed again,
+// so a platform hosting thousands of repositories holds a bounded number
+// of open pack stores. Call Close on shutdown (after draining HTTP).
+func OpenPlatform(dir string, opts ...PlatformOption) (*Platform, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("%w: OpenPlatform requires a data directory", ErrBadRequest)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("hosting: open platform: %w", err)
+	}
+	p := NewPlatform(opts...)
+	p.dir = dir
+	if !p.factorySet {
+		p.newRepo = func(meta gitcite.Meta) (*gitcite.Repo, error) {
+			return gitcite.OpenPackedFileRepo(p.repoDir(meta.Owner, meta.Name), meta)
+		}
+	}
+	path := filepath.Join(dir, manifestName)
+	_, statErr := os.Stat(path)
+	firstBoot := os.IsNotExist(statErr)
+	man, st, err := openManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	p.man = man
+	fail := func(err error) (*Platform, error) {
+		man.close()
+		return nil, err
+	}
+	if firstBoot {
+		if err := p.adoptExisting(st); err != nil {
+			return fail(err)
+		}
+	}
+	// Recover crashed forks: the begin record names the destination
+	// directory (in whatever partial state the crash left it) to remove.
+	// Remove before journaling the abort — if we crash in between, the
+	// next boot just removes an already-absent directory again.
+	for key, rec := range st.pending {
+		if err := os.RemoveAll(p.repoDir(rec.Owner, rec.Repo)); err != nil {
+			return fail(fmt.Errorf("hosting: abort fork %s: %w", key, err))
+		}
+		if err := man.append(manifestRecord{Op: opForkAbort, Owner: rec.Owner, Repo: rec.Repo}); err != nil {
+			return fail(err)
+		}
+		delete(st.pending, key)
+	}
+	for key, mr := range st.repos {
+		hr := &hostedRepo{
+			owner:   mr.owner,
+			meta:    gitcite.Meta{Owner: mr.owner, Name: mr.name, URL: mr.url, License: mr.license},
+			members: make(map[string]bool, len(mr.members)),
+			editSem: make(chan struct{}, 1),
+		}
+		for m := range mr.members {
+			hr.members[m] = true
+		}
+		p.repos[key] = hr
+	}
+	for name, tok := range st.users {
+		u := &User{Name: name, Token: tok}
+		p.users[name] = u
+		p.byToken[tok] = u
+	}
+	if _, err := p.GCOrphans(); err != nil {
+		return fail(err)
+	}
+	if err := man.compact(st); err != nil {
+		return fail(err)
+	}
+	return p, nil
+}
+
+// repoDir is where a hosted repository persists under the data directory.
+func (p *Platform) repoDir(owner, name string) string {
+	return filepath.Join(p.dir, owner, name)
+}
+
+// adoptExisting journals a repo record for every OWNER/NAME directory a
+// pre-manifest deployment left under the data directory. Runs only on the
+// very first boot with a manifest — once a manifest exists, unknown
+// directories are orphans and GC'd instead.
+func (p *Platform) adoptExisting(st *manifestState) error {
+	owners, err := os.ReadDir(p.dir)
+	if err != nil {
+		return err
+	}
+	for _, o := range owners {
+		if !o.IsDir() || strings.HasPrefix(o.Name(), ".") {
+			continue
+		}
+		repos, err := os.ReadDir(filepath.Join(p.dir, o.Name()))
+		if err != nil {
+			return err
+		}
+		for _, r := range repos {
+			if !r.IsDir() || strings.HasPrefix(r.Name(), ".") {
+				continue
+			}
+			rec := manifestRecord{
+				Op: opRepo, Owner: o.Name(), Repo: r.Name(),
+				URL: "https://git.example/" + o.Name() + "/" + r.Name(),
+			}
+			if err := p.man.append(rec); err != nil {
+				return err
+			}
+			st.apply(rec)
+		}
+	}
+	return nil
+}
+
+// GCOrphans removes OWNER/NAME directories under the data directory that
+// no live repository or in-flight fork owns — the debris of a process
+// killed between creating a directory and journaling it. Returns the
+// removed "owner/name" keys, sorted. No-op on in-memory platforms.
+func (p *Platform) GCOrphans() ([]string, error) {
+	if p.dir == "" {
+		return nil, nil
+	}
+	p.mu.RLock()
+	keep := make(map[string]bool, len(p.repos)+len(p.pending))
+	for k := range p.repos {
+		keep[k] = true
+	}
+	for k := range p.pending {
+		keep[k] = true
+	}
+	p.mu.RUnlock()
+	owners, err := os.ReadDir(p.dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, o := range owners {
+		if !o.IsDir() {
+			continue
+		}
+		ownerDir := filepath.Join(p.dir, o.Name())
+		repos, err := os.ReadDir(ownerDir)
+		if err != nil {
+			return removed, err
+		}
+		live := 0
+		for _, r := range repos {
+			key := repoKey(o.Name(), r.Name())
+			if !r.IsDir() || keep[key] {
+				live++
+				continue
+			}
+			if err := os.RemoveAll(filepath.Join(ownerDir, r.Name())); err != nil {
+				return removed, err
+			}
+			removed = append(removed, key)
+		}
+		if live == 0 {
+			// Best-effort: an owner directory emptied by GC is itself debris.
+			os.Remove(ownerDir)
+		}
+	}
+	sort.Strings(removed)
+	return removed, nil
+}
+
+// enforceOpenLimit closes least-recently-used idle repository handles until
+// the open count is back under the limit. Only pinned (in-flight) handles
+// are skipped, so the count can transiently exceed the limit by at most
+// the number of concurrently pinned repositories. Persistent platforms
+// only — closing an in-memory repository would lose it.
+func (p *Platform) enforceOpenLimit() {
+	if p.dir == "" || p.openLimit <= 0 {
+		return
+	}
+	// The attempts bound prevents spinning when every candidate gets
+	// pinned between the scan and the lock.
+	for attempts := 0; p.openCount.Load() > int64(p.openLimit) && attempts < 4*p.openLimit+16; attempts++ {
+		victim := p.lruVictim()
+		if victim == nil {
+			return
+		}
+		victim.mu.Lock()
+		// Re-check under the handle lock: the repository may have been
+		// pinned (or already evicted) since the scan.
+		if victim.repo != nil && victim.active == 0 {
+			victim.repo.Close()
+			victim.repo = nil
+			p.openCount.Add(-1)
+		}
+		victim.mu.Unlock()
+	}
+}
+
+// lruVictim picks the open, unpinned repository with the oldest recency
+// tick; nil when every open repository is in flight.
+func (p *Platform) lruVictim() *hostedRepo {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var victim *hostedRepo
+	var oldest int64
+	for _, hr := range p.repos {
+		hr.mu.Lock()
+		idle := hr.repo != nil && hr.active == 0
+		hr.mu.Unlock()
+		if !idle {
+			continue
+		}
+		if t := hr.used.Load(); victim == nil || t < oldest {
+			victim, oldest = hr, t
+		}
+	}
+	return victim
+}
+
+// OpenRepoCount reports how many hosted repository handles are currently
+// open. With WithOpenRepoLimit on a persistent platform it converges back
+// to at most the limit whenever no requests are in flight.
+func (p *Platform) OpenRepoCount() int { return int(p.openCount.Load()) }
+
+// PlatformStatus is the admin-API summary of the running platform.
+type PlatformStatus struct {
+	Users         int             `json:"users"`
+	Repos         int             `json:"repos"`
+	OpenRepos     int             `json:"openRepos"`
+	OpenRepoLimit int             `json:"openRepoLimit,omitempty"`
+	Persistent    bool            `json:"persistent"`
+	DataDir       string          `json:"dataDir,omitempty"`
+	Manifest      *ManifestStatus `json:"manifest,omitempty"`
+}
+
+// Status reports platform-wide counters and, on persistent platforms, the
+// manifest journal's state.
+func (p *Platform) Status(ctx context.Context) PlatformStatus {
+	if ctx.Err() != nil {
+		return PlatformStatus{}
+	}
+	p.mu.RLock()
+	st := PlatformStatus{
+		Users:         len(p.users),
+		Repos:         len(p.repos),
+		OpenRepoLimit: p.openLimit,
+		Persistent:    p.dir != "",
+		DataDir:       p.dir,
+	}
+	p.mu.RUnlock()
+	st.OpenRepos = p.OpenRepoCount()
+	if p.man != nil {
+		ms := p.man.status()
+		st.Manifest = &ms
+	}
+	return st
+}
+
+// RepoStats is the admin-API view of one hosted repository's storage.
+// Pack figures are zero for repositories without pack-based storage.
+type RepoStats struct {
+	Owner         string   `json:"owner"`
+	Name          string   `json:"name"`
+	Open          bool     `json:"open"` // was the handle open before this call?
+	Members       []string `json:"members"`
+	Packs         int      `json:"packs"`
+	PackedObjects int      `json:"packedObjects"`
+	LooseObjects  int      `json:"looseObjects"`
+}
+
+// RepoStats reports a hosted repository's membership and storage shape.
+// Gathering pack figures opens the repository if the LRU had closed it.
+func (p *Platform) RepoStats(ctx context.Context, owner, name string) (RepoStats, error) {
+	if err := ctx.Err(); err != nil {
+		return RepoStats{}, err
+	}
+	hr, err := p.lookup(owner, name)
+	if err != nil {
+		return RepoStats{}, err
+	}
+	hr.mu.Lock()
+	wasOpen := hr.repo != nil
+	hr.mu.Unlock()
+	p.mu.RLock()
+	members := make([]string, 0, len(hr.members))
+	for m := range hr.members {
+		members = append(members, m)
+	}
+	p.mu.RUnlock()
+	sort.Strings(members)
+	rs := RepoStats{Owner: owner, Name: name, Open: wasOpen, Members: members}
+	repo, release, err := p.pin(hr)
+	if err != nil {
+		return rs, err
+	}
+	defer release()
+	if ps := packStoreOf(repo); ps != nil {
+		s := ps.Stats()
+		rs.Packs, rs.PackedObjects, rs.LooseObjects = s.Packs, s.PackedObjects, s.LooseObjects
+	}
+	return rs, nil
+}
+
+// RepackRepo folds a hosted repository's loose objects and consolidates
+// its packs (the admin API's manual trigger), returning how many loose
+// objects were folded. Errors for repositories without pack storage.
+func (p *Platform) RepackRepo(ctx context.Context, owner, name string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	hr, err := p.lookup(owner, name)
+	if err != nil {
+		return 0, err
+	}
+	repo, release, err := p.pin(hr)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return repo.VCS.Repack()
+}
+
+// packStoreOf unwraps a repository's object store to its pack store, nil
+// when storage is not pack-based (in-memory or loose layouts).
+func packStoreOf(repo *gitcite.Repo) *store.PackStore {
+	objs := repo.VCS.Objects
+	if cs, ok := objs.(*store.CachedStore); ok {
+		objs = cs.Backend()
+	}
+	ps, _ := objs.(*store.PackStore)
+	return ps
+}
+
+// maybeAutoRepack runs the push-piggybacked maintenance policy: when the
+// repository's pack or loose-object count has reached the configured
+// threshold, fold it in the background. At most one repack per repository
+// runs at a time; the repository is pinned for the duration so LRU
+// eviction cannot close the store mid-fold. Handlers call it after a
+// successful push — never on the request's critical path.
+func (p *Platform) maybeAutoRepack(owner, name string) {
+	if p.autoRepackPacks <= 0 && p.autoRepackLoose <= 0 {
+		return
+	}
+	hr, err := p.lookup(owner, name)
+	if err != nil {
+		return
+	}
+	if !hr.repacking.CompareAndSwap(false, true) {
+		return
+	}
+	repo, release, err := p.pin(hr)
+	if err != nil {
+		hr.repacking.Store(false)
+		return
+	}
+	ps := packStoreOf(repo)
+	if ps == nil {
+		release()
+		hr.repacking.Store(false)
+		return
+	}
+	s := ps.Stats()
+	if !(p.autoRepackPacks > 0 && s.Packs >= p.autoRepackPacks) &&
+		!(p.autoRepackLoose > 0 && s.LooseObjects >= p.autoRepackLoose) {
+		release()
+		hr.repacking.Store(false)
+		return
+	}
+	go func() {
+		defer release()
+		defer hr.repacking.Store(false)
+		// Failure is non-fatal: the store stays valid, and the next push
+		// over threshold retries.
+		_, _ = repo.VCS.Repack()
+	}()
+}
+
+// Close shuts the platform down: further mutations fail with ErrClosed,
+// every open repository handle is closed, and the manifest journal is
+// flushed and released. Call it after the HTTP server has drained
+// (http.Server.Shutdown), when no request still holds a pin. Idempotent.
+func (p *Platform) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	repos := make([]*hostedRepo, 0, len(p.repos))
+	for _, hr := range p.repos {
+		repos = append(repos, hr)
+	}
+	p.mu.Unlock()
+	var firstErr error
+	for _, hr := range repos {
+		hr.mu.Lock()
+		if hr.repo != nil {
+			if err := hr.repo.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			hr.repo = nil
+			p.openCount.Add(-1)
+		}
+		hr.mu.Unlock()
+	}
+	if p.man != nil {
+		if err := p.man.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,616 @@
+package hosting
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/gitcite"
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+func testSig(n int) object.Signature {
+	return vcs.Sig("alice", "alice@x", time.Unix(1536028520+int64(n), 0))
+}
+
+// commitFile adds one file to a repository's main branch and returns the
+// commit.
+func commitFile(t *testing.T, repo *gitcite.Repo, path, content string) object.ID {
+	t.Helper()
+	wt, err := repo.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.WriteFile(path, []byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := wt.Commit(vcs.CommitOptions{Author: testSig(len(content)), Message: "add " + path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// closureDigest maps every object in tip's reachable closure to the SHA-256
+// of its canonical encoding — the bit-identity witness for restart tests.
+func closureDigest(t *testing.T, repo *gitcite.Repo, tip object.ID) map[object.ID][32]byte {
+	t.Helper()
+	digest := map[object.ID][32]byte{}
+	err := store.WalkClosure(repo.VCS.Objects, func(id object.ID, o object.Object) error {
+		digest[id] = sha256.Sum256(object.Encode(o))
+		return nil
+	}, tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return digest
+}
+
+// TestRestartRecoversPlatform is the headline restart property: build a
+// platform with users, repositories, a member grant and a fork; close it;
+// reopen from the same directory. Every account authenticates, every
+// repository's closure is bit-identical, and membership survived.
+func TestRestartRecoversPlatform(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	p, err := OpenPlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := p.CreateUser(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := p.CreateUser(ctx, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tips := map[string]object.ID{}
+	digests := map[string]map[object.ID][32]byte{}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("proj%d", i)
+		repo, err := p.CreateRepoAs(ctx, alice, name, "https://git.example/alice/"+name, "MIT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tip := commitFile(t, repo, fmt.Sprintf("/f%d.txt", i), strings.Repeat("x", i+1))
+		key := repoKey("alice", name)
+		tips[key] = tip
+		digests[key] = closureDigest(t, repo, tip)
+	}
+	if err := p.AddMemberAs(ctx, alice, "alice", "proj0", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := p.ForkRepoAs(ctx, bob, "alice", "proj1", "fork1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fkey := repoKey("bob", "fork1")
+	tips[fkey] = tips[repoKey("alice", "proj1")]
+	digests[fkey] = closureDigest(t, fork, tips[fkey])
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenPlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	for _, u := range []*User{alice, bob} {
+		got, err := p2.Authenticate(ctx, u.Token)
+		if err != nil || got.Name != u.Name {
+			t.Fatalf("token for %s did not survive restart: %v", u.Name, err)
+		}
+	}
+	want := []string{"alice/proj0", "alice/proj1", "alice/proj2", "alice/proj3", "bob/fork1"}
+	if got := p2.ListRepos(ctx); !reflect.DeepEqual(got, want) {
+		t.Fatalf("repos after restart = %v, want %v", got, want)
+	}
+	for key, tip := range tips {
+		owner, name, _ := strings.Cut(key, "/")
+		repo, release, err := p2.AcquireRepo(ctx, owner, name)
+		if err != nil {
+			t.Fatalf("reopen %s: %v", key, err)
+		}
+		got, err := repo.VCS.BranchTip("main")
+		if err != nil || got != tip {
+			t.Fatalf("%s tip after restart = %v (%v), want %v", key, got, err, tip)
+		}
+		if d := closureDigest(t, repo, tip); !reflect.DeepEqual(d, digests[key]) {
+			t.Fatalf("%s closure not bit-identical after restart", key)
+		}
+		release()
+	}
+	if !p2.IsMember(ctx, "bob", "alice", "proj0") {
+		t.Fatal("membership grant did not survive restart")
+	}
+	if p2.IsMember(ctx, "bob", "alice", "proj1") {
+		t.Fatal("restart invented a membership")
+	}
+	// The fork belongs to bob alone.
+	if _, _, err := p2.AcquireForWrite(ctx, bob, "bob", "fork1"); err != nil {
+		t.Fatalf("fork owner lost write access after restart: %v", err)
+	}
+}
+
+// TestForkCrashRecoveryAtEveryPhase kills the fork protocol at each stage
+// — intent journaled, destination created, copy complete (commit record
+// never written) — then boots a fresh platform from the directory and
+// checks the invariants: the half-fork is gone from disk and listing, the
+// source is untouched, and the same fork can then succeed.
+func TestForkCrashRecoveryAtEveryPhase(t *testing.T) {
+	for _, stage := range []string{"begun", "created", "copied"} {
+		t.Run(stage, func(t *testing.T) {
+			ctx := context.Background()
+			dir := t.TempDir()
+			p, err := OpenPlatform(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alice, err := p.CreateUser(ctx, "alice")
+			if err != nil {
+				t.Fatal(err)
+			}
+			bob, err := p.CreateUser(ctx, "bob")
+			if err != nil {
+				t.Fatal(err)
+			}
+			repo, err := p.CreateRepoAs(ctx, alice, "proj", "https://git.example/alice/proj", "MIT")
+			if err != nil {
+				t.Fatal(err)
+			}
+			tip := commitFile(t, repo, "/main.go", "package main\n")
+			srcDigest := closureDigest(t, repo, tip)
+
+			forkCrashPoint = func(s string) bool { return s == stage }
+			defer func() { forkCrashPoint = nil }()
+			if _, err := p.ForkRepoAs(ctx, bob, "alice", "proj", "proj"); err != errSimulatedCrash {
+				t.Fatalf("crash point %q did not fire: %v", stage, err)
+			}
+			forkCrashPoint = nil
+			// The platform is NOT closed: every acknowledged record is
+			// already fsync'd, so abandoning the instance is the kill -9.
+
+			p2, err := OpenPlatform(dir)
+			if err != nil {
+				t.Fatalf("boot after crash at %q: %v", stage, err)
+			}
+			defer p2.Close()
+			if got := p2.ListRepos(ctx); !reflect.DeepEqual(got, []string{"alice/proj"}) {
+				t.Fatalf("repos after crash at %q = %v, want [alice/proj]", stage, got)
+			}
+			if _, err := os.Stat(filepath.Join(dir, "bob", "proj")); !os.IsNotExist(err) {
+				t.Fatalf("orphan fork directory survived crash at %q (stat err %v)", stage, err)
+			}
+			src, release, err := p2.AcquireRepo(ctx, "alice", "proj")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := closureDigest(t, src, tip); !reflect.DeepEqual(d, srcDigest) {
+				t.Fatalf("source closure damaged by crash at %q", stage)
+			}
+			release()
+			// Recovery must leave the name free: the fork now succeeds.
+			bob2, err := p2.Authenticate(ctx, bob.Token)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fork, err := p2.ForkRepoAs(ctx, bob2, "alice", "proj", "proj")
+			if err != nil {
+				t.Fatalf("fork retry after crash at %q: %v", stage, err)
+			}
+			if d := closureDigest(t, fork, tip); !reflect.DeepEqual(d, srcDigest) {
+				t.Fatalf("retried fork closure differs at %q", stage)
+			}
+		})
+	}
+}
+
+// TestBootGCRemovesOrphanDirs plants directories no manifest record owns —
+// the debris of a crash between mkdir and journal append — and checks boot
+// removes exactly them.
+func TestBootGCRemovesOrphanDirs(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	p, err := OpenPlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := p.CreateUser(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateRepoAs(ctx, alice, "proj", "u", "MIT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Orphans: a half-created repo under a live owner, and a whole orphan
+	// owner tree.
+	for _, d := range []string{"alice/zombie", "ghost/junk"} {
+		if err := os.MkdirAll(filepath.Join(dir, d, "objects"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p2, err := OpenPlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.ListRepos(ctx); !reflect.DeepEqual(got, []string{"alice/proj"}) {
+		t.Fatalf("repos = %v, want [alice/proj]", got)
+	}
+	for _, d := range []string{"alice/zombie", "ghost"} {
+		if _, err := os.Stat(filepath.Join(dir, d)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived boot GC (stat err %v)", d, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "alice", "proj")); err != nil {
+		t.Fatalf("boot GC removed a live repository: %v", err)
+	}
+}
+
+// TestFirstBootAdoptsExistingDirs covers upgrading a pre-manifest -pack
+// deployment: OWNER/NAME directories already on disk are adopted as hosted
+// repositories on the very first boot (and only then).
+func TestFirstBootAdoptsExistingDirs(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	legacy, err := gitcite.OpenPackedFileRepo(filepath.Join(dir, "alice", "legacy"),
+		gitcite.Meta{Owner: "alice", Name: "legacy", URL: "https://git.example/alice/legacy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tip := commitFile(t, legacy, "/old.txt", "pre-manifest data\n")
+	digest := closureDigest(t, legacy, tip)
+	if err := legacy.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := OpenPlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ListRepos(ctx); !reflect.DeepEqual(got, []string{"alice/legacy"}) {
+		t.Fatalf("adopted repos = %v, want [alice/legacy]", got)
+	}
+	repo, release, err := p.AcquireRepo(ctx, "alice", "legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := closureDigest(t, repo, tip); !reflect.DeepEqual(d, digest) {
+		t.Fatal("adopted repository closure differs")
+	}
+	release()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Second boot: adoption must not re-run (the manifest now owns truth).
+	p2, err := OpenPlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.ListRepos(ctx); !reflect.DeepEqual(got, []string{"alice/legacy"}) {
+		t.Fatalf("repos after second boot = %v", got)
+	}
+}
+
+// TestOpenRepoLRUBoundsHandles hammers a limited platform from many
+// goroutines and checks the two LRU invariants: no request ever observes a
+// closed repository, and once traffic stops the open-handle count is back
+// at (or under) the cap with every repository still serving correct data.
+func TestOpenRepoLRUBoundsHandles(t *testing.T) {
+	ctx := context.Background()
+	const limit, repos = 4, 12
+	p, err := OpenPlatform(t.TempDir(), WithOpenRepoLimit(limit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	alice, err := p.CreateUser(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tips := make([]object.ID, repos)
+	for i := 0; i < repos; i++ {
+		repo, err := p.CreateRepoAs(ctx, alice, fmt.Sprintf("r%d", i), "u", "MIT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tips[i] = commitFile(t, repo, "/data.txt", fmt.Sprintf("repo %d\n", i))
+	}
+	if got := p.OpenRepoCount(); got > limit {
+		t.Fatalf("open repos after creates = %d, want <= %d", got, limit)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				n := (g*7 + i) % repos
+				repo, release, err := p.AcquireRepo(ctx, "alice", fmt.Sprintf("r%d", n))
+				if err != nil {
+					t.Errorf("acquire r%d: %v", n, err)
+					return
+				}
+				tip, err := repo.VCS.BranchTip("main")
+				if err != nil || tip != tips[n] {
+					t.Errorf("r%d tip = %v (%v), want %v", n, tip, err, tips[n])
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.OpenRepoCount(); got > limit {
+		t.Fatalf("open repos after load = %d, want <= %d", got, limit)
+	}
+	// Evicted repositories must reopen transparently with intact data.
+	for i := 0; i < repos; i++ {
+		repo, release, err := p.AcquireRepo(ctx, "alice", fmt.Sprintf("r%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tip, err := repo.VCS.BranchTip("main"); err != nil || tip != tips[i] {
+			t.Fatalf("r%d after evictions: tip %v (%v), want %v", i, tip, err, tips[i])
+		}
+		release()
+	}
+}
+
+// TestPlatformCloseRejectsFurtherMutations pins the ErrClosed contract.
+func TestPlatformCloseRejectsFurtherMutations(t *testing.T) {
+	ctx := context.Background()
+	p, err := OpenPlatform(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := p.CreateUser(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close is not idempotent: %v", err)
+	}
+	if _, err := p.CreateUser(ctx, "bob"); err != ErrClosed {
+		t.Fatalf("CreateUser after Close = %v, want ErrClosed", err)
+	}
+	if _, err := p.CreateRepoAs(ctx, alice, "r", "u", ""); err != ErrClosed {
+		t.Fatalf("CreateRepoAs after Close = %v, want ErrClosed", err)
+	}
+	if _, _, err := p.AcquireRepo(ctx, "alice", "r"); err != ErrClosed {
+		t.Fatalf("AcquireRepo after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestAutoRepackPolicy pushes commits one at a time (each push appends a
+// pack) with a one-pack threshold and checks the store gets folded back to
+// a single pack without losing data.
+func TestAutoRepackPolicy(t *testing.T) {
+	ctx := context.Background()
+	p, err := OpenPlatform(t.TempDir(), WithAutoRepack(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	alice, err := p.CreateUser(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := p.CreateRepoAs(ctx, alice, "proj", "u", "MIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tip object.ID
+	for i := 0; i < 6; i++ {
+		tip = commitFile(t, repo, fmt.Sprintf("/f%d.txt", i), "data\n")
+		p.maybeAutoRepack("alice", "proj")
+	}
+	// Repacks are asynchronous; wait for the dedupe flag to clear.
+	hr, err := p.lookup("alice", "proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for hr.repacking.Load() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	got, release, err := p.AcquireRepo(ctx, "alice", "proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ps := packStoreOf(got)
+	if ps == nil {
+		t.Fatal("persistent repo is not pack-backed")
+	}
+	st := ps.Stats()
+	if st.Packs > 2 {
+		t.Fatalf("auto-repack never consolidated: %d packs", st.Packs)
+	}
+	if cur, err := got.VCS.BranchTip("main"); err != nil || cur != tip {
+		t.Fatalf("tip after auto-repack = %v (%v), want %v", cur, err, tip)
+	}
+}
+
+// TestAdminAPI exercises the operator surface end to end: gating (403
+// disabled, 401 wrong token), status counters, per-repo stats, manual
+// repack and GC.
+func TestAdminAPI(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	p, err := OpenPlatform(dir, WithOpenRepoLimit(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	alice, err := p.CreateUser(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := p.CreateRepoAs(ctx, alice, "proj", "u", "MIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitFile(t, repo, "/a.txt", "x\n")
+
+	admin := func(srv *Server, method, path, token string) (*http.Response, []byte) {
+		t.Helper()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf [1 << 16]byte
+		n, _ := resp.Body.Read(buf[:])
+		return resp, buf[:n]
+	}
+
+	// Disabled group: 403 for anonymous callers and valid user tokens
+	// alike (an unknown bearer token is already a 401 at the auth layer).
+	noAdmin := NewServer(p)
+	if resp, _ := admin(noAdmin, "GET", "/api/v1/admin/status", ""); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("disabled admin status (anon) = %d, want 403", resp.StatusCode)
+	}
+	if resp, _ := admin(noAdmin, "GET", "/api/v1/admin/status", alice.Token); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("disabled admin status (user token) = %d, want 403", resp.StatusCode)
+	}
+
+	srv := NewServer(p, WithAdminToken("sekrit"))
+	if resp, _ := admin(srv, "GET", "/api/v1/admin/status", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("missing admin token = %d, want 401", resp.StatusCode)
+	}
+	if resp, _ := admin(srv, "GET", "/api/v1/admin/status", alice.Token); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("user token on admin route = %d, want 401", resp.StatusCode)
+	}
+
+	resp, body := admin(srv, "GET", "/api/v1/admin/status", "sekrit")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin status = %d: %s", resp.StatusCode, body)
+	}
+	var st PlatformStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Users != 1 || st.Repos != 1 || !st.Persistent || st.Manifest == nil || st.OpenRepoLimit != 8 {
+		t.Fatalf("admin status = %+v", st)
+	}
+
+	resp, body = admin(srv, "GET", "/api/v1/admin/repos/alice/proj/stats", "sekrit")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repo stats = %d: %s", resp.StatusCode, body)
+	}
+	var rs RepoStats
+	if err := json.Unmarshal(body, &rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Owner != "alice" || rs.Name != "proj" || rs.PackedObjects+rs.LooseObjects == 0 {
+		t.Fatalf("repo stats = %+v", rs)
+	}
+	if !reflect.DeepEqual(rs.Members, []string{"alice"}) {
+		t.Fatalf("repo stats members = %v", rs.Members)
+	}
+
+	if resp, body = admin(srv, "POST", "/api/v1/admin/repos/alice/proj/repack", "sekrit"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin repack = %d: %s", resp.StatusCode, body)
+	}
+
+	// Plant an orphan, GC it through the API.
+	if err := os.MkdirAll(filepath.Join(dir, "ghost", "junk"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = admin(srv, "POST", "/api/v1/admin/gc", "sekrit")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin gc = %d: %s", resp.StatusCode, body)
+	}
+	var gc AdminGCResponse
+	if err := json.Unmarshal(body, &gc); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gc.Removed, []string{"ghost/junk"}) {
+		t.Fatalf("gc removed %v, want [ghost/junk]", gc.Removed)
+	}
+
+	// Admin endpoints are not reachable with a 404 repo either.
+	if resp, _ := admin(srv, "GET", "/api/v1/admin/repos/alice/nope/stats", "sekrit"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stats for missing repo = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestWriteAheadUserAndRepoRecords verifies the ordering contract directly:
+// every acknowledged CreateUser/CreateRepoAs/AddMemberAs is on disk before
+// the call returns — an un-Closed (crashed) platform loses nothing.
+func TestWriteAheadUserAndRepoRecords(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	p, err := OpenPlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := p.CreateUser(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := p.CreateUser(ctx, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := p.CreateRepoAs(ctx, alice, "proj", "u", "MIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tip := commitFile(t, repo, "/a.txt", "x\n")
+	if err := p.AddMemberAs(ctx, alice, "alice", "proj", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the platform "crashes" here.
+	p2, err := OpenPlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if _, err := p2.Authenticate(ctx, alice.Token); err != nil {
+		t.Fatal("alice's token lost without Close")
+	}
+	if !p2.IsMember(ctx, "bob", "alice", "proj") {
+		t.Fatal("membership lost without Close")
+	}
+	got, release, err := p2.AcquireRepo(ctx, "alice", "proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if cur, err := got.VCS.BranchTip("main"); err != nil || cur != tip {
+		t.Fatalf("commit lost without Close: %v (%v)", cur, err)
+	}
+	_ = bob
+}

@@ -1,0 +1,427 @@
+// manifest.go implements the platform's durable state: a write-ahead,
+// fsync'd, torn-tail-tolerant journal of every platform mutation — user
+// accounts and their tokens, repository ownership and membership, and the
+// two-phase fork protocol — persisted under the data directory so a
+// restarted gitcite-server recovers every hosted repository instead of
+// booting amnesiac.
+//
+// File layout ("manifest.log" under the platform data directory): one
+// header line, then one record per line of
+//
+//	crc32(json) as 8 lowercase hex digits | one space | compact JSON | \n
+//
+// The journal is the acknowledgement log, exactly like the pack store's
+// .seg segment journal: a mutation is acknowledged to the caller only
+// after its record is written and fsync'd, and replay stops at the first
+// line that is torn, fails its CRC, or carries an unknown operation — the
+// acknowledged history ends there, and the open truncates the file back to
+// it so later appends extend valid state. Forks are journaled two-phase
+// (fork-begin → copy → fork-commit), so every crash order is recoverable
+// at boot: a begin without its commit names an orphan directory to GC.
+//
+// Compaction: boot reconciliation rewrites the journal as a canonical
+// snapshot (sorted, intents resolved) via tmp-file + rename + directory
+// fsync, bounding replay cost by live state, not platform history.
+package hosting
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// manifestHeader is the first line of every manifest file; a file that
+// does not start with it is not a manifest and is never silently adopted.
+const manifestHeader = "gitcite-manifest v1\n"
+
+// manifestName is the journal's file name under the platform data dir.
+const manifestName = "manifest.log"
+
+// Manifest record operations. Unknown operations end replay (conservative:
+// a newer format must not be half-understood).
+const (
+	opUser       = "user"        // account created: Name, Token
+	opRepo       = "repo"        // repository created: Owner, Repo, URL, License
+	opMember     = "member"      // write access granted: Owner, Repo, Member
+	opForkBegin  = "fork-begin"  // fork intent: Owner/Repo = destination, SrcOwner/SrcRepo = source
+	opForkCommit = "fork-commit" // fork copy completed: Owner, Repo
+	opForkAbort  = "fork-abort"  // fork failed or was GC'd at boot: Owner, Repo
+)
+
+// manifestRecord is one journal line's payload. Field usage depends on Op;
+// unused fields are omitted from the JSON.
+type manifestRecord struct {
+	Op       string `json:"op"`
+	Name     string `json:"name,omitempty"`  // user name
+	Token    string `json:"token,omitempty"` // user API token
+	Owner    string `json:"owner,omitempty"` // repository owner (fork: destination owner)
+	Repo     string `json:"repo,omitempty"`  // repository name (fork: destination name)
+	URL      string `json:"url,omitempty"`
+	License  string `json:"license,omitempty"`
+	Member   string `json:"member,omitempty"`
+	SrcOwner string `json:"srcOwner,omitempty"`
+	SrcRepo  string `json:"srcRepo,omitempty"`
+}
+
+// manifestRepo is one live repository in replayed state.
+type manifestRepo struct {
+	owner   string
+	name    string
+	url     string
+	license string
+	members map[string]bool // owner included
+}
+
+// manifestState is the result of replaying a manifest: the platform's
+// durable state at the acknowledged tail.
+type manifestState struct {
+	users   map[string]string        // name → token
+	repos   map[string]*manifestRepo // "owner/name" → repo
+	pending map[string]manifestRecord
+	// "owner/name" → fork-begin awaiting its commit/abort
+	records int // acknowledged records replayed
+}
+
+func newManifestState() *manifestState {
+	return &manifestState{
+		users:   map[string]string{},
+		repos:   map[string]*manifestRepo{},
+		pending: map[string]manifestRecord{},
+	}
+}
+
+// apply folds one acknowledged record into the state. Records that no
+// longer make sense (member of an unknown repo, commit of an unknown fork)
+// are ignored rather than fatal: the journal is append-only, so stale
+// shapes can only arise from compaction races long fixed — dropping them
+// is safe and keeps replay total.
+func (st *manifestState) apply(rec manifestRecord) {
+	key := repoKey(rec.Owner, rec.Repo)
+	switch rec.Op {
+	case opUser:
+		if rec.Name != "" {
+			st.users[rec.Name] = rec.Token
+		}
+	case opRepo:
+		if rec.Owner == "" || rec.Repo == "" {
+			return
+		}
+		if _, ok := st.repos[key]; !ok {
+			st.repos[key] = &manifestRepo{
+				owner: rec.Owner, name: rec.Repo, url: rec.URL, license: rec.License,
+				members: map[string]bool{rec.Owner: true},
+			}
+		}
+	case opMember:
+		if r, ok := st.repos[key]; ok && rec.Member != "" {
+			r.members[rec.Member] = true
+		}
+	case opForkBegin:
+		if rec.Owner == "" || rec.Repo == "" {
+			return
+		}
+		if _, ok := st.repos[key]; !ok {
+			st.pending[key] = rec
+		}
+	case opForkCommit:
+		if begin, ok := st.pending[key]; ok {
+			delete(st.pending, key)
+			st.repos[key] = &manifestRepo{
+				owner: begin.Owner, name: begin.Repo, url: begin.URL, license: begin.License,
+				members: map[string]bool{begin.Owner: true},
+			}
+		}
+	case opForkAbort:
+		delete(st.pending, key)
+	}
+	st.records++
+}
+
+// parseManifest replays data, returning the acknowledged state and how
+// many bytes of data it covers (the valid prefix; the caller truncates the
+// file to it before appending). The header must match — a foreign or
+// headerless file is an error, never an empty adoption. Past the header,
+// replay is total: the first torn, CRC-failing, or unknown-op line ends
+// the acknowledged history, exactly like a torn pack tail.
+func parseManifest(data []byte) (*manifestState, int64, error) {
+	if len(data) < len(manifestHeader) || string(data[:len(manifestHeader)]) != manifestHeader {
+		return nil, 0, fmt.Errorf("hosting: not a gitcite manifest (bad header)")
+	}
+	st := newManifestState()
+	covered := int64(len(manifestHeader))
+	rest := data[len(manifestHeader):]
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // torn tail: line never finished
+		}
+		line := rest[:nl]
+		// "crc32-hex8 space json" — anything shorter is torn.
+		if len(line) < 10 || line[8] != ' ' {
+			break
+		}
+		var crc uint32
+		if _, err := fmt.Sscanf(string(line[:8]), "%08x", &crc); err != nil {
+			break
+		}
+		payload := line[9:]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		var rec manifestRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		switch rec.Op {
+		case opUser, opRepo, opMember, opForkBegin, opForkCommit, opForkAbort:
+		default:
+			// An operation this build does not understand: stop rather
+			// than misapply a half-known history.
+			return st, covered, nil
+		}
+		st.apply(rec)
+		covered += int64(nl + 1)
+		rest = rest[nl+1:]
+	}
+	return st, covered, nil
+}
+
+// encodeManifestLine serialises one record as its journal line.
+func encodeManifestLine(rec manifestRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, 10+len(payload))
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(payload))
+	line = append(line, payload...)
+	return append(line, '\n'), nil
+}
+
+// encodeManifest renders state as a canonical snapshot: header, users
+// sorted by name, repositories sorted by key with members sorted within,
+// then any pending fork intents sorted by key. Canonical means replaying
+// the encoding reproduces the state bit-for-bit — the property the
+// FuzzManifestReplay target pins.
+func encodeManifest(st *manifestState) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(manifestHeader)
+	write := func(rec manifestRecord) error {
+		line, err := encodeManifestLine(rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		return nil
+	}
+	names := make([]string, 0, len(st.users))
+	for n := range st.users {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := write(manifestRecord{Op: opUser, Name: n, Token: st.users[n]}); err != nil {
+			return nil, err
+		}
+	}
+	keys := make([]string, 0, len(st.repos))
+	for k := range st.repos {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r := st.repos[k]
+		if err := write(manifestRecord{Op: opRepo, Owner: r.owner, Repo: r.name, URL: r.url, License: r.license}); err != nil {
+			return nil, err
+		}
+		members := make([]string, 0, len(r.members))
+		for m := range r.members {
+			if m != r.owner {
+				members = append(members, m)
+			}
+		}
+		sort.Strings(members)
+		for _, m := range members {
+			if err := write(manifestRecord{Op: opMember, Owner: r.owner, Repo: r.name, Member: m}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	pend := make([]string, 0, len(st.pending))
+	for k := range st.pending {
+		pend = append(pend, k)
+	}
+	sort.Strings(pend)
+	for _, k := range pend {
+		if err := write(st.pending[k]); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// manifest is the open journal handle. Appends serialise on mu and fsync
+// before returning — a record the platform acted on is always on disk.
+type manifest struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	records int // acknowledged records (replayed + appended)
+}
+
+// ManifestStatus is the admin-API view of the journal.
+type ManifestStatus struct {
+	Path    string `json:"path"`
+	Records int    `json:"records"`
+}
+
+// openManifest opens (creating if needed) the journal at path and replays
+// it. An existing file is truncated back to its acknowledged prefix, so a
+// torn tail left by a crash can never corrupt records appended after it.
+func openManifest(path string) (*manifest, *manifestState, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o600)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hosting: create manifest: %w", err)
+		}
+		if _, err := f.WriteString(manifestHeader); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("hosting: create manifest: %w", err)
+		}
+		return &manifest{path: path, f: f}, newManifestState(), nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("hosting: read manifest: %w", err)
+	}
+	st, covered, err := parseManifest(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o600)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hosting: open manifest: %w", err)
+	}
+	if covered < int64(len(data)) {
+		if err := f.Truncate(covered); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("hosting: truncate manifest torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(covered, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &manifest{path: path, f: f, records: st.records}, st, nil
+}
+
+// append journals one record: write the line, fsync, then — and only
+// then — may the platform act on it. An append error aborts the mutation.
+func (m *manifest) append(rec manifestRecord) error {
+	line, err := encodeManifestLine(rec)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return fmt.Errorf("hosting: manifest closed")
+	}
+	if _, err := m.f.Write(line); err != nil {
+		return fmt.Errorf("hosting: manifest append: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("hosting: manifest append: %w", err)
+	}
+	m.records++
+	return nil
+}
+
+// compact atomically replaces the journal with the canonical snapshot of
+// state: tmp file, fsync, rename over, fsync the directory. Run at boot
+// after reconciliation so replay cost tracks live state, not history, and
+// resolved fork intents stop being replayed forever.
+func (m *manifest) compact(st *manifestState) error {
+	data, err := encodeManifest(st)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tmp := m.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("hosting: compact manifest: %w", err)
+	}
+	if _, err = f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("hosting: compact manifest: %w", err)
+	}
+	if err := os.Rename(tmp, m.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("hosting: compact manifest: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(m.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	// Re-point the append handle at the new file.
+	nf, err := os.OpenFile(m.path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("hosting: reopen compacted manifest: %w", err)
+	}
+	if m.f != nil {
+		m.f.Close()
+	}
+	m.f = nf
+	m.records = st.records
+	return nil
+}
+
+// status reports the journal's path and acknowledged record count.
+func (m *manifest) status() ManifestStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ManifestStatus{Path: m.path, Records: m.records}
+}
+
+// close flushes and releases the journal handle. Appends after close fail.
+func (m *manifest) close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Sync()
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	m.f = nil
+	return err
+}
+
+// validRepoName rejects repository (and fork) names that could escape the
+// platform data directory or collide with the manifest: path separators,
+// traversal, dotfiles and control characters. Owner names are constrained
+// at account creation.
+func validRepoName(name string) bool {
+	if name == "" || len(name) > 255 || strings.HasPrefix(name, ".") {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\\\n\r\x00")
+}

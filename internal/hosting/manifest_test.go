@@ -1,0 +1,286 @@
+package hosting
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sampleState builds a state with every record shape: users, repos,
+// members, a resolved fork and a pending one.
+func sampleState() *manifestState {
+	st := newManifestState()
+	for _, rec := range []manifestRecord{
+		{Op: opUser, Name: "alice", Token: "gct_a"},
+		{Op: opUser, Name: "bob", Token: "gct_b"},
+		{Op: opRepo, Owner: "alice", Repo: "proj", URL: "https://git.example/alice/proj", License: "MIT"},
+		{Op: opMember, Owner: "alice", Repo: "proj", Member: "bob"},
+		{Op: opForkBegin, Owner: "bob", Repo: "proj", URL: "https://git.example/bob/proj", License: "MIT", SrcOwner: "alice", SrcRepo: "proj"},
+		{Op: opForkCommit, Owner: "bob", Repo: "proj"},
+		{Op: opForkBegin, Owner: "bob", Repo: "stuck", URL: "https://git.example/bob/stuck", SrcOwner: "alice", SrcRepo: "proj"},
+	} {
+		st.apply(rec)
+	}
+	return st
+}
+
+// statesEqual compares replayed state ignoring the record counter (which
+// counts journal lines, not live state).
+func statesEqual(a, b *manifestState) bool {
+	return reflect.DeepEqual(a.users, b.users) &&
+		reflect.DeepEqual(a.repos, b.repos) &&
+		reflect.DeepEqual(a.pending, b.pending)
+}
+
+func TestManifestEncodeReplayRoundTrip(t *testing.T) {
+	st := sampleState()
+	data, err := encodeManifest(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, covered, err := parseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != int64(len(data)) {
+		t.Fatalf("canonical encoding only %d/%d bytes acknowledged", covered, len(data))
+	}
+	if !statesEqual(st, got) {
+		t.Fatalf("replay(encode(state)) != state:\nhave %+v\nwant %+v", got, st)
+	}
+	data2, err := encodeManifest(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("canonical encoding not a fixed point:\nfirst  %q\nsecond %q", data, data2)
+	}
+}
+
+func TestManifestReplayStopsAtTornTail(t *testing.T) {
+	st := sampleState()
+	data, err := encodeManifest(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		tail []byte
+	}{
+		{"truncated-line", []byte("0bad")},
+		{"bad-crc", []byte("00000000 {\"op\":\"user\",\"name\":\"evil\",\"token\":\"x\"}\n")},
+		{"not-json", []byte("deadbeef garbage\n")},
+		{"no-space", []byte("0123456789abcdef\n")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, covered, err := parseManifest(append(append([]byte{}, data...), tc.tail...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if covered != int64(len(data)) {
+				t.Fatalf("covered %d bytes, want %d (tail must not be acknowledged)", covered, len(data))
+			}
+			if !statesEqual(st, got) {
+				t.Fatal("torn tail changed replayed state")
+			}
+			if _, ok := got.users["evil"]; ok {
+				t.Fatal("CRC-failing record was applied")
+			}
+		})
+	}
+}
+
+func TestManifestUnknownOpEndsReplay(t *testing.T) {
+	st := newManifestState()
+	st.apply(manifestRecord{Op: opUser, Name: "alice", Token: "t"})
+	data, err := encodeManifest(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future, err := encodeManifestLine(manifestRecord{Op: "quota", Name: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := encodeManifestLine(manifestRecord{Op: opUser, Name: "bob", Token: "t2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(append(append([]byte{}, data...), future...), after...)
+	got, covered, err := parseManifest(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != int64(len(data)) {
+		t.Fatalf("replay acknowledged %d bytes past the unknown op (covered %d, want %d)",
+			covered-int64(len(data)), covered, len(data))
+	}
+	if _, ok := got.users["bob"]; ok {
+		t.Fatal("record after an unknown op was applied")
+	}
+}
+
+func TestManifestRejectsForeignFile(t *testing.T) {
+	for _, data := range [][]byte{
+		[]byte("not a manifest\n"),
+		[]byte(""),
+		[]byte("gitcite-manifest v9\n"),
+	} {
+		if _, _, err := parseManifest(data); err == nil {
+			t.Fatalf("parseManifest(%q) accepted a foreign file", data)
+		}
+	}
+}
+
+// TestOpenManifestTruncatesTornTail exercises the crash shape on disk: a
+// journal whose last append was cut mid-line must reopen to the
+// acknowledged prefix, and appends after that must replay cleanly.
+func TestOpenManifestTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), manifestName)
+	m, _, err := openManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.append(manifestRecord{Op: opUser, Name: "alice", Token: "gct_a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn append.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("01234567 {\"op\":\"user\",\"na"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2, st, err := openManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.users["alice"] != "gct_a" {
+		t.Fatalf("acknowledged record lost: users=%v", st.users)
+	}
+	if len(st.users) != 1 {
+		t.Fatalf("torn record replayed: users=%v", st.users)
+	}
+	if err := m2.append(manifestRecord{Op: opUser, Name: "bob", Token: "gct_b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.close(); err != nil {
+		t.Fatal(err)
+	}
+	_, st3, err := openManifest(filepath.Join(filepath.Dir(path), manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.users["alice"] != "gct_a" || st3.users["bob"] != "gct_b" {
+		t.Fatalf("append after torn-tail truncation did not replay: %v", st3.users)
+	}
+}
+
+func TestManifestCompactResolvesIntents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), manifestName)
+	m, _, err := openManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []manifestRecord{
+		{Op: opUser, Name: "alice", Token: "gct_a"},
+		{Op: opRepo, Owner: "alice", Repo: "proj", URL: "u", License: "MIT"},
+		{Op: opForkBegin, Owner: "alice", Repo: "dead", URL: "u2", SrcOwner: "alice", SrcRepo: "proj"},
+		{Op: opForkAbort, Owner: "alice", Repo: "dead"},
+	}
+	st := newManifestState()
+	for _, rec := range recs {
+		if err := m.append(rec); err != nil {
+			t.Fatal(err)
+		}
+		st.apply(rec)
+	}
+	if err := m.compact(st); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction appends must land after the snapshot.
+	if err := m.append(manifestRecord{Op: opUser, Name: "bob", Token: "gct_b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := openManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.pending) != 0 {
+		t.Fatalf("compaction kept resolved intents: %v", got.pending)
+	}
+	if got.records != 3 { // alice + proj + bob: intents resolved away
+		t.Fatalf("compacted journal replays %d records, want 3", got.records)
+	}
+	if got.users["bob"] != "gct_b" {
+		t.Fatal("append after compaction lost")
+	}
+}
+
+func TestValidRepoName(t *testing.T) {
+	for _, ok := range []string{"proj", "Data_citation_demo", "a-b.c", "x"} {
+		if !validRepoName(ok) {
+			t.Errorf("validRepoName(%q) = false, want true", ok)
+		}
+	}
+	bad := []string{"", ".git", "..", "a/b", `a\b`, "a\nb", "a\x00b", string(make([]byte, 256))}
+	for _, name := range bad {
+		if validRepoName(name) {
+			t.Errorf("validRepoName(%q) = true, want false", name)
+		}
+	}
+}
+
+// FuzzManifestReplay is the crash-recovery parser's fuzz target: replay
+// never panics on arbitrary bytes, the covered prefix is bounded by the
+// input, and for whatever state replay accepts, the canonical re-encoding
+// is a fixed point (encode → replay → encode is bit-stable).
+func FuzzManifestReplay(f *testing.F) {
+	if canon, err := encodeManifest(sampleState()); err == nil {
+		f.Add(canon)
+		f.Add(canon[:len(canon)-7])                                                                 // torn tail
+		f.Add(append(append([]byte{}, canon...), "00000000 {\"op\":\"user\",\"name\":\"x\"}\n"...)) // bad CRC
+	}
+	f.Add([]byte(manifestHeader))
+	f.Add([]byte("not a manifest\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, covered, err := parseManifest(data)
+		if err != nil {
+			return // foreign file; rejected outright
+		}
+		if covered < int64(len(manifestHeader)) || covered > int64(len(data)) {
+			t.Fatalf("covered %d out of range [%d, %d]", covered, len(manifestHeader), len(data))
+		}
+		enc, err := encodeManifest(st)
+		if err != nil {
+			t.Fatalf("accepted state does not encode: %v", err)
+		}
+		st2, covered2, err := parseManifest(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v", err)
+		}
+		if covered2 != int64(len(enc)) {
+			t.Fatalf("canonical encoding only partially acknowledged: %d/%d", covered2, len(enc))
+		}
+		if !statesEqual(st, st2) {
+			t.Fatal("replay(encode(state)) != state")
+		}
+		enc2, err := encodeManifest(st2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("canonical encoding not a fixed point")
+		}
+	})
+}

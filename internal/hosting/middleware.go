@@ -7,6 +7,7 @@ package hosting
 
 import (
 	"context"
+	"crypto/subtle"
 	"log"
 	"net"
 	"net/http"
@@ -68,6 +69,12 @@ func (s *Server) withAuth(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tok := bearerToken(r)
 		if tok == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if s.adminToken != "" && subtle.ConstantTimeCompare([]byte(tok), []byte(s.adminToken)) == 1 {
+			// The admin token is an operator credential, not an account:
+			// it resolves to no user (admin.go gates the admin routes).
 			next.ServeHTTP(w, r)
 			return
 		}

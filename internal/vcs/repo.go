@@ -73,6 +73,21 @@ func OpenPackedFileRepository(dir string) (*Repository, error) {
 	return &Repository{Objects: store.NewCachedStore(objs, objectCacheCap), Refs: rs}, nil
 }
 
+// Close releases the repository's storage resources — for a pack-backed
+// repository, the open pack file handles (the decoded-object cache
+// forwards to its backend). Memory- and loose-file-backed repositories
+// hold no persistent handles, so Close is a no-op for them. The repository
+// must not be used after Close; reopening the same directory yields a
+// fresh, fully consistent instance (crash-safety of the on-disk formats
+// guarantees that even without Close). This is the close chain the hosted
+// platform's bounded open-repo LRU rides on.
+func (r *Repository) Close() error {
+	if c, ok := r.Objects.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // Repack folds the repository's loose objects into its pack storage and
 // consolidates its packs (store.PackStore.Repack). It reports how many
 // loose objects were folded in, and errors when the repository's object

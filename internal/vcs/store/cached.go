@@ -77,6 +77,18 @@ func (s *CachedStore) shard(id object.ID) *cacheShard {
 	return &s.shards[int(id[0])%len(s.shards)]
 }
 
+// Close releases the backend's resources when it holds any (pack file
+// handles, say). The cached objects themselves need no teardown; the store
+// must not be used after Close. Part of the close chain gitcite.Repo →
+// vcs.Repository → store that lets a hosting platform bound its open
+// repositories.
+func (s *CachedStore) Close() error {
+	if c, ok := s.backend.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // Backend returns the store the cache reads through — callers that need a
 // backend-specific operation (PackStore.Repack, FileStore.Root) unwrap
 // through it.

@@ -113,6 +113,44 @@ type PackStore struct {
 	// writes; file magic headers excluded) — observability for the
 	// O(batch) append bound and its CI counter.
 	idxBytes atomic.Int64
+
+	// looseN caches the loose-object census so repack policies can consult
+	// it per push without a directory scan: counted once on first demand
+	// (this store never writes loose objects itself) and zeroed when
+	// Repack folds the loose tier in.
+	looseOnce sync.Once
+	looseN    atomic.Int64
+}
+
+// PackStats is a point-in-time census of a pack store, for repack policies
+// and the hosting admin API.
+type PackStats struct {
+	Packs         int // pack files currently open (current append target included)
+	PackedObjects int // objects reachable through pack indexes
+	LooseObjects  int // legacy loose objects not yet folded in (see LooseCount)
+}
+
+// Stats reports the store's current shape. The loose census comes from
+// LooseCount's cache, so steady-state calls never touch the directory tree.
+func (s *PackStore) Stats() PackStats {
+	loose := s.LooseCount()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return PackStats{Packs: len(s.packs), PackedObjects: len(s.refs), LooseObjects: loose}
+}
+
+// LooseCount reports how many loose objects the store reads through to.
+// The directory scan runs once, on first call; the count only ever moves
+// to zero afterwards (PackStore appends exclusively to packs, and Repack
+// folds the loose tier away), so the cached value stays truthful without
+// rescanning per call.
+func (s *PackStore) LooseCount() int {
+	s.looseOnce.Do(func() {
+		if n, err := s.loose.Len(); err == nil {
+			s.looseN.Store(int64(n))
+		}
+	})
+	return int(s.looseN.Load())
 }
 
 // repackBuildHook, when set (tests only), is called during Repack's
@@ -1041,6 +1079,7 @@ func (s *PackStore) Repack() (int, error) {
 			os.Remove(filepath.Join(s.root, fan))
 		}
 	}
+	s.looseN.Store(0) // the fold absorbed every loose object
 	return folded, nil
 }
 

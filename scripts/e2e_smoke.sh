@@ -80,4 +80,35 @@ cd "$SRC"
 "$BIN/gitcite" cite -path /lib/code.go > /dev/null
 ls .gitcite/objects/pack/*.pack > /dev/null || { echo "FAIL: no pack files after repack"; exit 1; }
 
-echo "PASS: e2e smoke (server boot, push, cold-clone pull, cite, abbreviated rev, repack)"
+echo "==> restart leg: kill -9 the server, reboot from the same data dir"
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+"$BIN/gitcite-server" -addr "127.0.0.1:$PORT" -pack "$WORK/server-data" &
+SERVER_PID=$!
+up=""
+for _ in $(seq 1 50); do
+  curl -sf "$BASE/api/v1/repos/alice/demo" > /dev/null 2>&1 && { up=1; break; }
+  sleep 0.2
+done
+[ -n "$up" ] || { echo "FAIL: server did not come back after kill -9"; exit 1; }
+
+echo "==> recovered server: pull into a third copy, cite, and push with the old token"
+DST2="$WORK/dst2"
+mkdir -p "$DST2" && cd "$DST2"
+"$BIN/gitcite" init -owner alice -name demo -url "https://example.org/alice/demo" -pack
+"$BIN/gitcite" pull -server "$BASE" -token "$TOKEN" -owner alice -repo demo -branch main
+[ -f hello.txt ] || { echo "FAIL: post-restart pull missing hello.txt"; exit 1; }
+cite2=$(curl -sf "$BASE/api/v1/repos/alice/demo/cite/main?path=/lib/code.go&format=text")
+echo "$cite2" | grep -q "blib" || { echo "FAIL: post-restart server cite broken: $cite2"; exit 1; }
+TIP2=$(curl -sf "$BASE/api/v1/repos/alice/demo" | sed -n 's/.*"main":"\([0-9a-f]*\)".*/\1/p')
+[ "$TIP2" = "$TIP" ] || { echo "FAIL: branch tip changed across restart: $TIP2 != $TIP"; exit 1; }
+printf 'post-restart work\n' > survived.txt
+"$BIN/gitcite" commit -author alice -m "after restart"
+"$BIN/gitcite" push -server "$BASE" -token "$TOKEN" -owner alice -repo demo -branch main
+
+echo "==> graceful shutdown drains and exits cleanly"
+kill -TERM "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "PASS: e2e smoke (server boot, push, cold-clone pull, cite, abbreviated rev, repack, kill -9 restart recovery, graceful shutdown)"

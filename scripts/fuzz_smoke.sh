@@ -20,6 +20,7 @@ targets=(
 	"FuzzPackRecordScan ./internal/vcs/store"
 	"FuzzSegmentReplay  ./internal/vcs/store"
 	"FuzzWireNDJSON     ./internal/hosting"
+	"FuzzManifestReplay ./internal/hosting"
 )
 
 for t in "${targets[@]}"; do

@@ -37,6 +37,7 @@ import (
 	"github.com/gitcite/gitcite/internal/format"
 	"github.com/gitcite/gitcite/internal/gitcite"
 	"github.com/gitcite/gitcite/internal/hosting"
+	"github.com/gitcite/gitcite/internal/hosting/replica"
 	"github.com/gitcite/gitcite/internal/scenario"
 	"github.com/gitcite/gitcite/internal/vcs"
 	"github.com/gitcite/gitcite/internal/vcs/object"
@@ -49,6 +50,7 @@ var (
 	requests = flag.Int("requests", 500, "requests per client for -experiment concurrent")
 	files    = flag.Int("files", 1000, "repository size for -experiment commit")
 	commits  = flag.Int("commits", 200, "measured commits for -experiment commit")
+	jsonOut  = flag.String("json", "", "also write the counters as machine-readable JSON to this path (counters experiment only)")
 )
 
 func main() {
@@ -568,8 +570,12 @@ func (s *scanCountingStore) IDsByPrefix(prefix string, limit int) ([]object.ID, 
 func runCounters() error {
 	fmt.Println("Deterministic efficiency counters (CI regression gate)")
 	fmt.Println("------------------------------------------------------")
+	counters := map[string]int64{}
+	order := []string{}
 	emit := func(name string, value int64) {
 		fmt.Printf("counter %s = %d\n", name, value)
+		counters[name] = value
+		order = append(order, name)
 	}
 
 	// --- store Puts per one-file commit (1000-file repo, 20 commits) ---
@@ -624,7 +630,8 @@ func runCounters() error {
 		return err
 	}
 	platform := hosting.NewPlatform()
-	ts := httptest.NewServer(hosting.NewServer(platform))
+	const benchAdminToken = "bench-admin" // lets the replica counter below subscribe to this platform's feed
+	ts := httptest.NewServer(hosting.NewServer(platform, hosting.WithAdminToken(benchAdminToken)))
 	defer ts.Close()
 	anon := extension.New(ts.URL, "")
 	tok, err := anon.CreateUser("bench")
@@ -713,6 +720,69 @@ func runCounters() error {
 		return fmt.Errorf("scan count not integral: %d over %d resolves", sc.scans.Load(), resolves)
 	}
 	emit("full_store_scans_per_prefix_resolve", sc.scans.Load()/resolves)
+
+	// --- wire objects per replicated push (read-replica catch-up) ---
+	// A live follower of the 500-file repository above: after the initial
+	// bootstrap converges (excluded from the measured window), each
+	// one-file push must replicate in exactly the PR 3 negotiated delta —
+	// the same 5 objects the direct fetch counter pins — because the
+	// replication loop rides the same negotiate/fetch machinery.
+	replicaPlat := hosting.NewPlatform()
+	rep, err := replica.New(replica.Config{
+		Primary: ts.URL, Token: benchAdminToken, Platform: replicaPlat,
+		PollInterval: 2 * time.Millisecond, LongPollWait: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	repCtx, repCancel := context.WithCancel(context.Background())
+	repDone := make(chan struct{})
+	go func() {
+		defer close(repDone)
+		_ = rep.Run(repCtx)
+	}()
+	stopReplica := func() {
+		repCancel()
+		<-repDone
+	}
+	defer stopReplica()
+	replicaCaughtUp := func(want object.ID) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if repo, err := replicaPlat.Repo(repCtx, "bench", "repo"); err == nil {
+				if tip, err := repo.VCS.BranchTip("main"); err == nil && tip == want {
+					return nil
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return fmt.Errorf("replica did not converge on %s", want.Short())
+	}
+	if err := replicaCaughtUp(hostedTip); err != nil {
+		return err
+	}
+	baseline := rep.Status().ObjectsFetched
+	for i := 0; i < sCommits; i++ {
+		if err := wt.WriteFile("/d3/s4/f430.txt", []byte(fmt.Sprintf("replica edit %d", i))); err != nil {
+			return err
+		}
+		pushTip, err := wt.Commit(opts)
+		if err != nil {
+			return err
+		}
+		if _, err := owner.Sync(local, "bench", "repo", "main"); err != nil {
+			return err
+		}
+		if err := replicaCaughtUp(pushTip); err != nil {
+			return err
+		}
+	}
+	repObjs := rep.Status().ObjectsFetched - baseline
+	stopReplica()
+	if repObjs%sCommits != 0 {
+		return fmt.Errorf("replicated objects per push not integral: %d over %d pushes", repObjs, sCommits)
+	}
+	emit("replica_wire_objects_per_push", repObjs/sCommits)
 
 	// --- index bytes per 64-object pack append batch ---
 	// The incremental index format journals one O(batch) segment per
@@ -814,5 +884,29 @@ func runCounters() error {
 		}
 	}
 	emit("open_repos_after_10k_requests", int64(lruPlat.OpenRepoCount()))
+
+	if *jsonOut != "" {
+		if err := writeCountersJSON(*jsonOut, order, counters); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %d counters to %s\n", len(counters), *jsonOut)
+	}
 	return nil
+}
+
+// writeCountersJSON renders the counters as a stable machine-readable
+// artefact (BENCH_8.json at the repo root in CI): a schema marker plus the
+// counters in emission order.
+func writeCountersJSON(path string, order []string, counters map[string]int64) error {
+	var buf bytes.Buffer
+	buf.WriteString("{\n  \"schema\": \"gitcite-bench-counters/v1\",\n  \"pr\": 8,\n  \"counters\": {\n")
+	for i, name := range order {
+		fmt.Fprintf(&buf, "    %q: %d", name, counters[name])
+		if i < len(order)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("  }\n}\n")
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }

@@ -5,6 +5,7 @@
 //
 //	gitcite-server -addr :8080 [-seed] [-pack DIR] [-open-repos N]
 //	    [-auto-repack-packs N] [-auto-repack-loose N] [-admin-token TOK]
+//	    [-replica-of URL -replica-token TOK] [-replica-poll D]
 //	    [-shutdown-timeout D] [-cors-origin ORIGIN]
 //	    [-rate-limit RPS -rate-burst N] [-log]
 //
@@ -25,6 +26,13 @@
 // With -admin-token, the operator endpoints under /api/v1/admin (platform
 // status, per-repository storage stats, manual repack and GC) answer to
 // that bearer token.
+//
+// With -replica-of, the server is a read replica: it mirrors the primary at
+// that URL (authenticating with the primary's admin token via
+// -replica-token), serves the whole read surface locally, and answers every
+// write with a 307 redirect at the primary. Combined with -pack, the
+// replica's feed cursor is journaled crash-safely next to the manifest, so
+// a killed replica resumes catch-up from where it left off.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 
 	"github.com/gitcite/gitcite/internal/extension"
 	"github.com/gitcite/gitcite/internal/hosting"
+	"github.com/gitcite/gitcite/internal/hosting/replica"
 	"github.com/gitcite/gitcite/internal/scenario"
 )
 
@@ -54,6 +63,9 @@ func main() {
 	autoRepackPacks := flag.Int("auto-repack-packs", 8, "repack a repository after a push leaves it with this many packs (0 disables)")
 	autoRepackLoose := flag.Int("auto-repack-loose", 512, "repack a repository after a push leaves it with this many loose objects (0 disables)")
 	adminToken := flag.String("admin-token", "", "bearer token enabling the /api/v1/admin endpoints (empty disables them)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary at this base URL (writes answer 307 at it)")
+	replicaToken := flag.String("replica-token", "", "the primary's admin token, authenticating the replication feed")
+	replicaPoll := flag.Duration("replica-poll", 2*time.Second, "replication poll pacing and error-backoff seed")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain")
 	corsOrigin := flag.String("cors-origin", "*", "CORS allowed origin for the browser extension (empty disables CORS)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-token request rate limit in req/s (0 disables)")
@@ -89,6 +101,25 @@ func main() {
 	} else {
 		platform = hosting.NewPlatform()
 	}
+	var rep *replica.Replicator
+	if *replicaOf != "" {
+		if *seed {
+			log.Fatal("gitcite-server: -seed and -replica-of are mutually exclusive (a replica takes no writes)")
+		}
+		var err error
+		rep, err = replica.New(replica.Config{
+			Primary:      *replicaOf,
+			Token:        *replicaToken,
+			Platform:     platform,
+			StateDir:     *packDir,
+			PollInterval: *replicaPoll,
+			Logger:       log.Default(),
+		})
+		if err != nil {
+			log.Fatalf("gitcite-server: %v", err)
+		}
+		opts = append(opts, hosting.WithReplicaMode(*replicaOf, rep.Status))
+	}
 	server := hosting.NewServer(platform, opts...)
 
 	if *seed {
@@ -103,6 +134,18 @@ func main() {
 	// what boot reconciliation recovers from.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	repDone := make(chan struct{})
+	if rep != nil {
+		go func() {
+			defer close(repDone)
+			if err := rep.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("gitcite-server: replication: %v", err)
+			}
+		}()
+		log.Printf("gitcite-server replicating from %s", *replicaOf)
+	} else {
+		close(repDone)
+	}
 	srv := &http.Server{Addr: *addr, Handler: server}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -120,6 +163,9 @@ func main() {
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("gitcite-server: shutdown: %v", err)
 	}
+	// The replication loop exits on the same signal context; wait for it so
+	// the platform never closes under an in-flight event application.
+	<-repDone
 	if err := platform.Close(); err != nil {
 		log.Printf("gitcite-server: close platform: %v", err)
 	}

@@ -11,12 +11,15 @@ package extension
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"time"
 
 	"github.com/gitcite/gitcite/internal/citefile"
 	"github.com/gitcite/gitcite/internal/core"
@@ -39,28 +42,74 @@ const fetchBatchSize = 512
 // request body carries an entire closure's ID list.
 const fetchChunkSize = 2048
 
+// retryAttempts is how many times a request is retried past its first
+// attempt when the failure is transient (network error or 5xx).
+const retryAttempts = 3
+
+// retryBaseDelay seeds the exponential backoff between attempts; attempt n
+// waits a jittered duration in [base·2ⁿ/2, base·2ⁿ].
+const retryBaseDelay = 200 * time.Millisecond
+
 // Client talks to a hosting server. The zero value is not usable; call New.
 type Client struct {
 	baseURL string
 	token   string
 	http    *http.Client
+	// ctx, when set (WithContext), scopes every request: cancellation
+	// aborts in-flight transfers and backoff sleeps alike. Nil means
+	// requests are unscoped, as before.
+	ctx context.Context
+	// retries/retryBase tune the transient-failure retry policy; New
+	// seeds the package defaults, WithRetryPolicy overrides them.
+	retries   int
+	retryBase time.Duration
 }
 
 // New creates a client. token may be empty for anonymous (read-only) use —
 // the paper's non-member case. The client is safe for concurrent use; its
 // transport keeps enough idle connections per host that parallel callers
 // reuse connections instead of churning through new ones (the default
-// transport caps idle connections per host at 2).
+// transport caps idle connections per host at 2). Transient failures —
+// network errors and 5xx responses — are retried with bounded exponential
+// backoff and jitter; 4xx responses (including 429) are never retried.
 func New(baseURL, token string) *Client {
 	transport := http.DefaultTransport.(*http.Transport).Clone()
 	transport.MaxIdleConns = 256
 	transport.MaxIdleConnsPerHost = 256
-	return &Client{baseURL: baseURL, token: token, http: &http.Client{Transport: transport}}
+	return &Client{
+		baseURL: baseURL, token: token,
+		http:    &http.Client{Transport: transport},
+		retries: retryAttempts, retryBase: retryBaseDelay,
+	}
 }
 
 // WithToken returns a copy of the client authenticated with token.
 func (c *Client) WithToken(token string) *Client {
-	return &Client{baseURL: c.baseURL, token: token, http: c.http}
+	cp := *c
+	cp.token = token
+	return &cp
+}
+
+// WithContext returns a copy of the client whose requests (and retry
+// backoff sleeps) are scoped to ctx — the replication loop's kill switch.
+func (c *Client) WithContext(ctx context.Context) *Client {
+	cp := *c
+	cp.ctx = ctx
+	return &cp
+}
+
+// WithRetryPolicy returns a copy of the client retrying transient failures
+// up to retries extra attempts with the given backoff base. retries 0
+// disables retrying; base <= 0 keeps the default.
+func (c *Client) WithRetryPolicy(retries int, base time.Duration) *Client {
+	cp := *c
+	cp.retries = retries
+	if base > 0 {
+		cp.retryBase = base
+	} else {
+		cp.retryBase = retryBaseDelay
+	}
+	return &cp
 }
 
 // APIError is a non-2xx platform response. Code carries the platform's
@@ -97,9 +146,16 @@ func isBadRequest(err error) bool {
 	return errors.As(err, &apiErr) && apiErr.Status == http.StatusBadRequest
 }
 
-// newRequest builds an authenticated request against the server.
+// newRequest builds an authenticated request against the server, scoped to
+// the client's context when one was set.
 func (c *Client) newRequest(method, path string, body io.Reader) (*http.Request, error) {
-	req, err := http.NewRequest(method, c.baseURL+path, body)
+	var req *http.Request
+	var err error
+	if c.ctx != nil {
+		req, err = http.NewRequestWithContext(c.ctx, method, c.baseURL+path, body)
+	} else {
+		req, err = http.NewRequest(method, c.baseURL+path, body)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +163,59 @@ func (c *Client) newRequest(method, path string, body io.Reader) (*http.Request,
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	return req, nil
+}
+
+// send issues the request produced by build, retrying transient failures —
+// network errors and 5xx responses — up to the client's retry budget with
+// exponential backoff and full-range jitter. build runs once per attempt so
+// each retry gets a fresh body (Sync's streamed push rebuilds its pipe).
+// Non-transient outcomes (2xx–4xx) return immediately; the final attempt's
+// outcome, transient or not, is returned untouched for the caller's normal
+// error handling. Context cancellation stops the retry loop at once.
+func (c *Client) send(build func() (*http.Request, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http.Do(req)
+		if err == nil && resp.StatusCode < 500 {
+			return resp, nil
+		}
+		if attempt >= c.retries || (c.ctx != nil && c.ctx.Err() != nil) || errors.Is(err, context.Canceled) {
+			return resp, err
+		}
+		if resp != nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if serr := c.sleepBackoff(attempt); serr != nil {
+			if err != nil {
+				return nil, err
+			}
+			return nil, serr
+		}
+	}
+}
+
+// sleepBackoff parks between retry attempts: exponential in the attempt
+// number, jittered across the upper half of the window so a fleet of
+// clients recovering from one outage does not re-synchronise its retries.
+func (c *Client) sleepBackoff(attempt int) error {
+	d := c.retryBase << uint(attempt)
+	d = d/2 + rand.N(d/2+1)
+	if c.ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	}
 }
 
 // apiErrorFrom turns a non-2xx response body into an APIError.
@@ -121,23 +230,39 @@ func apiErrorFrom(status int, data []byte) *APIError {
 	return &APIError{Status: status, Code: code, Message: msg}
 }
 
-func (c *Client) do(method, path string, body, out any) error {
-	var rd io.Reader
+// buildJSON returns a request factory for a JSON-bodied call — safe to run
+// once per retry attempt, since the payload is a byte slice re-wrapped in a
+// fresh reader each time.
+func (c *Client) buildJSON(method, path string, body any) (func() (*http.Request, error), error) {
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return err
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			return nil, err
 		}
-		rd = bytes.NewReader(data)
 	}
-	req, err := c.newRequest(method, path, rd)
+	return func() (*http.Request, error) {
+		var rd io.Reader
+		if data != nil {
+			rd = bytes.NewReader(data)
+		}
+		req, err := c.newRequest(method, path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if data != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, nil
+	}, nil
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	build, err := c.buildJSON(method, path, body)
 	if err != nil {
 		return err
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.send(build)
 	if err != nil {
 		return err
 	}
@@ -160,22 +285,11 @@ func (c *Client) do(method, path string, body, out any) error {
 // doStream issues a request whose response is an NDJSON object stream. The
 // caller owns the returned body and must close it.
 func (c *Client) doStream(method, path string, body any) (io.ReadCloser, error) {
-	var rd io.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return nil, err
-		}
-		rd = bytes.NewReader(data)
-	}
-	req, err := c.newRequest(method, path, rd)
+	build, err := c.buildJSON(method, path, body)
 	if err != nil {
 		return nil, err
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.send(build)
 	if err != nil {
 		return nil, err
 	}
@@ -346,14 +460,16 @@ func (c *Client) CiteFile(owner, repo, rev string) ([]byte, error) {
 // data) when the revision still resolves to the same immutable commit —
 // zero citation work server-side, near-zero bytes on the wire.
 func (c *Client) CiteFileIfChanged(owner, repo, rev, etag string) (data []byte, newETag string, notModified bool, err error) {
-	req, err := c.newRequest("GET", fmt.Sprintf("%s/repos/%s/%s/citefile/%s", apiPrefix, owner, repo, rev), nil)
-	if err != nil {
-		return nil, "", false, err
-	}
-	if etag != "" {
-		req.Header.Set("If-None-Match", etag)
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.send(func() (*http.Request, error) {
+		req, err := c.newRequest("GET", fmt.Sprintf("%s/repos/%s/%s/citefile/%s", apiPrefix, owner, repo, rev), nil)
+		if err != nil {
+			return nil, err
+		}
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		return req, nil
+	})
 	if err != nil {
 		return nil, "", false, err
 	}
@@ -375,6 +491,27 @@ func (c *Client) CiteFileIfChanged(owner, repo, rev, etag string) (data []byte, 
 func (c *Client) Fork(owner, repo, newName string) (hosting.RepoResponse, error) {
 	var resp hosting.RepoResponse
 	err := c.do("POST", fmt.Sprintf("%s/repos/%s/%s/fork", apiPrefix, owner, repo), hosting.ForkRequest{NewName: newName}, &resp)
+	return resp, err
+}
+
+// ---- replication feed (admin-token gated server-side) ----
+
+// Events polls the primary's replication feed for everything after the
+// since cursor, parking server-side up to waitSeconds when the follower is
+// current (0 = return immediately). A Reset response means the cursor
+// cannot be served — full-resync from ReplicaSnapshot instead.
+func (c *Client) Events(since int64, waitSeconds int) (hosting.EventsResponse, error) {
+	var resp hosting.EventsResponse
+	err := c.do("GET", fmt.Sprintf("%s/events?since=%d&wait=%d", apiPrefix, since, waitSeconds), nil, &resp)
+	return resp, err
+}
+
+// ReplicaSnapshot downloads the primary's replication bootstrap: every
+// account (with token), repository, membership and branch tip, plus the
+// event cursor to resume polling from.
+func (c *Client) ReplicaSnapshot() (hosting.SnapshotResponse, error) {
+	var resp hosting.SnapshotResponse
+	err := c.do("GET", apiPrefix+"/replica/snapshot", nil, &resp)
 	return resp, err
 }
 
@@ -425,31 +562,39 @@ func (c *Client) Sync(local *gitcite.Repo, owner, repo, branch string) (int, err
 		return 0, err
 	}
 
-	pr, pw := io.Pipe()
-	go func() {
-		sw := hosting.NewObjectStreamWriter(pw)
-		err := sw.WriteValue(hosting.PushHeader{Branch: branch, Tip: tip.String()})
-		for _, id := range missing {
-			if err != nil {
-				break
+	// The push body is a live pipe out of the local store, so a retry
+	// cannot replay it — each attempt builds a fresh pipe and re-streams
+	// the (immutable) objects. A replayed push that already landed is
+	// absorbed server-side: the tip matches, fast-forward passes, the
+	// batch write is idempotent.
+	build := func() (*http.Request, error) {
+		pr, pw := io.Pipe()
+		go func() {
+			sw := hosting.NewObjectStreamWriter(pw)
+			err := sw.WriteValue(hosting.PushHeader{Branch: branch, Tip: tip.String()})
+			for _, id := range missing {
+				if err != nil {
+					break
+				}
+				var o object.Object
+				if o, err = local.VCS.Objects.Get(id); err == nil {
+					err = sw.WriteObject(o)
+				}
 			}
-			var o object.Object
-			if o, err = local.VCS.Objects.Get(id); err == nil {
-				err = sw.WriteObject(o)
+			if err == nil {
+				err = sw.Flush()
 			}
+			pw.CloseWithError(err)
+		}()
+		req, err := c.newRequest("POST", fmt.Sprintf("%s/repos/%s/%s/push", apiPrefix, owner, repo), pr)
+		if err != nil {
+			pr.CloseWithError(err)
+			return nil, err
 		}
-		if err == nil {
-			err = sw.Flush()
-		}
-		pw.CloseWithError(err)
-	}()
-
-	req, err := c.newRequest("POST", fmt.Sprintf("%s/repos/%s/%s/push", apiPrefix, owner, repo), pr)
-	if err != nil {
-		return 0, err
+		req.Header.Set("Content-Type", hosting.MediaTypeNDJSON)
+		return req, nil
 	}
-	req.Header.Set("Content-Type", hosting.MediaTypeNDJSON)
-	resp, err := c.http.Do(req)
+	resp, err := c.send(build)
 	if err != nil {
 		return 0, err
 	}

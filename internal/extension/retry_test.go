@@ -1,0 +1,125 @@
+// Tests for the client's transient-failure retry policy: 5xx and network
+// errors retry with bounded backoff, 4xx never retries, and a cancelled
+// context stops the loop instead of sleeping through it.
+package extension
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer fails the first n requests with the given status, then
+// answers every request with a valid empty repo body.
+func flakyServer(failures *atomic.Int64, n int64, status int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if failures.Add(1) <= n {
+			w.WriteHeader(status)
+			fmt.Fprint(w, `{"error":"transient"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"owner":"a","name":"b"}`)
+	}
+}
+
+func TestRetryRecoversFrom5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(flakyServer(&calls, 2, http.StatusServiceUnavailable))
+	defer ts.Close()
+	c := New(ts.URL, "").WithRetryPolicy(3, time.Millisecond)
+	repo, err := c.GetRepo("a", "b")
+	if err != nil {
+		t.Fatalf("GetRepo after transient 503s: %v", err)
+	}
+	if repo.Owner != "a" {
+		t.Errorf("repo = %+v", repo)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (2 failures + success)", got)
+	}
+}
+
+func TestRetryExhaustsBudgetOnPersistent5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(flakyServer(&calls, 1<<30, http.StatusBadGateway))
+	defer ts.Close()
+	c := New(ts.URL, "").WithRetryPolicy(2, time.Millisecond)
+	_, err := c.GetRepo("a", "b")
+	if err == nil {
+		t.Fatal("persistent 502 did not surface an error")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(flakyServer(&calls, 1<<30, http.StatusTooManyRequests))
+	defer ts.Close()
+	c := New(ts.URL, "").WithRetryPolicy(3, time.Millisecond)
+	if _, err := c.GetRepo("a", "b"); err == nil {
+		t.Fatal("429 did not surface an error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts for a 429, want exactly 1", got)
+	}
+}
+
+func TestRetryRecoversFromNetworkError(t *testing.T) {
+	// Point the first attempts at a closed port by proxying through a
+	// handler that hijacks and drops the connection.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("recorder not hijackable")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close() // mid-request connection drop → client-side error
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"owner":"a","name":"b"}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "").WithRetryPolicy(3, time.Millisecond)
+	if _, err := c.GetRepo("a", "b"); err != nil {
+		t.Fatalf("GetRepo after dropped connections: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(flakyServer(&calls, 1<<30, http.StatusServiceUnavailable))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	// Without cancellation this schedule would sleep ≥ several seconds.
+	c := New(ts.URL, "").WithContext(ctx).WithRetryPolicy(10, 500*time.Millisecond)
+	start := time.Now()
+	_, err := c.GetRepo("a", "b")
+	if err == nil {
+		t.Fatal("cancelled retry loop returned success")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retry loop ran %v past cancellation", elapsed)
+	}
+	if got := calls.Load(); got > 2 {
+		t.Errorf("server saw %d attempts after early cancel, want ≤ 2", got)
+	}
+}

@@ -43,10 +43,23 @@ func (s *Server) adminOnly(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// AdminStatusResponse is the admin status body: the platform counters,
+// plus — on a read replica — the replication progress.
+type AdminStatusResponse struct {
+	PlatformStatus
+	Replica *ReplicaStatus `json:"replica,omitempty"`
+}
+
 // handleAdminStatus reports platform-wide counters: users, repositories,
-// open repository handles against their limit, and the manifest journal.
+// open repository handles against their limit, the manifest journal and,
+// on a replica, per-repo replication lag and the last journaled cursor.
 func (s *Server) handleAdminStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.platform.Status(r.Context()))
+	resp := AdminStatusResponse{PlatformStatus: s.platform.Status(r.Context())}
+	if s.replicaStatus != nil {
+		rs := s.replicaStatus()
+		resp.Replica = &rs
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleAdminRepoStats reports one repository's membership and storage

@@ -41,6 +41,12 @@ type Server struct {
 	limiter    *rateLimiter
 	logger     interface{ Printf(string, ...any) }
 	adminToken string
+
+	// Replica serving mode (readonly.go): non-empty replicaPrimary makes
+	// every write route answer 307 → primary; replicaStatus feeds the
+	// admin status endpoint the replication lag.
+	replicaPrimary string
+	replicaStatus  func() ReplicaStatus
 }
 
 // NewServer wraps a platform with the REST API. Options configure the
@@ -52,40 +58,46 @@ func NewServer(p *Platform, opts ...ServerOption) *Server {
 	}
 	mux := http.NewServeMux()
 	// ---- v1 ----
-	mux.HandleFunc("POST /api/v1/users", s.handleCreateUser)
-	mux.HandleFunc("POST /api/v1/repos", s.handleCreateRepo)
+	// Write routes go through s.mutating: on a replica (WithReplicaMode)
+	// they answer 307 → primary instead of dispatching. Negotiate and
+	// objects are POST but read-only — they stay served locally.
+	mux.HandleFunc("POST /api/v1/users", s.mutating(s.handleCreateUser))
+	mux.HandleFunc("POST /api/v1/repos", s.mutating(s.handleCreateRepo))
 	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}", s.handleGetRepo)
-	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/members", s.handleAddMember)
+	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/members", s.mutating(s.handleAddMember))
 	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/tree/{rev}", s.handleTreeV1)
 	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/cite/{rev}", s.handleGenCite)
 	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/chain/{rev}", s.handleChain)
 	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/citefile/{rev}", s.handleCiteFile)
 	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/credit/{rev}", s.handleCredit)
-	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/cite", s.handleEditCite)
-	mux.HandleFunc("PUT /api/v1/repos/{owner}/{name}/cite", s.handleEditCite)
-	mux.HandleFunc("DELETE /api/v1/repos/{owner}/{name}/cite", s.handleEditCite)
-	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/fork", s.handleFork)
+	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/cite", s.mutating(s.handleEditCite))
+	mux.HandleFunc("PUT /api/v1/repos/{owner}/{name}/cite", s.mutating(s.handleEditCite))
+	mux.HandleFunc("DELETE /api/v1/repos/{owner}/{name}/cite", s.mutating(s.handleEditCite))
+	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/fork", s.mutating(s.handleFork))
 	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/negotiate", s.handleNegotiate)
 	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/objects", s.handleFetchObjects)
-	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/push", s.handlePushV1)
+	mux.HandleFunc("POST /api/v1/repos/{owner}/{name}/push", s.mutating(s.handlePushV1))
 	mux.HandleFunc("GET /api/v1/repos/{owner}/{name}/pull/{rev}", s.handlePullV1)
+	// ---- replication feed (admin-token gated: user tokens travel) ----
+	mux.HandleFunc("GET /api/v1/events", s.adminOnly(s.handleEvents))
+	mux.HandleFunc("GET /api/v1/replica/snapshot", s.adminOnly(s.handleSnapshot))
 	// ---- admin (token-gated; see admin.go) ----
 	s.registerAdminRoutes(mux)
 	// ---- deprecated unversioned aliases (pre-v1 wire protocol) ----
-	mux.HandleFunc("POST /api/users", s.handleCreateUser)
-	mux.HandleFunc("POST /api/repos", s.handleCreateRepo)
+	mux.HandleFunc("POST /api/users", s.mutating(s.handleCreateUser))
+	mux.HandleFunc("POST /api/repos", s.mutating(s.handleCreateRepo))
 	mux.HandleFunc("GET /api/repos/{owner}/{name}", s.handleGetRepo)
-	mux.HandleFunc("POST /api/repos/{owner}/{name}/members", s.handleAddMember)
+	mux.HandleFunc("POST /api/repos/{owner}/{name}/members", s.mutating(s.handleAddMember))
 	mux.HandleFunc("GET /api/repos/{owner}/{name}/tree/{rev}", s.handleTreeLegacy)
 	mux.HandleFunc("GET /api/repos/{owner}/{name}/cite/{rev}", s.handleGenCite)
 	mux.HandleFunc("GET /api/repos/{owner}/{name}/chain/{rev}", s.handleChain)
 	mux.HandleFunc("GET /api/repos/{owner}/{name}/citefile/{rev}", s.handleCiteFile)
 	mux.HandleFunc("GET /api/repos/{owner}/{name}/credit/{rev}", s.handleCredit)
-	mux.HandleFunc("POST /api/repos/{owner}/{name}/cite", s.handleEditCite)
-	mux.HandleFunc("PUT /api/repos/{owner}/{name}/cite", s.handleEditCite)
-	mux.HandleFunc("DELETE /api/repos/{owner}/{name}/cite", s.handleEditCite)
-	mux.HandleFunc("POST /api/repos/{owner}/{name}/fork", s.handleFork)
-	mux.HandleFunc("POST /api/repos/{owner}/{name}/push", s.handlePushLegacy)
+	mux.HandleFunc("POST /api/repos/{owner}/{name}/cite", s.mutating(s.handleEditCite))
+	mux.HandleFunc("PUT /api/repos/{owner}/{name}/cite", s.mutating(s.handleEditCite))
+	mux.HandleFunc("DELETE /api/repos/{owner}/{name}/cite", s.mutating(s.handleEditCite))
+	mux.HandleFunc("POST /api/repos/{owner}/{name}/fork", s.mutating(s.handleFork))
+	mux.HandleFunc("POST /api/repos/{owner}/{name}/push", s.mutating(s.handlePushLegacy))
 	mux.HandleFunc("GET /api/repos/{owner}/{name}/pull/{rev}", s.handlePullLegacy)
 	s.mux = mux
 	var h http.Handler = mux
@@ -748,6 +760,9 @@ func (s *Server) handleEditCite(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	// The deferred unlock has not run yet, so this publish is ordered with
+	// the commit's ref update like applyPush's.
+	s.platform.publishRef(owner, name, req.Branch, commit.String())
 	writeJSON(w, http.StatusOK, EditCiteResponse{Commit: commit.String()})
 }
 
@@ -915,6 +930,10 @@ func (s *Server) applyPush(ctx context.Context, repo *gitcite.Repo, owner, name,
 	if err := repo.VCS.Refs.Set(ref, tip); err != nil {
 		return 0, err
 	}
+	// Publish while the edit lock is still held: ref events for one branch
+	// hit the replication feed in ref-update order, so followers never
+	// observe B-then-A for two pushes that landed A-then-B.
+	s.platform.publishRef(owner, name, branch, tip.String())
 	return len(batch), nil
 }
 

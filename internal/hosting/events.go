@@ -1,0 +1,295 @@
+// events.go is the primary side of replication: an in-memory, bounded,
+// monotonically-sequenced log of platform mutations (accounts, repositories,
+// memberships, ref updates) that followers long-poll through
+// GET /api/v1/events and bootstrap from via GET /api/v1/replica/snapshot.
+//
+// The log is deliberately not durable: it is a wake-up channel, not a source
+// of truth. Every event is re-derivable from platform state (the manifest
+// plus each repository's refs and object closure), so a follower that falls
+// off the retained window — or observes a new epoch after a primary restart
+// — simply re-negotiates from a fresh snapshot. That keeps the primary's
+// write path free of any per-follower bookkeeping: publishing is one
+// mutex-guarded append, and a primary with zero followers pays nothing else.
+package hosting
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event types carried in Event.Type. A follower applies each idempotently:
+// re-applying any prefix or suffix of the log converges to the same state,
+// which is what makes at-least-once delivery (and crash-resume from a
+// journaled cursor) correct.
+const (
+	EventUser   = "user"   // account created or re-tokened: Name, Token
+	EventRepo   = "repo"   // repository created (or forked): Owner, Repo, URL, License
+	EventMember = "member" // write access granted: Owner, Repo, Member
+	EventRef    = "ref"    // branch moved: Owner, Repo, Branch, Tip
+)
+
+// Event is one replicated platform mutation. Seq is assigned by the log,
+// strictly increasing within an epoch; field usage depends on Type.
+type Event struct {
+	Seq     int64  `json:"seq"`
+	Type    string `json:"type"`
+	Name    string `json:"name,omitempty"`
+	Token   string `json:"token,omitempty"`
+	Owner   string `json:"owner,omitempty"`
+	Repo    string `json:"repo,omitempty"`
+	URL     string `json:"url,omitempty"`
+	License string `json:"license,omitempty"`
+	Member  string `json:"member,omitempty"`
+	Branch  string `json:"branch,omitempty"`
+	Tip     string `json:"tip,omitempty"`
+}
+
+// EventsResponse answers one events poll. Reset tells the follower its
+// cursor is useless here — wrong epoch (primary restarted), ahead of Head,
+// or behind the retained window — and it must full-resync from a snapshot
+// rather than keep polling into an error loop.
+type EventsResponse struct {
+	Epoch  string  `json:"epoch"`
+	Head   int64   `json:"head"`
+	Reset  bool    `json:"reset,omitempty"`
+	Events []Event `json:"events,omitempty"`
+}
+
+// SnapshotUser is one account in a replication snapshot. Tokens travel so
+// followers can authenticate the same credentials the primary does — which
+// is why the snapshot and events endpoints answer only to the admin token.
+type SnapshotUser struct {
+	Name  string `json:"name"`
+	Token string `json:"token"`
+}
+
+// SnapshotRepo is one repository in a replication snapshot: identity,
+// membership and the branch tips the follower must converge to.
+type SnapshotRepo struct {
+	Owner   string            `json:"owner"`
+	Name    string            `json:"name"`
+	URL     string            `json:"url,omitempty"`
+	License string            `json:"license,omitempty"`
+	Members []string          `json:"members"`
+	Tips    map[string]string `json:"tips,omitempty"`
+}
+
+// SnapshotResponse is the full-resync bootstrap: apply everything, then
+// resume polling events from Cursor. The cursor is captured BEFORE the
+// state is read, so any mutation racing the snapshot is either already in
+// the state or still ahead of the cursor — replayed events only ever
+// re-apply idempotently, never go missing.
+type SnapshotResponse struct {
+	Epoch  string         `json:"epoch"`
+	Cursor int64          `json:"cursor"`
+	Users  []SnapshotUser `json:"users"`
+	Repos  []SnapshotRepo `json:"repos"`
+}
+
+// eventLogCap bounds the retained window. A follower further behind than
+// this resyncs from a snapshot; sizing it is a latency/memory trade, not a
+// correctness one.
+const eventLogCap = 4096
+
+// maxEventsPerPoll bounds one poll's response body; a follower that is far
+// behind drains the window across several polls.
+const maxEventsPerPoll = 512
+
+// eventLog is the bounded publish/subscribe ring. The epoch is freshly
+// random per process so a follower can tell "primary restarted and the log
+// restarted from zero" apart from "log position zero".
+type eventLog struct {
+	mu     sync.Mutex
+	epoch  string
+	head   int64   // seq of the newest event; 0 before any publish
+	events []Event // seqs [head-len+1 .. head]
+	notify chan struct{}
+}
+
+func newEventLog() *eventLog {
+	var b [16]byte
+	// crypto/rand never fails on supported platforms; an all-zero epoch
+	// would still be a valid (just less distinctive) epoch value.
+	_, _ = rand.Read(b[:])
+	return &eventLog{epoch: hex.EncodeToString(b[:]), notify: make(chan struct{})}
+}
+
+// publish assigns the next sequence number, appends (evicting the oldest
+// event past capacity) and wakes every parked poller.
+func (l *eventLog) publish(ev Event) {
+	l.mu.Lock()
+	l.head++
+	ev.Seq = l.head
+	l.events = append(l.events, ev)
+	if len(l.events) > eventLogCap {
+		l.events = append(l.events[:0:0], l.events[len(l.events)-eventLogCap:]...)
+	}
+	close(l.notify)
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// wait returns the channel closed by the next publish. Callers grab it
+// BEFORE checking since() so a publish racing the check is never missed.
+func (l *eventLog) wait() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify
+}
+
+// since returns the retained events after cursor, capped at
+// maxEventsPerPoll. ok is false when the cursor cannot be served
+// incrementally: ahead of head (a different history — the primary
+// restarted, or the follower journaled against another epoch) or behind
+// the retained window (evicted by capacity).
+func (l *eventLog) since(cursor int64) (evs []Event, head int64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	oldest := l.head - int64(len(l.events)) // seq preceding the oldest retained event
+	if cursor > l.head || cursor < oldest {
+		return nil, l.head, false
+	}
+	from := int(cursor - oldest)
+	n := len(l.events) - from
+	if n > maxEventsPerPoll {
+		n = maxEventsPerPoll
+	}
+	if n > 0 {
+		evs = append(evs, l.events[from:from+n]...)
+	}
+	return evs, l.head, true
+}
+
+// state reports the epoch and current head under one lock acquisition —
+// the snapshot's cursor capture.
+func (l *eventLog) state() (epoch string, head int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch, l.head
+}
+
+// publishRef records a branch update on the replication feed. Callers hold
+// the repository's edit lock across ref-set + publish, so events for one
+// branch are ordered exactly like the ref updates themselves — a follower
+// applying them in sequence can never regress a branch it is current on.
+func (p *Platform) publishRef(owner, name, branch, tipHex string) {
+	p.events.publish(Event{Type: EventRef, Owner: owner, Repo: name, Branch: branch, Tip: tipHex})
+}
+
+// Events answers one replication poll: everything after the since cursor,
+// parking up to wait for the first publish when the follower is current.
+// A cursor the log cannot serve incrementally comes back Reset — the
+// follower's signal to full-resync from a snapshot instead of erroring.
+func (p *Platform) Events(ctx context.Context, since int64, wait time.Duration) (EventsResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return EventsResponse{}, err
+	}
+	epoch, _ := p.events.state()
+	var deadline <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		wake := p.events.wait()
+		evs, head, ok := p.events.since(since)
+		if !ok {
+			return EventsResponse{Epoch: epoch, Head: head, Reset: true}, nil
+		}
+		if len(evs) > 0 || wait <= 0 {
+			return EventsResponse{Epoch: epoch, Head: head, Events: evs}, nil
+		}
+		select {
+		case <-wake:
+		case <-deadline:
+			return EventsResponse{Epoch: epoch, Head: head}, nil
+		case <-ctx.Done():
+			return EventsResponse{}, ctx.Err()
+		}
+	}
+}
+
+// Snapshot captures the full replication bootstrap. The event cursor is
+// read first, then accounts and membership under the platform lock, then
+// branch tips per repository outside it (pinned, so the LRU cannot close a
+// handle mid-read): a mutation concurrent with the snapshot lands either in
+// the captured state or after the cursor, and idempotent application
+// absorbs the overlap.
+func (p *Platform) Snapshot(ctx context.Context) (SnapshotResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return SnapshotResponse{}, err
+	}
+	epoch, cursor := p.events.state()
+	resp := SnapshotResponse{Epoch: epoch, Cursor: cursor}
+
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return SnapshotResponse{}, ErrClosed
+	}
+	resp.Users = make([]SnapshotUser, 0, len(p.users))
+	for _, u := range p.users {
+		resp.Users = append(resp.Users, SnapshotUser{Name: u.Name, Token: u.Token})
+	}
+	handles := make([]*hostedRepo, 0, len(p.repos))
+	resp.Repos = make([]SnapshotRepo, 0, len(p.repos))
+	for _, hr := range p.repos {
+		members := make([]string, 0, len(hr.members))
+		for m := range hr.members {
+			members = append(members, m)
+		}
+		sort.Strings(members)
+		handles = append(handles, hr)
+		resp.Repos = append(resp.Repos, SnapshotRepo{
+			Owner: hr.owner, Name: hr.meta.Name, URL: hr.meta.URL,
+			License: hr.meta.License, Members: members,
+		})
+	}
+	p.mu.RUnlock()
+
+	sort.Slice(resp.Users, func(i, j int) bool { return resp.Users[i].Name < resp.Users[j].Name })
+	order := make([]int, len(resp.Repos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := resp.Repos[order[i]], resp.Repos[order[j]]
+		return repoKey(a.Owner, a.Name) < repoKey(b.Owner, b.Name)
+	})
+
+	sorted := make([]SnapshotRepo, 0, len(order))
+	for _, i := range order {
+		if err := ctx.Err(); err != nil {
+			return SnapshotResponse{}, err
+		}
+		sr := resp.Repos[i]
+		repo, release, err := p.pin(handles[i])
+		if err != nil {
+			return SnapshotResponse{}, err
+		}
+		branches, err := repo.VCS.Branches()
+		if err == nil {
+			sr.Tips = make(map[string]string, len(branches))
+			for _, b := range branches {
+				tip, terr := repo.VCS.BranchTip(b)
+				if terr != nil {
+					err = terr
+					break
+				}
+				sr.Tips[b] = tip.String()
+			}
+		}
+		release()
+		if err != nil {
+			return SnapshotResponse{}, err
+		}
+		sorted = append(sorted, sr)
+	}
+	resp.Repos = sorted
+	return resp, nil
+}

@@ -1,0 +1,129 @@
+// readonly.go is the serving side of a read replica: WithReplicaMode turns
+// every write route into a 307 redirect at the primary (preserving method
+// and body — clients that follow redirects land the write where it
+// belongs), while the whole read surface — citation generation, trees,
+// chains, credit, negotiate/objects/pull — keeps being served from the
+// replica's local object store. It also hosts the replication-feed
+// handlers the primary side exposes and the status types the admin
+// endpoint reports for a follower.
+package hosting
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WithReplicaMode makes the server a read-only follower of the primary at
+// primaryURL: write routes answer 307 with Location rewritten onto the
+// primary and code "replica_read_only". status, when non-nil, is surfaced
+// by GET /api/v1/admin/status (wire it to Replicator.Status).
+func WithReplicaMode(primaryURL string, status func() ReplicaStatus) ServerOption {
+	return func(s *Server) {
+		s.replicaPrimary = strings.TrimRight(primaryURL, "/")
+		s.replicaStatus = status
+	}
+}
+
+// mutating wraps a write handler with the replica gate. On a primary it is
+// the identity; on a replica the write never dispatches — the client is
+// redirected, and the replica's state only ever changes through the
+// replication loop.
+func (s *Server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.replicaPrimary == "" {
+			h(w, r)
+			return
+		}
+		w.Header().Set("Location", s.replicaPrimary+r.URL.RequestURI())
+		writeJSON(w, http.StatusTemporaryRedirect, ErrorResponse{
+			Code:  CodeReplicaReadOnly,
+			Error: "hosting: read-only replica; write to the primary at " + s.replicaPrimary,
+		})
+	}
+}
+
+// eventsMaxWait caps how long one events poll may park server-side, safely
+// under common proxy/request timeouts; clients just poll again.
+const eventsMaxWait = 55 * time.Second
+
+// eventsDefaultWait is the long-poll park when the request names none.
+const eventsDefaultWait = 25 * time.Second
+
+// handleEvents serves GET /api/v1/events?since=N&wait=SECONDS — the
+// replication feed poll. wait=0 disables parking (pure poll).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since int64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeErr(w, fmt.Errorf("%w: events cursor %q", ErrBadRequest, v))
+			return
+		}
+		since = n
+	}
+	wait := eventsDefaultWait
+	if v := q.Get("wait"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, fmt.Errorf("%w: events wait %q", ErrBadRequest, v))
+			return
+		}
+		wait = time.Duration(n) * time.Second
+		if wait > eventsMaxWait {
+			wait = eventsMaxWait
+		}
+	}
+	resp, err := s.platform.Events(r.Context(), since, wait)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot serves GET /api/v1/replica/snapshot — the full-resync
+// bootstrap a follower applies before resuming the events feed from the
+// snapshot's cursor.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.platform.Snapshot(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ReplicaRepoStatus is one repository's replication progress as the admin
+// status endpoint reports it.
+type ReplicaRepoStatus struct {
+	// AppliedSeq is the feed sequence number of the last ref event fully
+	// applied to this repository; PendingSeq the last one received. They
+	// differ only while a catch-up fetch is in flight — the per-repo lag
+	// is PendingSeq - AppliedSeq.
+	AppliedSeq int64  `json:"appliedSeq"`
+	PendingSeq int64  `json:"pendingSeq"`
+	Branch     string `json:"branch,omitempty"` // branch of the last applied ref event
+	Tip        string `json:"tip,omitempty"`    // its tip
+	AppliedAt  int64  `json:"appliedAtUnix,omitempty"`
+}
+
+// ReplicaStatus is the follower half of the admin status response: where
+// the replica is against the primary's feed. Cursor is the last journaled
+// (crash-safe) cursor; Head the primary's feed head as of the last poll;
+// Lag their difference.
+type ReplicaStatus struct {
+	Primary        string                       `json:"primary"`
+	Epoch          string                       `json:"epoch,omitempty"`
+	Cursor         int64                        `json:"cursor"`
+	Head           int64                        `json:"head"`
+	Lag            int64                        `json:"lag"`
+	FullResyncs    int64                        `json:"fullResyncs"`
+	ObjectsFetched int64                        `json:"objectsFetched"`
+	LastAppliedAt  int64                        `json:"lastAppliedAtUnix,omitempty"`
+	LastError      string                       `json:"lastError,omitempty"`
+	Repos          map[string]ReplicaRepoStatus `json:"repos,omitempty"` // by "owner/name"
+}

@@ -1,0 +1,112 @@
+// cursor.go persists the replica's feed position with the same crash rules
+// as the platform manifest (PR 7): a CRC-framed record, written to a tmp
+// file, fsync'd, renamed over the old one, directory fsync'd. The cursor
+// only ever advances AFTER the events it covers are fully applied, so after
+// any crash the journaled cursor is a safe resume point: everything at or
+// below it is applied, anything above it gets re-fetched and re-applied
+// idempotently. A torn, CRC-failing or foreign (different primary) file is
+// treated as no cursor at all — the replica full-resyncs, it never guesses.
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// cursorHeader is the first line of the cursor file; a file without it is
+// not ours and is ignored rather than misread.
+const cursorHeader = "gitcite-replica v1\n"
+
+// cursorFileName is the cursor journal's name under the replica state dir.
+const cursorFileName = "replica.cursor"
+
+// cursorRecord is the journaled resume point. Primary and Epoch pin it to
+// one feed: repointing the replica at a different primary, or a primary
+// restart (new epoch), invalidates the cursor and forces a full resync.
+type cursorRecord struct {
+	Primary string `json:"primary"`
+	Epoch   string `json:"epoch"`
+	Cursor  int64  `json:"cursor"`
+}
+
+// saveCursorFile atomically replaces the cursor journal: tmp + fsync +
+// rename + directory fsync, so a crash leaves either the old record or the
+// new one, never a torn mixture.
+func saveCursorFile(dir string, rec cursorRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(cursorHeader)
+	fmt.Fprintf(&buf, "%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+
+	path := filepath.Join(dir, cursorFileName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("replica: write cursor: %w", err)
+	}
+	if _, err = f.Write(buf.Bytes()); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: write cursor: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: write cursor: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// loadCursorFile reads the journaled resume point for the given primary.
+// ok is false — never an error — for a missing, torn, CRC-failing or
+// foreign-primary file: the caller's recovery in every case is the same
+// full resync it performs on first boot.
+func loadCursorFile(dir, primary string) (cursorRecord, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, cursorFileName))
+	if err != nil {
+		return cursorRecord{}, false
+	}
+	if len(data) < len(cursorHeader) || string(data[:len(cursorHeader)]) != cursorHeader {
+		return cursorRecord{}, false
+	}
+	rest := data[len(cursorHeader):]
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return cursorRecord{}, false
+	}
+	line := rest[:nl]
+	if len(line) < 10 || line[8] != ' ' {
+		return cursorRecord{}, false
+	}
+	var crc uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &crc); err != nil {
+		return cursorRecord{}, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return cursorRecord{}, false
+	}
+	var rec cursorRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return cursorRecord{}, false
+	}
+	if rec.Primary != primary || rec.Epoch == "" || rec.Cursor < 0 {
+		return cursorRecord{}, false
+	}
+	return rec, true
+}

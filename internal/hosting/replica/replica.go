@@ -1,0 +1,413 @@
+// Package replica turns a hosting platform into a read-only follower of a
+// primary server. The replication loop long-polls the primary's
+// /api/v1/events feed from a journaled cursor, applies each event to its
+// own platform — accounts and memberships through the idempotent
+// Upsert/Ensure manifest paths, branch moves by pulling exactly the missing
+// objects through the same negotiate/fetch machinery any client uses — and
+// only then advances the cursor, fsync'd, so a crash at any instant resumes
+// from a state-consistent position. Anything the feed cannot serve
+// incrementally (primary restart → new epoch, cursor evicted from the
+// retained window, an event type from a newer primary) degrades to a full
+// resync from /api/v1/replica/snapshot, never to an error loop.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/extension"
+	"github.com/gitcite/gitcite/internal/hosting"
+)
+
+// defaultPollInterval paces periodic polling (and seeds the error backoff)
+// when the configuration names none.
+const defaultPollInterval = 2 * time.Second
+
+// defaultLongPollWait is how long each events poll parks server-side when
+// the configuration names none.
+const defaultLongPollWait = 25 * time.Second
+
+// maxErrBackoff caps the exponential backoff between failed loop steps.
+const maxErrBackoff = 30 * time.Second
+
+// errResync marks a state the loop cannot reach incrementally from its
+// cursor; recovery is a full snapshot resync, not a retry.
+var errResync = errors.New("replica: full resync required")
+
+// Config wires a Replicator to its primary and its local platform.
+type Config struct {
+	// Primary is the primary server's base URL; Token its admin token —
+	// the events and snapshot endpoints are admin-gated because account
+	// tokens travel over them.
+	Primary string
+	Token   string
+	// Platform is the local (follower) platform events are applied to. The
+	// serving side must reject client writes (hosting.WithReplicaMode) so
+	// the replication loop stays the platform's only writer.
+	Platform *hosting.Platform
+	// StateDir, when non-empty, holds the crash-safe cursor journal —
+	// normally the same directory as the platform's pack store. Empty
+	// means no journal: every restart is a full resync.
+	StateDir string
+	// PollInterval paces periodic polling and seeds the error backoff.
+	// LongPollWait is the server-side park per events poll; negative
+	// disables long-polling entirely (pure periodic polling).
+	PollInterval time.Duration
+	LongPollWait time.Duration
+	Logger       *log.Logger
+}
+
+// Replicator runs the follower side of replication. Create with New, drive
+// with Run, surface with Status (wire it to hosting.WithReplicaMode).
+type Replicator struct {
+	cfg      Config
+	longPoll time.Duration
+
+	mu    sync.Mutex
+	st    hosting.ReplicaStatus
+	probe bool // last events poll failed: next poll skips the long park
+}
+
+// New prepares a replicator and loads any journaled cursor for this
+// primary. A cursor journaled against a different primary (or torn, or
+// CRC-failing) is ignored — the first Run step full-resyncs instead.
+func New(cfg Config) (*Replicator, error) {
+	cfg.Primary = strings.TrimRight(cfg.Primary, "/")
+	if cfg.Primary == "" {
+		return nil, errors.New("replica: primary URL required")
+	}
+	if cfg.Platform == nil {
+		return nil, errors.New("replica: platform required")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = defaultPollInterval
+	}
+	switch {
+	case cfg.LongPollWait < 0:
+		cfg.LongPollWait = 0
+	case cfg.LongPollWait == 0:
+		cfg.LongPollWait = defaultLongPollWait
+	}
+	r := &Replicator{cfg: cfg, longPoll: cfg.LongPollWait}
+	r.st = hosting.ReplicaStatus{Primary: cfg.Primary, Repos: map[string]hosting.ReplicaRepoStatus{}}
+	if cfg.StateDir != "" {
+		if rec, ok := loadCursorFile(cfg.StateDir, cfg.Primary); ok {
+			r.st.Cursor, r.st.Epoch = rec.Cursor, rec.Epoch
+		}
+	}
+	return r, nil
+}
+
+// Run drives the replication loop until ctx is cancelled (the only way it
+// returns). Failed steps back off exponentially from the poll interval up
+// to maxErrBackoff; any successful step resets the backoff.
+func (r *Replicator) Run(ctx context.Context) error {
+	cl := extension.New(r.cfg.Primary, r.cfg.Token).WithContext(ctx)
+	backoff := r.cfg.PollInterval
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := r.step(ctx, cl); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			r.noteError(err)
+			r.logf("replica: %v (retrying in %v)", err, backoff)
+			if !sleepCtx(ctx, backoff) {
+				return ctx.Err()
+			}
+			if backoff *= 2; backoff > maxErrBackoff {
+				backoff = maxErrBackoff
+			}
+			continue
+		}
+		backoff = r.cfg.PollInterval
+	}
+}
+
+// step performs one loop iteration: an events poll and the application of
+// whatever it returned, or a full resync when there is no usable cursor.
+func (r *Replicator) step(ctx context.Context, cl *extension.Client) error {
+	cursor, epoch := r.position()
+	if epoch == "" {
+		return r.fullResync(ctx, cl)
+	}
+	wait := int(r.longPoll / time.Second)
+	if r.inProbe() {
+		// The previous poll failed; probe with a plain poll first so a
+		// primary behind a park-killing proxy still replicates — the
+		// "falling back to periodic polling" degradation.
+		wait = 0
+	}
+	resp, err := cl.Events(cursor, wait)
+	if err != nil {
+		r.setProbe(true)
+		return err
+	}
+	r.setProbe(false)
+	if resp.Reset || resp.Epoch != epoch {
+		// The primary restarted (new epoch) or our cursor fell off the
+		// retained window — including the journal-compaction case where a
+		// journaled cursor lands past the new head. Re-negotiate from a
+		// snapshot instead of erroring.
+		r.logf("replica: cursor %d unusable (epoch %.8s→%.8s, reset=%v); full resync",
+			cursor, epoch, resp.Epoch, resp.Reset)
+		r.invalidate()
+		return nil
+	}
+	if len(resp.Events) == 0 {
+		r.noteHead(resp.Head)
+		if wait == 0 {
+			sleepCtx(ctx, r.cfg.PollInterval)
+		}
+		return nil
+	}
+	if err := r.applyEvents(ctx, cl, resp.Events); err != nil {
+		if errors.Is(err, errResync) {
+			r.invalidate()
+			return nil
+		}
+		return err
+	}
+	// Apply, then journal: the cursor is only acknowledged once every
+	// event it covers is fully applied (invariant 8). A crash between the
+	// two re-applies this batch idempotently on resume.
+	if err := r.saveCursor(resp.Events[len(resp.Events)-1].Seq, epoch); err != nil {
+		return err
+	}
+	r.noteHead(resp.Head)
+	return nil
+}
+
+// fullResync bootstraps (or re-bootstraps) from a snapshot: every account,
+// repository, membership and branch tip, then the cursor the snapshot was
+// captured at. Events racing the snapshot re-apply idempotently afterwards.
+func (r *Replicator) fullResync(ctx context.Context, cl *extension.Client) error {
+	snap, err := cl.ReplicaSnapshot()
+	if err != nil {
+		r.setProbe(true)
+		return err
+	}
+	r.setProbe(false)
+	for _, u := range snap.Users {
+		if err := r.cfg.Platform.UpsertUser(ctx, u.Name, u.Token); err != nil {
+			return err
+		}
+	}
+	for _, sr := range snap.Repos {
+		if err := r.cfg.Platform.EnsureRepo(ctx, sr.Owner, sr.Name, sr.URL, sr.License); err != nil {
+			return err
+		}
+		for _, m := range sr.Members {
+			if err := r.cfg.Platform.EnsureMember(ctx, sr.Owner, sr.Name, m); err != nil {
+				return err
+			}
+		}
+		branches := make([]string, 0, len(sr.Tips))
+		for b := range sr.Tips {
+			branches = append(branches, b)
+		}
+		sort.Strings(branches)
+		for _, b := range branches {
+			ev := hosting.Event{Seq: snap.Cursor, Type: hosting.EventRef,
+				Owner: sr.Owner, Repo: sr.Name, Branch: b, Tip: sr.Tips[b]}
+			if err := r.applyRef(ctx, cl, ev); err != nil {
+				return err
+			}
+		}
+	}
+	if err := r.saveCursor(snap.Cursor, snap.Epoch); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.st.FullResyncs++
+	if r.st.Head < snap.Cursor {
+		r.st.Head = snap.Cursor
+	}
+	r.mu.Unlock()
+	r.logf("replica: full resync complete at cursor %d (%d users, %d repos)",
+		snap.Cursor, len(snap.Users), len(snap.Repos))
+	return nil
+}
+
+// applyEvents applies one poll's batch in feed order. A missing local
+// dependency (hosting.ErrNotFound) or an event type from a newer primary
+// means the incremental stream is not self-contained from here — resync.
+func (r *Replicator) applyEvents(ctx context.Context, cl *extension.Client, evs []hosting.Event) error {
+	for _, ev := range evs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var err error
+		switch ev.Type {
+		case hosting.EventUser:
+			err = r.cfg.Platform.UpsertUser(ctx, ev.Name, ev.Token)
+		case hosting.EventRepo:
+			err = r.cfg.Platform.EnsureRepo(ctx, ev.Owner, ev.Repo, ev.URL, ev.License)
+		case hosting.EventMember:
+			err = r.cfg.Platform.EnsureMember(ctx, ev.Owner, ev.Repo, ev.Member)
+		case hosting.EventRef:
+			err = r.applyRef(ctx, cl, ev)
+		default:
+			return fmt.Errorf("%w: unknown event type %q", errResync, ev.Type)
+		}
+		if errors.Is(err, hosting.ErrNotFound) {
+			return fmt.Errorf("%w: %v", errResync, err)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRef converges one branch onto the event's tip: a no-op when already
+// there, otherwise a negotiated fetch of exactly the missing objects (the
+// local branch tips are the have-set) that then points the branch at the
+// tip. The repository's edit lock is held across the fetch, mirroring the
+// primary's push discipline.
+func (r *Replicator) applyRef(ctx context.Context, cl *extension.Client, ev hosting.Event) error {
+	key := ev.Owner + "/" + ev.Repo
+	r.notePending(key, ev.Seq)
+	repo, release, err := r.cfg.Platform.AcquireRepo(ctx, ev.Owner, ev.Repo)
+	if err != nil {
+		return err
+	}
+	defer release()
+	unlock, err := r.cfg.Platform.LockForEdit(ctx, ev.Owner, ev.Repo)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	if cur, err := repo.VCS.BranchTip(ev.Branch); err == nil && cur.String() == ev.Tip {
+		r.noteApplied(key, ev, 0)
+		return nil
+	}
+	_, n, err := cl.Fetch(repo, ev.Owner, ev.Repo, ev.Tip, ev.Branch)
+	if err != nil {
+		return err
+	}
+	r.noteApplied(key, ev, n)
+	return nil
+}
+
+// Status reports replication progress for the admin endpoint.
+func (r *Replicator) Status() hosting.ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.st
+	if st.Lag = st.Head - st.Cursor; st.Lag < 0 {
+		st.Lag = 0
+	}
+	st.Repos = make(map[string]hosting.ReplicaRepoStatus, len(r.st.Repos))
+	for k, v := range r.st.Repos {
+		st.Repos[k] = v
+	}
+	return st
+}
+
+// saveCursor journals the new resume point (when a state dir is
+// configured) and only then acknowledges it in memory.
+func (r *Replicator) saveCursor(cursor int64, epoch string) error {
+	if r.cfg.StateDir != "" {
+		rec := cursorRecord{Primary: r.cfg.Primary, Epoch: epoch, Cursor: cursor}
+		if err := saveCursorFile(r.cfg.StateDir, rec); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	r.st.Cursor, r.st.Epoch = cursor, epoch
+	r.st.LastError = ""
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *Replicator) position() (cursor int64, epoch string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.st.Cursor, r.st.Epoch
+}
+
+// invalidate forgets the current epoch so the next step full-resyncs.
+func (r *Replicator) invalidate() {
+	r.mu.Lock()
+	r.st.Epoch = ""
+	r.mu.Unlock()
+}
+
+func (r *Replicator) noteHead(head int64) {
+	r.mu.Lock()
+	r.st.Head = head
+	r.mu.Unlock()
+}
+
+func (r *Replicator) noteError(err error) {
+	r.mu.Lock()
+	r.st.LastError = err.Error()
+	r.mu.Unlock()
+}
+
+func (r *Replicator) notePending(key string, seq int64) {
+	r.mu.Lock()
+	rs := r.st.Repos[key]
+	if rs.PendingSeq < seq {
+		rs.PendingSeq = seq
+	}
+	r.st.Repos[key] = rs
+	r.mu.Unlock()
+}
+
+func (r *Replicator) noteApplied(key string, ev hosting.Event, fetched int) {
+	now := time.Now().Unix()
+	r.mu.Lock()
+	rs := r.st.Repos[key]
+	if rs.AppliedSeq < ev.Seq {
+		rs.AppliedSeq = ev.Seq
+	}
+	rs.Branch, rs.Tip, rs.AppliedAt = ev.Branch, ev.Tip, now
+	r.st.Repos[key] = rs
+	r.st.ObjectsFetched += int64(fetched)
+	r.st.LastAppliedAt = now
+	r.mu.Unlock()
+}
+
+func (r *Replicator) inProbe() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.probe
+}
+
+func (r *Replicator) setProbe(v bool) {
+	r.mu.Lock()
+	r.probe = v
+	r.mu.Unlock()
+}
+
+func (r *Replicator) logf(format string, args ...any) {
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// sleepCtx parks for d or until ctx is done; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -127,6 +127,11 @@ type Platform struct {
 
 	openCount atomic.Int64
 	lruTick   atomic.Int64
+
+	// events is the replication feed (events.go): every acknowledged
+	// mutation is published to it after it takes effect, so a follower
+	// polling the feed sees state changes in an order it can replay.
+	events *eventLog
 }
 
 // PlatformOption configures a Platform at construction.
@@ -170,6 +175,7 @@ func NewPlatform(opts ...PlatformOption) *Platform {
 		repos:   map[string]*hostedRepo{},
 		pending: map[string]bool{},
 		newRepo: gitcite.NewMemoryRepo,
+		events:  newEventLog(),
 	}
 	for _, o := range opts {
 		o(p)
@@ -209,7 +215,56 @@ func (p *Platform) CreateUser(ctx context.Context, name string) (*User, error) {
 	}
 	p.users[name] = u
 	p.byToken[u.Token] = u
+	p.events.publish(Event{Type: EventUser, Name: u.Name, Token: u.Token})
 	return u, nil
+}
+
+// UpsertUser registers an account with a caller-chosen token, or re-tokens
+// an existing one — the follower side of account replication, where the
+// token is the primary's and must be mirrored verbatim so the same
+// credential authenticates on both. Journaled like CreateUser (opUser
+// replay is last-wins, so a re-token survives restart); idempotent when the
+// account already carries the token.
+func (p *Platform) UpsertUser(ctx context.Context, name, token string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if name == "" || strings.ContainsAny(name, "/\\\n\r\x00") || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("%w: invalid user name %q", ErrBadRequest, name)
+	}
+	if token == "" {
+		return fmt.Errorf("%w: empty token for user %q", ErrBadRequest, name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if u, ok := p.users[name]; ok {
+		if u.Token == token {
+			return nil
+		}
+		if p.man != nil {
+			if err := p.man.append(manifestRecord{Op: opUser, Name: name, Token: token}); err != nil {
+				return err
+			}
+		}
+		delete(p.byToken, u.Token)
+		u.Token = token
+		p.byToken[token] = u
+		p.events.publish(Event{Type: EventUser, Name: name, Token: token})
+		return nil
+	}
+	if p.man != nil {
+		if err := p.man.append(manifestRecord{Op: opUser, Name: name, Token: token}); err != nil {
+			return err
+		}
+	}
+	u := &User{Name: name, Token: token}
+	p.users[name] = u
+	p.byToken[token] = u
+	p.events.publish(Event{Type: EventUser, Name: name, Token: token})
+	return nil
 }
 
 // Authenticate resolves a token to its user.
@@ -280,7 +335,53 @@ func (p *Platform) CreateRepoAs(ctx context.Context, u *User, name, url, license
 		}
 	}
 	p.registerOpen(key, newHostedRepo(repo, u.Name, meta))
+	p.events.publish(Event{Type: EventRepo, Owner: u.Name, Repo: name, URL: url, License: license})
 	return repo, nil
+}
+
+// EnsureRepo registers a repository replicated from a primary: no owning
+// *User is required (the owner account may replay in the same batch) and an
+// existing repository is a no-op, so re-applying a snapshot or an event
+// suffix converges. Journal order matches CreateRepoAs — directory first,
+// manifest record second.
+func (p *Platform) EnsureRepo(ctx context.Context, owner, name, url, license string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if owner == "" || !validRepoName(name) {
+		return fmt.Errorf("%w: invalid repository %q/%q", ErrBadRequest, owner, name)
+	}
+	key := repoKey(owner, name)
+	p.mu.RLock()
+	_, exists := p.repos[key]
+	p.mu.RUnlock()
+	if exists {
+		return nil
+	}
+	if err := p.reserveKey(key); err != nil {
+		if errors.Is(err, ErrConflict) {
+			// Lost a race with another create of the same key — the
+			// repository exists (or is about to); idempotence says done.
+			return nil
+		}
+		return err
+	}
+	defer p.releaseKey(key)
+	meta := gitcite.Meta{Owner: owner, Name: name, URL: url, License: license}
+	repo, err := p.newRepo(meta)
+	if err != nil {
+		return err
+	}
+	if p.man != nil {
+		if err := p.man.append(manifestRecord{Op: opRepo, Owner: owner, Repo: name, URL: url, License: license}); err != nil {
+			repo.Close()
+			os.RemoveAll(p.repoDir(owner, name))
+			return err
+		}
+	}
+	p.registerOpen(key, newHostedRepo(repo, owner, meta))
+	p.events.publish(Event{Type: EventRepo, Owner: owner, Repo: name, URL: url, License: license})
+	return nil
 }
 
 // registerOpen publishes a hosted repository whose handle is already open,
@@ -331,7 +432,43 @@ func (p *Platform) AddMemberAs(ctx context.Context, u *User, owner, name, member
 			return err
 		}
 	}
+	if !hr.members[member] {
+		hr.members[member] = true
+		p.events.publish(Event{Type: EventMember, Owner: owner, Repo: name, Member: member})
+	}
+	return nil
+}
+
+// EnsureMember grants write access replicated from a primary: the
+// permission check already happened there, so none runs here (the method is
+// not exposed over HTTP). Idempotent; the member account must exist —
+// primaries always emit the user event at a lower sequence number.
+func (p *Platform) EnsureMember(ctx context.Context, owner, name, member string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	hr, ok := p.repos[repoKey(owner, name)]
+	if !ok {
+		return fmt.Errorf("%w: repository %s/%s", ErrNotFound, owner, name)
+	}
+	if hr.members[member] {
+		return nil
+	}
+	if _, ok := p.users[member]; !ok {
+		return fmt.Errorf("%w: user %q", ErrNotFound, member)
+	}
+	if p.man != nil {
+		if err := p.man.append(manifestRecord{Op: opMember, Owner: owner, Repo: name, Member: member}); err != nil {
+			return err
+		}
+	}
 	hr.members[member] = true
+	p.events.publish(Event{Type: EventMember, Owner: owner, Repo: name, Member: member})
 	return nil
 }
 
@@ -602,6 +739,16 @@ func (p *Platform) ForkRepoAs(ctx context.Context, u *User, owner, name, newName
 	}
 	p.releaseKey(key)
 	p.registerOpen(key, newHostedRepo(forked, u.Name, meta))
+	p.events.publish(Event{Type: EventRepo, Owner: u.Name, Repo: newName, URL: meta.URL, License: meta.License})
+	// A fork is born with history: publish its branch tips so followers
+	// catch up through the same negotiate path an ordinary push uses.
+	if branches, err := forked.VCS.Branches(); err == nil {
+		for _, b := range branches {
+			if tip, err := forked.VCS.BranchTip(b); err == nil {
+				p.publishRef(u.Name, newName, b, tip.String())
+			}
+		}
+	}
 	return forked, nil
 }
 

@@ -33,6 +33,9 @@ const (
 	CodeBadRequest   = "bad_request"   // 400: malformed body, path or cursor
 	CodeRateLimited  = "rate_limited"  // 429: per-token rate limit exceeded
 	CodeInternal     = "internal"      // 500: anything else
+	// CodeReplicaReadOnly is 307: this server is a read replica; the
+	// Location header points the write at the primary.
+	CodeReplicaReadOnly = "replica_read_only"
 )
 
 // ErrorResponse is the JSON error body. Code is one of the Code* constants;

@@ -7,11 +7,15 @@
 set -euo pipefail
 
 PORT=${E2E_PORT:-8471}
+RPORT=${E2E_REPLICA_PORT:-8472}
+ADMIN_TOK="e2e-admin-tok"
 WORK=$(mktemp -d)
 BIN="$WORK/bin"
 SERVER_PID=""
+REPLICA_PID=""
 cleanup() {
   [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$REPLICA_PID" ] && kill "$REPLICA_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -22,7 +26,7 @@ go build -o "$BIN/gitcite" ./cmd/gitcite
 go build -o "$BIN/gitcite-server" ./cmd/gitcite-server
 
 echo "==> starting gitcite-server on :$PORT (pack-backed storage)"
-"$BIN/gitcite-server" -addr "127.0.0.1:$PORT" -pack "$WORK/server-data" &
+"$BIN/gitcite-server" -addr "127.0.0.1:$PORT" -pack "$WORK/server-data" -admin-token "$ADMIN_TOK" &
 SERVER_PID=$!
 BASE="http://127.0.0.1:$PORT"
 
@@ -83,7 +87,7 @@ ls .gitcite/objects/pack/*.pack > /dev/null || { echo "FAIL: no pack files after
 echo "==> restart leg: kill -9 the server, reboot from the same data dir"
 kill -9 "$SERVER_PID" 2>/dev/null || true
 wait "$SERVER_PID" 2>/dev/null || true
-"$BIN/gitcite-server" -addr "127.0.0.1:$PORT" -pack "$WORK/server-data" &
+"$BIN/gitcite-server" -addr "127.0.0.1:$PORT" -pack "$WORK/server-data" -admin-token "$ADMIN_TOK" &
 SERVER_PID=$!
 up=""
 for _ in $(seq 1 50); do
@@ -106,9 +110,54 @@ printf 'post-restart work\n' > survived.txt
 "$BIN/gitcite" commit -author alice -m "after restart"
 "$BIN/gitcite" push -server "$BASE" -token "$TOKEN" -owner alice -repo demo -branch main
 
+echo "==> replica leg: boot a read replica mirroring the primary"
+RBASE="http://127.0.0.1:$RPORT"
+"$BIN/gitcite-server" -addr "127.0.0.1:$RPORT" -pack "$WORK/replica-data" \
+  -replica-of "$BASE" -replica-token "$ADMIN_TOK" -replica-poll 200ms -admin-token "$ADMIN_TOK" &
+REPLICA_PID=$!
+
+wait_replica_tip() { # $1 = expected main tip
+  for _ in $(seq 1 100); do
+    rtip=$(curl -sf "$RBASE/api/v1/repos/alice/demo" 2>/dev/null | sed -n 's/.*"main":"\([0-9a-f]*\)".*/\1/p')
+    [ "$rtip" = "$1" ] && return 0
+    sleep 0.2
+  done
+  return 1
+}
+TIP3=$(curl -sf "$BASE/api/v1/repos/alice/demo" | sed -n 's/.*"main":"\([0-9a-f]*\)".*/\1/p')
+wait_replica_tip "$TIP3" || { echo "FAIL: replica never caught up to primary tip $TIP3"; exit 1; }
+
+echo "==> cite from the replica; writes answer 307 at the primary"
+rcite=$(curl -sf "$RBASE/api/v1/repos/alice/demo/cite/main?path=/lib/code.go&format=text")
+echo "$rcite" | grep -q "blib" || { echo "FAIL: replica cite did not resolve to blib: $rcite"; exit 1; }
+code=$(curl -s -o /dev/null -w "%{http_code}" -X POST "$RBASE/api/v1/repos/alice/demo/push" \
+  -H "Authorization: Bearer $TOKEN" -d '{}')
+[ "$code" = "307" ] || { echo "FAIL: push against replica = $code, want 307"; exit 1; }
+rstatus=$(curl -sf -H "Authorization: Bearer $ADMIN_TOK" "$RBASE/api/v1/admin/status")
+echo "$rstatus" | grep -q '"replica"' || { echo "FAIL: replica admin status missing replica section: $rstatus"; exit 1; }
+
+echo "==> kill -9 the replica mid-flight, push more to the primary, restart and catch up"
+kill -9 "$REPLICA_PID" 2>/dev/null || true
+wait "$REPLICA_PID" 2>/dev/null || true
+cd "$DST2"
+printf 'replicated after replica crash\n' > crash.txt
+"$BIN/gitcite" commit -author alice -m "while replica was down"
+"$BIN/gitcite" push -server "$BASE" -token "$TOKEN" -owner alice -repo demo -branch main
+TIP4=$(curl -sf "$BASE/api/v1/repos/alice/demo" | sed -n 's/.*"main":"\([0-9a-f]*\)".*/\1/p')
+[ "$TIP4" != "$TIP3" ] || { echo "FAIL: primary tip did not advance"; exit 1; }
+"$BIN/gitcite-server" -addr "127.0.0.1:$RPORT" -pack "$WORK/replica-data" \
+  -replica-of "$BASE" -replica-token "$ADMIN_TOK" -replica-poll 200ms &
+REPLICA_PID=$!
+wait_replica_tip "$TIP4" || { echo "FAIL: restarted replica never caught up to $TIP4"; exit 1; }
+curl -sf "$RBASE/api/v1/repos/alice/demo/cite/main?path=/" > /dev/null \
+  || { echo "FAIL: cite on restarted replica"; exit 1; }
+
 echo "==> graceful shutdown drains and exits cleanly"
+kill -TERM "$REPLICA_PID" 2>/dev/null || true
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
 kill -TERM "$SERVER_PID" 2>/dev/null || true
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
-echo "PASS: e2e smoke (server boot, push, cold-clone pull, cite, abbreviated rev, repack, kill -9 restart recovery, graceful shutdown)"
+echo "PASS: e2e smoke (server boot, push, cold-clone pull, cite, abbreviated rev, repack, kill -9 restart recovery, replica mirror + 307 + crash catch-up, graceful shutdown)"

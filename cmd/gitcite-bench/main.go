@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"github.com/gitcite/gitcite/internal/gitcite"
 	"github.com/gitcite/gitcite/internal/hosting"
 	"github.com/gitcite/gitcite/internal/hosting/replica"
+	"github.com/gitcite/gitcite/internal/load"
 	"github.com/gitcite/gitcite/internal/scenario"
 	"github.com/gitcite/gitcite/internal/vcs"
 	"github.com/gitcite/gitcite/internal/vcs/object"
@@ -50,12 +52,23 @@ var (
 	requests = flag.Int("requests", 500, "requests per client for -experiment concurrent")
 	files    = flag.Int("files", 1000, "repository size for -experiment commit")
 	commits  = flag.Int("commits", 200, "measured commits for -experiment commit")
-	jsonOut  = flag.String("json", "", "also write the counters as machine-readable JSON to this path (counters experiment only)")
+
+	// BENCH_<pr>.json artefact flags (counters + cpumatrix experiments). The
+	// PR number is a flag, not a constant: the file refuses to silently
+	// clobber a different PR's record unless -force starts it fresh.
+	outPath    = flag.String("out", "", "merge results into this BENCH_<pr>.json artefact (validated on write)")
+	prNum      = flag.Int("pr", 0, "PR number recorded in -out (required with -out)")
+	forceOut   = flag.Bool("force", false, "with -out: overwrite a file recorded for a different PR")
+	benchInput = flag.String("bench-input", "-", "cpumatrix: `go test -bench` output to fold (path, or - for stdin)")
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, figure1, architecture, figure2, listing1, demo, concurrent, commit, sync, counters")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, figure1, architecture, figure2, listing1, demo, concurrent, commit, sync, counters, cpumatrix")
 	flag.Parse()
+	if *outPath != "" && *prNum < 1 {
+		fmt.Fprintln(os.Stderr, "gitcite-bench: -out requires -pr <n> (the PR number the file records)")
+		os.Exit(2)
+	}
 
 	runners := map[string]func() error{
 		"figure1":      runFigure1,
@@ -67,7 +80,10 @@ func main() {
 		"commit":       runCommit,
 		"sync":         runSync,
 		"counters":     runCounters,
+		"cpumatrix":    runCPUMatrix,
 	}
+	// cpumatrix is absent from "all": it folds externally produced
+	// `go test -bench` output rather than running an experiment itself.
 	order := []string{"figure1", "architecture", "figure2", "listing1", "demo", "concurrent", "commit", "sync", "counters"}
 
 	if *experiment != "all" {
@@ -571,11 +587,9 @@ func runCounters() error {
 	fmt.Println("Deterministic efficiency counters (CI regression gate)")
 	fmt.Println("------------------------------------------------------")
 	counters := map[string]int64{}
-	order := []string{}
 	emit := func(name string, value int64) {
 		fmt.Printf("counter %s = %d\n", name, value)
 		counters[name] = value
-		order = append(order, name)
 	}
 
 	// --- store Puts per one-file commit (1000-file repo, 20 commits) ---
@@ -885,28 +899,62 @@ func runCounters() error {
 	}
 	emit("open_repos_after_10k_requests", int64(lruPlat.OpenRepoCount()))
 
-	if *jsonOut != "" {
-		if err := writeCountersJSON(*jsonOut, order, counters); err != nil {
+	if *outPath != "" {
+		err := load.UpdateBenchFile(*outPath, *prNum, *forceOut, func(f *load.BenchFile) {
+			f.Counters = counters
+		})
+		if err != nil {
 			return err
 		}
-		fmt.Printf("  wrote %d counters to %s\n", len(counters), *jsonOut)
+		fmt.Printf("  wrote %d counters to %s\n", len(counters), *outPath)
 	}
 	return nil
 }
 
-// writeCountersJSON renders the counters as a stable machine-readable
-// artefact (BENCH_8.json at the repo root in CI): a schema marker plus the
-// counters in emission order.
-func writeCountersJSON(path string, order []string, counters map[string]int64) error {
-	var buf bytes.Buffer
-	buf.WriteString("{\n  \"schema\": \"gitcite-bench-counters/v1\",\n  \"pr\": 8,\n  \"counters\": {\n")
-	for i, name := range order {
-		fmt.Fprintf(&buf, "    %q: %d", name, counters[name])
-		if i < len(order)-1 {
-			buf.WriteByte(',')
-		}
-		buf.WriteByte('\n')
+// runCPUMatrix folds `go test -bench ... -cpu 1,4` output (read from
+// -bench-input) into the -out artefact's cpu_matrix section, replacing the
+// loose parallel-cpu-matrix.txt CI used to upload.
+func runCPUMatrix() error {
+	if *outPath == "" {
+		return fmt.Errorf("cpumatrix needs -out (the BENCH_<pr>.json to fold into)")
 	}
-	buf.WriteString("  }\n}\n")
-	return os.WriteFile(path, buf.Bytes(), 0o644)
+	in := os.Stdin
+	if *benchInput != "-" {
+		f, err := os.Open(*benchInput)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	matrix, err := load.ParseGoBench(in)
+	if err != nil {
+		return err
+	}
+	if len(matrix) == 0 {
+		return fmt.Errorf("no Benchmark lines found in %s", *benchInput)
+	}
+	if err := load.UpdateBenchFile(*outPath, *prNum, *forceOut, func(f *load.BenchFile) {
+		f.CPUMatrix = matrix
+	}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(matrix))
+	for name := range matrix {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		procs := make([]string, 0, len(matrix[name]))
+		for p := range matrix[name] {
+			procs = append(procs, p)
+		}
+		sort.Strings(procs)
+		for _, p := range procs {
+			b := matrix[name][p]
+			fmt.Printf("  %s @ GOMAXPROCS=%s: %.0f ns/op (%d runs)\n", name, p, b.NsPerOp, b.Runs)
+		}
+	}
+	fmt.Printf("  folded %d benchmarks into %s\n", len(names), *outPath)
+	return nil
 }

@@ -1,0 +1,140 @@
+// Command gitcite-load is the open-loop load harness: it drives a real
+// gitcite-server over HTTP across a scenario matrix (monorepo, registry,
+// classroom, push-storm, replica-read) at a scheduled arrival rate, records
+// per-endpoint-class tail latency measured from the *scheduled* arrival
+// time (so queueing delay is measured, not hidden), and merges the results
+// into the BENCH_<pr>.json artefact that scripts/bench_regression.sh gates
+// on. Run with -help for flags; see README.md "Load testing".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/load"
+)
+
+func main() {
+	var (
+		profileName = flag.String("profile", "smoke", "scenario sizing: smoke (CI, deterministic, seconds) or full (population-scale)")
+		scenarios   = flag.String("scenarios", "all", "comma-separated scenario subset (monorepo,registry,classroom,push-storm,replica-read) or all")
+		listOnly    = flag.Bool("list", false, "list scenarios and exit")
+
+		rate     = flag.Float64("rate", 0, "override offered requests/second per scenario")
+		duration = flag.Duration("duration", 0, "override measured window per scenario")
+		arrival  = flag.String("arrival", "", "override arrival process: poisson or fixed")
+		seed     = flag.Int64("seed", -1, "override RNG seed (arrivals + request mix); -1 keeps the profile's seed")
+		inflight = flag.Int("max-inflight", 0, "override max concurrently executing requests")
+
+		outPath = flag.String("out", "", "merge the latency section into this BENCH_<pr>.json (e.g. BENCH_9.json)")
+		pr      = flag.Int("pr", 0, "PR number recorded in -out (required with -out)")
+		force   = flag.Bool("force", false, "with -out: overwrite a file recorded for a different PR")
+		text    = flag.Bool("text", true, "print the flat latency/rate lines the regression gate parses")
+
+		baseURL     = flag.String("base-url", "", "drive an external gitcite-server instead of an in-process one (replica-read is skipped)")
+		injectDelay = flag.Duration("inject-delay", 0, "test hook: add a fixed per-request delay in the in-process server (gate-proof runs)")
+	)
+	flag.Parse()
+	if err := run(*profileName, *scenarios, *listOnly, *rate, *duration, *arrival, *seed, *inflight,
+		*outPath, *pr, *force, *text, *baseURL, *injectDelay); err != nil {
+		fmt.Fprintln(os.Stderr, "gitcite-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profileName, scenarioSpec string, listOnly bool, rate float64, duration time.Duration,
+	arrival string, seed int64, inflight int, outPath string, pr int, force, text bool,
+	baseURL string, injectDelay time.Duration) error {
+	if listOnly {
+		for _, s := range load.Scenarios() {
+			fmt.Printf("%-14s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+	if outPath != "" && pr < 1 {
+		return fmt.Errorf("-out requires -pr <n> (the PR number the file records)")
+	}
+	prof, err := load.ProfileByName(profileName)
+	if err != nil {
+		return err
+	}
+	if rate > 0 {
+		prof.Rate = rate
+	}
+	if duration > 0 {
+		prof.Duration = duration
+	}
+	if arrival != "" {
+		prof.Arrival = arrival
+	}
+	if seed >= 0 {
+		prof.Seed = seed
+	}
+	if inflight > 0 {
+		prof.MaxInFlight = inflight
+	}
+	prof.BaseURL = baseURL
+	prof.InjectDelay = injectDelay
+
+	scens, err := load.ScenariosByName(scenarioSpec)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	latency := map[string]*load.ScenarioLatency{}
+	for _, s := range scens {
+		if baseURL != "" && s.Name == "replica-read" {
+			fmt.Fprintf(os.Stderr, "## %s: skipped (boots its own primary+replica pair; incompatible with -base-url)\n", s.Name)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "## %s: setting up (%s profile)\n", s.Name, prof.Name)
+		env, err := s.Setup(ctx, prof)
+		if err != nil {
+			return fmt.Errorf("%s setup: %w", s.Name, err)
+		}
+		fmt.Fprintf(os.Stderr, "## %s: offering %.0f req/s (%s) for %s\n", s.Name, prof.Rate, prof.Arrival, prof.Duration)
+		res, err := load.Run(ctx, s.Name, env.Gen, prof.Options())
+		env.Close()
+		if err != nil {
+			return fmt.Errorf("%s run: %w", s.Name, err)
+		}
+		if res.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "## %s: %d/%d requests errored\n", s.Name, res.Errors, res.Completed)
+		}
+		fmt.Fprintf(os.Stderr, "## %s: offered %.0f req/s, achieved %.0f req/s over %s\n",
+			s.Name, res.OfferedRPS, res.AchievedRPS, res.Elapsed.Round(time.Millisecond))
+		latency[s.Name] = res.Latency()
+	}
+	if len(latency) == 0 {
+		return fmt.Errorf("no scenarios ran")
+	}
+
+	if text {
+		if err := load.LatencyLines(os.Stdout, latency); err != nil {
+			return err
+		}
+	}
+	if outPath != "" {
+		err := load.UpdateBenchFile(outPath, pr, force, func(f *load.BenchFile) {
+			if f.Latency == nil {
+				f.Latency = map[string]*load.ScenarioLatency{}
+			}
+			for scen, sl := range latency {
+				f.Latency[scen] = sl
+			}
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "## wrote latency section (%d scenarios) to %s\n", len(latency), outPath)
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package load
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchSchema is the schema marker of the machine-readable BENCH_<pr>.json
+// artefact at the repo root. One file carries up to three sections, each
+// written by a different producer against the same schema: `counters`
+// (gitcite-bench -experiment counters), `cpu_matrix` (gitcite-bench
+// -experiment cpumatrix, folding the -cpu 1,4 parallel-benchmark run) and
+// `latency` (gitcite-load's per-scenario, per-endpoint percentiles).
+const BenchSchema = "gitcite-bench-counters/v1"
+
+// CPUBench is one benchmark's result at one GOMAXPROCS setting.
+type CPUBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Runs        int     `json:"runs"`
+}
+
+// EndpointLatency is one endpoint class's latency summary, microseconds.
+type EndpointLatency struct {
+	Count  int64 `json:"count"`
+	Errors int64 `json:"errors"`
+	P50us  int64 `json:"p50_us"`
+	P90us  int64 `json:"p90_us"`
+	P99us  int64 `json:"p99_us"`
+	P999us int64 `json:"p999_us"`
+	Maxus  int64 `json:"max_us"`
+	Meanus int64 `json:"mean_us"`
+}
+
+// ScenarioLatency is one scenario run: offered vs achieved rate (coordinated
+// omission shows up as achieved < offered) plus per-endpoint percentiles.
+type ScenarioLatency struct {
+	Arrival     string                     `json:"arrival"`
+	Seed        int64                      `json:"seed"`
+	OfferedRPS  float64                    `json:"offered_rps"`
+	AchievedRPS float64                    `json:"achieved_rps"`
+	Offered     int64                      `json:"offered"`
+	Completed   int64                      `json:"completed"`
+	Errors      int64                      `json:"errors"`
+	DurationMs  int64                      `json:"duration_ms"`
+	Endpoints   map[string]EndpointLatency `json:"endpoints"`
+}
+
+// BenchFile is the whole artefact.
+type BenchFile struct {
+	Schema    string                         `json:"schema"`
+	PR        int                            `json:"pr"`
+	Counters  map[string]int64               `json:"counters,omitempty"`
+	CPUMatrix map[string]map[string]CPUBench `json:"cpu_matrix,omitempty"`
+	Latency   map[string]*ScenarioLatency    `json:"latency,omitempty"`
+}
+
+// Latency converts a Result into its JSON form.
+func (res *Result) Latency() *ScenarioLatency {
+	sl := &ScenarioLatency{
+		Arrival:     res.Arrival,
+		Seed:        res.Seed,
+		OfferedRPS:  res.OfferedRPS,
+		AchievedRPS: res.AchievedRPS,
+		Offered:     res.Offered,
+		Completed:   res.Completed,
+		Errors:      res.Errors,
+		DurationMs:  res.Elapsed.Milliseconds(),
+		Endpoints:   map[string]EndpointLatency{},
+	}
+	for class, es := range res.Endpoints {
+		h := &es.Hist
+		sl.Endpoints[class] = EndpointLatency{
+			Count:  h.Count(),
+			Errors: es.Errors,
+			P50us:  h.Quantile(0.50).Microseconds(),
+			P90us:  h.Quantile(0.90).Microseconds(),
+			P99us:  h.Quantile(0.99).Microseconds(),
+			P999us: h.Quantile(0.999).Microseconds(),
+			Maxus:  h.Max().Microseconds(),
+			Meanus: h.Mean().Microseconds(),
+		}
+	}
+	return sl
+}
+
+// Validate checks the invariants every written BENCH file must hold; a
+// violation here means a producer bug, not bad input data.
+func (f *BenchFile) Validate() error {
+	if f.Schema != BenchSchema {
+		return fmt.Errorf("bench file: schema %q, want %q", f.Schema, BenchSchema)
+	}
+	if f.PR < 1 {
+		return fmt.Errorf("bench file: pr must be a positive PR number (got %d)", f.PR)
+	}
+	for name, v := range f.Counters {
+		if v < 0 {
+			return fmt.Errorf("bench file: counter %s is negative (%d)", name, v)
+		}
+	}
+	for name, byProcs := range f.CPUMatrix {
+		for procs, b := range byProcs {
+			if _, err := strconv.Atoi(procs); err != nil {
+				return fmt.Errorf("bench file: cpu_matrix %s: bad GOMAXPROCS key %q", name, procs)
+			}
+			if b.NsPerOp < 0 || b.Runs < 1 {
+				return fmt.Errorf("bench file: cpu_matrix %s@%s: ns_per_op %g, runs %d", name, procs, b.NsPerOp, b.Runs)
+			}
+		}
+	}
+	for scen, sl := range f.Latency {
+		if sl == nil {
+			return fmt.Errorf("bench file: latency %s is null", scen)
+		}
+		if sl.OfferedRPS <= 0 {
+			return fmt.Errorf("bench file: latency %s: offered_rps %g", scen, sl.OfferedRPS)
+		}
+		for class, ep := range sl.Endpoints {
+			if ep.Count < 0 || ep.Errors < 0 {
+				return fmt.Errorf("bench file: latency %s/%s: negative count", scen, class)
+			}
+			if !(ep.P50us <= ep.P90us && ep.P90us <= ep.P99us && ep.P99us <= ep.P999us && ep.P999us <= ep.Maxus) {
+				return fmt.Errorf("bench file: latency %s/%s: percentiles not monotone (p50 %d, p90 %d, p99 %d, p999 %d, max %d)",
+					scen, class, ep.P50us, ep.P90us, ep.P99us, ep.P999us, ep.Maxus)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadBenchFile loads and validates an existing artefact.
+func ReadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench file %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// UpdateBenchFile merges one producer's section into the artefact at path:
+// an existing file for the same PR keeps its other sections, a file for a
+// DIFFERENT PR is refused unless force is set (so a stale -out path cannot
+// silently clobber another PR's record — pass -force to start over), and
+// the result is validated before a byte is written.
+func UpdateBenchFile(path string, pr int, force bool, update func(*BenchFile)) error {
+	if pr < 1 {
+		return fmt.Errorf("bench file: need a positive PR number (got %d)", pr)
+	}
+	f := &BenchFile{Schema: BenchSchema, PR: pr}
+	existing, err := ReadBenchFile(path)
+	switch {
+	case err == nil:
+		if existing.PR != pr {
+			if !force {
+				return fmt.Errorf("bench file %s records PR %d, not PR %d; refusing to clobber it (use -force to start a fresh file)",
+					path, existing.PR, pr)
+			}
+			// Forced across PRs: stale sections from the other PR would lie
+			// next to fresh ones, so start from scratch.
+		} else {
+			f = existing
+		}
+	case os.IsNotExist(err):
+	default:
+		return err
+	}
+	update(f)
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LatencyLines writes the latency section as the flat, stable text form
+// scripts/bench_regression.sh compares between base and head:
+//
+//	latency <scenario> <endpoint> p50_us = N
+//	latency <scenario> <endpoint> p99_us = N
+//	latency <scenario> <endpoint> p999_us = N
+//	rate <scenario> offered_mrps = N
+//	rate <scenario> achieved_mrps = N
+//
+// Rates are milli-requests-per-second so the gate's integer arithmetic
+// works on them. Only p99 is gated; the rest is the delta table's context.
+func LatencyLines(w io.Writer, latency map[string]*ScenarioLatency) error {
+	scens := make([]string, 0, len(latency))
+	for s := range latency {
+		scens = append(scens, s)
+	}
+	sort.Strings(scens)
+	for _, scen := range scens {
+		sl := latency[scen]
+		classes := make([]string, 0, len(sl.Endpoints))
+		for c := range sl.Endpoints {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			ep := sl.Endpoints[class]
+			if _, err := fmt.Fprintf(w, "latency %s %s p50_us = %d\nlatency %s %s p99_us = %d\nlatency %s %s p999_us = %d\n",
+				scen, class, ep.P50us, scen, class, ep.P99us, scen, class, ep.P999us); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "rate %s offered_mrps = %d\nrate %s achieved_mrps = %d\n",
+			scen, int64(sl.OfferedRPS*1000), scen, int64(sl.AchievedRPS*1000)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseGoBench parses `go test -bench` output (one or more runs, possibly
+// with -cpu settings) into the cpu_matrix section: benchmark name → the
+// GOMAXPROCS suffix ("1" when absent — the testing package only appends
+// "-N" for N > 1) → averaged metrics across repeated runs.
+func ParseGoBench(r io.Reader) (map[string]map[string]CPUBench, error) {
+	type acc struct {
+		ns     float64
+		b      int64
+		allocs int64
+		runs   int
+	}
+	sums := map[string]map[string]*acc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name, procs := splitProcsSuffix(fields[0])
+		ns := -1.0
+		var bOp, aOp int64
+		// fields[1] is the iteration count; after it come (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("parse bench line %q: %w", sc.Text(), err)
+				}
+				ns = f
+			case "B/op":
+				bOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				aOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		byProcs := sums[name]
+		if byProcs == nil {
+			byProcs = map[string]*acc{}
+			sums[name] = byProcs
+		}
+		a := byProcs[procs]
+		if a == nil {
+			a = &acc{}
+			byProcs[procs] = a
+		}
+		a.ns += ns
+		a.b += bOp
+		a.allocs += aOp
+		a.runs++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]CPUBench{}
+	for name, byProcs := range sums {
+		out[name] = map[string]CPUBench{}
+		for procs, a := range byProcs {
+			n := int64(a.runs)
+			out[name][procs] = CPUBench{
+				NsPerOp:     a.ns / float64(a.runs),
+				BPerOp:      a.b / n,
+				AllocsPerOp: a.allocs / n,
+				Runs:        a.runs,
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitProcsSuffix strips the testing package's GOMAXPROCS suffix from a
+// benchmark name: "BenchmarkFoo-4" → ("BenchmarkFoo", "4"); no suffix means
+// the run used GOMAXPROCS=1.
+func splitProcsSuffix(name string) (string, string) {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name, "1"
+	}
+	suffix := name[i+1:]
+	if n, err := strconv.Atoi(suffix); err == nil && n > 1 {
+		return name[:i], suffix
+	}
+	return name, "1"
+}

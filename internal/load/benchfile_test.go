@@ -1,0 +1,170 @@
+package load
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validLatency() *ScenarioLatency {
+	return &ScenarioLatency{
+		Arrival: ArrivalPoisson, Seed: 42, OfferedRPS: 60, AchievedRPS: 58,
+		Offered: 300, Completed: 300, DurationMs: 5000,
+		Endpoints: map[string]EndpointLatency{
+			"cite": {Count: 300, P50us: 100, P90us: 200, P99us: 400, P999us: 800, Maxus: 900, Meanus: 150},
+		},
+	}
+}
+
+func TestBenchFileValidate(t *testing.T) {
+	good := &BenchFile{
+		Schema:   BenchSchema,
+		PR:       9,
+		Counters: map[string]int64{"store_puts": 5},
+		CPUMatrix: map[string]map[string]CPUBench{
+			"BenchmarkX": {"1": {NsPerOp: 10, Runs: 2}, "4": {NsPerOp: 4, Runs: 2}},
+		},
+		Latency: map[string]*ScenarioLatency{"monorepo": validLatency()},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*BenchFile)
+		want   string
+	}{
+		{"schema", func(f *BenchFile) { f.Schema = "v0" }, "schema"},
+		{"pr", func(f *BenchFile) { f.PR = 0 }, "pr"},
+		{"negative counter", func(f *BenchFile) { f.Counters["store_puts"] = -1 }, "negative"},
+		{"bad procs key", func(f *BenchFile) { f.CPUMatrix["BenchmarkX"]["x"] = CPUBench{NsPerOp: 1, Runs: 1} }, "GOMAXPROCS"},
+		{"zero runs", func(f *BenchFile) { f.CPUMatrix["BenchmarkX"]["1"] = CPUBench{NsPerOp: 1} }, "runs"},
+		{"zero rate", func(f *BenchFile) { f.Latency["monorepo"].OfferedRPS = 0 }, "offered_rps"},
+		{"non-monotone percentiles", func(f *BenchFile) {
+			ep := f.Latency["monorepo"].Endpoints["cite"]
+			ep.P99us = ep.P90us - 1
+			f.Latency["monorepo"].Endpoints["cite"] = ep
+		}, "monotone"},
+	}
+	for _, tc := range cases {
+		f := &BenchFile{
+			Schema:   BenchSchema,
+			PR:       9,
+			Counters: map[string]int64{"store_puts": 5},
+			CPUMatrix: map[string]map[string]CPUBench{
+				"BenchmarkX": {"1": {NsPerOp: 10, Runs: 2}},
+			},
+			Latency: map[string]*ScenarioLatency{"monorepo": validLatency()},
+		}
+		tc.mutate(f)
+		err := f.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestUpdateBenchFile pins the merge semantics: producers for the same PR
+// each keep the other's sections, a different PR's file is refused without
+// -force, and -force starts fresh instead of mixing PRs.
+func TestUpdateBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_9.json")
+
+	if err := UpdateBenchFile(path, 9, false, func(f *BenchFile) {
+		f.Counters = map[string]int64{"store_puts": 5}
+	}); err != nil {
+		t.Fatalf("initial write: %v", err)
+	}
+	if err := UpdateBenchFile(path, 9, false, func(f *BenchFile) {
+		f.Latency = map[string]*ScenarioLatency{"monorepo": validLatency()}
+	}); err != nil {
+		t.Fatalf("merge write: %v", err)
+	}
+	f, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Counters["store_puts"] != 5 || f.Latency["monorepo"] == nil {
+		t.Fatalf("second producer dropped the first's section: %+v", f)
+	}
+
+	// A stale -out pointing at another PR's record must be refused...
+	err = UpdateBenchFile(path, 10, false, func(f *BenchFile) {})
+	if err == nil || !strings.Contains(err.Error(), "refusing to clobber") {
+		t.Fatalf("cross-PR write: %v, want clobber refusal", err)
+	}
+	// ...and -force starts a fresh file rather than mixing PR 9 sections in.
+	if err := UpdateBenchFile(path, 10, true, func(f *BenchFile) {
+		f.Counters = map[string]int64{"x": 1}
+	}); err != nil {
+		t.Fatalf("forced write: %v", err)
+	}
+	f, err = ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PR != 10 || f.Latency != nil {
+		t.Fatalf("forced write kept stale sections: %+v", f)
+	}
+
+	// A validation failure must leave the file untouched.
+	before, _ := os.ReadFile(path)
+	err = UpdateBenchFile(path, 10, false, func(f *BenchFile) {
+		f.Counters = map[string]int64{"bad": -1}
+	})
+	if err == nil {
+		t.Fatal("invalid update accepted")
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed update modified the file")
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+BenchmarkParallelGenCite  	    1000	      1200 ns/op	     320 B/op	       5 allocs/op
+BenchmarkParallelGenCite-4	    4000	       400 ns/op	     320 B/op	       5 allocs/op
+BenchmarkParallelGenCite-4	    4000	       600 ns/op	     320 B/op	       5 allocs/op
+BenchmarkCommit-2          	     100	     50000 ns/op
+PASS
+`
+	m, err := ParseGoBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := m["BenchmarkParallelGenCite"]
+	if gc == nil {
+		t.Fatalf("missing BenchmarkParallelGenCite: %v", m)
+	}
+	if b := gc["1"]; b.NsPerOp != 1200 || b.Runs != 1 {
+		t.Fatalf("GOMAXPROCS=1: %+v", b)
+	}
+	if b := gc["4"]; b.NsPerOp != 500 || b.Runs != 2 || b.BPerOp != 320 || b.AllocsPerOp != 5 {
+		t.Fatalf("GOMAXPROCS=4 should average two runs: %+v", b)
+	}
+	if b := m["BenchmarkCommit"]["2"]; b.NsPerOp != 50000 {
+		t.Fatalf("BenchmarkCommit-2: %+v", b)
+	}
+}
+
+func TestLatencyLines(t *testing.T) {
+	var buf bytes.Buffer
+	err := LatencyLines(&buf, map[string]*ScenarioLatency{"monorepo": validLatency()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `latency monorepo cite p50_us = 100
+latency monorepo cite p99_us = 400
+latency monorepo cite p999_us = 800
+rate monorepo offered_mrps = 60000
+rate monorepo achieved_mrps = 58000
+`
+	if buf.String() != want {
+		t.Fatalf("LatencyLines:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

@@ -1,0 +1,138 @@
+// Package load is the open-loop load harness: arrival-rate-driven request
+// generation against a real gitcite-server over HTTP, per-endpoint-class
+// tail-latency histograms, and the machine-readable BENCH_<pr>.json results
+// file CI's tail-latency gate compares between a PR's base and head.
+//
+// Open-loop means requests fire on a schedule (Poisson or fixed-rate)
+// regardless of how many are still in flight, so queueing delay shows up in
+// the recorded latencies instead of silently throttling the offered rate —
+// the closed-loop mistake known as coordinated omission. The achieved rate
+// is reported next to the offered rate so saturation is visible.
+package load
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// The histogram is log-linear ("HDR-style"): values are bucketed by the
+// position of their most significant bit, and each power-of-two range is
+// split into 2^histSubBits linear sub-buckets. Relative quantile error is
+// therefore bounded by 2^-histSubBits (~3.1%) at a fixed allocation of
+// histBucketCount int64 counters — no per-sample storage, and histograms
+// from independent workers merge by plain addition.
+const (
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+	// Values are nanoseconds in [0, 2^63); the largest index is reached at
+	// MSB position 62: block = 62-(histSubBits-1) = 58, so 59 blocks of
+	// histSubCount buckets (block 0 covers the exact values 0..31).
+	histBucketCount = (64 - histSubBits) * histSubCount
+)
+
+// Hist is a fixed-size mergeable latency histogram. The zero value is ready
+// to use. It is not safe for concurrent use; give each worker its own and
+// Merge them (see the sharded recorder in openloop.go).
+type Hist struct {
+	counts [histBucketCount]int64
+	count  int64
+	sum    int64
+	max    int64
+}
+
+// histBucket returns the bucket index for a non-negative nanosecond value.
+func histBucket(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	sub := (v >> uint(exp-histSubBits)) - histSubCount
+	return (exp-histSubBits+1)*histSubCount + int(sub)
+}
+
+// histBucketBounds returns the closed value range [lo, hi] covered by a
+// bucket index. Buckets below histSubCount are exact (lo == hi).
+func histBucketBounds(idx int) (lo, hi int64) {
+	if idx < histSubCount {
+		return int64(idx), int64(idx)
+	}
+	block := idx / histSubCount
+	sub := int64(idx % histSubCount)
+	width := int64(1) << uint(block-1)
+	lo = (histSubCount + sub) * width
+	return lo, lo + width - 1
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucket(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds another histogram's observations into h.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count }
+
+// Max returns the largest recorded observation (exact, not bucketed).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean returns the arithmetic mean of all observations.
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// upper bound of the bucket holding the rank-⌈q·count⌉ observation, capped
+// at the exact maximum. The bound is at most ~3.1% above the true value.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			_, hi := histBucketBounds(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return time.Duration(hi)
+		}
+	}
+	return time.Duration(h.max) // unreachable: cum reaches count
+}

@@ -1,0 +1,147 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistBucketBounds pins the structural invariants of the log-linear
+// bucketing: every value lands in the bucket whose bounds contain it, the
+// buckets tile the value range contiguously, and the relative width of any
+// bucket is at most 2^-histSubBits of its lower bound.
+func TestHistBucketBounds(t *testing.T) {
+	// Contiguity: bucket i+1 starts right after bucket i ends.
+	prevHi := int64(-1)
+	for i := 0; i < histBucketCount; i++ {
+		lo, hi := histBucketBounds(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d starts at %d, want %d (gap or overlap)", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d inverted: [%d, %d]", i, lo, hi)
+		}
+		if lo >= histSubCount {
+			if width := hi - lo + 1; width > lo/histSubCount {
+				t.Fatalf("bucket %d too wide: [%d, %d] (width %d > %d)", i, lo, hi, width, lo/histSubCount)
+			}
+		}
+		prevHi = hi
+	}
+
+	// Roundtrip: histBucket(v) returns a bucket whose bounds contain v.
+	r := rand.New(rand.NewSource(1))
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 65, 1023, 1024, 1025, 1<<62 - 1, 1 << 62}
+	for i := 0; i < 10000; i++ {
+		values = append(values, r.Int63())
+	}
+	for _, v := range values {
+		idx := histBucket(v)
+		if idx < 0 || idx >= histBucketCount {
+			t.Fatalf("histBucket(%d) = %d out of range", v, idx)
+		}
+		lo, hi := histBucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("histBucket(%d) = %d with bounds [%d, %d]: value outside", v, idx, lo, hi)
+		}
+	}
+}
+
+// TestHistQuantileOracle compares histogram quantiles against the exact
+// sorted-sample answer: the estimate must be >= the true value (it is a
+// bucket upper bound) and within the documented ~3.1% relative error.
+func TestHistQuantileOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 10, 1000, 20000} {
+		var h Hist
+		samples := make([]int64, n)
+		for i := range samples {
+			// Log-uniform over ~9 decades so every bucket regime is hit.
+			v := int64(1) << uint(r.Intn(33))
+			v += r.Int63n(v)
+			samples[i] = v
+			h.Record(time.Duration(v))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			// Same rank rule as Quantile, so the oracle targets the exact
+			// observation whose bucket the estimate reports.
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > n {
+				rank = n
+			}
+			exact := samples[rank-1]
+			got := int64(h.Quantile(q))
+			if got < exact {
+				t.Fatalf("n=%d q=%g: quantile %d below exact %d", n, q, got, exact)
+			}
+			if limit := exact + exact/histSubCount + 1; got > limit {
+				t.Fatalf("n=%d q=%g: quantile %d exceeds error bound %d (exact %d)", n, q, got, limit, exact)
+			}
+		}
+		if got, want := int64(h.Quantile(1)), samples[n-1]; got != want {
+			t.Fatalf("n=%d: q=1 is %d, want the exact max %d", n, got, want)
+		}
+	}
+}
+
+// TestHistMergeAssociative checks that merging shard histograms in any
+// grouping is equivalent to recording everything into one histogram —
+// the property the sharded recorder depends on.
+func TestHistMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var all Hist
+	shards := make([]Hist, 4)
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(r.Int63n(int64(10 * time.Second)))
+		all.Record(v)
+		shards[i%len(shards)].Record(v)
+	}
+
+	// (((s0+s1)+s2)+s3) and ((s0+s1)+(s2+s3)) must both equal all.
+	var left Hist
+	for i := range shards {
+		left.Merge(&shards[i])
+	}
+	var a, b, right Hist
+	a.Merge(&shards[0])
+	a.Merge(&shards[1])
+	b.Merge(&shards[2])
+	b.Merge(&shards[3])
+	right.Merge(&a)
+	right.Merge(&b)
+
+	for _, m := range []*Hist{&left, &right} {
+		if m.Count() != all.Count() || m.Max() != all.Max() || m.Mean() != all.Mean() {
+			t.Fatalf("merge summary diverged: count %d/%d max %v/%v", m.Count(), all.Count(), m.Max(), all.Max())
+		}
+		if m.counts != all.counts {
+			t.Fatal("merged bucket counts differ from direct recording")
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if m.Quantile(q) != all.Quantile(q) {
+				t.Fatalf("q=%g: merged %v, direct %v", q, m.Quantile(q), all.Quantile(q))
+			}
+		}
+	}
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("zero-value histogram must report zeros")
+	}
+	h.Record(-5 * time.Second) // clamps to 0
+	if h.Count() != 1 || h.Max() != 0 || h.Quantile(1) != 0 {
+		t.Fatalf("negative record should clamp to zero: count %d max %v", h.Count(), h.Max())
+	}
+	h.Record(time.Nanosecond)
+	if got := h.Quantile(1); got != time.Nanosecond {
+		t.Fatalf("q=1 after recording 1ns: %v", got)
+	}
+}

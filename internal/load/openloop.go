@@ -1,0 +1,208 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Request is one schedulable unit of work: an endpoint class (the histogram
+// key — see CONTRIBUTING.md: every endpoint a scenario drives must be
+// classified) and the closure that performs it.
+type Request struct {
+	Class string
+	Do    func(ctx context.Context) error
+}
+
+// Generator produces the request stream for a scenario. Next is called only
+// from the scheduler goroutine (never concurrently), so generators may keep
+// unsynchronised state — but the returned Do closures run concurrently and
+// must not touch that state without their own locking.
+type Generator interface {
+	Next(r *rand.Rand) Request
+}
+
+// Arrival processes supported by Options.Arrival.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalFixed   = "fixed"
+)
+
+// Options parameterise one open-loop run.
+type Options struct {
+	// Rate is the offered arrival rate in requests per second.
+	Rate float64
+	// Duration is the scheduling window; in-flight requests are drained
+	// (and still recorded) after it closes.
+	Duration time.Duration
+	// Arrival is ArrivalPoisson (default; exponential inter-arrival gaps)
+	// or ArrivalFixed (uniform gaps).
+	Arrival string
+	// Seed drives both the arrival process and the generator's choices, so
+	// a run's request sequence is reproducible.
+	Seed int64
+	// MaxInFlight bounds concurrently executing requests (default 1024).
+	// Requests past the bound stay scheduled: their latency clock starts
+	// at the scheduled arrival, so the wait for a slot is measured as
+	// queueing delay rather than hidden — the whole point of open loop.
+	MaxInFlight int
+	// Warmup requests run serially before the measured window and are not
+	// recorded (connection pools, caches, first-resolve memoisation).
+	Warmup int
+}
+
+// EndpointStats accumulates one endpoint class's results.
+type EndpointStats struct {
+	Hist   Hist
+	Errors int64
+}
+
+// Result is one scenario run's measurements.
+type Result struct {
+	Scenario    string
+	Arrival     string
+	Seed        int64
+	OfferedRPS  float64 // the schedule's target rate
+	AchievedRPS float64 // successful completions over the full wall clock
+	Offered     int64   // requests scheduled
+	Completed   int64   // requests finished (success + error)
+	Errors      int64
+	Elapsed     time.Duration // first arrival to last completion
+	Endpoints   map[string]*EndpointStats
+}
+
+// recorderShards spreads completion recording over independently locked
+// histograms that are merged once at the end — the mergeability the Hist
+// tests pin is what makes the hot path a short per-shard critical section.
+const recorderShards = 16
+
+type recorderShard struct {
+	mu        sync.Mutex
+	endpoints map[string]*EndpointStats
+}
+
+func (s *recorderShard) record(class string, lat time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	es := s.endpoints[class]
+	if es == nil {
+		es = &EndpointStats{}
+		s.endpoints[class] = es
+	}
+	if err != nil {
+		es.Errors++
+		return
+	}
+	es.Hist.Record(lat)
+}
+
+// Run drives gen open-loop according to opt and returns the merged result.
+// It returns early only on context cancellation or an invalid Options.
+func Run(ctx context.Context, scenario string, gen Generator, opt Options) (*Result, error) {
+	if opt.Rate <= 0 {
+		return nil, fmt.Errorf("load: rate must be positive (got %g)", opt.Rate)
+	}
+	if opt.Duration <= 0 {
+		return nil, fmt.Errorf("load: duration must be positive (got %s)", opt.Duration)
+	}
+	arrival := opt.Arrival
+	switch arrival {
+	case "":
+		arrival = ArrivalPoisson
+	case ArrivalPoisson, ArrivalFixed:
+	default:
+		return nil, fmt.Errorf("load: unknown arrival process %q", opt.Arrival)
+	}
+	maxInFlight := opt.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 1024
+	}
+
+	r := rand.New(rand.NewSource(opt.Seed))
+	for i := 0; i < opt.Warmup; i++ {
+		req := gen.Next(r)
+		if err := req.Do(ctx); err != nil {
+			return nil, fmt.Errorf("load: warmup request %d (%s): %w", i, req.Class, err)
+		}
+	}
+
+	shards := make([]*recorderShard, recorderShards)
+	for i := range shards {
+		shards[i] = &recorderShard{endpoints: map[string]*EndpointStats{}}
+	}
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	deadline := start.Add(opt.Duration)
+	next := start
+	var offered int64
+	for {
+		var gap time.Duration
+		if arrival == ArrivalFixed {
+			gap = time.Duration(float64(time.Second) / opt.Rate)
+		} else {
+			gap = time.Duration(r.ExpFloat64() * float64(time.Second) / opt.Rate)
+		}
+		next = next.Add(gap)
+		if next.After(deadline) {
+			break
+		}
+		req := gen.Next(r)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		shard := shards[offered%recorderShards]
+		offered++
+		wg.Add(1)
+		// The latency clock starts at the scheduled arrival `next`, not at
+		// dispatch: a slow server that backs up the semaphore inflates the
+		// recorded latency instead of quietly lowering the offered rate.
+		go func(scheduled time.Time, req Request) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			err := req.Do(ctx)
+			shard.record(req.Class, time.Since(scheduled), err)
+		}(next, req)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Scenario:   scenario,
+		Arrival:    arrival,
+		Seed:       opt.Seed,
+		OfferedRPS: opt.Rate,
+		Offered:    offered,
+		Elapsed:    elapsed,
+		Endpoints:  map[string]*EndpointStats{},
+	}
+	for _, s := range shards {
+		for class, es := range s.endpoints {
+			dst := res.Endpoints[class]
+			if dst == nil {
+				dst = &EndpointStats{}
+				res.Endpoints[class] = dst
+			}
+			dst.Hist.Merge(&es.Hist)
+			dst.Errors += es.Errors
+		}
+	}
+	for _, es := range res.Endpoints {
+		res.Completed += es.Hist.Count() + es.Errors
+		res.Errors += es.Errors
+	}
+	if elapsed > 0 {
+		res.AchievedRPS = float64(res.Completed-res.Errors) / elapsed.Seconds()
+	}
+	return res, nil
+}

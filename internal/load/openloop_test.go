@@ -1,0 +1,167 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// funcGen adapts a closure to the Generator interface.
+type funcGen func(r *rand.Rand) Request
+
+func (f funcGen) Next(r *rand.Rand) Request { return f(r) }
+
+func TestRunValidatesOptions(t *testing.T) {
+	gen := funcGen(func(r *rand.Rand) Request {
+		return Request{Class: "x", Do: func(ctx context.Context) error { return nil }}
+	})
+	for _, opt := range []Options{
+		{Rate: 0, Duration: time.Second},
+		{Rate: 100, Duration: 0},
+		{Rate: 100, Duration: time.Second, Arrival: "uniform"},
+	} {
+		if _, err := Run(context.Background(), "t", gen, opt); err == nil {
+			t.Errorf("Run accepted invalid options %+v", opt)
+		}
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	var calls atomic.Int64
+	gen := funcGen(func(r *rand.Rand) Request {
+		class := "even"
+		if calls.Add(1)%2 == 0 {
+			class = "odd"
+		}
+		return Request{Class: class, Do: func(ctx context.Context) error { return nil }}
+	})
+	res, err := Run(context.Background(), "t", gen, Options{
+		Rate: 500, Duration: 500 * time.Millisecond, Arrival: ArrivalFixed, Seed: 1, Warmup: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed arrivals at 500/s over 0.5s schedule 249 requests (the first
+	// arrival is one gap after start); all must complete and be recorded.
+	if res.Offered == 0 || res.Completed != res.Offered {
+		t.Fatalf("offered %d, completed %d", res.Offered, res.Completed)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected errors: %d", res.Errors)
+	}
+	var recorded int64
+	for _, es := range res.Endpoints {
+		recorded += es.Hist.Count()
+	}
+	if recorded != res.Completed {
+		t.Fatalf("histograms hold %d observations, completed %d", recorded, res.Completed)
+	}
+	if calls.Load() != res.Offered+3 {
+		t.Fatalf("generator called %d times, want offered %d + warmup 3", calls.Load(), res.Offered)
+	}
+	if res.OfferedRPS != 500 || res.AchievedRPS <= 0 {
+		t.Fatalf("rates: offered %g achieved %g", res.OfferedRPS, res.AchievedRPS)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	var n int
+	gen := funcGen(func(r *rand.Rand) Request {
+		n++
+		fail := n%2 == 0
+		return Request{Class: "x", Do: func(ctx context.Context) error {
+			if fail {
+				return boom
+			}
+			return nil
+		}}
+	})
+	res, err := Run(context.Background(), "t", gen, Options{
+		Rate: 400, Duration: 300 * time.Millisecond, Arrival: ArrivalFixed, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 || res.Errors != res.Endpoints["x"].Errors {
+		t.Fatalf("errors not counted: %+v", res)
+	}
+	if res.Endpoints["x"].Hist.Count()+res.Errors != res.Completed {
+		t.Fatal("errored requests must not enter the latency histogram")
+	}
+	// Achieved rate counts successes only.
+	if res.AchievedRPS >= res.OfferedRPS*0.9 {
+		t.Fatalf("achieved %g should reflect the 50%% error rate (offered %g)", res.AchievedRPS, res.OfferedRPS)
+	}
+}
+
+func TestRunWarmupFailureAborts(t *testing.T) {
+	gen := funcGen(func(r *rand.Rand) Request {
+		return Request{Class: "x", Do: func(ctx context.Context) error { return errors.New("cold") }}
+	})
+	_, err := Run(context.Background(), "t", gen, Options{
+		Rate: 100, Duration: time.Second, Warmup: 1,
+	})
+	if err == nil {
+		t.Fatal("warmup failure must abort the run")
+	}
+}
+
+// TestRunMeasuresQueueing pins the open-loop property the harness exists
+// for: with MaxInFlight 1 and a server slower than the arrival gap, later
+// requests' latency includes the time they waited past their scheduled
+// arrival — p99 far above the per-request service time.
+func TestRunMeasuresQueueing(t *testing.T) {
+	const service = 20 * time.Millisecond
+	gen := funcGen(func(r *rand.Rand) Request {
+		return Request{Class: "x", Do: func(ctx context.Context) error {
+			time.Sleep(service)
+			return nil
+		}}
+	})
+	// 200/s offered, but MaxInFlight 1 serialises at ~50/s: the queue grows
+	// the whole window.
+	res, err := Run(context.Background(), "t", gen, Options{
+		Rate: 200, Duration: 400 * time.Millisecond, Arrival: ArrivalFixed, Seed: 1, MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99 := res.Endpoints["x"].Hist.Quantile(0.99)
+	if p99 < 3*service {
+		t.Fatalf("p99 %v hides queueing delay (service time %v)", p99, service)
+	}
+	if res.AchievedRPS >= res.OfferedRPS/2 {
+		t.Fatalf("achieved %g should show saturation well below offered %g", res.AchievedRPS, res.OfferedRPS)
+	}
+}
+
+func TestRunDeterministicSchedule(t *testing.T) {
+	// Same seed → same request sequence (arrival timing varies, the
+	// schedule's class choices must not).
+	sequence := func(seed int64) string {
+		var got string
+		gen := funcGen(func(r *rand.Rand) Request {
+			class := fmt.Sprintf("c%d", r.Intn(4))
+			got += class + ","
+			return Request{Class: class, Do: func(ctx context.Context) error { return nil }}
+		})
+		res, err := Run(context.Background(), "t", gen, Options{
+			Rate: 300, Duration: 250 * time.Millisecond, Arrival: ArrivalFixed, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%d:%s", res.Offered, got)
+	}
+	if a, b := sequence(7), sequence(7); a != b {
+		t.Fatalf("same seed produced different schedules:\n%s\n%s", a, b)
+	}
+	if a, b := sequence(7), sequence(8); a == b {
+		t.Fatal("different seeds produced identical class sequences")
+	}
+}

@@ -1,0 +1,776 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/extension"
+	"github.com/gitcite/gitcite/internal/gitcite"
+	"github.com/gitcite/gitcite/internal/hosting"
+	"github.com/gitcite/gitcite/internal/hosting/replica"
+	"github.com/gitcite/gitcite/internal/vcs"
+	"github.com/gitcite/gitcite/internal/workload"
+)
+
+// Profile sizes a run of the scenario matrix. Smoke is the deterministic
+// CI-sized profile (a few seconds per scenario); Full is the
+// population-scale shape ROADMAP item 4 describes.
+type Profile struct {
+	Name     string
+	Seed     int64
+	Rate     float64 // offered requests/second per scenario
+	Duration time.Duration
+	Arrival  string
+	Warmup   int
+
+	MonorepoFiles     int
+	MonorepoDepth     int
+	RegistryRepos     int
+	ClassroomStudents int
+	ClassroomForks    int
+	StormRepos        int
+	StormSeedFiles    int
+	// ReplicaWritesPerSec is the background primary push rate the
+	// replica-read scenario sustains while reads are measured.
+	ReplicaWritesPerSec float64
+
+	// InjectDelay adds a fixed server-side sleep to every request of the
+	// measured in-process server — the test hook CI's "prove the gate
+	// bites" step uses to check a 50 ms regression actually fails the p99
+	// gate. Incompatible with BaseURL.
+	InjectDelay time.Duration
+	// BaseURL targets an external gitcite-server instead of an in-process
+	// one (replica-read still boots its own pair and refuses this mode).
+	// Account and repository names get a unique suffix so reruns against
+	// a persistent server don't collide.
+	BaseURL string
+	// MaxInFlight caps concurrently executing requests (0 = default).
+	MaxInFlight int
+}
+
+// SmokeProfile is the short deterministic profile CI's load-smoke leg runs
+// on PR head and base: fixed seed, ≤60 s over the whole matrix.
+func SmokeProfile() Profile {
+	return Profile{
+		Name: "smoke", Seed: 42, Rate: 60, Duration: 5 * time.Second,
+		Arrival: ArrivalPoisson, Warmup: 10,
+		MonorepoFiles: 400, MonorepoDepth: 8,
+		RegistryRepos:     60,
+		ClassroomStudents: 12, ClassroomForks: 8,
+		StormRepos: 16, StormSeedFiles: 8,
+		ReplicaWritesPerSec: 10,
+	}
+}
+
+// FullProfile is the population-scale matrix (10k-file monorepo, 1k-repo
+// registry) for dedicated performance runs, not CI.
+func FullProfile() Profile {
+	return Profile{
+		Name: "full", Seed: 42, Rate: 200, Duration: 30 * time.Second,
+		Arrival: ArrivalPoisson, Warmup: 50,
+		MonorepoFiles: 10000, MonorepoDepth: 12,
+		RegistryRepos:     1000,
+		ClassroomStudents: 40, ClassroomForks: 32,
+		StormRepos: 64, StormSeedFiles: 16,
+		ReplicaWritesPerSec: 25,
+	}
+}
+
+// ProfileByName resolves "smoke" or "full".
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "smoke":
+		return SmokeProfile(), nil
+	case "full":
+		return FullProfile(), nil
+	}
+	return Profile{}, fmt.Errorf("load: unknown profile %q (want smoke or full)", name)
+}
+
+// Options converts the profile's scheduling fields into run options.
+func (p Profile) Options() Options {
+	return Options{
+		Rate: p.Rate, Duration: p.Duration, Arrival: p.Arrival,
+		Seed: p.Seed, Warmup: p.Warmup, MaxInFlight: p.MaxInFlight,
+	}
+}
+
+// Scenario is one member of the matrix: a setup that builds the serving
+// state and a generator producing its request mix.
+type Scenario struct {
+	Name        string
+	Description string
+	Setup       func(ctx context.Context, p Profile) (*Env, error)
+}
+
+// Env is a prepared scenario: its request generator plus everything that
+// must be torn down afterwards.
+type Env struct {
+	Gen     Generator
+	closers []func()
+}
+
+// Close tears the environment down in reverse setup order.
+func (e *Env) Close() {
+	for i := len(e.closers) - 1; i >= 0; i-- {
+		e.closers[i]()
+	}
+}
+
+// Scenarios returns the matrix in canonical order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		monorepoScenario(),
+		registryScenario(),
+		classroomScenario(),
+		pushStormScenario(),
+		replicaReadScenario(),
+	}
+}
+
+// ScenariosByName resolves "all" or a comma-separated subset, preserving
+// canonical order.
+func ScenariosByName(spec string) ([]Scenario, error) {
+	all := Scenarios()
+	if spec == "" || spec == "all" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		want[strings.TrimSpace(name)] = false
+	}
+	var out []Scenario
+	for _, s := range all {
+		if _, ok := want[s.Name]; ok {
+			out = append(out, s)
+			want[s.Name] = true
+		}
+	}
+	for name, found := range want {
+		if !found {
+			return nil, fmt.Errorf("load: unknown scenario %q", name)
+		}
+	}
+	return out, nil
+}
+
+// mixEntry is one weighted endpoint class; make runs in the scheduler
+// goroutine (single-threaded, may advance generator state), the returned
+// closure runs concurrently and must not.
+type mixEntry struct {
+	class  string
+	weight float64
+	make   func(r *rand.Rand) func(ctx context.Context) error
+}
+
+type mixGen struct {
+	entries []mixEntry
+	total   float64
+}
+
+func newMixGen(entries ...mixEntry) *mixGen {
+	g := &mixGen{entries: entries}
+	for _, e := range entries {
+		g.total += e.weight
+	}
+	return g
+}
+
+func (g *mixGen) pick(r *rand.Rand) mixEntry {
+	x := r.Float64() * g.total
+	for _, e := range g.entries {
+		if x < e.weight {
+			return e
+		}
+		x -= e.weight
+	}
+	return g.entries[len(g.entries)-1]
+}
+
+func (g *mixGen) Next(r *rand.Rand) Request {
+	e := g.pick(r)
+	return Request{Class: e.class, Do: e.make(r)}
+}
+
+// target is where a scenario's requests go: an in-process server over real
+// localhost TCP, or an external -base-url deployment.
+type target struct {
+	baseURL  string
+	suffix   string // appended to account/repo names in external mode
+	platform *hosting.Platform
+	close    func()
+}
+
+func newTarget(p Profile, opts ...hosting.ServerOption) (*target, error) {
+	if p.BaseURL != "" {
+		if p.InjectDelay > 0 {
+			return nil, fmt.Errorf("load: -inject-delay requires the in-process server (drop -base-url)")
+		}
+		return &target{
+			baseURL: p.BaseURL,
+			suffix:  fmt.Sprintf("-%x", time.Now().UnixNano()&0xffffffff),
+			close:   func() {},
+		}, nil
+	}
+	plat := hosting.NewPlatform()
+	url, closeFn := startServer(plat, p.InjectDelay, opts...)
+	return &target{baseURL: url, platform: plat, close: closeFn}, nil
+}
+
+// startServer serves the platform on a real localhost listener; delay > 0
+// wraps every request with a fixed sleep (the gate-proof test hook).
+func startServer(platform *hosting.Platform, delay time.Duration, opts ...hosting.ServerOption) (string, func()) {
+	var h http.Handler = hosting.NewServer(platform, opts...)
+	if delay > 0 {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(delay)
+			inner.ServeHTTP(w, r)
+		})
+	}
+	ts := httptest.NewServer(h)
+	return ts.URL, ts.Close
+}
+
+func loadCommitOpts(msg string) vcs.CommitOptions {
+	return vcs.CommitOptions{
+		Author:  vcs.Sig("load", "load@git.example", time.Unix(1_535_942_120, 0).UTC()),
+		Message: msg,
+	}
+}
+
+// newAccount creates a user over the API and returns its client.
+func newAccount(ctx context.Context, baseURL, name string) (*extension.Client, error) {
+	anon := extension.New(baseURL, "").WithContext(ctx)
+	tok, err := anon.CreateUser(name)
+	if err != nil {
+		return nil, fmt.Errorf("create user %s: %w", name, err)
+	}
+	return extension.New(baseURL, tok), nil
+}
+
+// seedRepo builds a local in-memory repository with the given files and
+// spine citations, registers it under the client's account and pushes it.
+// It returns the local mirror, its worktree and the tip commit.
+func seedRepo(ctx context.Context, cl *extension.Client, owner, name string, paths []string, citeDirs []string, seed int64) (*gitcite.Repo, *gitcite.Worktree, string, error) {
+	local, err := gitcite.NewMemoryRepo(gitcite.Meta{
+		Owner: owner, Name: name,
+		URL: "https://load.example/" + owner + "/" + name,
+	})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	wt, err := local.Checkout("main")
+	if err != nil {
+		return nil, nil, "", err
+	}
+	files := workload.FilesFor(paths, seed, 128)
+	for _, path := range paths {
+		if err := wt.WriteFile(path, files[path].Data); err != nil {
+			return nil, nil, "", err
+		}
+	}
+	cfg := workload.Default()
+	for i, dir := range citeDirs {
+		if err := wt.AddCite(dir, cfg.Citation(i)); err != nil {
+			return nil, nil, "", err
+		}
+	}
+	tip, err := wt.Commit(loadCommitOpts("seed " + name))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	ccl := cl.WithContext(ctx)
+	if err := ccl.CreateRepo(name, local.Meta.URL, ""); err != nil {
+		return nil, nil, "", fmt.Errorf("create repo %s/%s: %w", owner, name, err)
+	}
+	if _, err := ccl.Sync(local, owner, name, "main"); err != nil {
+		return nil, nil, "", fmt.Errorf("push %s/%s: %w", owner, name, err)
+	}
+	return local, wt, tip.String(), nil
+}
+
+// monorepoScenario: one deep MonorepoFiles-file repository; the read mix a
+// big hosted project sees — deep citation resolution, tree browsing,
+// whole-citefile reads and conditional revalidation.
+func monorepoScenario() Scenario {
+	return Scenario{
+		Name:        "monorepo",
+		Description: "one deep N-file repository; deep GenCite/chain/tree reads",
+		Setup: func(ctx context.Context, p Profile) (*Env, error) {
+			t, err := newTarget(p)
+			if err != nil {
+				return nil, err
+			}
+			owner := "mono" + t.suffix
+			cl, err := newAccount(ctx, t.baseURL, owner)
+			if err != nil {
+				t.close()
+				return nil, err
+			}
+			paths := workload.DeepTreePaths(p.MonorepoFiles, p.MonorepoDepth)
+			_, _, tipHex, err := seedRepo(ctx, cl, owner, "big", paths, workload.SpineDirs(p.MonorepoDepth), p.Seed)
+			if err != nil {
+				t.close()
+				return nil, err
+			}
+			_, etag, _, err := cl.WithContext(ctx).CiteFileIfChanged(owner, "big", tipHex, "")
+			if err != nil || etag == "" {
+				t.close()
+				return nil, fmt.Errorf("prime etag: %v (etag %q)", err, etag)
+			}
+			var deepPaths []string
+			for _, path := range paths {
+				if strings.Count(path, "/") > p.MonorepoDepth {
+					deepPaths = append(deepPaths, path)
+				}
+			}
+			if len(deepPaths) == 0 {
+				deepPaths = paths
+			}
+			gen := newMixGen(
+				mixEntry{"cite", 30, func(r *rand.Rand) func(context.Context) error {
+					path := paths[r.Intn(len(paths))]
+					return func(ctx context.Context) error {
+						_, _, err := cl.WithContext(ctx).GenCite(owner, "big", "main", path)
+						return err
+					}
+				}},
+				mixEntry{"cite_deep", 20, func(r *rand.Rand) func(context.Context) error {
+					path := deepPaths[r.Intn(len(deepPaths))]
+					return func(ctx context.Context) error {
+						_, _, err := cl.WithContext(ctx).GenCite(owner, "big", tipHex, path)
+						return err
+					}
+				}},
+				mixEntry{"chain", 10, func(r *rand.Rand) func(context.Context) error {
+					path := deepPaths[r.Intn(len(deepPaths))]
+					return func(ctx context.Context) error {
+						_, err := cl.WithContext(ctx).Chain(owner, "big", "main", path)
+						return err
+					}
+				}},
+				mixEntry{"tree", 20, func(r *rand.Rand) func(context.Context) error {
+					return func(ctx context.Context) error {
+						_, err := cl.WithContext(ctx).TreePage(owner, "big", "main", "", 200)
+						return err
+					}
+				}},
+				mixEntry{"citefile", 5, func(r *rand.Rand) func(context.Context) error {
+					return func(ctx context.Context) error {
+						_, err := cl.WithContext(ctx).CiteFile(owner, "big", "main")
+						return err
+					}
+				}},
+				mixEntry{"cond_cite", 15, func(r *rand.Rand) func(context.Context) error {
+					return func(ctx context.Context) error {
+						_, _, notModified, err := cl.WithContext(ctx).CiteFileIfChanged(owner, "big", tipHex, etag)
+						if err == nil && !notModified {
+							return fmt.Errorf("conditional citefile read returned a body for an unchanged commit")
+						}
+						return err
+					}
+				}},
+			)
+			return &Env{Gen: gen, closers: []func(){t.close}}, nil
+		},
+	}
+}
+
+// registryScenario: RegistryRepos tiny repositories browsed read-mostly —
+// the Software-Citation-Station-style registry workload of many small
+// hosted projects, conditional GETs included.
+func registryScenario() Scenario {
+	return Scenario{
+		Name:        "registry",
+		Description: "N tiny repositories; read-mostly browsing + conditional GETs",
+		Setup: func(ctx context.Context, p Profile) (*Env, error) {
+			t, err := newTarget(p)
+			if err != nil {
+				return nil, err
+			}
+			owner := "registry" + t.suffix
+			cl, err := newAccount(ctx, t.baseURL, owner)
+			if err != nil {
+				t.close()
+				return nil, err
+			}
+			type regRepo struct{ name, tipHex, etag string }
+			repos := make([]regRepo, p.RegistryRepos)
+			for i := range repos {
+				name := fmt.Sprintf("r%04d", i)
+				_, _, tipHex, err := seedRepo(ctx, cl, owner, name, workload.TinyRepoPaths(), []string{"/src"}, p.Seed+int64(i))
+				if err != nil {
+					t.close()
+					return nil, err
+				}
+				_, etag, _, err := cl.WithContext(ctx).CiteFileIfChanged(owner, name, tipHex, "")
+				if err != nil || etag == "" {
+					t.close()
+					return nil, fmt.Errorf("prime etag for %s: %v", name, err)
+				}
+				repos[i] = regRepo{name: name, tipHex: tipHex, etag: etag}
+			}
+			pickRepo := func(r *rand.Rand) regRepo { return repos[r.Intn(len(repos))] }
+			gen := newMixGen(
+				mixEntry{"repo_meta", 25, func(r *rand.Rand) func(context.Context) error {
+					repo := pickRepo(r)
+					return func(ctx context.Context) error {
+						_, err := cl.WithContext(ctx).GetRepo(owner, repo.name)
+						return err
+					}
+				}},
+				mixEntry{"tree", 20, func(r *rand.Rand) func(context.Context) error {
+					repo := pickRepo(r)
+					return func(ctx context.Context) error {
+						_, err := cl.WithContext(ctx).TreePage(owner, repo.name, "main", "", 100)
+						return err
+					}
+				}},
+				mixEntry{"cite", 25, func(r *rand.Rand) func(context.Context) error {
+					repo := pickRepo(r)
+					return func(ctx context.Context) error {
+						_, _, err := cl.WithContext(ctx).GenCite(owner, repo.name, "main", "/src/main.go")
+						return err
+					}
+				}},
+				mixEntry{"citefile", 10, func(r *rand.Rand) func(context.Context) error {
+					repo := pickRepo(r)
+					return func(ctx context.Context) error {
+						_, err := cl.WithContext(ctx).CiteFile(owner, repo.name, "main")
+						return err
+					}
+				}},
+				mixEntry{"cond_cite", 20, func(r *rand.Rand) func(context.Context) error {
+					repo := pickRepo(r)
+					return func(ctx context.Context) error {
+						_, _, notModified, err := cl.WithContext(ctx).CiteFileIfChanged(owner, repo.name, repo.tipHex, repo.etag)
+						if err == nil && !notModified {
+							return fmt.Errorf("conditional citefile read returned a body for an unchanged commit")
+						}
+						return err
+					}
+				}},
+			)
+			return &Env{Gen: gen, closers: []func(){t.close}}, nil
+		},
+	}
+}
+
+// classroomScenario: fork-heavy + membership churn — a course where every
+// student forks the assignment and owners grant each other access, while
+// reads continue against the fork population.
+func classroomScenario() Scenario {
+	return Scenario{
+		Name:        "classroom",
+		Description: "fork-heavy + membership churn over one assignment repository",
+		Setup: func(ctx context.Context, p Profile) (*Env, error) {
+			t, err := newTarget(p)
+			if err != nil {
+				return nil, err
+			}
+			closeAll := func() { t.close() }
+			teacher := "teacher" + t.suffix
+			tcl, err := newAccount(ctx, t.baseURL, teacher)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			paths := workload.DeepTreePaths(24, 3)
+			_, _, _, err = seedRepo(ctx, tcl, teacher, "assignment", paths, workload.SpineDirs(3), p.Seed)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			students := make([]string, p.ClassroomStudents)
+			clients := make([]*extension.Client, p.ClassroomStudents)
+			for i := range students {
+				students[i] = fmt.Sprintf("student%02d%s", i, t.suffix)
+				if clients[i], err = newAccount(ctx, t.baseURL, students[i]); err != nil {
+					closeAll()
+					return nil, err
+				}
+			}
+			// Pre-created forks are the stable read/membership population;
+			// dynamically forked repos get fresh names and are never read,
+			// so no request depends on another request having completed.
+			type fork struct {
+				student int // owner index
+				name    string
+			}
+			forks := make([]fork, p.ClassroomForks)
+			for i := range forks {
+				s := i % len(students)
+				name := fmt.Sprintf("assignment-%02d", i)
+				if _, err := clients[s].WithContext(ctx).Fork(teacher, "assignment", name); err != nil {
+					closeAll()
+					return nil, fmt.Errorf("seed fork %s: %w", name, err)
+				}
+				forks[i] = fork{student: s, name: name}
+			}
+			// Membership churn cycles (fork, member) pairs; AddMember is
+			// idempotent so wrapping around is harmless.
+			type memberAdd struct {
+				fork   fork
+				member string
+			}
+			var pairs []memberAdd
+			for _, f := range forks {
+				for s, name := range students {
+					if s != f.student {
+						pairs = append(pairs, memberAdd{fork: f, member: name})
+					}
+				}
+			}
+			var forkSeq, pairSeq int
+			gen := newMixGen(
+				mixEntry{"fork", 5, func(r *rand.Rand) func(context.Context) error {
+					s := r.Intn(len(students))
+					forkSeq++
+					name := fmt.Sprintf("hw-%05d", forkSeq)
+					return func(ctx context.Context) error {
+						_, err := clients[s].WithContext(ctx).Fork(teacher, "assignment", name)
+						return err
+					}
+				}},
+				mixEntry{"member_add", 10, func(r *rand.Rand) func(context.Context) error {
+					pa := pairs[pairSeq%len(pairs)]
+					pairSeq++
+					return func(ctx context.Context) error {
+						return clients[pa.fork.student].WithContext(ctx).AddMember(students[pa.fork.student], pa.fork.name, pa.member)
+					}
+				}},
+				mixEntry{"cite", 50, func(r *rand.Rand) func(context.Context) error {
+					f := forks[r.Intn(len(forks))]
+					path := paths[r.Intn(len(paths))]
+					return func(ctx context.Context) error {
+						_, _, err := tcl.WithContext(ctx).GenCite(students[f.student], f.name, "main", path)
+						return err
+					}
+				}},
+				mixEntry{"tree", 35, func(r *rand.Rand) func(context.Context) error {
+					f := forks[r.Intn(len(forks))]
+					return func(ctx context.Context) error {
+						_, err := tcl.WithContext(ctx).TreePage(students[f.student], f.name, "main", "", 100)
+						return err
+					}
+				}},
+			)
+			return &Env{Gen: gen, closers: []func(){t.close}}, nil
+		},
+	}
+}
+
+// pushStormScenario: concurrent small pushes to disjoint repositories —
+// the CI-fleet write regime. Each push commits locally and runs the full
+// negotiate/push sync over HTTP; a per-repo lock serialises the local
+// mirror, and any wait for it is measured as queueing delay.
+func pushStormScenario() Scenario {
+	return Scenario{
+		Name:        "push-storm",
+		Description: "concurrent one-file pushes to disjoint repositories + tip reads",
+		Setup: func(ctx context.Context, p Profile) (*Env, error) {
+			t, err := newTarget(p)
+			if err != nil {
+				return nil, err
+			}
+			owner := "ci" + t.suffix
+			cl, err := newAccount(ctx, t.baseURL, owner)
+			if err != nil {
+				t.close()
+				return nil, err
+			}
+			paths := workload.DeepTreePaths(p.StormSeedFiles, 2)
+			type stormRepo struct {
+				mu   sync.Mutex
+				wt   *gitcite.Worktree
+				repo *gitcite.Repo
+				name string
+				n    int
+			}
+			repos := make([]*stormRepo, p.StormRepos)
+			for i := range repos {
+				name := fmt.Sprintf("job%03d", i)
+				local, wt, _, err := seedRepo(ctx, cl, owner, name, paths, nil, p.Seed+int64(i))
+				if err != nil {
+					t.close()
+					return nil, err
+				}
+				repos[i] = &stormRepo{wt: wt, repo: local, name: name}
+			}
+			var rr int
+			gen := newMixGen(
+				mixEntry{"push", 80, func(r *rand.Rand) func(context.Context) error {
+					sr := repos[rr%len(repos)]
+					rr++
+					return func(ctx context.Context) error {
+						sr.mu.Lock()
+						defer sr.mu.Unlock()
+						sr.n++
+						if err := sr.wt.WriteFile("/ci/run.txt", []byte(fmt.Sprintf("run %d", sr.n))); err != nil {
+							return err
+						}
+						if _, err := sr.wt.Commit(loadCommitOpts(fmt.Sprintf("run %d", sr.n))); err != nil {
+							return err
+						}
+						_, err := cl.WithContext(ctx).Sync(sr.repo, owner, sr.name, "main")
+						return err
+					}
+				}},
+				mixEntry{"cite", 20, func(r *rand.Rand) func(context.Context) error {
+					sr := repos[r.Intn(len(repos))]
+					path := paths[r.Intn(len(paths))]
+					return func(ctx context.Context) error {
+						_, _, err := cl.WithContext(ctx).GenCite(owner, sr.name, "main", path)
+						return err
+					}
+				}},
+			)
+			return &Env{Gen: gen, closers: []func(){t.close}}, nil
+		},
+	}
+}
+
+// replicaReadScenario: the PR 8 topology under load — reads against a live
+// read replica while the primary keeps taking writes that replicate over
+// the events feed. Only the replica (the measured server) gets the
+// injected-delay hook.
+func replicaReadScenario() Scenario {
+	return Scenario{
+		Name:        "replica-read",
+		Description: "reads against a live replica while the primary takes writes",
+		Setup: func(ctx context.Context, p Profile) (*Env, error) {
+			if p.BaseURL != "" {
+				return nil, fmt.Errorf("load: replica-read boots its own primary+replica pair (drop -base-url)")
+			}
+			const adminTok = "load-admin"
+			primaryPlat := hosting.NewPlatform()
+			primaryURL, closePrimary := startServer(primaryPlat, 0, hosting.WithAdminToken(adminTok))
+			closers := []func(){closePrimary}
+			fail := func(err error) (*Env, error) {
+				for i := len(closers) - 1; i >= 0; i-- {
+					closers[i]()
+				}
+				return nil, err
+			}
+			owner := "feed"
+			cl, err := newAccount(ctx, primaryURL, owner)
+			if err != nil {
+				return fail(err)
+			}
+			paths := workload.DeepTreePaths(60, 4)
+			local, wt, _, err := seedRepo(ctx, cl, owner, "data", paths, workload.SpineDirs(4), p.Seed)
+			if err != nil {
+				return fail(err)
+			}
+
+			replicaPlat := hosting.NewPlatform()
+			rep, err := replica.New(replica.Config{
+				Primary: primaryURL, Token: adminTok, Platform: replicaPlat,
+				PollInterval: 5 * time.Millisecond, LongPollWait: 500 * time.Millisecond,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			repCtx, repCancel := context.WithCancel(context.Background())
+			repDone := make(chan struct{})
+			go func() {
+				defer close(repDone)
+				_ = rep.Run(repCtx)
+			}()
+			closers = append(closers, func() {
+				repCancel()
+				<-repDone
+			})
+			replicaURL, closeReplica := startServer(replicaPlat, p.InjectDelay,
+				hosting.WithReplicaMode(primaryURL, rep.Status))
+			closers = append(closers, closeReplica)
+
+			// Wait for the bootstrap to converge before measuring.
+			rcl := extension.New(replicaURL, "")
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				if _, _, err := rcl.WithContext(ctx).GenCite(owner, "data", "main", paths[0]); err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fail(fmt.Errorf("replica did not converge within 30s"))
+				}
+				select {
+				case <-ctx.Done():
+					return fail(ctx.Err())
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+
+			// Background writer: the primary keeps absorbing pushes at
+			// ReplicaWritesPerSec while reads are measured on the replica.
+			writerStop := make(chan struct{})
+			writerDone := make(chan struct{})
+			interval := time.Duration(float64(time.Second) / p.ReplicaWritesPerSec)
+			go func() {
+				defer close(writerDone)
+				tick := time.NewTicker(interval)
+				defer tick.Stop()
+				n := 0
+				for {
+					select {
+					case <-writerStop:
+						return
+					case <-tick.C:
+					}
+					n++
+					if err := wt.WriteFile("/feed.txt", []byte(fmt.Sprintf("write %d", n))); err != nil {
+						return
+					}
+					if _, err := wt.Commit(loadCommitOpts(fmt.Sprintf("write %d", n))); err != nil {
+						return
+					}
+					if _, err := cl.Sync(local, owner, "data", "main"); err != nil {
+						return
+					}
+				}
+			}()
+			closers = append(closers, func() {
+				close(writerStop)
+				<-writerDone
+			})
+
+			gen := newMixGen(
+				mixEntry{"cite", 45, func(r *rand.Rand) func(context.Context) error {
+					path := paths[r.Intn(len(paths))]
+					return func(ctx context.Context) error {
+						_, _, err := rcl.WithContext(ctx).GenCite(owner, "data", "main", path)
+						return err
+					}
+				}},
+				mixEntry{"tree", 25, func(r *rand.Rand) func(context.Context) error {
+					return func(ctx context.Context) error {
+						_, err := rcl.WithContext(ctx).TreePage(owner, "data", "main", "", 100)
+						return err
+					}
+				}},
+				mixEntry{"repo_meta", 15, func(r *rand.Rand) func(context.Context) error {
+					return func(ctx context.Context) error {
+						_, err := rcl.WithContext(ctx).GetRepo(owner, "data")
+						return err
+					}
+				}},
+				mixEntry{"citefile", 15, func(r *rand.Rand) func(context.Context) error {
+					return func(ctx context.Context) error {
+						_, err := rcl.WithContext(ctx).CiteFile(owner, "data", "main")
+						return err
+					}
+				}},
+			)
+			env := &Env{Gen: gen, closers: closers}
+			return env, nil
+		},
+	}
+}

@@ -1,0 +1,161 @@
+package load
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyProfile() Profile {
+	return Profile{
+		Name: "tiny", Seed: 7, Rate: 80, Duration: 400 * time.Millisecond,
+		Arrival: ArrivalFixed, Warmup: 2,
+		MonorepoFiles: 40, MonorepoDepth: 4,
+		RegistryRepos:     6,
+		ClassroomStudents: 4, ClassroomForks: 4,
+		StormRepos: 4, StormSeedFiles: 4,
+		ReplicaWritesPerSec: 20,
+	}
+}
+
+func TestScenariosByName(t *testing.T) {
+	all, err := ScenariosByName("all")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("all: %d scenarios, err %v", len(all), err)
+	}
+	subset, err := ScenariosByName("push-storm,monorepo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != 2 || subset[0].Name != "monorepo" || subset[1].Name != "push-storm" {
+		t.Fatalf("subset should keep canonical order: %+v", subset)
+	}
+	if _, err := ScenariosByName("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestScenariosSmoke runs every scenario end to end against its in-process
+// server at a tiny profile and requires every scheduled request to succeed
+// — a misclassified endpoint or broken setup shows up as errors here.
+func TestScenariosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real HTTP servers")
+	}
+	prof := tinyProfile()
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			ctx := context.Background()
+			env, err := s.Setup(ctx, prof)
+			if err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			defer env.Close()
+			res, err := Run(ctx, s.Name, env.Gen, prof.Options())
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Offered == 0 || res.Completed != res.Offered {
+				t.Fatalf("offered %d, completed %d", res.Offered, res.Completed)
+			}
+			if res.Errors != 0 {
+				for class, es := range res.Endpoints {
+					if es.Errors > 0 {
+						t.Errorf("endpoint %s: %d errors", class, es.Errors)
+					}
+				}
+				t.Fatalf("%d/%d requests errored", res.Errors, res.Completed)
+			}
+			lat := res.Latency()
+			if len(lat.Endpoints) == 0 {
+				t.Fatal("no endpoint classes recorded")
+			}
+			for class, ep := range lat.Endpoints {
+				if !(ep.P50us <= ep.P99us && ep.P99us <= ep.P999us && ep.P999us <= ep.Maxus) {
+					t.Errorf("%s: non-monotone percentiles %+v", class, ep)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioGeneratorsDeterministic pins that a scenario's request-class
+// sequence is a pure function of the profile seed: two independent setups
+// must schedule the same classes in the same order, so a CI run is
+// reproducible and base-vs-head compare like with like.
+func TestScenarioGeneratorsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario setup boots HTTP servers")
+	}
+	prof := tinyProfile()
+	const draws = 200
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			sequence := func() string {
+				env, err := s.Setup(context.Background(), prof)
+				if err != nil {
+					t.Fatalf("setup: %v", err)
+				}
+				defer env.Close()
+				r := rand.New(rand.NewSource(prof.Seed))
+				var classes []string
+				for i := 0; i < draws; i++ {
+					classes = append(classes, env.Gen.Next(r).Class)
+				}
+				return strings.Join(classes, ",")
+			}
+			if a, b := sequence(), sequence(); a != b {
+				t.Fatalf("same seed, different class sequences:\n%s\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestInjectDelayRaisesLatency proves the delay-injection hook shifts the
+// whole latency distribution: with a 20ms per-request server delay, p50
+// cannot be below the injected delay.
+func TestInjectDelayRaisesLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a real HTTP server")
+	}
+	const delay = 20 * time.Millisecond
+	prof := tinyProfile()
+	prof.Rate = 40
+	prof.InjectDelay = delay
+	s := monorepoScenario()
+	env, err := s.Setup(context.Background(), prof)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	defer env.Close()
+	res, err := Run(context.Background(), s.Name, env.Gen, prof.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for class, es := range res.Endpoints {
+		if es.Hist.Count() == 0 {
+			continue
+		}
+		if p50 := es.Hist.Quantile(0.5); p50 < delay {
+			t.Errorf("%s: p50 %v below the injected %v delay", class, p50, delay)
+		}
+	}
+}
+
+func TestExternalModeRejectsInjectDelay(t *testing.T) {
+	prof := tinyProfile()
+	prof.BaseURL = "http://127.0.0.1:1"
+	prof.InjectDelay = time.Millisecond
+	if _, err := newTarget(prof); err == nil {
+		t.Fatal("-inject-delay with -base-url must be rejected")
+	}
+	prof.BaseURL = ""
+	prof.InjectDelay = 0
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

@@ -296,6 +296,62 @@ func BuildHistory(cfg Config, commits int) (*gitcite.Repo, []object.ID, error) {
 	return repo, tips, nil
 }
 
+// DeepTreePaths lays n files over a nested tree whose spine reaches depth
+// directories, cycling file placement through every spine level so both
+// shallow and maximally deep resolutions appear in any sample — the shape
+// the load harness's monorepo scenario reads against. Deterministic in
+// (n, depth).
+func DeepTreePaths(n, depth int) []string {
+	if depth < 1 {
+		depth = 1
+	}
+	spine := make([]string, depth+1)
+	for i := 1; i <= depth; i++ {
+		spine[i] = spine[i-1] + fmt.Sprintf("/s%02d", i-1)
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		lvl := i % (depth + 1)
+		out = append(out, vcs.MustCleanPath(fmt.Sprintf("%s/f%05d.go", spine[lvl], i)))
+	}
+	return out
+}
+
+// SpineDirs returns the directories of DeepTreePaths' spine, shallowest
+// first ("/s00", "/s00/s01", …) — the paths a scenario cites so deep reads
+// resolve through real chains.
+func SpineDirs(depth int) []string {
+	if depth < 1 {
+		depth = 1
+	}
+	out := make([]string, depth)
+	p := ""
+	for i := 0; i < depth; i++ {
+		p += fmt.Sprintf("/s%02d", i)
+		out[i] = p
+	}
+	return out
+}
+
+// FilesFor materialises deterministic pseudo-source contents for a path
+// list; the same (paths, seed, approxBytes) always yields the same bytes.
+func FilesFor(paths []string, seed int64, approxBytes int) map[string]vcs.FileContent {
+	r := rand.New(rand.NewSource(seed))
+	out := make(map[string]vcs.FileContent, len(paths))
+	// Iterate the slice, not a map, so contents are stable per position.
+	for _, p := range paths {
+		out[p] = vcs.FileContent{Data: sourceLike(r, approxBytes)}
+	}
+	return out
+}
+
+// TinyRepoPaths is the file set of one registry-scenario repository: a
+// README, one source file and a data file — the "millions of small hosted
+// projects" shape from the registry-browsing workload class.
+func TinyRepoPaths() []string {
+	return []string{"/README.md", "/src/main.go", "/data/values.csv"}
+}
+
 // sourceLike produces n-ish bytes of line-structured pseudo-code, so rename
 // similarity scoring has realistic input.
 func sourceLike(r *rand.Rand, n int) []byte {

@@ -5,7 +5,7 @@
 //
 //	gitcite-server -addr :8080 [-seed] [-pack DIR] [-open-repos N]
 //	    [-auto-repack-packs N] [-auto-repack-loose N] [-admin-token TOK]
-//	    [-replica-of URL -replica-token TOK] [-replica-poll D]
+//	    [-replica-of URL -replica-token TOK] [-replica-poll D] [-replica-id ID]
 //	    [-shutdown-timeout D] [-cors-origin ORIGIN]
 //	    [-rate-limit RPS -rate-burst N] [-log]
 //
@@ -66,6 +66,7 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary at this base URL (writes answer 307 at it)")
 	replicaToken := flag.String("replica-token", "", "the primary's admin token, authenticating the replication feed")
 	replicaPoll := flag.Duration("replica-poll", 2*time.Second, "replication poll pacing and error-backoff seed")
+	replicaID := flag.String("replica-id", "", "stable follower identity on the primary's events feed (default: host name)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests to drain")
 	corsOrigin := flag.String("cors-origin", "*", "CORS allowed origin for the browser extension (empty disables CORS)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-token request rate limit in req/s (0 disables)")
@@ -106,19 +107,40 @@ func main() {
 		if *seed {
 			log.Fatal("gitcite-server: -seed and -replica-of are mutually exclusive (a replica takes no writes)")
 		}
-		var err error
-		rep, err = replica.New(replica.Config{
-			Primary:      *replicaOf,
-			Token:        *replicaToken,
-			Platform:     platform,
-			StateDir:     *packDir,
-			PollInterval: *replicaPoll,
-			Logger:       log.Default(),
-		})
-		if err != nil {
-			log.Fatalf("gitcite-server: %v", err)
+		// Boot-time role decision: a journaled promotion supersedes the
+		// -replica-of flag. A node promoted mid-flight and then restarted
+		// (deliberately or by kill -9 after the journal landed) must come
+		// back as a primary — resubscribing to the old primary would
+		// re-follow a feed it already took over from.
+		if promo, ok := replica.LoadPromotion(*packDir); ok {
+			log.Printf("gitcite-server promoted at cursor %d (was replica of %s); booting as primary despite -replica-of",
+				promo.Cursor, promo.OldPrimary)
+		} else {
+			// A stable follower identity survives restarts, so the primary's
+			// retention sizing and fleet status see one follower catching up,
+			// not a parade of fresh ones.
+			id := *replicaID
+			if id == "" {
+				id, _ = os.Hostname()
+			}
+			var err error
+			rep, err = replica.New(replica.Config{
+				Primary:      *replicaOf,
+				Token:        *replicaToken,
+				Platform:     platform,
+				StateDir:     *packDir,
+				PollInterval: *replicaPoll,
+				ReplicaID:    id,
+				Logger:       log.Default(),
+			})
+			if err != nil {
+				log.Fatalf("gitcite-server: %v", err)
+			}
+			opts = append(opts,
+				hosting.WithReplicaMode(*replicaOf, rep.Status),
+				hosting.WithPromotion(rep.Promote),
+			)
 		}
-		opts = append(opts, hosting.WithReplicaMode(*replicaOf, rep.Status))
 	}
 	server := hosting.NewServer(platform, opts...)
 
@@ -147,6 +169,11 @@ func main() {
 		close(repDone)
 	}
 	srv := &http.Server{Addr: *addr, Handler: server}
+	// http.Server.Shutdown does not cancel in-flight request contexts, so a
+	// parked /api/v1/events long-poller would hold the drain open for its
+	// full wait. Waking the waiters turns those polls into immediate empty
+	// responses and lets shutdown finish promptly.
+	srv.RegisterOnShutdown(platform.InterruptEventWaiters)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("gitcite-server listening on %s (API v1 under /api/v1)", *addr)

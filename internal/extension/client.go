@@ -19,6 +19,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"github.com/gitcite/gitcite/internal/citefile"
@@ -50,6 +51,11 @@ const retryAttempts = 3
 // waits a jittered duration in [base·2ⁿ/2, base·2ⁿ].
 const retryBaseDelay = 200 * time.Millisecond
 
+// maxRetryAfter caps how long the client honors a server's Retry-After
+// advice on 429 — a clock-skewed or hostile value cannot park a caller
+// for minutes.
+const maxRetryAfter = 30 * time.Second
+
 // Client talks to a hosting server. The zero value is not usable; call New.
 type Client struct {
 	baseURL string
@@ -63,6 +69,10 @@ type Client struct {
 	// seeds the package defaults, WithRetryPolicy overrides them.
 	retries   int
 	retryBase time.Duration
+	// eps, when set (WithReadEndpoints), routes read calls across replica
+	// endpoints with failover back to the primary; shared by pointer across
+	// With* copies so the read-your-writes pin survives them (failover.go).
+	eps *readEndpoints
 }
 
 // New creates a client. token may be empty for anonymous (read-only) use —
@@ -71,14 +81,26 @@ type Client struct {
 // reuse connections instead of churning through new ones (the default
 // transport caps idle connections per host at 2). Transient failures —
 // network errors and 5xx responses — are retried with bounded exponential
-// backoff and jitter; 4xx responses (including 429) are never retried.
+// backoff and jitter; a 429 carrying Retry-After waits the advised
+// interval (capped at maxRetryAfter) before retrying; other 4xx responses
+// are never retried.
+//
+// Redirects are not auto-followed: a replica's 307 onto the primary is
+// handled explicitly (with the Authorization header re-attached — the
+// Location names a trusted topology member, and Go's automatic follow
+// would strip credentials across hosts and silently drop the write).
 func New(baseURL, token string) *Client {
 	transport := http.DefaultTransport.(*http.Transport).Clone()
 	transport.MaxIdleConns = 256
 	transport.MaxIdleConnsPerHost = 256
 	return &Client{
 		baseURL: baseURL, token: token,
-		http:    &http.Client{Transport: transport},
+		http: &http.Client{
+			Transport: transport,
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
 		retries: retryAttempts, retryBase: retryBaseDelay,
 	}
 }
@@ -109,6 +131,17 @@ func (c *Client) WithRetryPolicy(retries int, base time.Duration) *Client {
 	} else {
 		cp.retryBase = retryBaseDelay
 	}
+	return &cp
+}
+
+// WithTransport returns a copy of the client whose HTTP requests go
+// through rt — the fault-injection and test-instrumentation hook. The
+// redirect policy and any configured timeouts are preserved.
+func (c *Client) WithTransport(rt http.RoundTripper) *Client {
+	cp := *c
+	hc := *cp.http
+	hc.Transport = rt
+	cp.http = &hc
 	return &cp
 }
 
@@ -146,15 +179,21 @@ func isBadRequest(err error) bool {
 	return errors.As(err, &apiErr) && apiErr.Status == http.StatusBadRequest
 }
 
-// newRequest builds an authenticated request against the server, scoped to
-// the client's context when one was set.
+// newRequest builds an authenticated request against the client's base
+// server, scoped to the client's context when one was set.
 func (c *Client) newRequest(method, path string, body io.Reader) (*http.Request, error) {
+	return c.newRequestAbs(method, c.baseURL+path, body)
+}
+
+// newRequestAbs is newRequest against a full URL — the manual 307 follow
+// and the failover read path address other servers than baseURL.
+func (c *Client) newRequestAbs(method, absURL string, body io.Reader) (*http.Request, error) {
 	var req *http.Request
 	var err error
 	if c.ctx != nil {
-		req, err = http.NewRequestWithContext(c.ctx, method, c.baseURL+path, body)
+		req, err = http.NewRequestWithContext(c.ctx, method, absURL, body)
 	} else {
-		req, err = http.NewRequest(method, c.baseURL+path, body)
+		req, err = http.NewRequest(method, absURL, body)
 	}
 	if err != nil {
 		return nil, err
@@ -179,6 +218,18 @@ func (c *Client) send(build func() (*http.Request, error)) (*http.Response, erro
 			return nil, err
 		}
 		resp, err := c.http.Do(req)
+		if err == nil && resp.StatusCode == http.StatusTooManyRequests && attempt < c.retries {
+			// Rate-limited with advice: wait exactly what the server asked
+			// (capped) instead of the blind backoff schedule.
+			if d, ok := retryAfter(resp); ok {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if serr := c.sleepFor(d); serr != nil {
+					return nil, serr
+				}
+				continue
+			}
+		}
 		if err == nil && resp.StatusCode < 500 {
 			return resp, nil
 		}
@@ -198,12 +249,37 @@ func (c *Client) send(build func() (*http.Request, error)) (*http.Response, erro
 	}
 }
 
+// retryAfter extracts a usable Retry-After interval from a 429: the
+// delta-seconds form (what the platform emits), capped at maxRetryAfter.
+// Absent or unparseable advice reports ok=false — the caller falls back
+// to its normal no-retry-on-4xx handling.
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
+}
+
 // sleepBackoff parks between retry attempts: exponential in the attempt
 // number, jittered across the upper half of the window so a fleet of
 // clients recovering from one outage does not re-synchronise its retries.
 func (c *Client) sleepBackoff(attempt int) error {
 	d := c.retryBase << uint(attempt)
 	d = d/2 + rand.N(d/2+1)
+	return c.sleepFor(d)
+}
+
+// sleepFor parks for d, honoring the client's context when one was set.
+func (c *Client) sleepFor(d time.Duration) error {
 	if c.ctx == nil {
 		time.Sleep(d)
 		return nil
@@ -234,6 +310,11 @@ func apiErrorFrom(status int, data []byte) *APIError {
 // once per retry attempt, since the payload is a byte slice re-wrapped in a
 // fresh reader each time.
 func (c *Client) buildJSON(method, path string, body any) (func() (*http.Request, error), error) {
+	return c.buildJSONAbs(method, c.baseURL+path, body)
+}
+
+// buildJSONAbs is buildJSON against a full URL.
+func (c *Client) buildJSONAbs(method, absURL string, body any) (func() (*http.Request, error), error) {
 	var data []byte
 	if body != nil {
 		var err error
@@ -246,7 +327,7 @@ func (c *Client) buildJSON(method, path string, body any) (func() (*http.Request
 		if data != nil {
 			rd = bytes.NewReader(data)
 		}
-		req, err := c.newRequest(method, path, rd)
+		req, err := c.newRequestAbs(method, absURL, rd)
 		if err != nil {
 			return nil, err
 		}
@@ -258,21 +339,12 @@ func (c *Client) buildJSON(method, path string, body any) (func() (*http.Request
 }
 
 func (c *Client) do(method, path string, body, out any) error {
-	build, err := c.buildJSON(method, path, body)
+	status, data, _, err := c.call(c.baseURL, method, path, body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.send(build)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return apiErrorFrom(resp.StatusCode, data)
+	if status < 200 || status > 299 {
+		return apiErrorFrom(status, data)
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -280,6 +352,41 @@ func (c *Client) do(method, path string, body, out any) error {
 		}
 	}
 	return nil
+}
+
+// call issues one JSON call against base and returns the final status,
+// body and headers. A 307 (a replica redirecting a write at its primary)
+// is followed exactly once, re-authenticated — the Location names a
+// trusted topology member by construction.
+func (c *Client) call(base, method, path string, body any) (int, []byte, http.Header, error) {
+	build, err := c.buildJSONAbs(method, base+path, body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := c.send(build)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if resp.StatusCode == http.StatusTemporaryRedirect {
+		loc := resp.Header.Get("Location")
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if loc == "" {
+			return 0, nil, nil, errors.New("extension: 307 without Location")
+		}
+		if build, err = c.buildJSONAbs(method, loc, body); err != nil {
+			return 0, nil, nil, err
+		}
+		if resp, err = c.send(build); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, data, resp.Header, nil
 }
 
 // doStream issues a request whose response is an NDJSON object stream. The
@@ -324,7 +431,7 @@ func (c *Client) AddMember(owner, repo, member string) error {
 // GetRepo fetches repository metadata, branches and branch tips.
 func (c *Client) GetRepo(owner, repo string) (hosting.RepoResponse, error) {
 	var resp hosting.RepoResponse
-	err := c.do("GET", fmt.Sprintf("%s/repos/%s/%s", apiPrefix, owner, repo), nil, &resp)
+	err := c.doRead("GET", fmt.Sprintf("%s/repos/%s/%s", apiPrefix, owner, repo), nil, &resp)
 	return resp, err
 }
 
@@ -346,7 +453,7 @@ func (c *Client) TreePage(owner, repo, rev, cursor string, limit int) (hosting.T
 		path += "?" + q.Encode()
 	}
 	var page hosting.TreePage
-	err := c.do("GET", path, nil, &page)
+	err := c.doRead("GET", path, nil, &page)
 	return page, err
 }
 
@@ -374,7 +481,7 @@ func (c *Client) Tree(owner, repo, rev string) ([]hosting.TreeEntryResponse, err
 // exactly like the popup's "Generate Citation" button.
 func (c *Client) GenCite(owner, repo, rev, path string) (core.Citation, string, error) {
 	var resp hosting.CiteResponse
-	err := c.do("GET", fmt.Sprintf("%s/repos/%s/%s/cite/%s?path=%s", apiPrefix, owner, repo, rev, url.QueryEscape(path)), nil, &resp)
+	err := c.doRead("GET", fmt.Sprintf("%s/repos/%s/%s/cite/%s?path=%s", apiPrefix, owner, repo, rev, url.QueryEscape(path)), nil, &resp)
 	if err != nil {
 		return core.Citation{}, "", err
 	}
@@ -386,7 +493,7 @@ func (c *Client) GenCite(owner, repo, rev, path string) (core.Citation, string, 
 // alternative semantics) — available to everyone, like GenCite.
 func (c *Client) Chain(owner, repo, rev, path string) ([]core.PathCitation, error) {
 	var resp hosting.ChainResponse
-	err := c.do("GET", fmt.Sprintf("%s/repos/%s/%s/chain/%s?path=%s", apiPrefix, owner, repo, rev, url.QueryEscape(path)), nil, &resp)
+	err := c.doRead("GET", fmt.Sprintf("%s/repos/%s/%s/chain/%s?path=%s", apiPrefix, owner, repo, rev, url.QueryEscape(path)), nil, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -404,7 +511,7 @@ func (c *Client) Chain(owner, repo, rev, path string) ([]core.PathCitation, erro
 // GenCiteRendered generates and renders a citation in one round trip.
 func (c *Client) GenCiteRendered(owner, repo, rev, path, formatName string) (string, error) {
 	var resp hosting.CiteResponse
-	err := c.do("GET", fmt.Sprintf("%s/repos/%s/%s/cite/%s?path=%s&format=%s", apiPrefix, owner, repo, rev, url.QueryEscape(path), url.QueryEscape(formatName)), nil, &resp)
+	err := c.doRead("GET", fmt.Sprintf("%s/repos/%s/%s/cite/%s?path=%s&format=%s", apiPrefix, owner, repo, rev, url.QueryEscape(path), url.QueryEscape(formatName)), nil, &resp)
 	return resp.Rendered, err
 }
 
@@ -445,7 +552,7 @@ func (c *Client) editCite(method, owner, repo, branch, path string, cite *core.C
 // and per-entry coverage.
 func (c *Client) Credit(owner, repo, rev string) (hosting.CreditResponse, error) {
 	var resp hosting.CreditResponse
-	err := c.do("GET", fmt.Sprintf("%s/repos/%s/%s/credit/%s", apiPrefix, owner, repo, rev), nil, &resp)
+	err := c.doRead("GET", fmt.Sprintf("%s/repos/%s/%s/credit/%s", apiPrefix, owner, repo, rev), nil, &resp)
 	return resp, err
 }
 
@@ -501,8 +608,19 @@ func (c *Client) Fork(owner, repo, newName string) (hosting.RepoResponse, error)
 // current (0 = return immediately). A Reset response means the cursor
 // cannot be served — full-resync from ReplicaSnapshot instead.
 func (c *Client) Events(since int64, waitSeconds int) (hosting.EventsResponse, error) {
+	return c.EventsAs("", since, waitSeconds)
+}
+
+// EventsAs is Events with a follower identity: the primary records the
+// poll as followerID's acknowledged cursor, sizing ring retention to the
+// slowest live follower and feeding the admin fleet status.
+func (c *Client) EventsAs(followerID string, since int64, waitSeconds int) (hosting.EventsResponse, error) {
+	path := fmt.Sprintf("%s/events?since=%d&wait=%d", apiPrefix, since, waitSeconds)
+	if followerID != "" {
+		path += "&id=" + url.QueryEscape(followerID)
+	}
 	var resp hosting.EventsResponse
-	err := c.do("GET", fmt.Sprintf("%s/events?since=%d&wait=%d", apiPrefix, since, waitSeconds), nil, &resp)
+	err := c.do("GET", path, nil, &resp)
 	return resp, err
 }
 
@@ -547,7 +665,10 @@ func (c *Client) Sync(local *gitcite.Repo, owner, repo, branch string) (int, err
 	if err != nil {
 		return 0, err
 	}
-	meta, err := c.GetRepo(owner, repo)
+	// The have-set must come from where the push will land: a replica's
+	// (possibly stale) tips would only inflate the delta, but asking the
+	// primary keeps the negotiate and the push against one history.
+	meta, err := c.forPrimary().GetRepo(owner, repo)
 	if err != nil {
 		return 0, err
 	}
@@ -567,36 +688,51 @@ func (c *Client) Sync(local *gitcite.Repo, owner, repo, branch string) (int, err
 	// the (immutable) objects. A replayed push that already landed is
 	// absorbed server-side: the tip matches, fast-forward passes, the
 	// batch write is idempotent.
-	build := func() (*http.Request, error) {
-		pr, pw := io.Pipe()
-		go func() {
-			sw := hosting.NewObjectStreamWriter(pw)
-			err := sw.WriteValue(hosting.PushHeader{Branch: branch, Tip: tip.String()})
-			for _, id := range missing {
-				if err != nil {
-					break
+	buildAt := func(pushURL string) func() (*http.Request, error) {
+		return func() (*http.Request, error) {
+			pr, pw := io.Pipe()
+			go func() {
+				sw := hosting.NewObjectStreamWriter(pw)
+				err := sw.WriteValue(hosting.PushHeader{Branch: branch, Tip: tip.String()})
+				for _, id := range missing {
+					if err != nil {
+						break
+					}
+					var o object.Object
+					if o, err = local.VCS.Objects.Get(id); err == nil {
+						err = sw.WriteObject(o)
+					}
 				}
-				var o object.Object
-				if o, err = local.VCS.Objects.Get(id); err == nil {
-					err = sw.WriteObject(o)
+				if err == nil {
+					err = sw.Flush()
 				}
+				pw.CloseWithError(err)
+			}()
+			req, err := c.newRequestAbs("POST", pushURL, pr)
+			if err != nil {
+				pr.CloseWithError(err)
+				return nil, err
 			}
-			if err == nil {
-				err = sw.Flush()
-			}
-			pw.CloseWithError(err)
-		}()
-		req, err := c.newRequest("POST", fmt.Sprintf("%s/repos/%s/%s/push", apiPrefix, owner, repo), pr)
-		if err != nil {
-			pr.CloseWithError(err)
-			return nil, err
+			req.Header.Set("Content-Type", hosting.MediaTypeNDJSON)
+			return req, nil
 		}
-		req.Header.Set("Content-Type", hosting.MediaTypeNDJSON)
-		return req, nil
 	}
-	resp, err := c.send(build)
+	resp, err := c.send(buildAt(c.baseURL + fmt.Sprintf("%s/repos/%s/%s/push", apiPrefix, owner, repo)))
 	if err != nil {
 		return 0, err
+	}
+	if resp.StatusCode == http.StatusTemporaryRedirect {
+		// Pushed at a replica: follow its 307 onto the primary once, with
+		// a fresh pipe (the redirected request needs a whole new body).
+		loc := resp.Header.Get("Location")
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if loc == "" {
+			return 0, errors.New("extension: push redirected without Location")
+		}
+		if resp, err = c.send(buildAt(loc)); err != nil {
+			return 0, err
+		}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
@@ -609,6 +745,11 @@ func (c *Client) Sync(local *gitcite.Repo, owner, repo, branch string) (int, err
 	var pushResp hosting.PushResponse
 	if err := json.Unmarshal(data, &pushResp); err != nil {
 		return 0, fmt.Errorf("extension: bad push response: %w", err)
+	}
+	// Read-your-writes: pin reads to the primary until some replica's
+	// acknowledged cursor passes this push's feed position.
+	if c.eps != nil {
+		c.eps.notePush(pushResp.Seq, pushResp.Epoch)
 	}
 	return pushResp.Stored, nil
 }

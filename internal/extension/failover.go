@@ -1,0 +1,209 @@
+// failover.go is the client's multi-endpoint read mode: WithReadEndpoints
+// names replica URLs, and every read call (GetRepo, TreePage, GenCite,
+// Chain, GenCiteRendered, Credit) routes to a replica first, falling back
+// across the pool and finally to the primary. A replica is skipped when it
+// is down (connection error, 5xx, 429 — cooled off for a while), when its
+// reported lag exceeds the ceiling, or when the read-your-writes pin says
+// it has not yet acknowledged the client's last push. Writes always go to
+// the primary (directly, or via the 307 a replica answers).
+package extension
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/hosting"
+)
+
+// defaultMaxReadLag is the reported replication lag past which a replica's
+// answer is treated as too stale to serve; WithMaxReadLag overrides it.
+const defaultMaxReadLag = 1024
+
+// replicaCooldown is how long a failed replica sits out of the read
+// rotation before being tried again.
+const replicaCooldown = 5 * time.Second
+
+// readEndpoints is the shared failover state: the replica pool, per-replica
+// cooldowns, and the read-your-writes pin. It travels by pointer across
+// With* client copies so a push through any copy pins reads for all.
+type readEndpoints struct {
+	replicas []string
+	maxLag   int64
+
+	mu        sync.Mutex
+	downUntil map[string]time.Time
+	rr        int // round-robin offset into replicas
+	pinSeq    int64
+	pinEpoch  string
+}
+
+// WithReadEndpoints returns a copy of the client that serves reads from
+// the given replica base URLs with failover (see the file comment). An
+// empty list returns the client unchanged.
+func (c *Client) WithReadEndpoints(replicaURLs ...string) *Client {
+	if len(replicaURLs) == 0 {
+		return c
+	}
+	cp := *c
+	eps := &readEndpoints{
+		maxLag:    defaultMaxReadLag,
+		downUntil: make(map[string]time.Time),
+	}
+	for _, u := range replicaURLs {
+		eps.replicas = append(eps.replicas, strings.TrimRight(u, "/"))
+	}
+	cp.eps = eps
+	return &cp
+}
+
+// WithMaxReadLag sets the reported-lag ceiling past which a replica is
+// skipped for reads; n <= 0 restores the default. Must be called after
+// WithReadEndpoints.
+func (c *Client) WithMaxReadLag(n int64) *Client {
+	if c.eps != nil {
+		c.eps.mu.Lock()
+		if n <= 0 {
+			n = defaultMaxReadLag
+		}
+		c.eps.maxLag = n
+		c.eps.mu.Unlock()
+	}
+	return c
+}
+
+// forPrimary returns a copy of the client bound to the primary only —
+// no read routing. Sync uses it so negotiate and push see one history.
+func (c *Client) forPrimary() *Client {
+	if c.eps == nil {
+		return c
+	}
+	cp := *c
+	cp.eps = nil
+	return &cp
+}
+
+// order returns the bases to try for one read: healthy replicas starting
+// from a rotating offset, then "" (the primary), then cooling replicas as
+// a last resort — a read should degrade to a possibly-flaky replica only
+// when the primary itself is unreachable.
+func (e *readEndpoints) order() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := time.Now()
+	var healthy, cooling []string
+	n := len(e.replicas)
+	for i := 0; i < n; i++ {
+		r := e.replicas[(e.rr+i)%n]
+		if t, ok := e.downUntil[r]; ok && now.Before(t) {
+			cooling = append(cooling, r)
+		} else {
+			healthy = append(healthy, r)
+		}
+	}
+	e.rr++
+	out := append(healthy, "")
+	return append(out, cooling...)
+}
+
+// markDown cools a replica out of the rotation after a failure.
+func (e *readEndpoints) markDown(base string) {
+	e.mu.Lock()
+	e.downUntil[base] = time.Now().Add(replicaCooldown)
+	e.mu.Unlock()
+}
+
+// notePush records a write acknowledged at feed position (seq, epoch) —
+// the read-your-writes pin. Reads skip any replica whose acknowledged
+// cursor (response headers) has not reached it.
+func (e *readEndpoints) notePush(seq int64, epoch string) {
+	if seq <= 0 {
+		return
+	}
+	e.mu.Lock()
+	if epoch != e.pinEpoch || seq > e.pinSeq {
+		e.pinSeq, e.pinEpoch = seq, epoch
+	}
+	e.mu.Unlock()
+}
+
+// stale judges a replica's response headers: lag over the ceiling, or —
+// when a pin is set — a missing/mismatched epoch or a cursor short of the
+// pin. A stale replica is healthy, just behind: it is skipped for this
+// read without being cooled out of the rotation.
+func (e *readEndpoints) stale(hdr http.Header) bool {
+	lag, _ := strconv.ParseInt(hdr.Get(hosting.HeaderReplicaLag), 10, 64)
+	cursor, _ := strconv.ParseInt(hdr.Get(hosting.HeaderReplicaCursor), 10, 64)
+	epoch := hdr.Get(hosting.HeaderReplicaEpoch)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.maxLag > 0 && lag > e.maxLag {
+		return true
+	}
+	if e.pinSeq > 0 && (epoch != e.pinEpoch || cursor < e.pinSeq) {
+		return true
+	}
+	return false
+}
+
+// doRead is do with endpoint routing. Replica attempts run without the
+// retry budget (failing over beats backing off); the primary attempt keeps
+// the client's normal retry policy. An authoritative 4xx ends the read —
+// except a replica's 404, which may just be replication lag, so the next
+// endpoint (ultimately the primary) answers instead.
+func (c *Client) doRead(method, path string, body, out any) error {
+	if c.eps == nil {
+		return c.do(method, path, body, out)
+	}
+	var lastErr error
+	for _, base := range c.eps.order() {
+		att, target := c, c.baseURL
+		if base != "" {
+			cp := *c
+			cp.retries = 0
+			att, target = &cp, base
+		}
+		status, data, hdr, err := att.call(target, method, path, body)
+		if err != nil {
+			if base == "" {
+				lastErr = err
+				continue
+			}
+			c.eps.markDown(base)
+			lastErr = fmt.Errorf("extension: replica %s: %w", base, err)
+			continue
+		}
+		if base != "" {
+			if status >= 500 || status == http.StatusTooManyRequests {
+				c.eps.markDown(base)
+				lastErr = apiErrorFrom(status, data)
+				continue
+			}
+			if c.eps.stale(hdr) {
+				lastErr = fmt.Errorf("extension: replica %s behind (stale read skipped)", base)
+				continue
+			}
+			if status == http.StatusNotFound {
+				lastErr = apiErrorFrom(status, data)
+				continue
+			}
+		}
+		if status < 200 || status > 299 {
+			return apiErrorFrom(status, data)
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("extension: bad response body: %w", err)
+			}
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("extension: no read endpoint available")
+	}
+	return lastErr
+}

@@ -1,0 +1,291 @@
+// Tests for the client's multi-endpoint read mode: replica-first routing,
+// failover on connection errors and 5xx, the read-your-writes pin, the
+// lag-ceiling skip, the replica-404 fallthrough, and the manual
+// re-authenticated 307 follow for writes.
+package extension
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/gitcite"
+	"github.com/gitcite/gitcite/internal/hosting"
+	"github.com/gitcite/gitcite/internal/vcs"
+)
+
+// repoBody is the valid GetRepo payload fakes answer with.
+const repoBody = `{"owner":"a","name":"b"}`
+
+// fakeNode serves repoBody with the given replica headers, counting hits.
+func fakeNode(t *testing.T, hits *atomic.Int64, epoch string, cursor, lag int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set(hosting.HeaderReplicaEpoch, epoch)
+		w.Header().Set(hosting.HeaderReplicaCursor, strconv.FormatInt(cursor, 10))
+		w.Header().Set(hosting.HeaderReplicaLag, strconv.FormatInt(lag, 10))
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, repoBody)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestReadsPreferReplica pins the routing default: with a healthy replica
+// configured, reads go there and the primary is never touched.
+func TestReadsPreferReplica(t *testing.T) {
+	var primaryHits, replicaHits atomic.Int64
+	primary := fakeNode(t, &primaryHits, "", 0, 0)
+	repl := fakeNode(t, &replicaHits, "e1", 10, 0)
+	c := New(primary.URL, "").WithReadEndpoints(repl.URL)
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetRepo("a", "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p, r := primaryHits.Load(), replicaHits.Load(); p != 0 || r != 3 {
+		t.Fatalf("primary served %d, replica %d; want 0 and 3", p, r)
+	}
+}
+
+// TestFailoverOnReplicaConnectionError pins the outage path: the only
+// replica is a dead endpoint, and every read still completes against the
+// primary with zero user-visible errors. After the first failure the dead
+// replica is cooled out of the rotation entirely.
+func TestFailoverOnReplicaConnectionError(t *testing.T) {
+	var primaryHits atomic.Int64
+	primary := fakeNode(t, &primaryHits, "", 0, 0)
+	// A port that was just listening and no longer is: connection refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	c := New(primary.URL, "").WithReadEndpoints(dead)
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetRepo("a", "b"); err != nil {
+			t.Fatalf("read %d with dead replica: %v", i, err)
+		}
+	}
+	if p := primaryHits.Load(); p != 3 {
+		t.Fatalf("primary served %d reads, want 3", p)
+	}
+}
+
+// TestFailoverOn5xxCoolsReplica pins the server-error path: a replica
+// answering 500 is failed over AND cooled down — only the first read pays
+// the probe; subsequent reads inside the cooldown go straight to primary.
+func TestFailoverOn5xxCoolsReplica(t *testing.T) {
+	var primaryHits, replicaHits atomic.Int64
+	primary := fakeNode(t, &primaryHits, "", 0, 0)
+	repl := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		replicaHits.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer repl.Close()
+
+	c := New(primary.URL, "").WithReadEndpoints(repl.URL)
+	for i := 0; i < 3; i++ {
+		if _, err := c.GetRepo("a", "b"); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if p, r := primaryHits.Load(), replicaHits.Load(); p != 3 || r != 1 {
+		t.Fatalf("primary %d / replica %d hits; want 3 / 1 (cooldown after the 500)", p, r)
+	}
+}
+
+// TestReadYourWritesPinSkipsBehindReplica pins the consistency contract: a
+// pinned client skips a replica whose acknowledged cursor is behind its
+// last push — without cooling it — and returns to it once it catches up.
+func TestReadYourWritesPinSkipsBehindReplica(t *testing.T) {
+	var primaryHits, replicaHits atomic.Int64
+	primary := fakeNode(t, &primaryHits, "", 0, 0)
+	var cursor atomic.Int64
+	cursor.Store(3)
+	repl := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		replicaHits.Add(1)
+		w.Header().Set(hosting.HeaderReplicaEpoch, "e1")
+		w.Header().Set(hosting.HeaderReplicaCursor, strconv.FormatInt(cursor.Load(), 10))
+		w.Header().Set(hosting.HeaderReplicaLag, "0")
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, repoBody)
+	}))
+	defer repl.Close()
+
+	c := New(primary.URL, "").WithReadEndpoints(repl.URL)
+	c.eps.notePush(5, "e1") // the client's last push landed at seq 5
+
+	if _, err := c.GetRepo("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if p, r := primaryHits.Load(), replicaHits.Load(); p != 1 || r != 1 {
+		t.Fatalf("pinned read: primary %d / replica %d, want 1 / 1 (replica probed, answer discarded)", p, r)
+	}
+
+	// The replica catches up past the pin: reads return to it.
+	cursor.Store(5)
+	if _, err := c.GetRepo("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if p, r := primaryHits.Load(), replicaHits.Load(); p != 1 || r != 2 {
+		t.Fatalf("caught-up read: primary %d / replica %d, want 1 / 2", p, r)
+	}
+
+	// An epoch change (the replica resynced under a new primary) re-pins
+	// until the new feed's cursor passes the new pin.
+	c.eps.notePush(2, "e2")
+	if _, err := c.GetRepo("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if p := primaryHits.Load(); p != 2 {
+		t.Fatalf("epoch-mismatched replica served a pinned read (primary hits %d)", p)
+	}
+}
+
+// TestMaxReadLagSkipsStaleReplica pins the lag ceiling: a replica
+// reporting lag over WithMaxReadLag is skipped for reads but not cooled.
+func TestMaxReadLagSkipsStaleReplica(t *testing.T) {
+	var primaryHits, replicaHits atomic.Int64
+	primary := fakeNode(t, &primaryHits, "", 0, 0)
+	repl := fakeNode(t, &replicaHits, "e1", 100, 50)
+	c := New(primary.URL, "").WithReadEndpoints(repl.URL).WithMaxReadLag(10)
+	if _, err := c.GetRepo("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if p, r := primaryHits.Load(), replicaHits.Load(); p != 1 || r != 1 {
+		t.Fatalf("high-lag read: primary %d / replica %d, want 1 / 1", p, r)
+	}
+}
+
+// TestReplica404FallsThroughToPrimary pins the lag-shaped 404: a repo the
+// replica has not replicated yet answers 404 there, and the read falls
+// through to the primary's authoritative answer instead of erroring.
+func TestReplica404FallsThroughToPrimary(t *testing.T) {
+	var primaryHits atomic.Int64
+	primary := fakeNode(t, &primaryHits, "", 0, 0)
+	repl := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"code":"not_found","error":"no such repo"}`)
+	}))
+	defer repl.Close()
+	c := New(primary.URL, "").WithReadEndpoints(repl.URL)
+	if _, err := c.GetRepo("a", "b"); err != nil {
+		t.Fatalf("read with lagging-404 replica: %v", err)
+	}
+	if p := primaryHits.Load(); p != 1 {
+		t.Fatalf("primary hits = %d, want 1", p)
+	}
+}
+
+// TestAuthoritative4xxEndsTheRead pins the non-lag 4xx: a 403 from a
+// replica is the same answer the primary would give — returned
+// immediately, the primary never probed.
+func TestAuthoritative4xxEndsTheRead(t *testing.T) {
+	var primaryHits atomic.Int64
+	primary := fakeNode(t, &primaryHits, "", 0, 0)
+	repl := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusForbidden)
+		fmt.Fprint(w, `{"code":"forbidden","error":"members only"}`)
+	}))
+	defer repl.Close()
+	c := New(primary.URL, "").WithReadEndpoints(repl.URL)
+	if _, err := c.GetRepo("a", "b"); err == nil {
+		t.Fatal("403 from replica did not surface")
+	}
+	if p := primaryHits.Load(); p != 0 {
+		t.Fatalf("authoritative 4xx still probed the primary %d times", p)
+	}
+}
+
+// TestSyncPinsReadYourWrites drives a real push through a real primary and
+// asserts the acknowledging feed position lands in the shared pin — the
+// handshake that makes every later read wait out replication lag.
+func TestSyncPinsReadYourWrites(t *testing.T) {
+	p := hosting.NewPlatform()
+	ts := httptest.NewServer(hosting.NewServer(p))
+	defer ts.Close()
+	anon := New(ts.URL, "")
+	tok, err := anon.CreateUser("o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WithReadEndpoints first, WithToken after: the pin must survive With*
+	// copies because eps travels by pointer.
+	c := anon.WithReadEndpoints(ts.URL + "/nowhere").WithToken(tok)
+	if err := c.CreateRepo("r", "https://x/r", ""); err != nil {
+		t.Fatal(err)
+	}
+	local := newTestRepo(t)
+	if _, err := c.Sync(local, "o", "r", "main"); err != nil {
+		t.Fatal(err)
+	}
+	c.eps.mu.Lock()
+	pinSeq, pinEpoch := c.eps.pinSeq, c.eps.pinEpoch
+	c.eps.mu.Unlock()
+	if pinSeq == 0 || pinEpoch == "" {
+		t.Fatalf("pin after Sync = (%d, %q), want the acknowledging feed position", pinSeq, pinEpoch)
+	}
+}
+
+// TestManual307FollowReattachesAuth pins the write path through a replica:
+// the 307 at the primary is followed exactly once with the Authorization
+// header re-attached, so the write lands instead of dying unauthenticated.
+func TestManual307FollowReattachesAuth(t *testing.T) {
+	p := hosting.NewPlatform()
+	primary := httptest.NewServer(hosting.NewServer(p))
+	defer primary.Close()
+	anon := New(primary.URL, "")
+	tok, err := anon.CreateUser("o")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var redirects atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		redirects.Add(1)
+		http.Redirect(w, r, primary.URL+r.URL.Path, http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	// The client talks to the "replica" front; its authenticated write must
+	// land on the primary.
+	c := New(front.URL, tok)
+	if err := c.CreateRepo("via307", "https://x/r", ""); err != nil {
+		t.Fatalf("write through 307: %v", err)
+	}
+	if redirects.Load() == 0 {
+		t.Fatal("front never redirected; test wired wrong")
+	}
+	if _, err := anon.GetRepo("o", "via307"); err != nil {
+		t.Fatalf("redirected write did not land on the primary: %v", err)
+	}
+}
+
+// newTestRepo builds a one-commit local repo for push tests.
+func newTestRepo(t *testing.T) *gitcite.Repo {
+	t.Helper()
+	repo, err := gitcite.NewMemoryRepo(gitcite.Meta{Owner: "o", Name: "r", URL: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := repo.Checkout("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wt.WriteFile("/a.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wt.Commit(vcs.CommitOptions{Author: vcs.Sig("o", "o@x", time.Unix(1, 0)), Message: "seed"}); err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}

@@ -71,6 +71,56 @@ func TestNoRetryOn4xx(t *testing.T) {
 	}
 }
 
+// TestRetryAfterHonoredOn429 pins the rate-limit contract: a 429 carrying
+// Retry-After waits the advised seconds and retries; the next attempt
+// succeeds. (A 429 without the header stays terminal — TestNoRetryOn4xx.)
+func TestRetryAfterHonoredOn429(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"code":"rate_limited","error":"slow down"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"owner":"a","name":"b"}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "").WithRetryPolicy(3, time.Millisecond)
+	start := time.Now()
+	if _, err := c.GetRepo("a", "b"); err != nil {
+		t.Fatalf("GetRepo after advised 429: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2 (429 + success)", got)
+	}
+	if waited := time.Since(start); waited < time.Second {
+		t.Errorf("client waited %v, want at least the advised 1s", waited)
+	}
+}
+
+// TestUnparseableRetryAfterStaysTerminal pins the guard: a 429 whose
+// Retry-After does not parse as delta-seconds is an ordinary 4xx — one
+// attempt, no retry, no accidental sleep on hostile input.
+func TestUnparseableRetryAfterStaysTerminal(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "Wed, 21 Oct 2015 07:28:00 GMT")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"rate limited"}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "").WithRetryPolicy(3, time.Millisecond)
+	if _, err := c.GetRepo("a", "b"); err == nil {
+		t.Fatal("429 did not surface an error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want exactly 1", got)
+	}
+}
+
 func TestRetryRecoversFromNetworkError(t *testing.T) {
 	// Point the first attempts at a closed port by proxying through a
 	// handler that hijacks and drops the connection.

@@ -1,0 +1,146 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// replication and failover test suites. A Schedule holds an ordered list of
+// Rules, each of which arms one fault at one precisely counted occurrence of
+// a matching operation ("the 3rd PutManyEncoded on node B", "the 5th events
+// poll through this transport"). Because triggering is purely count-based —
+// no clocks, no randomness inside the package — the same schedule replays
+// the same faults at the same points on every run; tests derive schedules
+// from a seeded RNG so whole fault campaigns are reproducible from one seed.
+//
+// Two wrap points are provided: WrapStore intercepts the object-store
+// surface a hosting platform writes through, and WrapTransport intercepts
+// the HTTP path a replica or extension client reads through.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the root of every error this package fabricates; tests
+// assert errors.Is(err, ErrInjected) to separate injected failures from
+// real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault enumerates the failure modes a Rule can arm.
+type Fault int
+
+const (
+	// FaultErr makes the matched store operation return an injected error
+	// without touching the store — a transient EIO.
+	FaultErr Fault = iota
+	// FaultTornBatch makes a matched batch write persist only the first
+	// Arg objects before failing — a torn write followed by a crash.
+	FaultTornBatch
+	// FaultResetBody lets the matched HTTP response start streaming, then
+	// resets the connection after Arg body bytes — a mid-NDJSON cut.
+	FaultResetBody
+	// FaultDelay stalls the matched HTTP request for Arg milliseconds
+	// before sending it — delayed event delivery.
+	FaultDelay
+	// FaultReplay rewinds the "since" query parameter of a matched events
+	// poll by Arg — the replica re-receives events it already applied,
+	// exercising idempotent re-apply.
+	FaultReplay
+	// FaultPartition fails the matched HTTP request with a synthetic
+	// connection error before it leaves the client — a network partition.
+	FaultPartition
+)
+
+// String names the fault for test logs.
+func (f Fault) String() string {
+	switch f {
+	case FaultErr:
+		return "err"
+	case FaultTornBatch:
+		return "torn-batch"
+	case FaultResetBody:
+		return "reset-body"
+	case FaultDelay:
+		return "delay"
+	case FaultReplay:
+		return "replay"
+	case FaultPartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// Rule arms one fault. Target selects which wrapper the rule applies to
+// (the node/transport name given at wrap time); Match selects the operation
+// within it ("PutManyEncoded", "events", ...). The rule fires on the
+// occurrences numbered (After, After+Count] of matching operations —
+// 1-based, so After=0, Count=1 fires on the very first match.
+type Rule struct {
+	Target string // wrapper name, "" matches every wrapper
+	Match  string // operation name, "" matches every operation
+	After  int    // skip this many matching occurrences first
+	Count  int    // then fire on this many consecutive occurrences
+	Fault  Fault
+	Arg    int // fault-specific: objects kept, bytes allowed, ms, rewind
+}
+
+// Schedule is a set of armed rules plus the occurrence counters that make
+// triggering deterministic. One Schedule is shared by every wrapper in a
+// test fleet so rule counters see a global, stable operation order per
+// wrapper+operation pair. Safe for concurrent use.
+type Schedule struct {
+	mu    sync.Mutex
+	rules []Rule
+	seen  map[string]int // wrapper+op → occurrences so far
+	fired map[int]int    // rule index → times fired
+}
+
+// NewSchedule arms the given rules.
+func NewSchedule(rules ...Rule) *Schedule {
+	return &Schedule{
+		rules: rules,
+		seen:  make(map[string]int),
+		fired: make(map[int]int),
+	}
+}
+
+// hit records one occurrence of op on the named wrapper and reports the
+// rule that fires on it, if any. The first matching rule in arming order
+// wins; its counter advances even when a later occurrence would also match
+// other rules, keeping replays stable under rule reordering-free edits.
+func (s *Schedule) hit(target, op string) (Rule, bool) {
+	if s == nil {
+		return Rule{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := target + "\x00" + op
+	s.seen[key]++
+	n := s.seen[key]
+	for i, r := range s.rules {
+		if r.Target != "" && r.Target != target {
+			continue
+		}
+		if r.Match != "" && r.Match != op {
+			continue
+		}
+		if n <= r.After || n > r.After+r.Count {
+			continue
+		}
+		s.fired[i]++
+		return r, true
+	}
+	return Rule{}, false
+}
+
+// Fired reports how many times the i'th armed rule has triggered — tests
+// assert a campaign actually exercised its faults rather than silently
+// missing every window.
+func (s *Schedule) Fired(i int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired[i]
+}
+
+// injected fabricates a labelled fault error rooted at ErrInjected.
+func injected(target, op string, f Fault) error {
+	return fmt.Errorf("%w: %s on %s/%s", ErrInjected, f, target, op)
+}

@@ -1,0 +1,224 @@
+// Tests for the harness itself: schedule determinism (the property the
+// whole package exists for), torn-batch semantics on the store wrapper, and
+// each transport fault's observable behaviour.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/vcs/object"
+	"github.com/gitcite/gitcite/internal/vcs/store"
+)
+
+// TestScheduleDeterminism replays the same operation sequence against two
+// schedules armed with the same rules: the fault points must be identical.
+// Rule matching is first-match-wins and purely count-based.
+func TestScheduleDeterminism(t *testing.T) {
+	rules := []Rule{
+		{Target: "a", Match: "op", After: 2, Count: 2, Fault: FaultErr},
+		{Target: "", Match: "op", After: 6, Count: 1, Fault: FaultDelay, Arg: 5},
+		{Target: "b", Match: "", After: 0, Count: 1, Fault: FaultPartition},
+	}
+	run := func(s *Schedule) []string {
+		var trace []string
+		for i := 0; i < 10; i++ {
+			for _, target := range []string{"a", "b"} {
+				if r, ok := s.hit(target, "op"); ok {
+					trace = append(trace, fmt.Sprintf("%d/%s/%s", i, target, r.Fault))
+				}
+			}
+		}
+		return trace
+	}
+	t1 := run(NewSchedule(rules...))
+	t2 := run(NewSchedule(rules...))
+	if len(t1) == 0 {
+		t.Fatal("schedule never fired")
+	}
+	if fmt.Sprint(t1) != fmt.Sprint(t2) {
+		t.Fatalf("replay diverged:\n  %v\n  %v", t1, t2)
+	}
+	// The b-target rule fires exactly once, on b's first op.
+	if t1[0] != "0/a/err" && t1[0] != "0/b/partition" {
+		t.Errorf("unexpected first firing %q", t1[0])
+	}
+}
+
+// TestScheduleFiredCounts pins the Fired accounting and the After/Count
+// window arithmetic: After=0,Count=1 is the very first occurrence.
+func TestScheduleFiredCounts(t *testing.T) {
+	s := NewSchedule(
+		Rule{Match: "x", After: 0, Count: 1, Fault: FaultErr},
+		Rule{Match: "x", After: 3, Count: 2, Fault: FaultErr},
+	)
+	var fires []int
+	for i := 1; i <= 6; i++ {
+		if _, ok := s.hit("n", "x"); ok {
+			fires = append(fires, i)
+		}
+	}
+	if fmt.Sprint(fires) != "[1 4 5]" {
+		t.Fatalf("fired on occurrences %v, want [1 4 5]", fires)
+	}
+	if s.Fired(0) != 1 || s.Fired(1) != 2 {
+		t.Errorf("Fired = %d, %d, want 1, 2", s.Fired(0), s.Fired(1))
+	}
+}
+
+// TestWrapStoreTornBatch pins the crash model: a torn PutMany persists
+// exactly the rule's prefix, fails with ErrInjected, and a retry of the
+// same batch (the post-crash re-apply) lands everything idempotently.
+func TestWrapStoreTornBatch(t *testing.T) {
+	inner := store.NewMemoryStore()
+	s := WrapStore("node", NewSchedule(
+		Rule{Target: "node", Match: "PutMany", After: 0, Count: 1, Fault: FaultTornBatch, Arg: 2},
+	), inner)
+	objs := []object.Object{
+		object.NewBlob([]byte("one")),
+		object.NewBlob([]byte("two")),
+		object.NewBlob([]byte("three")),
+	}
+	if _, err := s.PutMany(objs); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn PutMany err = %v, want ErrInjected", err)
+	}
+	if n, _ := inner.Len(); n != 2 {
+		t.Fatalf("torn batch persisted %d objects, want exactly the 2-object prefix", n)
+	}
+	// The retry — occurrence 2, outside the rule window — re-applies the
+	// whole batch; content addressing makes the prefix landing twice free.
+	if _, err := s.PutMany(objs); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := inner.Len(); n != 3 {
+		t.Fatalf("retry left %d objects, want 3", n)
+	}
+}
+
+// TestWrapStoreTornEncodedBatch mirrors the torn-write model on the raw
+// ingest path platforms use for push batches.
+func TestWrapStoreTornEncodedBatch(t *testing.T) {
+	inner := store.NewMemoryStore()
+	s := WrapStore("node", NewSchedule(
+		Rule{Target: "node", Match: "PutManyEncoded", After: 0, Count: 1, Fault: FaultTornBatch, Arg: 1},
+	), inner)
+	var batch []store.Encoded
+	for i := 0; i < 3; i++ {
+		enc := object.Encode(object.NewBlob([]byte(fmt.Sprintf("enc %d", i))))
+		batch = append(batch, store.Encoded{ID: object.HashBytes(enc), Enc: enc})
+	}
+	if err := s.PutManyEncoded(batch); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn PutManyEncoded err = %v, want ErrInjected", err)
+	}
+	if n, _ := inner.Len(); n != 1 {
+		t.Fatalf("torn encoded batch persisted %d, want 1", n)
+	}
+	if err := s.PutManyEncoded(batch); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := inner.Len(); n != 3 {
+		t.Fatalf("retry left %d objects, want 3", n)
+	}
+}
+
+// TestWrapStoreTransientErr pins FaultErr: the matched operation fails
+// without touching the store, and the store works again afterwards.
+func TestWrapStoreTransientErr(t *testing.T) {
+	inner := store.NewMemoryStore()
+	s := WrapStore("node", NewSchedule(
+		Rule{Target: "node", Match: "Put", After: 0, Count: 1, Fault: FaultErr},
+	), inner)
+	if _, err := s.Put(object.NewBlob([]byte("x"))); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put err = %v, want ErrInjected", err)
+	}
+	if n, _ := inner.Len(); n != 0 {
+		t.Fatalf("failed Put stored %d objects", n)
+	}
+	id, err := s.Put(object.NewBlob([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Has(id); !ok {
+		t.Error("object missing after transient error cleared")
+	}
+}
+
+// TestTransportPartition pins FaultPartition: the request fails with a
+// synthetic connection error (the server never sees it) that still
+// unwraps to ErrInjected for assertions.
+func TestTransportPartition(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	defer ts.Close()
+	cl := &http.Client{Transport: WrapTransport("t", NewSchedule(
+		Rule{Target: "t", After: 0, Count: 1, Fault: FaultPartition},
+	), nil)}
+	if _, err := cl.Get(ts.URL + "/api/v1/events"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned request err = %v, want ErrInjected", err)
+	}
+	if hits != 0 {
+		t.Fatal("partitioned request reached the server")
+	}
+	resp, err := cl.Get(ts.URL + "/api/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits != 1 {
+		t.Fatalf("post-partition request hit the server %d times, want 1", hits)
+	}
+}
+
+// TestTransportResetBody pins FaultResetBody: the response streams up to
+// Arg bytes, then every read fails with a connection-reset-style error.
+func TestTransportResetBody(t *testing.T) {
+	payload := strings.Repeat("x", 100)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+	cl := &http.Client{Transport: WrapTransport("t", NewSchedule(
+		Rule{Target: "t", After: 0, Count: 1, Fault: FaultResetBody, Arg: 10},
+	), nil)}
+	resp, err := cl.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("cut body read err = %v, want ErrInjected", err)
+	}
+	if len(data) > 10 {
+		t.Fatalf("cut body delivered %d bytes, want at most 10", len(data))
+	}
+}
+
+// TestTransportReplay pins FaultReplay: a matched events poll has its
+// "since" cursor rewound by Arg (floored at 0) before reaching the server —
+// duplicated delivery from the follower's point of view.
+func TestTransportReplay(t *testing.T) {
+	var got []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, r.URL.Query().Get("since"))
+	}))
+	defer ts.Close()
+	cl := &http.Client{Transport: WrapTransport("t", NewSchedule(
+		Rule{Target: "t", Match: "events", After: 1, Count: 2, Fault: FaultReplay, Arg: 3},
+	), nil)}
+	for _, since := range []string{"10", "10", "2"} {
+		resp, err := cl.Get(ts.URL + "/api/v1/events?since=" + since)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if fmt.Sprint(got) != "[10 7 0]" {
+		t.Fatalf("server saw since=%v, want [10 7 0]", got)
+	}
+}

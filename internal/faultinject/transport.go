@@ -1,0 +1,125 @@
+// transport.go wraps an http.RoundTripper with fault injection on the wire
+// path replicas and extension clients read through: partitions (the request
+// never leaves), delivery delays, duplicated event delivery (a rewound
+// events poll), and connections reset mid-response-body. Faults surface as
+// ordinary network errors, so they exercise exactly the retry/failover code
+// real outages would.
+package faultinject
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"path"
+	"strconv"
+	"time"
+)
+
+// FaultTransport injects scheduled faults in front of an inner
+// RoundTripper.
+type FaultTransport struct {
+	name  string
+	sched *Schedule
+	inner http.RoundTripper
+}
+
+// WrapTransport wraps inner (nil means http.DefaultTransport) so requests
+// whose operation matches the schedule's rules for the given wrapper name
+// fail, stall, or replay as armed. The operation name of a request is the
+// final segment of its URL path — "events" for an events poll, "push" for
+// a push.
+func WrapTransport(name string, sched *Schedule, inner http.RoundTripper) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &FaultTransport{name: name, sched: sched, inner: inner}
+}
+
+// RoundTrip applies at most one armed fault to the request, then forwards
+// it. Partition and delay act before the request is sent; replay rewrites
+// the poll cursor; reset lets the response start and cuts the body.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	op := path.Base(req.URL.Path)
+	r, ok := t.sched.hit(t.name, op)
+	if !ok {
+		return t.inner.RoundTrip(req)
+	}
+	switch r.Fault {
+	case FaultPartition:
+		return nil, &net.OpError{
+			Op:  "dial",
+			Net: "tcp",
+			Err: injected(t.name, op, r.Fault),
+		}
+	case FaultDelay:
+		select {
+		case <-time.After(time.Duration(r.Arg) * time.Millisecond):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.inner.RoundTrip(req)
+	case FaultReplay:
+		// Rewind the poll cursor so events the follower already applied
+		// are delivered again — duplicated delivery, which the replica's
+		// idempotent apply path must absorb.
+		q := req.URL.Query()
+		if since, err := strconv.ParseInt(q.Get("since"), 10, 64); err == nil {
+			rewound := since - int64(r.Arg)
+			if rewound < 0 {
+				rewound = 0
+			}
+			req = req.Clone(req.Context())
+			q.Set("since", strconv.FormatInt(rewound, 10))
+			req.URL.RawQuery = q.Encode()
+		}
+		return t.inner.RoundTrip(req)
+	case FaultResetBody:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &resetBody{
+			inner:  resp.Body,
+			remain: r.Arg,
+			err: &net.OpError{
+				Op:  "read",
+				Net: "tcp",
+				Err: injected(t.name, op, r.Fault),
+			},
+		}
+		return resp, nil
+	default: // FaultErr and anything unhandled: plain transport error
+		return nil, injected(t.name, op, r.Fault)
+	}
+}
+
+// resetBody streams the first remain bytes of the real body, then fails
+// every further read with a connection-reset-style error — a response cut
+// mid-NDJSON stream.
+type resetBody struct {
+	inner  io.ReadCloser
+	remain int
+	err    error
+}
+
+func (b *resetBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, b.err
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.inner.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		// The real body ended before the cut point; pass EOF through so
+		// short responses are not retroactively corrupted.
+		return n, io.EOF
+	}
+	if b.remain <= 0 && err == nil {
+		err = b.err
+	}
+	return n, err
+}
+
+func (b *resetBody) Close() error { return b.inner.Close() }

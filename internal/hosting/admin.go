@@ -24,6 +24,7 @@ func (s *Server) registerAdminRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/v1/admin/repos/{owner}/{name}/stats", s.adminOnly(s.handleAdminRepoStats))
 	mux.HandleFunc("POST /api/v1/admin/repos/{owner}/{name}/repack", s.adminOnly(s.handleAdminRepack))
 	mux.HandleFunc("POST /api/v1/admin/gc", s.adminOnly(s.handleAdminGC))
+	mux.HandleFunc("POST /api/v1/admin/promote", s.adminOnly(s.handleAdminPromote))
 }
 
 // adminOnly wraps an admin handler with the token gate: disabled group →
@@ -44,22 +45,60 @@ func (s *Server) adminOnly(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // AdminStatusResponse is the admin status body: the platform counters,
-// plus — on a read replica — the replication progress.
+// plus — on a read replica — the replication progress, and — on a primary
+// with followers — the fleet's acknowledged cursors.
 type AdminStatusResponse struct {
 	PlatformStatus
 	Replica *ReplicaStatus `json:"replica,omitempty"`
+	Fleet   *FleetStatus   `json:"fleet,omitempty"`
 }
 
 // handleAdminStatus reports platform-wide counters: users, repositories,
 // open repository handles against their limit, the manifest journal and,
-// on a replica, per-repo replication lag and the last journaled cursor.
+// on a replica, per-repo replication lag and the last journaled cursor;
+// on a primary, the true fleet lag derived from follower polls.
 func (s *Server) handleAdminStatus(w http.ResponseWriter, r *http.Request) {
 	resp := AdminStatusResponse{PlatformStatus: s.platform.Status(r.Context())}
-	if s.replicaStatus != nil {
-		rs := s.replicaStatus()
+	if repl := s.replica.Load(); repl != nil && repl.status != nil {
+		rs := repl.status()
 		resp.Replica = &rs
 	}
+	if fleet := s.platform.FleetStatus(); len(fleet.Followers) > 0 {
+		resp.Fleet = &fleet
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// PromoteResponse answers a successful POST /api/v1/admin/promote with the
+// fresh epoch the new primary minted — the fence that forces every
+// follower of the old feed (including a returning old primary) to resync.
+type PromoteResponse struct {
+	Promoted bool   `json:"promoted"`
+	Epoch    string `json:"epoch"`
+}
+
+// handleAdminPromote serves POST /api/v1/admin/promote: flip this caught-up
+// replica into a primary. Refusals are stable wire codes — "conflict" when
+// the server is already a primary or a concurrent promote won,
+// "replica_lagging" when the replica has not applied through the
+// primary's head. On success the replica gate drops atomically: the very
+// next write request dispatches locally instead of 307ing.
+func (s *Server) handleAdminPromote(w http.ResponseWriter, r *http.Request) {
+	if s.replica.Load() == nil {
+		writeErr(w, fmt.Errorf("%w: already a primary", ErrConflict))
+		return
+	}
+	if s.promote == nil {
+		writeErr(w, fmt.Errorf("%w: promotion not configured on this server", ErrBadRequest))
+		return
+	}
+	epoch, err := s.promote(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.replica.Store(nil)
+	writeJSON(w, http.StatusOK, PromoteResponse{Promoted: true, Epoch: epoch})
 }
 
 // handleAdminRepoStats reports one repository's membership and storage

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/gitcite/gitcite/internal/citefile"
@@ -42,11 +43,15 @@ type Server struct {
 	logger     interface{ Printf(string, ...any) }
 	adminToken string
 
-	// Replica serving mode (readonly.go): non-empty replicaPrimary makes
-	// every write route answer 307 → primary; replicaStatus feeds the
-	// admin status endpoint the replication lag.
-	replicaPrimary string
-	replicaStatus  func() ReplicaStatus
+	// Replica serving mode (readonly.go): a non-nil replica pointer makes
+	// every write route answer 307 → primary and stamps replica headers on
+	// responses. It is atomic because promotion flips it to nil while
+	// requests are in flight — each request loads it exactly once.
+	replica atomic.Pointer[replicaState]
+	// promote, when set (WithPromotion), backs POST /api/v1/admin/promote.
+	promote PromoteFunc
+	// readyMaxLag is the replication lag ceiling for GET /readyz.
+	readyMaxLag int64
 }
 
 // NewServer wraps a platform with the REST API. Options configure the
@@ -83,6 +88,9 @@ func NewServer(p *Platform, opts ...ServerOption) *Server {
 	mux.HandleFunc("GET /api/v1/replica/snapshot", s.adminOnly(s.handleSnapshot))
 	// ---- admin (token-gated; see admin.go) ----
 	s.registerAdminRoutes(mux)
+	// ---- health probes (no token; see health.go) ----
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	// ---- deprecated unversioned aliases (pre-v1 wire protocol) ----
 	mux.HandleFunc("POST /api/users", s.mutating(s.handleCreateUser))
 	mux.HandleFunc("POST /api/repos", s.mutating(s.handleCreateRepo))
@@ -101,6 +109,7 @@ func NewServer(p *Platform, opts ...ServerOption) *Server {
 	mux.HandleFunc("GET /api/repos/{owner}/{name}/pull/{rev}", s.handlePullLegacy)
 	s.mux = mux
 	var h http.Handler = mux
+	h = s.withReplicaHeaders(h)
 	h = s.withAuth(h)
 	h = s.withRateLimit(h)
 	h = s.withCORS(h)
@@ -209,10 +218,15 @@ type PushRequest struct {
 	Objects []WireObject `json:"objects"`
 }
 
-// PushResponse reports how many objects the server stored.
+// PushResponse reports how many objects the server stored. Seq and Epoch
+// locate the acknowledging ref event on the replication feed, so a
+// failover-aware client can hold reads to the primary until a replica's
+// acknowledged cursor passes Seq (read-your-writes).
 type PushResponse struct {
 	Stored int    `json:"stored"`
 	Tip    string `json:"tip"`
+	Seq    int64  `json:"seq,omitempty"`
+	Epoch  string `json:"epoch,omitempty"`
 }
 
 // PullResponse is the deprecated whole-closure download body.
@@ -242,6 +256,8 @@ func errStatus(err error) (int, string) {
 		errors.Is(err, core.ErrNoEntry), errors.Is(err, store.ErrNotFound),
 		errors.Is(err, gitcite.ErrNotCitationEnabled):
 		return http.StatusNotFound, CodeNotFound
+	case errors.Is(err, ErrNotCaughtUp):
+		return http.StatusConflict, CodeNotCaughtUp
 	case errors.Is(err, ErrConflict), errors.Is(err, core.ErrEntryExists):
 		return http.StatusConflict, CodeConflict
 	case errors.Is(err, vcs.ErrBadPath), errors.Is(err, core.ErrPathNotInTree),
@@ -901,40 +917,41 @@ func (s *Server) handleFetchObjects(w http.ResponseWriter, r *http.Request) {
 // batch is stored, so a garbage or rejected push cannot land orphan objects.
 // The repository edit lock serialises the check-then-update with concurrent
 // pushes and server-side citation edits; readers are never blocked.
-func (s *Server) applyPush(ctx context.Context, repo *gitcite.Repo, owner, name, branch string, tip object.ID, batch []store.Encoded, objs map[object.ID]object.Object) (int, error) {
+func (s *Server) applyPush(ctx context.Context, repo *gitcite.Repo, owner, name, branch string, tip object.ID, batch []store.Encoded, objs map[object.ID]object.Object) (PushResponse, error) {
 	if branch == "" {
-		return 0, fmt.Errorf("%w: missing branch", ErrBadRequest)
+		return PushResponse{}, fmt.Errorf("%w: missing branch", ErrBadRequest)
 	}
 	if err := VerifyConnectedClosure(repo.VCS.Objects, objs, tip); err != nil {
-		return 0, err
+		return PushResponse{}, err
 	}
 	unlock, err := s.platform.LockForEdit(ctx, owner, name)
 	if err != nil {
-		return 0, err
+		return PushResponse{}, err
 	}
 	defer unlock()
 	ref := refs.BranchRef(branch)
 	if cur, err := repo.VCS.Refs.Get(ref); err == nil && cur != tip {
 		ok, err := isAncestorOver(repo.VCS.Objects, objs, cur, tip)
 		if err != nil {
-			return 0, err
+			return PushResponse{}, err
 		}
 		if !ok {
-			return 0, fmt.Errorf("%w: non-fast-forward push to %s", ErrConflict, branch)
+			return PushResponse{}, fmt.Errorf("%w: non-fast-forward push to %s", ErrConflict, branch)
 		}
 	}
 	// Only now do uploaded objects touch the store: one raw batch write.
 	if err := store.PutManyEncoded(repo.VCS.Objects, batch); err != nil {
-		return 0, err
+		return PushResponse{}, err
 	}
 	if err := repo.VCS.Refs.Set(ref, tip); err != nil {
-		return 0, err
+		return PushResponse{}, err
 	}
 	// Publish while the edit lock is still held: ref events for one branch
 	// hit the replication feed in ref-update order, so followers never
-	// observe B-then-A for two pushes that landed A-then-B.
-	s.platform.publishRef(owner, name, branch, tip.String())
-	return len(batch), nil
+	// observe B-then-A for two pushes that landed A-then-B. The event's
+	// feed position acknowledges the push to read-your-writes clients.
+	epoch, seq := s.platform.publishRef(owner, name, branch, tip.String())
+	return PushResponse{Stored: len(batch), Tip: tip.String(), Seq: seq, Epoch: epoch}, nil
 }
 
 // handlePushV1 ingests a streaming push: a PushHeader line followed by one
@@ -978,13 +995,13 @@ func (s *Server) handlePushV1(w http.ResponseWriter, r *http.Request) {
 		objs[id] = o
 		batch = append(batch, store.Encoded{ID: id, Enc: enc})
 	}
-	stored, err := s.applyPush(ctx, repo, owner, name, hdr.Branch, tip, batch, objs)
+	resp, err := s.applyPush(ctx, repo, owner, name, hdr.Branch, tip, batch, objs)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	s.platform.maybeAutoRepack(owner, name)
-	writeJSON(w, http.StatusOK, PushResponse{Stored: stored, Tip: tip.String()})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handlePushLegacy adapts the deprecated whole-array JSON body onto the same
@@ -1028,13 +1045,13 @@ func (s *Server) handlePushLegacy(w http.ResponseWriter, r *http.Request) {
 		objs[id] = o
 		batch = append(batch, store.Encoded{ID: id, Enc: enc})
 	}
-	stored, err := s.applyPush(ctx, repo, owner, name, req.Branch, tip, batch, objs)
+	resp, err := s.applyPush(ctx, repo, owner, name, req.Branch, tip, batch, objs)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	s.platform.maybeAutoRepack(owner, name)
-	writeJSON(w, http.StatusOK, PushResponse{Stored: stored, Tip: tip.String()})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- pull ----

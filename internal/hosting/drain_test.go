@@ -1,0 +1,214 @@
+// Black-box tests for the lifecycle satellites: graceful shutdown with a
+// long-poll in flight (the SIGTERM regression from the issue), the
+// unauthenticated /healthz and /readyz probes, and the Retry-After header
+// on rate-limit refusals.
+package hosting_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/gitcite/gitcite/internal/hosting"
+)
+
+// TestShutdownWakesParkedLongPoll is the SIGTERM regression test: an events
+// long-poll is parked when Shutdown begins; with InterruptEventWaiters
+// registered on the server, the poll answers empty immediately and the
+// drain completes in well under the poll's 30-second wait.
+func TestShutdownWakesParkedLongPoll(t *testing.T) {
+	p := hosting.NewPlatform()
+	h := hosting.NewServer(p, hosting.WithAdminToken("tok"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	srv.RegisterOnShutdown(p.InterruptEventWaiters)
+	go srv.Serve(ln)
+
+	// Park a long-poll at the current head.
+	type pollResult struct {
+		status int
+		body   hosting.EventsResponse
+		err    error
+	}
+	done := make(chan pollResult, 1)
+	go func() {
+		req, _ := http.NewRequest("GET", "http://"+ln.Addr().String()+"/api/v1/events?since=0&wait=30", nil)
+		req.Header.Set("Authorization", "Bearer tok")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- pollResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var body hosting.EventsResponse
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		done <- pollResult{status: resp.StatusCode, body: body, err: err}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the poll reach its park
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("drain took %v with a parked long-poll, want well under 2s", d)
+	}
+	select {
+	case res := <-done:
+		if res.err != nil || res.status != http.StatusOK {
+			t.Fatalf("in-flight long-poll = status %d, err %v; want a clean 200", res.status, res.err)
+		}
+		if len(res.body.Events) != 0 {
+			t.Errorf("interrupted poll returned %d events, want empty", len(res.body.Events))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("long-poll never completed after shutdown")
+	}
+}
+
+// TestHealthzAlwaysAnswers pins /healthz: unauthenticated, 200, even on a
+// replica — it is liveness, not readiness.
+func TestHealthzAlwaysAnswers(t *testing.T) {
+	p := hosting.NewPlatform()
+	status := func() hosting.ReplicaStatus { return hosting.ReplicaStatus{} }
+	ts := httptest.NewServer(hosting.NewServer(p, hosting.WithReplicaMode("http://primary", status)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+	var body hosting.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Status != "ok" {
+		t.Fatalf("/healthz body = %+v, %v", body, err)
+	}
+}
+
+// getReady hits /readyz and decodes the verdict.
+func getReady(t *testing.T, base string) (int, hosting.ReadyResponse) {
+	t.Helper()
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body hosting.ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestReadyzJudgesRoleAndLag pins /readyz across the states that matter to
+// a load balancer: a healthy primary is ready; a caught-up replica is
+// ready; a bootstrapping or lagging replica is 503 so it rotates out of
+// the read pool; a closed platform is 503.
+func TestReadyzJudgesRoleAndLag(t *testing.T) {
+	// Healthy primary.
+	ts := httptest.NewServer(hosting.NewServer(hosting.NewPlatform()))
+	status, body := getReady(t, ts.URL)
+	ts.Close()
+	if status != http.StatusOK || !body.Ready || body.Role != "primary" {
+		t.Fatalf("primary readyz = %d %+v", status, body)
+	}
+
+	// Replica states, driven through a stub status.
+	st := hosting.ReplicaStatus{}
+	ts = httptest.NewServer(hosting.NewServer(hosting.NewPlatform(),
+		hosting.WithReplicaMode("http://primary", func() hosting.ReplicaStatus { return st }),
+		hosting.WithReadinessMaxLag(1),
+	))
+	defer ts.Close()
+
+	// Bootstrapping: no epoch yet.
+	status, body = getReady(t, ts.URL)
+	if status != http.StatusServiceUnavailable || body.Ready || body.Role != "replica" {
+		t.Fatalf("bootstrapping readyz = %d %+v, want 503 replica", status, body)
+	}
+
+	// Lag over the ceiling.
+	st = hosting.ReplicaStatus{Epoch: "e1", Cursor: 3, Head: 10, Lag: 7}
+	status, body = getReady(t, ts.URL)
+	if status != http.StatusServiceUnavailable || body.Ready || body.Lag != 7 {
+		t.Fatalf("lagging readyz = %d %+v, want 503 with lag 7", status, body)
+	}
+
+	// Caught up.
+	st = hosting.ReplicaStatus{Epoch: "e1", Cursor: 10, Head: 10, Lag: 0}
+	status, body = getReady(t, ts.URL)
+	if status != http.StatusOK || !body.Ready {
+		t.Fatalf("caught-up readyz = %d %+v, want 200", status, body)
+	}
+
+	// Closed platform: not ready, regardless of role.
+	p := hosting.NewPlatform()
+	ts2 := httptest.NewServer(hosting.NewServer(p))
+	defer ts2.Close()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	status, body = getReady(t, ts2.URL)
+	if status != http.StatusServiceUnavailable || body.Ready {
+		t.Fatalf("closed-platform readyz = %d %+v, want 503", status, body)
+	}
+}
+
+// TestRateLimitSendsRetryAfter pins the 429 contract: a refused request
+// carries a positive integer Retry-After header (the client's backoff
+// hint), and the health probes bypass the limiter entirely.
+func TestRateLimitSendsRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(hosting.NewServer(hosting.NewPlatform(),
+		hosting.WithRateLimit(1, 1)))
+	defer ts.Close()
+
+	var last *http.Response
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/api/v1/repos/o/r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			last = resp
+			break
+		}
+	}
+	if last == nil {
+		t.Fatal("burst of 5 requests against burst-1 limit never saw a 429")
+	}
+	ra := last.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("429 Retry-After = %q, want a positive integer of seconds", ra)
+	}
+
+	// Probes are exempt: a throttled token must not mark the node dead.
+	for i := 0; i < 10; i++ {
+		for _, path := range []string{"/healthz", "/readyz"} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				t.Fatalf("%s rate-limited on iteration %d", path, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Internal tests for the event log's fleet-aware retention: the ring holds
+// events down to the slowest live follower (bounded by the hard cap), stale
+// followers stop sizing it, rotation is the promotion fence, and the drain
+// interrupt wakes parked long-pollers.
+package hosting
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fillLog publishes n ref events and returns the log's head.
+func fillLog(l *eventLog, n int) int64 {
+	var head int64
+	for i := 0; i < n; i++ {
+		_, head = l.publish(Event{Type: EventRef, Owner: "o", Repo: "r", Branch: "b", Tip: fmt.Sprint(i)})
+	}
+	return head
+}
+
+// TestEventLogRetentionExtendsToSlowFollower pins the tentpole retention
+// rule: a live follower's acknowledged cursor holds the ring open past
+// eventLogCap, so a briefly-slow follower drains incrementally instead of
+// being forced into a full resync.
+func TestEventLogRetentionExtendsToSlowFollower(t *testing.T) {
+	l := newEventLog()
+	fillLog(l, 100)
+	// The follower acknowledges cursor 50 by polling with since=50.
+	if _, _, ok := l.since(50, "slow"); !ok {
+		t.Fatal("warm-up poll rejected")
+	}
+	head := fillLog(l, eventLogCap+200)
+	// Without the ack the ring would have trimmed to head-eventLogCap; the
+	// live follower's cursor must keep everything after 50 retained.
+	evs, _, ok := l.since(50, "slow")
+	if !ok {
+		t.Fatalf("live follower at cursor 50 got Reset with head %d", head)
+	}
+	if len(evs) == 0 || evs[0].Seq != 51 {
+		t.Fatalf("retained window starts at %d, want 51", evs[0].Seq)
+	}
+
+	// An anonymous poll at the same depth is NOT protected once it is the
+	// ring, not the follower map, that decides: anonymous pollers never
+	// extend retention, so after the slow follower catches up the ring
+	// snaps back to the soft cap.
+	if _, _, ok := l.since(head, "slow"); !ok {
+		t.Fatal("caught-up poll rejected")
+	}
+	head = fillLog(l, eventLogCap+10)
+	if _, _, ok := l.since(50, ""); ok {
+		t.Fatalf("cursor 50 still retained at head %d after the slow follower caught up", head)
+	}
+}
+
+// TestEventLogStaleFollowerStopsSizingRetention ages a follower past
+// followerLiveWindow via the injected clock: its cursor stops holding the
+// ring, and its next poll is told to resync.
+func TestEventLogStaleFollowerStopsSizingRetention(t *testing.T) {
+	l := newEventLog()
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	fillLog(l, 100)
+	if _, _, ok := l.since(10, "dead"); !ok {
+		t.Fatal("warm-up poll rejected")
+	}
+	// The follower goes silent for longer than the live window while the
+	// primary keeps publishing.
+	now = now.Add(followerLiveWindow + time.Second)
+	fillLog(l, eventLogCap+100)
+	if len(l.events) > eventLogCap {
+		t.Fatalf("ring retains %d events for a stale follower, want ≤ %d", len(l.events), eventLogCap)
+	}
+	if _, _, ok := l.since(10, "dead"); ok {
+		t.Fatal("stale follower's evicted cursor still served incrementally")
+	}
+}
+
+// TestEventLogHardCapBoundsRetention pins the memory bound: even a live
+// follower stuck at cursor 0 cannot hold more than eventLogHardCap events —
+// past that it is cheaper to snapshot-resync than to grow the ring.
+func TestEventLogHardCapBoundsRetention(t *testing.T) {
+	l := newEventLog()
+	fillLog(l, 10)
+	if _, _, ok := l.since(0, "stuck"); !ok {
+		t.Fatal("warm-up poll rejected")
+	}
+	refresh := func() { l.mu.Lock(); l.noteAckLocked("stuck", 0); l.mu.Unlock() }
+	// Fill to the hard cap (held open by the stuck follower), then push a
+	// chunk past it; the follower stays live but never advances.
+	fillLog(l, eventLogHardCap)
+	refresh()
+	fillLog(l, 512)
+	refresh()
+	if len(l.events) > eventLogHardCap {
+		t.Fatalf("ring grew to %d events, hard cap is %d", len(l.events), eventLogHardCap)
+	}
+	if _, _, ok := l.since(0, "stuck"); ok {
+		t.Fatal("cursor 0 served incrementally past the hard cap")
+	}
+}
+
+// TestEventLogAckMapBounded pins the follower-map bound: the stalest entry
+// is evicted past maxTrackedFollowers, so churny IDs cannot grow it.
+func TestEventLogAckMapBounded(t *testing.T) {
+	l := newEventLog()
+	now := time.Unix(2000, 0)
+	l.now = func() time.Time { return now }
+	fillLog(l, 5)
+	for i := 0; i < maxTrackedFollowers+10; i++ {
+		now = now.Add(time.Second)
+		if _, _, ok := l.since(1, fmt.Sprintf("f%03d", i)); !ok {
+			t.Fatal("poll rejected")
+		}
+	}
+	if len(l.acks) > maxTrackedFollowers {
+		t.Fatalf("ack map grew to %d, bound is %d", len(l.acks), maxTrackedFollowers)
+	}
+	if _, ok := l.acks["f000"]; ok {
+		t.Error("stalest follower survived eviction")
+	}
+	if _, ok := l.acks[fmt.Sprintf("f%03d", maxTrackedFollowers+9)]; !ok {
+		t.Error("freshest follower was evicted")
+	}
+}
+
+// TestEventLogRotateIsTheEpochFence pins rotation: fresh epoch, head back
+// to zero, ring and follower map cleared, and parked waiters woken — every
+// consumer of the old feed is forced through a resync.
+func TestEventLogRotateIsTheEpochFence(t *testing.T) {
+	l := newEventLog()
+	old := l.epoch
+	fillLog(l, 20)
+	if _, _, ok := l.since(5, "f"); !ok {
+		t.Fatal("warm-up poll rejected")
+	}
+	wake := l.wait()
+	fresh := l.rotate()
+	if fresh == old || fresh == "" {
+		t.Fatalf("rotate minted epoch %q from %q", fresh, old)
+	}
+	select {
+	case <-wake:
+	default:
+		t.Error("rotate left parked waiters sleeping")
+	}
+	if l.head != 0 || len(l.events) != 0 || len(l.acks) != 0 {
+		t.Errorf("post-rotate head=%d events=%d acks=%d, want all zero", l.head, len(l.events), len(l.acks))
+	}
+	// An old-epoch cursor (journaled at seq 5) is now ahead of head = Reset.
+	if _, _, ok := l.since(5, "f"); ok {
+		t.Error("old-epoch cursor served incrementally across the fence")
+	}
+}
+
+// TestInterruptEventWaitersWakesParkedPoll pins the shutdown interrupt: a
+// long-poll parked at head answers immediately once waiters are
+// interrupted, and every later poll answers without parking.
+func TestInterruptEventWaitersWakesParkedPoll(t *testing.T) {
+	p := NewPlatform()
+	epoch, seq := p.publishRef("o", "r", "b", "t0")
+	if epoch == "" || seq != 1 {
+		t.Fatalf("publishRef = %q, %d", epoch, seq)
+	}
+
+	done := make(chan EventsResponse, 1)
+	go func() {
+		resp, err := p.EventsFrom(context.Background(), "f", seq, 30*time.Second)
+		if err != nil {
+			t.Errorf("parked poll failed: %v", err)
+		}
+		done <- resp
+	}()
+	// Let the poll park, then interrupt.
+	time.Sleep(50 * time.Millisecond)
+	p.InterruptEventWaiters()
+	select {
+	case resp := <-done:
+		if resp.Head != seq || len(resp.Events) != 0 {
+			t.Errorf("interrupted poll = %+v, want empty at head %d", resp, seq)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("interrupt left the long-poll parked")
+	}
+
+	// Interrupted is permanent: the next would-be long poll returns fast.
+	start := time.Now()
+	if _, err := p.EventsFrom(context.Background(), "f", seq, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("post-interrupt poll parked for %v", d)
+	}
+}
+
+// TestFleetStatusReportsFollowers pins the admin fleet view: followers
+// sorted by ID with per-follower lag, liveness derived from last poll age.
+func TestFleetStatusReportsFollowers(t *testing.T) {
+	p := NewPlatform()
+	now := time.Unix(3000, 0)
+	p.events.now = func() time.Time { return now }
+	var seq int64
+	for i := 0; i < 8; i++ {
+		_, seq = p.publishRef("o", "r", "b", fmt.Sprint(i))
+	}
+	if _, _, ok := p.events.since(2, "b-follower"); !ok {
+		t.Fatal("poll rejected")
+	}
+	now = now.Add(followerLiveWindow + time.Minute)
+	if _, _, ok := p.events.since(seq, "a-follower"); !ok {
+		t.Fatal("poll rejected")
+	}
+
+	fs := p.FleetStatus()
+	if fs.Head != seq || fs.Epoch == "" {
+		t.Fatalf("fleet head=%d epoch=%q, want head %d", fs.Head, fs.Epoch, seq)
+	}
+	if len(fs.Followers) != 2 {
+		t.Fatalf("fleet has %d followers, want 2", len(fs.Followers))
+	}
+	a, b := fs.Followers[0], fs.Followers[1]
+	if a.ID != "a-follower" || b.ID != "b-follower" {
+		t.Fatalf("followers not sorted: %q, %q", a.ID, b.ID)
+	}
+	if !a.Live || a.Lag != 0 {
+		t.Errorf("a-follower live=%v lag=%d, want live and current", a.Live, a.Lag)
+	}
+	if b.Live || b.Lag != seq-2 {
+		t.Errorf("b-follower live=%v lag=%d, want stale with lag %d", b.Live, b.Lag, seq-2)
+	}
+}

@@ -90,14 +90,37 @@ type SnapshotResponse struct {
 	Repos  []SnapshotRepo `json:"repos"`
 }
 
-// eventLogCap bounds the retained window. A follower further behind than
-// this resyncs from a snapshot; sizing it is a latency/memory trade, not a
-// correctness one.
+// eventLogCap bounds the retained window when no live follower needs more.
+// A follower further behind than the retained window resyncs from a
+// snapshot; sizing it is a latency/memory trade, not a correctness one.
 const eventLogCap = 4096
+
+// eventLogHardCap bounds retention even when a live follower is far behind:
+// past this the primary stops holding events for it and lets the follower
+// fall back to a snapshot resync rather than grow the ring without bound.
+const eventLogHardCap = 4 * eventLogCap
+
+// followerLiveWindow is how long a follower's acknowledged cursor keeps
+// holding the ring after its last poll. A follower silent for longer is
+// presumed dead and no longer sizes retention.
+const followerLiveWindow = 60 * time.Second
+
+// maxTrackedFollowers bounds the per-follower ack map; past it the stalest
+// entry is evicted. Followers identify themselves voluntarily, so this is
+// a memory bound against churny or adversarial IDs, not a fleet-size cap.
+const maxTrackedFollowers = 64
 
 // maxEventsPerPoll bounds one poll's response body; a follower that is far
 // behind drains the window across several polls.
 const maxEventsPerPoll = 512
+
+// ackState is one follower's replication progress as observed from its
+// polls: a poll with since=N acknowledges that everything through N is
+// applied and journaled on that follower.
+type ackState struct {
+	cursor int64
+	seen   time.Time
+}
 
 // eventLog is the bounded publish/subscribe ring. The epoch is freshly
 // random per process so a follower can tell "primary restarted and the log
@@ -108,29 +131,132 @@ type eventLog struct {
 	head   int64   // seq of the newest event; 0 before any publish
 	events []Event // seqs [head-len+1 .. head]
 	notify chan struct{}
+	acks   map[string]*ackState
+	now    func() time.Time // injected in tests to age followers
+
+	// drained is closed (once) when the server starts shutting down, so
+	// parked long-pollers answer immediately instead of waiting out their
+	// deadlines and stalling the HTTP drain.
+	drained   chan struct{}
+	drainOnce sync.Once
 }
 
 func newEventLog() *eventLog {
-	var b [16]byte
-	// crypto/rand never fails on supported platforms; an all-zero epoch
-	// would still be a valid (just less distinctive) epoch value.
-	_, _ = rand.Read(b[:])
-	return &eventLog{epoch: hex.EncodeToString(b[:]), notify: make(chan struct{})}
+	return &eventLog{
+		epoch:   newEpoch(),
+		notify:  make(chan struct{}),
+		acks:    make(map[string]*ackState),
+		now:     time.Now,
+		drained: make(chan struct{}),
+	}
 }
 
-// publish assigns the next sequence number, appends (evicting the oldest
-// event past capacity) and wakes every parked poller.
-func (l *eventLog) publish(ev Event) {
+// newEpoch mints a fresh random epoch identifier. crypto/rand never fails
+// on supported platforms; an all-zero epoch would still be a valid (just
+// less distinctive) epoch value.
+func newEpoch() string {
+	var b [16]byte
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// publish assigns the next sequence number, appends, trims the ring and
+// wakes every parked poller. It returns the epoch and assigned sequence so
+// write paths can report where an acknowledged write sits on the feed.
+//
+// Retention keeps at least eventLogCap events, extended down to the slowest
+// live follower's acknowledged cursor (so a briefly-slow follower does not
+// get forced into a full resync), but never past eventLogHardCap.
+func (l *eventLog) publish(ev Event) (epoch string, seq int64) {
 	l.mu.Lock()
 	l.head++
 	ev.Seq = l.head
 	l.events = append(l.events, ev)
 	if len(l.events) > eventLogCap {
-		l.events = append(l.events[:0:0], l.events[len(l.events)-eventLogCap:]...)
+		keepAfter := l.head - eventLogCap // retain seqs > keepAfter
+		if min, ok := l.minLiveAckLocked(); ok && min < keepAfter {
+			keepAfter = min
+		}
+		if floor := l.head - eventLogHardCap; keepAfter < floor {
+			keepAfter = floor
+		}
+		oldest := l.head - int64(len(l.events)) // seq preceding the oldest retained event
+		if drop := keepAfter - oldest; drop > 0 {
+			l.events = append(l.events[:0:0], l.events[drop:]...)
+		}
 	}
 	close(l.notify)
 	l.notify = make(chan struct{})
+	epoch, seq = l.epoch, l.head
 	l.mu.Unlock()
+	return epoch, seq
+}
+
+// minLiveAckLocked returns the smallest acknowledged cursor among followers
+// seen within followerLiveWindow. Callers hold l.mu.
+func (l *eventLog) minLiveAckLocked() (int64, bool) {
+	cutoff := l.now().Add(-followerLiveWindow)
+	var min int64
+	ok := false
+	for _, a := range l.acks {
+		if a.seen.Before(cutoff) {
+			continue
+		}
+		if !ok || a.cursor < min {
+			min, ok = a.cursor, true
+		}
+	}
+	return min, ok
+}
+
+// noteAckLocked records follower id's acknowledged cursor. The map is
+// bounded: when full, the stalest follower is evicted to make room.
+// Callers hold l.mu.
+func (l *eventLog) noteAckLocked(id string, cursor int64) {
+	if id == "" {
+		return
+	}
+	if a := l.acks[id]; a != nil {
+		if cursor > a.cursor {
+			a.cursor = cursor
+		}
+		a.seen = l.now()
+		return
+	}
+	if len(l.acks) >= maxTrackedFollowers {
+		var stalest string
+		var when time.Time
+		for k, a := range l.acks {
+			if stalest == "" || a.seen.Before(when) {
+				stalest, when = k, a.seen
+			}
+		}
+		delete(l.acks, stalest)
+	}
+	l.acks[id] = &ackState{cursor: cursor, seen: l.now()}
+}
+
+// rotate mints a fresh epoch and restarts the log from zero — the promotion
+// fence. Every follower of the old feed observes the epoch change on its
+// next poll and full-resyncs; every cursor journaled under the old epoch is
+// invalidated. Parked pollers are woken so none sleeps through the flip.
+func (l *eventLog) rotate() string {
+	l.mu.Lock()
+	l.epoch = newEpoch()
+	l.head = 0
+	l.events = nil
+	l.acks = make(map[string]*ackState)
+	close(l.notify)
+	l.notify = make(chan struct{})
+	epoch := l.epoch
+	l.mu.Unlock()
+	return epoch
+}
+
+// interrupt permanently wakes every parked and future poller; used at
+// shutdown so long-polls answer immediately and the HTTP drain completes.
+func (l *eventLog) interrupt() {
+	l.drainOnce.Do(func() { close(l.drained) })
 }
 
 // wait returns the channel closed by the next publish. Callers grab it
@@ -142,17 +268,19 @@ func (l *eventLog) wait() <-chan struct{} {
 }
 
 // since returns the retained events after cursor, capped at
-// maxEventsPerPoll. ok is false when the cursor cannot be served
-// incrementally: ahead of head (a different history — the primary
+// maxEventsPerPoll, and records the poll as follower id's acknowledgment
+// of everything through cursor. ok is false when the cursor cannot be
+// served incrementally: ahead of head (a different history — the primary
 // restarted, or the follower journaled against another epoch) or behind
 // the retained window (evicted by capacity).
-func (l *eventLog) since(cursor int64) (evs []Event, head int64, ok bool) {
+func (l *eventLog) since(cursor int64, id string) (evs []Event, head int64, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	oldest := l.head - int64(len(l.events)) // seq preceding the oldest retained event
 	if cursor > l.head || cursor < oldest {
 		return nil, l.head, false
 	}
+	l.noteAckLocked(id, cursor)
 	from := int(cursor - oldest)
 	n := len(l.events) - from
 	if n > maxEventsPerPoll {
@@ -172,19 +300,28 @@ func (l *eventLog) state() (epoch string, head int64) {
 	return l.epoch, l.head
 }
 
-// publishRef records a branch update on the replication feed. Callers hold
-// the repository's edit lock across ref-set + publish, so events for one
+// publishRef records a branch update on the replication feed and reports
+// where it landed (epoch + sequence), so the write path can tell clients
+// which feed position acknowledges their push. Callers hold the
+// repository's edit lock across ref-set + publish, so events for one
 // branch are ordered exactly like the ref updates themselves — a follower
 // applying them in sequence can never regress a branch it is current on.
-func (p *Platform) publishRef(owner, name, branch, tipHex string) {
-	p.events.publish(Event{Type: EventRef, Owner: owner, Repo: name, Branch: branch, Tip: tipHex})
+func (p *Platform) publishRef(owner, name, branch, tipHex string) (epoch string, seq int64) {
+	return p.events.publish(Event{Type: EventRef, Owner: owner, Repo: name, Branch: branch, Tip: tipHex})
 }
 
-// Events answers one replication poll: everything after the since cursor,
-// parking up to wait for the first publish when the follower is current.
-// A cursor the log cannot serve incrementally comes back Reset — the
-// follower's signal to full-resync from a snapshot instead of erroring.
+// Events answers one anonymous replication poll; see EventsFrom.
 func (p *Platform) Events(ctx context.Context, since int64, wait time.Duration) (EventsResponse, error) {
+	return p.EventsFrom(ctx, "", since, wait)
+}
+
+// EventsFrom answers one replication poll: everything after the since
+// cursor, parking up to wait for the first publish when the follower is
+// current. A cursor the log cannot serve incrementally comes back Reset —
+// the follower's signal to full-resync from a snapshot instead of
+// erroring. A non-empty followerID records the poll as that follower's
+// acknowledged cursor, which sizes ring retention and feeds fleet status.
+func (p *Platform) EventsFrom(ctx context.Context, followerID string, since int64, wait time.Duration) (EventsResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return EventsResponse{}, err
 	}
@@ -197,7 +334,7 @@ func (p *Platform) Events(ctx context.Context, since int64, wait time.Duration) 
 	}
 	for {
 		wake := p.events.wait()
-		evs, head, ok := p.events.since(since)
+		evs, head, ok := p.events.since(since, followerID)
 		if !ok {
 			return EventsResponse{Epoch: epoch, Head: head, Reset: true}, nil
 		}
@@ -208,10 +345,70 @@ func (p *Platform) Events(ctx context.Context, since int64, wait time.Duration) 
 		case <-wake:
 		case <-deadline:
 			return EventsResponse{Epoch: epoch, Head: head}, nil
+		case <-p.events.drained:
+			// Shutdown: answer empty now so the HTTP drain completes.
+			return EventsResponse{Epoch: epoch, Head: head}, nil
 		case <-ctx.Done():
 			return EventsResponse{}, ctx.Err()
 		}
 	}
+}
+
+// InterruptEventWaiters wakes every parked events long-poll, permanently:
+// polls answer empty immediately from then on. Wire it to
+// http.Server.RegisterOnShutdown so graceful drain is not held hostage by
+// a follower's wait=N deadline.
+func (p *Platform) InterruptEventWaiters() {
+	p.events.interrupt()
+}
+
+// RotateEventEpoch mints a fresh events epoch and restarts the feed from
+// sequence zero, returning the new epoch. This is promotion's fence: a
+// just-promoted primary rotates so every cursor journaled under the old
+// primary's epoch — including the old primary's own, should it come back
+// as a follower — is invalidated into a full resync.
+func (p *Platform) RotateEventEpoch() string {
+	return p.events.rotate()
+}
+
+// FollowerStatus is one follower's replication progress as seen by the
+// primary, derived from the follower's own event polls.
+type FollowerStatus struct {
+	ID       string    `json:"id"`
+	Cursor   int64     `json:"cursor"`
+	Lag      int64     `json:"lag"`
+	LastSeen time.Time `json:"last_seen"`
+	Live     bool      `json:"live"`
+}
+
+// FleetStatus is the primary's view of its replication feed: epoch, head,
+// how much of the ring is retained, and each known follower's acknowledged
+// position.
+type FleetStatus struct {
+	Epoch     string           `json:"epoch"`
+	Head      int64            `json:"head"`
+	Retained  int              `json:"retained"`
+	Followers []FollowerStatus `json:"followers,omitempty"`
+}
+
+// FleetStatus reports the feed and every tracked follower, sorted by ID.
+func (p *Platform) FleetStatus() FleetStatus {
+	l := p.events
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fs := FleetStatus{Epoch: l.epoch, Head: l.head, Retained: len(l.events)}
+	cutoff := l.now().Add(-followerLiveWindow)
+	for id, a := range l.acks {
+		fs.Followers = append(fs.Followers, FollowerStatus{
+			ID:       id,
+			Cursor:   a.cursor,
+			Lag:      l.head - a.cursor,
+			LastSeen: a.seen,
+			Live:     !a.seen.Before(cutoff),
+		})
+	}
+	sort.Slice(fs.Followers, func(i, j int) bool { return fs.Followers[i].ID < fs.Followers[j].ID })
+	return fs
 }
 
 // Snapshot captures the full replication bootstrap. The event cursor is

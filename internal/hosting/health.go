@@ -1,0 +1,74 @@
+// health.go is the load-balancer surface: two unauthenticated probes that
+// let external fleet management (LBs, orchestrators, the failover-aware
+// client) judge a node without the admin token. /healthz is liveness — the
+// process answers HTTP. /readyz is readiness — this node should receive
+// traffic: the platform is open and, on a replica, replication lag is
+// under the configured ceiling, so a wedged or far-behind follower is
+// rotated out of the read pool instead of serving arbitrarily stale data.
+package hosting
+
+import "net/http"
+
+// defaultReadyMaxLag is the replication lag (events behind the primary's
+// head) past which a replica reports not-ready. Override with
+// WithReadinessMaxLag.
+const defaultReadyMaxLag = 1024
+
+// WithReadinessMaxLag sets the replication lag ceiling for GET /readyz on
+// a replica; n <= 0 restores the default.
+func WithReadinessMaxLag(n int64) ServerOption {
+	return func(s *Server) { s.readyMaxLag = n }
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// ReadyResponse answers GET /readyz. Role is "primary" or "replica";
+// Reason explains a 503 (not a stable wire code — probes key on status).
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Role   string `json:"role"`
+	Lag    int64  `json:"lag,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleHealthz serves GET /healthz: 200 whenever the process can answer.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// handleReadyz serves GET /readyz: 200 when this node should receive
+// traffic, 503 otherwise (platform closing, replica still bootstrapping,
+// or replica lag over the ceiling).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp := ReadyResponse{Ready: true, Role: "primary"}
+	rs := s.replica.Load()
+	if rs != nil {
+		resp.Role = "replica"
+	}
+	if !s.platform.Open() {
+		resp.Ready, resp.Reason = false, "platform closed"
+	} else if rs != nil {
+		if rs.status != nil {
+			st := rs.status()
+			resp.Lag = st.Lag
+			maxLag := s.readyMaxLag
+			if maxLag <= 0 {
+				maxLag = defaultReadyMaxLag
+			}
+			switch {
+			case st.Epoch == "":
+				resp.Ready, resp.Reason = false, "replica bootstrapping (no epoch yet)"
+			case st.Lag > maxLag:
+				resp.Ready, resp.Reason = false, "replica lag over ceiling"
+			}
+		}
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

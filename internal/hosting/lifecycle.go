@@ -407,11 +407,22 @@ func (p *Platform) maybeAutoRepack(owner, name string) {
 	}()
 }
 
+// Open reports whether the platform is still accepting operations (true
+// until Close). The readiness probe uses it to fail fast during shutdown.
+func (p *Platform) Open() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return !p.closed
+}
+
 // Close shuts the platform down: further mutations fail with ErrClosed,
 // every open repository handle is closed, and the manifest journal is
 // flushed and released. Call it after the HTTP server has drained
 // (http.Server.Shutdown), when no request still holds a pin. Idempotent.
 func (p *Platform) Close() error {
+	// Wake any events long-poll that outlived the HTTP drain so nothing
+	// parks against a closing platform.
+	p.events.interrupt()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()

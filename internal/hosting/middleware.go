@@ -11,6 +11,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -118,12 +119,22 @@ func (s *Server) withCORS(next http.Handler) http.Handler {
 }
 
 // withRateLimit enforces the per-token budget before any handler work.
+// Rejections carry Retry-After so well-behaved clients (the extension
+// client honors it) wait the advised interval instead of hammering the
+// backoff path. Health probes bypass the limiter: a load balancer polling
+// /healthz must never be throttled into marking the node dead.
 func (s *Server) withRateLimit(next http.Handler) http.Handler {
 	if s.limiter == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !s.limiter.allow(clientKey(r)) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if ok, retryAfter := s.limiter.allow(clientKey(r)); !ok {
+			secs := int(retryAfter/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 				Code:  CodeRateLimited,
 				Error: "hosting: rate limit exceeded",
@@ -222,7 +233,10 @@ func newRateLimiter(rps float64, burst int) *rateLimiter {
 	}
 }
 
-func (l *rateLimiter) allow(key string) bool {
+// allow spends one token from key's bucket. On refusal it also reports how
+// long until the bucket refills enough for one request — the Retry-After
+// interval advertised to the client.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.now()
@@ -243,8 +257,12 @@ func (l *rateLimiter) allow(key string) bool {
 	}
 	b.last = now
 	if b.tokens < 1 {
-		return false
+		var wait time.Duration
+		if l.rps > 0 {
+			wait = time.Duration((1 - b.tokens) / l.rps * float64(time.Second))
+		}
+		return false, wait
 	}
 	b.tokens--
-	return true
+	return true, 0
 }

@@ -9,6 +9,7 @@
 package hosting
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -16,15 +17,45 @@ import (
 	"time"
 )
 
+// Response headers a replica stamps on every response so failover-aware
+// clients can judge its freshness without an extra status round trip.
+const (
+	HeaderReplicaEpoch  = "X-Gitcite-Replica-Epoch"
+	HeaderReplicaCursor = "X-Gitcite-Replica-Cursor"
+	HeaderReplicaLag    = "X-Gitcite-Replica-Lag"
+)
+
+// replicaState is the server's follower mode, swapped atomically as one
+// value: promotion flips the server to primary by clearing the pointer, so
+// an in-flight request sees either full replica behavior or none of it.
+type replicaState struct {
+	primary string
+	status  func() ReplicaStatus
+}
+
+// PromoteFunc turns this follower into a primary (wire it to
+// Replicator.Promote): verify the replica is caught up, stop the
+// replication loop, journal the promotion, and mint a fresh events epoch
+// (returned). It must be safe to call concurrently; exactly one call wins.
+type PromoteFunc func(ctx context.Context) (epoch string, err error)
+
 // WithReplicaMode makes the server a read-only follower of the primary at
 // primaryURL: write routes answer 307 with Location rewritten onto the
 // primary and code "replica_read_only". status, when non-nil, is surfaced
-// by GET /api/v1/admin/status (wire it to Replicator.Status).
+// by GET /api/v1/admin/status (wire it to Replicator.Status) and stamped
+// onto every response as the X-Gitcite-Replica-* headers.
 func WithReplicaMode(primaryURL string, status func() ReplicaStatus) ServerOption {
 	return func(s *Server) {
-		s.replicaPrimary = strings.TrimRight(primaryURL, "/")
-		s.replicaStatus = status
+		s.replica.Store(&replicaState{
+			primary: strings.TrimRight(primaryURL, "/"),
+			status:  status,
+		})
 	}
+}
+
+// WithPromotion enables POST /api/v1/admin/promote, backed by fn.
+func WithPromotion(fn PromoteFunc) ServerOption {
+	return func(s *Server) { s.promote = fn }
 }
 
 // mutating wraps a write handler with the replica gate. On a primary it is
@@ -33,16 +64,33 @@ func WithReplicaMode(primaryURL string, status func() ReplicaStatus) ServerOptio
 // replication loop.
 func (s *Server) mutating(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.replicaPrimary == "" {
+		rs := s.replica.Load()
+		if rs == nil {
 			h(w, r)
 			return
 		}
-		w.Header().Set("Location", s.replicaPrimary+r.URL.RequestURI())
+		w.Header().Set("Location", rs.primary+r.URL.RequestURI())
 		writeJSON(w, http.StatusTemporaryRedirect, ErrorResponse{
 			Code:  CodeReplicaReadOnly,
-			Error: "hosting: read-only replica; write to the primary at " + s.replicaPrimary,
+			Error: "hosting: read-only replica; write to the primary at " + rs.primary,
 		})
 	}
+}
+
+// withReplicaHeaders stamps the replica freshness headers (epoch, applied
+// cursor, lag) on every response while the server is in replica mode. It
+// sits innermost in the middleware chain so the headers land before any
+// handler writes.
+func (s *Server) withReplicaHeaders(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rs := s.replica.Load(); rs != nil && rs.status != nil {
+			st := rs.status()
+			w.Header().Set(HeaderReplicaEpoch, st.Epoch)
+			w.Header().Set(HeaderReplicaCursor, strconv.FormatInt(st.Cursor, 10))
+			w.Header().Set(HeaderReplicaLag, strconv.FormatInt(st.Lag, 10))
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // eventsMaxWait caps how long one events poll may park server-side, safely
@@ -52,8 +100,10 @@ const eventsMaxWait = 55 * time.Second
 // eventsDefaultWait is the long-poll park when the request names none.
 const eventsDefaultWait = 25 * time.Second
 
-// handleEvents serves GET /api/v1/events?since=N&wait=SECONDS — the
-// replication feed poll. wait=0 disables parking (pure poll).
+// handleEvents serves GET /api/v1/events?since=N&wait=SECONDS&id=FOLLOWER —
+// the replication feed poll. wait=0 disables parking (pure poll); a
+// non-empty id registers the poll as that follower's acknowledged cursor
+// for retention sizing and fleet status.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var since int64
@@ -77,7 +127,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			wait = eventsMaxWait
 		}
 	}
-	resp, err := s.platform.Events(r.Context(), since, wait)
+	resp, err := s.platform.EventsFrom(r.Context(), q.Get("id"), since, wait)
 	if err != nil {
 		writeErr(w, err)
 		return

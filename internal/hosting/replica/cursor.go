@@ -41,35 +41,7 @@ func saveCursorFile(dir string, rec cursorRecord) error {
 	if err != nil {
 		return err
 	}
-	var buf bytes.Buffer
-	buf.WriteString(cursorHeader)
-	fmt.Fprintf(&buf, "%08x %s\n", crc32.ChecksumIEEE(payload), payload)
-
-	path := filepath.Join(dir, cursorFileName)
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
-	if err != nil {
-		return fmt.Errorf("replica: write cursor: %w", err)
-	}
-	if _, err = f.Write(buf.Bytes()); err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("replica: write cursor: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("replica: write cursor: %w", err)
-	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+	return writeFramedFile(dir, cursorFileName, cursorHeader, payload)
 }
 
 // loadCursorFile reads the journaled resume point for the given primary.
@@ -77,28 +49,8 @@ func saveCursorFile(dir string, rec cursorRecord) error {
 // foreign-primary file: the caller's recovery in every case is the same
 // full resync it performs on first boot.
 func loadCursorFile(dir, primary string) (cursorRecord, bool) {
-	data, err := os.ReadFile(filepath.Join(dir, cursorFileName))
-	if err != nil {
-		return cursorRecord{}, false
-	}
-	if len(data) < len(cursorHeader) || string(data[:len(cursorHeader)]) != cursorHeader {
-		return cursorRecord{}, false
-	}
-	rest := data[len(cursorHeader):]
-	nl := bytes.IndexByte(rest, '\n')
-	if nl < 0 {
-		return cursorRecord{}, false
-	}
-	line := rest[:nl]
-	if len(line) < 10 || line[8] != ' ' {
-		return cursorRecord{}, false
-	}
-	var crc uint32
-	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &crc); err != nil {
-		return cursorRecord{}, false
-	}
-	payload := line[9:]
-	if crc32.ChecksumIEEE(payload) != crc {
+	payload, ok := readFramedFile(dir, cursorFileName, cursorHeader)
+	if !ok {
 		return cursorRecord{}, false
 	}
 	var rec cursorRecord
@@ -109,4 +61,70 @@ func loadCursorFile(dir, primary string) (cursorRecord, bool) {
 		return cursorRecord{}, false
 	}
 	return rec, true
+}
+
+// writeFramedFile atomically replaces dir/name with header + one CRC-framed
+// payload line (the crash framing shared by the cursor and promotion
+// journals): tmp + fsync + rename + directory fsync.
+func writeFramedFile(dir, name, header string, payload []byte) error {
+	var buf bytes.Buffer
+	buf.WriteString(header)
+	fmt.Fprintf(&buf, "%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("replica: write %s: %w", name, err)
+	}
+	if _, err = f.Write(buf.Bytes()); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: write %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: write %s: %w", name, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// readFramedFile reads dir/name written by writeFramedFile and returns the
+// CRC-verified payload. ok is false — never an error — for a missing,
+// torn, foreign-header or CRC-failing file.
+func readFramedFile(dir, name, header string) ([]byte, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, false
+	}
+	if len(data) < len(header) || string(data[:len(header)]) != header {
+		return nil, false
+	}
+	rest := data[len(header):]
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	line := rest[:nl]
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, false
+	}
+	var crc uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &crc); err != nil {
+		return nil, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, false
+	}
+	return payload, true
 }

@@ -1,0 +1,310 @@
+// Tests for promotion: the lagging refusal (in-process and over the wire
+// with its stable code), the concurrent-promote race (exactly one winner),
+// the kill -9 crash points (each lands in exactly one role at next boot),
+// and the promotion journal's crash rules.
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/gitcite/gitcite/internal/extension"
+	"github.com/gitcite/gitcite/internal/hosting"
+	"github.com/gitcite/gitcite/internal/vcs/refs"
+	"github.com/gitcite/gitcite/internal/workload"
+)
+
+// startReplicaServer serves rp as a read replica of the primary at
+// primaryURL, with promotion wired — the full topology a promotable
+// follower runs in production.
+func startReplicaServer(t *testing.T, rp *hosting.Platform, primaryURL string, rep *Replicator) *httptest.Server {
+	t.Helper()
+	rts := httptest.NewServer(hosting.NewServer(rp,
+		hosting.WithAdminToken(adminTok),
+		hosting.WithReplicaMode(primaryURL, rep.Status),
+		hosting.WithPromotion(rep.Promote),
+	))
+	t.Cleanup(rts.Close)
+	return rts
+}
+
+// postPromote fires POST /api/v1/admin/promote and decodes either body.
+func postPromote(t *testing.T, baseURL string) (status int, promo hosting.PromoteResponse, errResp hosting.ErrorResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/api/v1/admin/promote", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+adminTok)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &promo); err != nil {
+			t.Fatalf("promote 200 body %q: %v", buf.String(), err)
+		}
+	} else if err := json.Unmarshal(buf.Bytes(), &errResp); err != nil {
+		t.Fatalf("promote %d body %q: %v", resp.StatusCode, buf.String(), err)
+	}
+	return resp.StatusCode, promo, errResp
+}
+
+// TestPromoteRefusesLaggingReplica pins the refusal both in-process (the
+// sentinel) and over the wire (409 with the stable "replica_lagging" code):
+// promoting a replica that has not applied through the primary's head would
+// drop acknowledged writes, so it must never succeed.
+func TestPromoteRefusesLaggingReplica(t *testing.T) {
+	rep, err := New(Config{Primary: "http://p", Platform: hosting.NewPlatform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A replica that has applied cursor 3 of a feed whose head is 7.
+	rep.mu.Lock()
+	rep.st.Epoch, rep.st.Cursor, rep.st.Head = "e1", 3, 7
+	rep.mu.Unlock()
+	if _, err := rep.Promote(context.Background()); !errors.Is(err, hosting.ErrNotCaughtUp) {
+		t.Fatalf("Promote on lagging replica = %v, want ErrNotCaughtUp", err)
+	}
+	// A replica that never bootstrapped (no epoch) is maximally lagging.
+	rep2, _ := New(Config{Primary: "http://p", Platform: hosting.NewPlatform()})
+	if _, err := rep2.Promote(context.Background()); !errors.Is(err, hosting.ErrNotCaughtUp) {
+		t.Fatalf("Promote on unbootstrapped replica = %v, want ErrNotCaughtUp", err)
+	}
+
+	// Over the wire: the refusal is a 409 with the stable code.
+	rp := hosting.NewPlatform()
+	rts := startReplicaServer(t, rp, "http://p", rep)
+	status, _, errResp := postPromote(t, rts.URL)
+	if status != http.StatusConflict || errResp.Code != hosting.CodeNotCaughtUp {
+		t.Fatalf("wire refusal = %d code %q, want 409 %q", status, errResp.Code, hosting.CodeNotCaughtUp)
+	}
+}
+
+// TestConcurrentPromotesExactlyOneWins races many promote requests at one
+// caught-up replica: exactly one 200, everyone else a stable 409, and the
+// winner's epoch is the platform's new feed epoch.
+func TestConcurrentPromotesExactlyOneWins(t *testing.T) {
+	pp, ts, owner := startPrimary(t)
+	_ = pp
+	if err := owner.CreateRepo("race", "https://x/race", ""); err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.Default()
+	cfg.Seed = 21
+	cfg.Depth, cfg.Fanout, cfg.FilesPerDir, cfg.FileBytes = 2, 2, 3, 64
+	local, tips, err := workload.BuildHistory(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tip := range tips {
+		if err := local.VCS.Refs.Set(refs.BranchRef("main"), tip); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := owner.Sync(local, "prime", "race", "main"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rp := hosting.NewPlatform()
+	rep, _ := runReplicator(t, testConfig(ts.URL, rp))
+	rts := startReplicaServer(t, rp, ts.URL, rep)
+	waitBranch(t, rp, "prime", "race", "main", tips[len(tips)-1])
+	waitFor(t, "replica caught up", func() bool {
+		st := rep.Status()
+		return st.Cursor > 0 && st.Cursor == st.Head
+	})
+
+	const racers = 8
+	statuses := make([]int, racers)
+	epochs := make([]string, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, promo, _ := postPromote(t, rts.URL)
+			statuses[i], epochs[i] = status, promo.Epoch
+		}(i)
+	}
+	wg.Wait()
+
+	var wins int
+	var epoch string
+	for i, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			wins++
+			epoch = epochs[i]
+		case http.StatusConflict:
+		default:
+			t.Errorf("racer %d got unexpected status %d", i, st)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d promotes won, want exactly 1 (statuses %v)", wins, statuses)
+	}
+	if epoch == "" {
+		t.Fatal("winning promote returned an empty epoch")
+	}
+}
+
+// TestKillMidPromotionLandsInExactlyOneRole simulates kill -9 at each
+// promotion stage and asserts the boot-time role decision is binary: a
+// crash before the journal rename boots as a follower (no promotion
+// happened), a crash after it boots as a primary — never a third state.
+func TestKillMidPromotionLandsInExactlyOneRole(t *testing.T) {
+	for _, tc := range []struct {
+		stage       string
+		wantPrimary bool
+	}{
+		{"loop-stopped", false}, // crash before the journal: still a follower
+		{"journaled", true},     // crash after the journal: already a primary
+	} {
+		t.Run(tc.stage, func(t *testing.T) {
+			dir := t.TempDir()
+			rep, err := New(Config{Primary: "http://p", Platform: hosting.NewPlatform(), StateDir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep.mu.Lock()
+			rep.st.Epoch, rep.st.Cursor, rep.st.Head = "e1", 9, 9
+			rep.mu.Unlock()
+			killed := errors.New("simulated kill -9")
+			rep.crashPoint = func(stage string) error {
+				if stage == tc.stage {
+					return killed
+				}
+				return nil
+			}
+			if _, err := rep.Promote(context.Background()); !errors.Is(err, killed) {
+				t.Fatalf("Promote = %v, want the simulated crash", err)
+			}
+			promo, ok := LoadPromotion(dir)
+			if ok != tc.wantPrimary {
+				t.Fatalf("crash at %s: LoadPromotion ok = %v, want %v", tc.stage, ok, tc.wantPrimary)
+			}
+			if tc.wantPrimary && promo.Cursor != 9 {
+				t.Errorf("journaled cursor = %d, want 9", promo.Cursor)
+			}
+		})
+	}
+}
+
+// TestPromotionJournalCrashRules pins LoadPromotion's recovery behaviour:
+// round-trip, and missing/torn/CRC-corrupted files all read as "not
+// promoted" — the follower role — never as a phantom promotion.
+func TestPromotionJournalCrashRules(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok := LoadPromotion(dir); ok {
+		t.Error("missing promotion file loaded")
+	}
+	rec := PromotionRecord{OldPrimary: "http://p", Cursor: 17, PromotedAt: 123}
+	if err := savePromotionFile(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := LoadPromotion(dir)
+	if !ok || got != rec {
+		t.Fatalf("round-trip = %+v, %v", got, ok)
+	}
+
+	path := filepath.Join(dir, promotedFileName)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(whole) - 1; cut > 0; cut -= 5 {
+		if err := os.WriteFile(path, whole[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := LoadPromotion(dir); ok {
+			t.Fatalf("torn file (%d bytes) loaded as %+v", cut, got)
+		}
+	}
+	corrupt := append([]byte(nil), whole...)
+	corrupt[len(corrupt)-4] ^= 0x20
+	if err := os.WriteFile(path, corrupt, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LoadPromotion(dir); ok {
+		t.Error("CRC-corrupted promotion file loaded")
+	}
+}
+
+// TestPromoteFlipsServerToPrimary is the end-to-end role flip: a caught-up
+// replica promotes over the wire, the 307 write gate drops, a push lands
+// locally under the fresh epoch, and a second promote reports "conflict" —
+// the server is already a primary.
+func TestPromoteFlipsServerToPrimary(t *testing.T) {
+	pp, ts, owner := startPrimary(t)
+	if err := owner.CreateRepo("flip", "https://x/flip", ""); err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.Default()
+	cfg.Seed = 33
+	cfg.Depth, cfg.Fanout, cfg.FilesPerDir, cfg.FileBytes = 2, 2, 3, 64
+	local, tips, err := workload.BuildHistory(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tip := range tips[:3] {
+		if err := local.VCS.Refs.Set(refs.BranchRef("main"), tip); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := owner.Sync(local, "prime", "flip", "main"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rp := hosting.NewPlatform()
+	rep, _ := runReplicator(t, testConfig(ts.URL, rp))
+	rts := startReplicaServer(t, rp, ts.URL, rep)
+	waitBranch(t, rp, "prime", "flip", "main", tips[2])
+	waitFor(t, "replica caught up", func() bool {
+		st := rep.Status()
+		return st.Cursor > 0 && st.Cursor == st.Head
+	})
+
+	status, promo, _ := postPromote(t, rts.URL)
+	if status != http.StatusOK || !promo.Promoted || promo.Epoch == "" {
+		t.Fatalf("promote = %d %+v", status, promo)
+	}
+
+	// The write gate dropped: a push to the promoted server lands locally
+	// (no 307 back to the dead primary) using credentials replicated from
+	// the old feed.
+	_ = pp
+	newPrimary := extension.New(rts.URL, mustToken(t, rp, "prime"))
+	if err := local.VCS.Refs.Set(refs.BranchRef("main"), tips[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newPrimary.Sync(local, "prime", "flip", "main"); err != nil {
+		t.Fatalf("push to promoted server: %v", err)
+	}
+	repo, err := rp.Repo(context.Background(), "prime", "flip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tip, err := repo.VCS.BranchTip("main"); err != nil || tip != tips[3] {
+		t.Fatalf("promoted server tip = %v, %v, want %s", tip, err, tips[3].Short())
+	}
+
+	// Promoting a primary is a stable conflict, not a 500.
+	status, _, errResp := postPromote(t, rts.URL)
+	if status != http.StatusConflict || errResp.Code != hosting.CodeConflict {
+		t.Fatalf("second promote = %d code %q, want 409 %q", status, errResp.Code, hosting.CodeConflict)
+	}
+}

@@ -1,0 +1,64 @@
+// promotion.go persists the one-way follower→primary transition with the
+// same crash framing as the cursor journal. The atomic rename of
+// replica.promoted is promotion's durable commit point: a crash strictly
+// before it boots as a follower of the old primary (the promotion simply
+// never happened), a crash anywhere after it boots as a primary — the
+// server's boot path checks LoadPromotion before wiring the replication
+// loop. There is no torn middle state, which is what makes kill -9 during
+// promotion land in exactly one of the two roles.
+package replica
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// promotedHeader is the first line of the promotion journal; a file
+// without it is not ours and is ignored rather than misread.
+const promotedHeader = "gitcite-promoted v1\n"
+
+// promotedFileName is the promotion journal's name under the replica
+// state dir — next to replica.cursor, which it supersedes.
+const promotedFileName = "replica.promoted"
+
+// PromotionRecord journals a completed promotion: which primary this node
+// used to follow and the feed cursor it had fully applied when it took
+// over. OldPrimary lets operators audit the topology change; Cursor proves
+// the promotion preserved every acknowledged write at or below it.
+type PromotionRecord struct {
+	OldPrimary string `json:"oldPrimary"`
+	Cursor     int64  `json:"cursor"`
+	PromotedAt int64  `json:"promotedAtUnix"`
+}
+
+// savePromotionFile atomically journals the promotion (tmp + fsync +
+// rename + directory fsync).
+func savePromotionFile(dir string, rec PromotionRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return writeFramedFile(dir, promotedFileName, promotedHeader, payload)
+}
+
+// LoadPromotion reports whether the state dir records a completed
+// promotion — the boot-time role decision. ok is false for a missing,
+// torn or CRC-failing file (boot as the configured follower); callers
+// never see an error because the recovery is the same either way.
+func LoadPromotion(dir string) (PromotionRecord, bool) {
+	payload, ok := readFramedFile(dir, promotedFileName, promotedHeader)
+	if !ok {
+		return PromotionRecord{}, false
+	}
+	var rec PromotionRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return PromotionRecord{}, false
+	}
+	if rec.Cursor < 0 {
+		return PromotionRecord{}, false
+	}
+	return rec, true
+}
+
+// nowUnix is stubbed in tests for deterministic PromotedAt stamps.
+var nowUnix = func() int64 { return time.Now().Unix() }

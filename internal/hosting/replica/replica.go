@@ -13,9 +13,12 @@ package replica
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -61,17 +64,35 @@ type Config struct {
 	PollInterval time.Duration
 	LongPollWait time.Duration
 	Logger       *log.Logger
+	// ReplicaID identifies this follower on the primary's events feed
+	// (retention sizing, fleet status). Empty generates a fresh random ID
+	// per process.
+	ReplicaID string
+	// Transport, when non-nil, replaces the HTTP transport the replication
+	// loop's client uses — the fault-injection hook.
+	Transport http.RoundTripper
 }
 
 // Replicator runs the follower side of replication. Create with New, drive
-// with Run, surface with Status (wire it to hosting.WithReplicaMode).
+// with Run, surface with Status (wire it to hosting.WithReplicaMode), and
+// retire with Promote (wire it to hosting.WithPromotion).
 type Replicator struct {
 	cfg      Config
 	longPoll time.Duration
+	id       string
 
-	mu    sync.Mutex
-	st    hosting.ReplicaStatus
-	probe bool // last events poll failed: next poll skips the long park
+	mu        sync.Mutex
+	st        hosting.ReplicaStatus
+	probe     bool // last events poll failed: next poll skips the long park
+	cancel    context.CancelFunc
+	runDone   chan struct{}
+	promoting bool
+	promoted  bool
+
+	// crashPoint, when set by tests, is consulted at each promotion stage;
+	// a non-nil return abandons Promote there — simulating the process
+	// dying with whatever state reached disk.
+	crashPoint func(stage string) error
 }
 
 // New prepares a replicator and loads any journaled cursor for this
@@ -94,7 +115,12 @@ func New(cfg Config) (*Replicator, error) {
 	case cfg.LongPollWait == 0:
 		cfg.LongPollWait = defaultLongPollWait
 	}
-	r := &Replicator{cfg: cfg, longPoll: cfg.LongPollWait}
+	r := &Replicator{cfg: cfg, longPoll: cfg.LongPollWait, id: cfg.ReplicaID}
+	if r.id == "" {
+		var b [8]byte
+		_, _ = rand.Read(b[:])
+		r.id = hex.EncodeToString(b[:])
+	}
 	r.st = hosting.ReplicaStatus{Primary: cfg.Primary, Repos: map[string]hosting.ReplicaRepoStatus{}}
 	if cfg.StateDir != "" {
 		if rec, ok := loadCursorFile(cfg.StateDir, cfg.Primary); ok {
@@ -104,11 +130,25 @@ func New(cfg Config) (*Replicator, error) {
 	return r, nil
 }
 
-// Run drives the replication loop until ctx is cancelled (the only way it
-// returns). Failed steps back off exponentially from the poll interval up
-// to maxErrBackoff; any successful step resets the backoff.
+// Run drives the replication loop until ctx is cancelled or Promote stops
+// it (the only ways it returns). Failed steps back off exponentially from
+// the poll interval up to maxErrBackoff; any successful step resets it.
 func (r *Replicator) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan struct{})
+	r.mu.Lock()
+	if r.promoting || r.promoted {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: replicator promoted", hosting.ErrConflict)
+	}
+	r.cancel, r.runDone = cancel, done
+	r.mu.Unlock()
+	defer close(done)
 	cl := extension.New(r.cfg.Primary, r.cfg.Token).WithContext(ctx)
+	if r.cfg.Transport != nil {
+		cl = cl.WithTransport(r.cfg.Transport)
+	}
 	backoff := r.cfg.PollInterval
 	for {
 		if err := ctx.Err(); err != nil {
@@ -146,7 +186,7 @@ func (r *Replicator) step(ctx context.Context, cl *extension.Client) error {
 		// "falling back to periodic polling" degradation.
 		wait = 0
 	}
-	resp, err := cl.Events(cursor, wait)
+	resp, err := cl.EventsAs(r.id, cursor, wait)
 	if err != nil {
 		r.setProbe(true)
 		return err
@@ -296,6 +336,84 @@ func (r *Replicator) applyRef(ctx context.Context, cl *extension.Client, ev host
 	}
 	r.noteApplied(key, ev, n)
 	return nil
+}
+
+// Promote turns this caught-up follower into a primary and returns the
+// fresh events epoch it minted. The sequence is crash-ordered:
+//
+//  1. Verify the applied cursor has reached the primary's head — promoting
+//     a lagging replica would drop acknowledged writes, so it is refused
+//     with hosting.ErrNotCaughtUp (wire code "replica_lagging").
+//  2. Stop the replication loop and wait for it to exit, so no event can
+//     apply after the role flips.
+//  3. Journal the promotion (replica.promoted, atomic rename) — the
+//     durable commit point the boot path checks. A crash before it boots
+//     as a follower; after it, as a primary. Never both.
+//  4. Mint a fresh events epoch. Every follower of the old feed — the old
+//     primary included, should it come back demoted — sees the epoch
+//     change and full-resyncs, so no two primaries ever acknowledge
+//     writes under the same epoch (invariant 9).
+//
+// Concurrent calls race on one mutex-guarded claim: exactly one proceeds,
+// the rest fail with hosting.ErrConflict.
+func (r *Replicator) Promote(ctx context.Context) (string, error) {
+	r.mu.Lock()
+	if r.promoting || r.promoted {
+		r.mu.Unlock()
+		return "", fmt.Errorf("%w: promotion already in progress or complete", hosting.ErrConflict)
+	}
+	if r.st.Epoch == "" || r.st.Cursor < r.st.Head {
+		cursor, head := r.st.Cursor, r.st.Head
+		r.mu.Unlock()
+		return "", fmt.Errorf("%w: cursor %d behind head %d", hosting.ErrNotCaughtUp, cursor, head)
+	}
+	r.promoting = true
+	cancel, done := r.cancel, r.runDone
+	cursor := r.st.Cursor
+	r.mu.Unlock()
+
+	abort := func(err error) (string, error) {
+		r.mu.Lock()
+		r.promoting = false
+		r.mu.Unlock()
+		return "", err
+	}
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return abort(ctx.Err())
+		}
+	}
+	if err := r.crash("loop-stopped"); err != nil {
+		return abort(err)
+	}
+	if r.cfg.StateDir != "" {
+		rec := PromotionRecord{OldPrimary: r.cfg.Primary, Cursor: cursor, PromotedAt: nowUnix()}
+		if err := savePromotionFile(r.cfg.StateDir, rec); err != nil {
+			return abort(err)
+		}
+	}
+	if err := r.crash("journaled"); err != nil {
+		return abort(err)
+	}
+	epoch := r.cfg.Platform.RotateEventEpoch()
+	r.mu.Lock()
+	r.promoting, r.promoted = false, true
+	r.mu.Unlock()
+	r.logf("replica: promoted to primary at cursor %d (epoch %.8s)", cursor, epoch)
+	return epoch, nil
+}
+
+// crash consults the test-only crash hook at a promotion stage.
+func (r *Replicator) crash(stage string) error {
+	if r.crashPoint == nil {
+		return nil
+	}
+	return r.crashPoint(stage)
 }
 
 // Status reports replication progress for the admin endpoint.

@@ -47,6 +47,11 @@ var (
 	// ErrClosed reports an operation on a platform after Close — only
 	// possible when requests outlive the HTTP server's drain.
 	ErrClosed = errors.New("hosting: platform closed")
+	// ErrNotCaughtUp reports a promotion attempt on a replica whose applied
+	// cursor has not reached the primary's head (surfaced as 409 with code
+	// "replica_lagging"). Promoting a lagging replica would silently drop
+	// every acknowledged write it has not yet applied.
+	ErrNotCaughtUp = errors.New("hosting: replica not caught up")
 )
 
 // User is one platform account.

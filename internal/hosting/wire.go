@@ -36,6 +36,9 @@ const (
 	// CodeReplicaReadOnly is 307: this server is a read replica; the
 	// Location header points the write at the primary.
 	CodeReplicaReadOnly = "replica_read_only"
+	// CodeNotCaughtUp is 409: promotion refused because the replica's
+	// applied cursor is behind the primary's head.
+	CodeNotCaughtUp = "replica_lagging"
 )
 
 // ErrorResponse is the JSON error body. Code is one of the Code* constants;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — runs the fleet-resilience chaos suite under the race
+# detector: the deterministic fault-injection harness itself, the 3-node
+# fleet storms (partitions, resets, replays, delays, mid-storm promotion),
+# the promotion edge cases (lagging refusal, concurrent promotes, kill -9
+# mid-promotion), and the client failover/read-your-writes suite.
+#
+# Every fault schedule is seeded and count-based, so a failing run replays
+# exactly with the same seed — no flaky chaos.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+COUNT="${CHAOS_COUNT:-1}"
+
+echo "=== chaos smoke: fault-injection harness"
+go test -race -count="$COUNT" ./internal/faultinject/
+
+echo "=== chaos smoke: fleet storms + promotion edge cases"
+go test -race -count="$COUNT" ./internal/hosting/replica/
+
+echo "=== chaos smoke: client failover + retry policy"
+go test -race -count="$COUNT" ./internal/extension/
+
+echo "chaos smoke: fleet converged, zero acked writes lost, failover clean"

@@ -146,18 +146,49 @@ printf 'replicated after replica crash\n' > crash.txt
 TIP4=$(curl -sf "$BASE/api/v1/repos/alice/demo" | sed -n 's/.*"main":"\([0-9a-f]*\)".*/\1/p')
 [ "$TIP4" != "$TIP3" ] || { echo "FAIL: primary tip did not advance"; exit 1; }
 "$BIN/gitcite-server" -addr "127.0.0.1:$RPORT" -pack "$WORK/replica-data" \
-  -replica-of "$BASE" -replica-token "$ADMIN_TOK" -replica-poll 200ms &
+  -replica-of "$BASE" -replica-token "$ADMIN_TOK" -replica-poll 200ms -admin-token "$ADMIN_TOK" &
 REPLICA_PID=$!
 wait_replica_tip "$TIP4" || { echo "FAIL: restarted replica never caught up to $TIP4"; exit 1; }
 curl -sf "$RBASE/api/v1/repos/alice/demo/cite/main?path=/" > /dev/null \
   || { echo "FAIL: cite on restarted replica"; exit 1; }
 
+echo "==> promotion leg: kill -9 the primary, promote the replica over the wire"
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+promo=$(curl -s -X POST "$RBASE/api/v1/admin/promote" -H "Authorization: Bearer $ADMIN_TOK")
+echo "$promo" | grep -q '"promoted":true' || { echo "FAIL: promote refused: $promo"; exit 1; }
+
+echo "==> the promoted server acknowledges writes and serves citations"
+cd "$DST2"
+printf 'written to the promoted primary\n' > promoted.txt
+"$BIN/gitcite" commit -author alice -m "after failover"
+"$BIN/gitcite" push -server "$RBASE" -token "$TOKEN" -owner alice -repo demo -branch main
+pcite=$(curl -sf "$RBASE/api/v1/repos/alice/demo/cite/main?path=/lib/code.go&format=text")
+echo "$pcite" | grep -q "blib" || { echo "FAIL: cite on promoted primary: $pcite"; exit 1; }
+
+echo "==> kill -9 the promoted server; it reboots as primary despite -replica-of"
+PTIP=$(curl -sf "$RBASE/api/v1/repos/alice/demo" | sed -n 's/.*"main":"\([0-9a-f]*\)".*/\1/p')
+kill -9 "$REPLICA_PID" 2>/dev/null || true
+wait "$REPLICA_PID" 2>/dev/null || true
+"$BIN/gitcite-server" -addr "127.0.0.1:$RPORT" -pack "$WORK/replica-data" \
+  -replica-of "$BASE" -replica-token "$ADMIN_TOK" -replica-poll 200ms -admin-token "$ADMIN_TOK" &
+REPLICA_PID=$!
+up=""
+for _ in $(seq 1 50); do
+  curl -sf "$RBASE/api/v1/repos/alice/demo" > /dev/null 2>&1 && { up=1; break; }
+  sleep 0.2
+done
+[ -n "$up" ] || { echo "FAIL: promoted server did not come back after kill -9"; exit 1; }
+PTIP2=$(curl -sf "$RBASE/api/v1/repos/alice/demo" | sed -n 's/.*"main":"\([0-9a-f]*\)".*/\1/p')
+[ "$PTIP2" = "$PTIP" ] || { echo "FAIL: tip changed across promoted restart: $PTIP2 != $PTIP"; exit 1; }
+printf 'post-promotion restart\n' > promoted2.txt
+"$BIN/gitcite" commit -author alice -m "promoted primary survives restart"
+"$BIN/gitcite" push -server "$RBASE" -token "$TOKEN" -owner alice -repo demo -branch main
+
 echo "==> graceful shutdown drains and exits cleanly"
 kill -TERM "$REPLICA_PID" 2>/dev/null || true
 wait "$REPLICA_PID" 2>/dev/null || true
 REPLICA_PID=""
-kill -TERM "$SERVER_PID" 2>/dev/null || true
-wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
 
-echo "PASS: e2e smoke (server boot, push, cold-clone pull, cite, abbreviated rev, repack, kill -9 restart recovery, replica mirror + 307 + crash catch-up, graceful shutdown)"
+echo "PASS: e2e smoke (server boot, push, cold-clone pull, cite, abbreviated rev, repack, kill -9 restart recovery, replica mirror + 307 + crash catch-up, kill -9 promotion + promoted reboot-as-primary, graceful shutdown)"
